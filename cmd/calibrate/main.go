@@ -1,0 +1,43 @@
+// Calibrate measures the simulated interconnect's transfer time for a
+// ladder of message sizes and writes the table the overlap
+// instrumentation loads at startup — the analogue of running the
+// vendor's perf_main utility before an instrumented application run
+// (paper Sec. 3.1).
+//
+// Usage:
+//
+//	calibrate [-out calib.table] [-reps 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	out := flag.String("out", "calib.table", "output file for the transfer-time table")
+	reps := flag.Int("reps", 5, "repetitions per message size")
+	flag.Parse()
+
+	cost := fabric.DefaultCostModel()
+	table := cluster.Calibrate(cost, calib.StandardSizes(), *reps)
+	if err := table.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	points := table.Points()
+	fmt.Printf("calibrated %d message sizes (%d reps each) -> %s\n", len(points), *reps, *out)
+	for _, p := range points {
+		if p.Size == 1 || p.Size&(p.Size-1) == 0 && p.Size >= 1<<10 {
+			fmt.Printf("  %9d B  %12v\n", p.Size, p.Time)
+		}
+	}
+	_ = os.Stdout.Sync()
+}

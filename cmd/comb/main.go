@@ -1,0 +1,55 @@
+// Comb runs the COMB-style system-level overlap-capability baseline
+// (related work the paper contrasts its application-level framework
+// with): a two-rank exchange with a sweep of inserted work, under the
+// post-work-wait and polling methods, for both long-message protocols.
+//
+// Usage:
+//
+//	comb [-size 1048576] [-reps 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ovlp/internal/comb"
+	"ovlp/internal/mpi"
+	"ovlp/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("comb: ")
+	size := flag.Int("size", 1<<20, "message size in bytes")
+	reps := flag.Int("reps", 50, "iterations per point")
+	flag.Parse()
+
+	work := []time.Duration{
+		0, 250 * time.Microsecond, 500 * time.Microsecond,
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+	}
+	for _, proto := range []mpi.LongProtocol{mpi.PipelinedRDMA, mpi.DirectRDMARead} {
+		for _, method := range []comb.Method{comb.PostWorkWait, comb.Polling} {
+			pts := comb.Config{
+				Method:   method,
+				Protocol: proto,
+				MsgSize:  *size,
+				Work:     work[1:], // base measured internally
+				Reps:     *reps,
+			}.Run()
+			t := report.NewTable(
+				fmt.Sprintf("COMB %s, %s, %d KiB messages", method, proto, *size>>10),
+				"work", "elapsed", "availability", "overlap eff.")
+			for _, p := range pts {
+				t.AddRow(p.Work, p.Elapsed.Round(time.Microsecond),
+					fmt.Sprintf("%.2f", p.Availability),
+					fmt.Sprintf("%.2f", p.OverlapEfficiency))
+			}
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+}

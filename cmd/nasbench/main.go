@@ -1,0 +1,232 @@
+// Nasbench regenerates the paper's NAS benchmark characterizations:
+// Figs. 10-13 (BT and CG under the pipelined-RDMA library as with Open
+// MPI; LU and FT under direct RDMA read as with MVAPICH2) and Fig. 19
+// (the ARMCI MG variants). For each benchmark it sweeps problem
+// classes and processor counts and prints process 0's min/max overlap
+// percentages, as the paper reports.
+//
+// Usage:
+//
+//	nasbench [-bench all] [-classes S,W,A,B] [-procs ...] [-iters 10]
+//
+// -iters truncates each benchmark's time-stepping loop; overlap
+// percentages converge within a few iterations, so the default keeps
+// runs quick. Pass -iters 0 for the full NPB iteration counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ovlp/internal/mpi"
+	"ovlp/internal/nas"
+	"ovlp/internal/overlap"
+	"ovlp/internal/report"
+)
+
+// paperProtocol maps each benchmark to the library the paper pairs it
+// with (Sec. 4: BT, CG with Open MPI; LU, FT, SP with MVAPICH2).
+var paperProtocol = map[string]mpi.LongProtocol{
+	nas.BT: mpi.PipelinedRDMA,
+	nas.CG: mpi.PipelinedRDMA,
+	nas.LU: mpi.DirectRDMARead,
+	nas.FT: mpi.DirectRDMARead,
+	nas.SP: mpi.DirectRDMARead,
+	nas.MG: mpi.DirectRDMARead,
+	nas.IS: mpi.DirectRDMARead,
+	nas.EP: mpi.DirectRDMARead,
+}
+
+// figure numbers for the table titles.
+var paperFigure = map[string]string{
+	nas.BT: "Fig. 10",
+	nas.CG: "Fig. 11",
+	nas.LU: "Fig. 12",
+	nas.FT: "Fig. 13",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nasbench: ")
+	benchFlag := flag.String("bench", "all", "comma-separated benchmarks (BT,CG,LU,FT,SP,MG,IS,EP,MG-ARMCI) or 'all'/'paper'")
+	classFlag := flag.String("classes", "S,W,A,B", "comma-separated problem classes")
+	procsFlag := flag.String("procs", "", "comma-separated processor counts (default per benchmark)")
+	iters := flag.Int("iters", 10, "iteration cap (0 = full NPB iteration counts)")
+	bins := flag.Bool("bins", false, "also print process 0's per-message-size-bin breakdown")
+	hw := flag.Bool("hw", false, "use NIC hardware time-stamps (precise mode: min == max)")
+	jsonDir := flag.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
+	flag.Parse()
+
+	var benches []string
+	switch *benchFlag {
+	case "all":
+		benches = append(nas.Names(), "MG-ARMCI")
+	case "paper":
+		benches = []string{nas.BT, nas.CG, nas.LU, nas.FT, "MG-ARMCI"}
+	default:
+		benches = strings.Split(*benchFlag, ",")
+	}
+	classes := parseClasses(*classFlag)
+
+	for _, b := range benches {
+		b = strings.ToUpper(strings.TrimSpace(b))
+		if b == "MG-ARMCI" {
+			runMGARMCI(classes, parseProcs(*procsFlag, []int{2, 4, 8}), *iters)
+			continue
+		}
+		defProcs := []int{4, 8, 16}
+		if b == nas.BT || b == nas.SP {
+			defProcs = []int{4, 9, 16}
+		}
+		runBench(b, classes, parseProcs(*procsFlag, defProcs), *iters, *bins, *hw, *jsonDir)
+	}
+}
+
+func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw bool, jsonDir string) {
+	title := fmt.Sprintf("Overlap characterization — NAS %s (%s protocol)", name, paperProtocol[name])
+	if f, ok := paperFigure[name]; ok {
+		title = fmt.Sprintf("%s — paper %s", title, f)
+	}
+	if hw {
+		title += " [NIC hardware time-stamps]"
+	}
+	t := report.NewTable(title,
+		"class", "procs", "min%", "max%", "xfers", "data xfer", "MPI time", "run time")
+	var binTables []*report.Table
+	start := time.Now()
+	for _, class := range classes {
+		for _, p := range procs {
+			reports, r := nas.CharacterizeAllReports(name, class, p, nas.Options{
+				Protocol:     paperProtocol[name],
+				MaxIters:     iters,
+				HWTimestamps: hw,
+			})
+			rep := reports[0]
+			if jsonDir != "" {
+				saveReports(jsonDir, name, class, reports)
+			}
+			t.AddRow(class, p, r.MinPct, r.MaxPct, r.Transfers,
+				r.DataTransferTime.Round(time.Microsecond),
+				r.MPITime.Round(time.Microsecond),
+				r.Duration.Round(time.Microsecond))
+			if bins {
+				binTables = append(binTables, binTable(name, class, p, rep))
+			}
+		}
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+	for _, bt := range binTables {
+		bt.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// saveReports writes one JSON report file per rank.
+func saveReports(dir, name string, class nas.Class, reports []*overlap.Report) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range reports {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-p%d-rank%d.json",
+			strings.ToLower(name), class, len(reports), rep.Rank))
+		if err := rep.SaveJSON(path); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// binTable renders process 0's per-message-size breakdown — the
+// "short versus long" detail the paper uses to attribute
+// non-overlapped time to particular transfers.
+func binTable(name string, class nas.Class, procs int, rep *overlap.Report) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("  %s class %s, %d procs — message-size breakdown (process 0)", name, class, procs),
+		"size bin", "xfers", "data xfer", "min%", "max%", "non-overlapped")
+	agg := make([]overlap.Measures, len(rep.BinBounds)+1)
+	for _, reg := range rep.Regions {
+		for i, b := range reg.Bins {
+			agg[i].Add(b)
+		}
+	}
+	for i, b := range agg {
+		if b.Count == 0 {
+			continue
+		}
+		t.AddRow(binLabel(rep.BinBounds, i), b.Count,
+			b.DataTransferTime.Round(time.Microsecond),
+			b.MinPercent(), b.MaxPercent(),
+			b.NonOverlapped().Round(time.Microsecond))
+	}
+	return t
+}
+
+// binLabel mirrors the overlap package's bin naming.
+func binLabel(bounds []int, i int) string {
+	sz := func(n int) string {
+		switch {
+		case n >= 1<<20 && n%(1<<20) == 0:
+			return fmt.Sprintf("%dM", n>>20)
+		case n >= 1<<10 && n%(1<<10) == 0:
+			return fmt.Sprintf("%dK", n>>10)
+		default:
+			return fmt.Sprintf("%dB", n)
+		}
+	}
+	switch {
+	case i == 0:
+		return "<=" + sz(bounds[0])
+	case i < len(bounds):
+		return sz(bounds[i-1]) + "-" + sz(bounds[i])
+	default:
+		return ">" + sz(bounds[len(bounds)-1])
+	}
+}
+
+func runMGARMCI(classes []nas.Class, procs []int, iters int) {
+	t := report.NewTable("Overlap characterization — ARMCI MG, blocking vs non-blocking — paper Fig. 19",
+		"class", "procs", "blk min%", "blk max%", "nb min%", "nb max%")
+	start := time.Now()
+	for _, class := range classes {
+		for _, p := range procs {
+			b := nas.CharacterizeMGARMCI(class, p, nas.MGBlocking, iters)
+			n := nas.CharacterizeMGARMCI(class, p, nas.MGNonblocking, iters)
+			t.AddRow(class, p, b.MinPct, b.MaxPct, n.MinPct, n.MaxPct)
+		}
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseClasses(s string) []nas.Class {
+	var out []nas.Class
+	for _, part := range strings.Split(s, ",") {
+		part = strings.ToUpper(strings.TrimSpace(part))
+		if len(part) != 1 {
+			log.Fatalf("bad class %q", part)
+		}
+		out = append(out, nas.Class(part[0]))
+	}
+	return out
+}
+
+func parseProcs(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			log.Fatalf("bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}

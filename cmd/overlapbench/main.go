@@ -1,0 +1,81 @@
+// Overlapbench regenerates the paper's microbenchmark figures
+// (Figs. 3-9): two processes exchanging messages under each
+// point-to-point call combination and long-message protocol, with
+// increasing computation inserted on the non-blocking side(s). For
+// each computation length it prints the average MPI_Wait time and the
+// min/max overlap percentages from the instrumentation.
+//
+// Usage:
+//
+//	overlapbench [-fig 0] [-reps 1000]
+//
+// -fig 0 (the default) runs every figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ovlp/internal/micro"
+	"ovlp/internal/report"
+)
+
+var figureNotes = map[int]string{
+	3: "eager protocol, 10 KiB: short messages exhibit full overlap ability",
+	4: "pipelined RDMA overlaps only the first fragment: flat sender curves",
+	5: "direct RDMA read: sender overlap grows with computation, wait time drops",
+	6: "pipelined, Send-Irecv: receiver overlaps only the first fragment",
+	7: "direct, Send-Irecv: polling misses the request - zero receiver overlap",
+	8: "pipelined, Isend-Irecv: first fragment only on both sides",
+	9: "direct, Isend-Irecv: complete overlap possible for the sender",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overlapbench: ")
+	fig := flag.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
+	reps := flag.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
+	flag.Parse()
+
+	figs := []int{3, 4, 5, 6, 7, 8, 9}
+	if *fig != 0 {
+		if *fig < 3 || *fig > 9 {
+			log.Fatalf("no paper figure %d (want 3-9)", *fig)
+		}
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		runFigure(f, *reps)
+	}
+}
+
+func runFigure(fig, reps int) {
+	e := micro.PaperFigure(fig, reps)
+	start := time.Now()
+	points := e.Run()
+
+	title := fmt.Sprintf("Figure %d: %v, %v, %s x %d reps — %s",
+		fig, e.Pair, e.Protocol, sizeLabel(e.MsgSize), e.Reps, figureNotes[fig])
+	t := report.NewTable(title,
+		"compute", "sender wait", "recv wait",
+		"s.min%", "s.max%", "r.min%", "r.max%")
+	for _, p := range points {
+		t.AddRow(p.Compute, p.SenderWait, p.ReceiverWait,
+			p.SenderMin, p.SenderMax, p.ReceiverMin, p.ReceiverMax)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("  (%d points, %v)\n\n", len(points), time.Since(start).Round(time.Millisecond))
+}
+
+func sizeLabel(n int) string {
+	if n >= 1<<20 && n%(1<<20) == 0 {
+		return fmt.Sprintf("%d MiB", n>>20)
+	}
+	if n >= 1<<10 {
+		return fmt.Sprintf("%d KiB", n>>10)
+	}
+	return fmt.Sprintf("%d B", n)
+}

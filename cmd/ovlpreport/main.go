@@ -1,0 +1,83 @@
+// Ovlpreport inspects and merges the per-process JSON report files the
+// instrumentation writes (one per rank, as in the paper's per-process
+// output files): it prints each rank's summary and the whole-job
+// aggregate, with optional per-region detail.
+//
+// Usage:
+//
+//	ovlpreport [-regions] rank0.json rank1.json ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ovlp/internal/overlap"
+	"ovlp/internal/report"
+	"ovlp/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ovlpreport: ")
+	regions := flag.Bool("regions", false, "print per-region detail for the aggregate")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: ovlpreport [-regions] report.json ...")
+	}
+
+	var reps []*overlap.Report
+	for _, path := range flag.Args() {
+		rep, err := overlap.LoadJSON(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		reps = append(reps, rep)
+	}
+
+	t := report.NewTable("Per-rank overlap summary",
+		"rank", "run time", "compute", "comm calls", "data xfer", "min%", "max%")
+	var mins, maxs []float64
+	for _, rep := range reps {
+		tot := rep.Total()
+		mins = append(mins, tot.MinPercent())
+		maxs = append(maxs, tot.MaxPercent())
+		t.AddRow(rep.Rank, rep.Duration.Round(time.Microsecond),
+			rep.UserComputeTime().Round(time.Microsecond),
+			rep.CommCallTime().Round(time.Microsecond),
+			tot.DataTransferTime.Round(time.Microsecond),
+			tot.MinPercent(), tot.MaxPercent())
+	}
+	t.Render(os.Stdout)
+
+	agg := overlap.Aggregate(reps)
+	tot := agg.Total()
+	fmt.Printf("\naggregate: %d transfers, data %v, overlap min %.1f%% max %.1f%%\n",
+		tot.Count, tot.DataTransferTime.Round(time.Microsecond),
+		tot.MinPercent(), tot.MaxPercent())
+	fmt.Printf("across ranks: min%% mean %.1f (spread %.1f..%.1f), max%% mean %.1f (spread %.1f..%.1f)\n",
+		stats.Mean(mins), stats.Min(mins), stats.Max(mins),
+		stats.Mean(maxs), stats.Min(maxs), stats.Max(maxs))
+
+	if *regions {
+		rt := report.NewTable("\nAggregate per-region detail",
+			"region", "xfers", "data xfer", "min%", "max%", "non-overlapped")
+		for _, reg := range agg.Regions {
+			if reg.Total.Count == 0 {
+				continue
+			}
+			name := reg.Name
+			if name == "" {
+				name = "(root)"
+			}
+			rt.AddRow(name, reg.Total.Count,
+				reg.Total.DataTransferTime.Round(time.Microsecond),
+				reg.Total.MinPercent(), reg.Total.MaxPercent(),
+				reg.Total.NonOverlapped().Round(time.Microsecond))
+		}
+		rt.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,75 @@
+// Spstudy regenerates the paper's NAS SP case study (Sec. 4.3,
+// Figs. 14-18): overlap bounds over the explicit overlapping section
+// and over the complete code, original versus Iprobe-modified, plus
+// the total MPI times — all under the direct-RDMA-read library
+// (MVAPICH2), as in the paper.
+//
+// Usage:
+//
+//	spstudy [-classes A,B] [-procs 4,9,16] [-iters 10] [-iprobes 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ovlp/internal/nas"
+	"ovlp/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spstudy: ")
+	classFlag := flag.String("classes", "A,B", "comma-separated problem classes")
+	procsFlag := flag.String("procs", "4,9,16", "comma-separated processor counts (squares)")
+	iters := flag.Int("iters", 10, "iteration cap (0 = full NPB count)")
+	flag.Parse()
+
+	var classes []nas.Class
+	for _, part := range strings.Split(*classFlag, ",") {
+		part = strings.ToUpper(strings.TrimSpace(part))
+		classes = append(classes, nas.Class(part[0]))
+	}
+	var procs []int
+	for _, part := range strings.Split(*procsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad proc count %q", part)
+		}
+		procs = append(procs, n)
+	}
+
+	for _, class := range classes {
+		section := report.NewTable(
+			fmt.Sprintf("SP class %s — overlapping section, original vs modified (paper Figs. 14/15)", class),
+			"procs", "orig min%", "orig max%", "mod min%", "mod max%")
+		whole := report.NewTable(
+			fmt.Sprintf("SP class %s — complete code (paper Figs. 16/17)", class),
+			"procs", "orig min%", "orig max%", "mod min%", "mod max%")
+		mpiT := report.NewTable(
+			fmt.Sprintf("SP class %s — total MPI time (paper Fig. 18)", class),
+			"procs", "orig", "modified", "change%")
+		for _, p := range procs {
+			orig := nas.CharacterizeSP(class, p, false, *iters)
+			mod := nas.CharacterizeSP(class, p, true, *iters)
+			section.AddRow(p, orig.SectionMinPct, orig.SectionMaxPct,
+				mod.SectionMinPct, mod.SectionMaxPct)
+			whole.AddRow(p, orig.TotalMinPct, orig.TotalMaxPct,
+				mod.TotalMinPct, mod.TotalMaxPct)
+			change := 100 * (float64(mod.MPITime) - float64(orig.MPITime)) / float64(orig.MPITime)
+			mpiT.AddRow(p, orig.MPITime.Round(time.Microsecond),
+				mod.MPITime.Round(time.Microsecond), change)
+		}
+		section.Render(os.Stdout)
+		fmt.Println()
+		whole.Render(os.Stdout)
+		fmt.Println()
+		mpiT.Render(os.Stdout)
+		fmt.Println()
+	}
+}

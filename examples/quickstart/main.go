@@ -1,0 +1,65 @@
+// Quickstart: instrument a small message-passing program and read the
+// overlap report.
+//
+// Four ranks run a ring pipeline: each forwards a 256 KiB block to its
+// right neighbour, computes on the previous block while the transfer
+// is (hopefully) in flight, and waits. The per-rank reports show how
+// much of the transfer time the instrumentation can prove was hidden
+// (the minimum bound) and how much could at best have been hidden (the
+// maximum bound).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+)
+
+func main() {
+	const (
+		ranks  = 4
+		block  = 256 << 10 // 256 KiB per step: a rendezvous message
+		steps  = 20
+		crunch = 600 * time.Microsecond // per-step computation
+	)
+
+	res := cluster.Run(cluster.Config{
+		Procs: ranks,
+		MPI: mpi.Config{
+			Protocol:   mpi.DirectRDMARead,
+			Instrument: &mpi.InstrumentConfig{}, // table auto-calibrated
+		},
+	}, func(r *mpi.Rank) {
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		for step := 0; step < steps; step++ {
+			send := r.Isend(right, step, block)
+			recv := r.Irecv(left, step)
+			// Compute while the NIC moves data. Without progress
+			// nudges a polling library may still serialize — exactly
+			// what the report below reveals.
+			r.Compute(crunch)
+			r.Iprobe(mpi.AnySource, mpi.AnyTag) // nudge the progress engine
+			r.Compute(crunch)
+			r.Waitall(send, recv)
+		}
+		r.Barrier()
+	})
+
+	fmt.Printf("ring pipeline finished in %v of virtual time\n\n", res.Duration)
+	for _, rep := range res.Reports {
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			panic(err)
+		}
+	}
+	tot := res.Reports[0].Total()
+	fmt.Printf("\nrank 0 verdict: of %v spent moving data, at least %v (%.0f%%) "+
+		"and at most %v (%.0f%%) was hidden behind computation.\n",
+		tot.DataTransferTime, tot.MinOverlapped, tot.MinPercent(),
+		tot.MaxOverlapped, tot.MaxPercent())
+}

@@ -1,0 +1,119 @@
+// Stencil: use the overlap bounds to tune a halo-exchange application,
+// the way the paper tunes NAS SP (Sec. 4.3).
+//
+// A 2-D Jacobi stencil on a process grid exchanges four halos per
+// sweep. Three structures of the same numerical work are compared:
+//
+//	naive     — exchange completely, then compute (no overlap
+//	            attempted);
+//	split     — post halo receives, compute the interior (which needs
+//	            no halos), then wait and compute the boundary: the
+//	            textbook overlap structure;
+//	split+probe — the same, with Iprobe calls inside the interior
+//	            computation to force library progress, the paper's SP
+//	            fix.
+//
+// The instrumentation shows why "split" alone often fails on a
+// polling library and what the probe calls buy.
+//
+// Run with: go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+	"ovlp/internal/report"
+)
+
+const (
+	procs    = 4    // 2x2 grid
+	n        = 1536 // global grid edge
+	sweeps   = 25
+	flopRate = 1e9 // flops/sec, for converting stencil work to time
+)
+
+type variant struct {
+	name   string
+	probes int  // Iprobes per interior computation
+	split  bool // interior/boundary split with late Wait
+}
+
+func main() {
+	variants := []variant{
+		{name: "naive"},
+		{name: "split", split: true},
+		{name: "split+probe", split: true, probes: 3},
+	}
+	t := report.NewTable("2-D Jacobi halo exchange on a 2x2 grid — three code structures",
+		"variant", "min overlap%", "max overlap%", "MPI time", "run time")
+	for _, v := range variants {
+		res := run(v)
+		tot := res.Reports[0].Total()
+		t.AddRow(v.name, tot.MinPercent(), tot.MaxPercent(),
+			res.MPITimes[0].Round(time.Microsecond),
+			res.Duration.Round(time.Microsecond))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nThe split structure only pays off once the library makes progress")
+	fmt.Println("during the interior computation — the probe calls supply that, just")
+	fmt.Println("as the paper's Iprobe insertion does for NAS SP.")
+}
+
+func run(v variant) cluster.Result {
+	return cluster.Run(cluster.Config{
+		Procs: procs,
+		MPI: mpi.Config{
+			Protocol:   mpi.DirectRDMARead,
+			Instrument: &mpi.InstrumentConfig{},
+		},
+	}, func(r *mpi.Rank) {
+		local := n / 2 // 2x2 grid
+		haloBytes := 8 * local
+		_ = haloBytes
+		interior := time.Duration(float64(5*local*local) / flopRate * 1e9)
+		boundary := time.Duration(float64(5*4*local) / flopRate * 1e9)
+
+		row, col := r.ID()/2, r.ID()%2
+		north := ((row+1)%2)*2 + col
+		south := ((row+1)%2)*2 + col // 2-row torus: same peer both ways
+		west := row*2 + (col+1)%2
+		east := row*2 + (col+1)%2
+
+		// Halos are ~12 KiB each: rendezvous territory where overlap
+		// is won or lost.
+		halo := 16 << 10
+
+		for s := 0; s < sweeps; s++ {
+			recvs := []*mpi.Request{
+				r.Irecv(north, 4*s+0), r.Irecv(south, 4*s+1),
+				r.Irecv(west, 4*s+2), r.Irecv(east, 4*s+3),
+			}
+			sends := []*mpi.Request{
+				r.Isend(south, 4*s+0, halo), r.Isend(north, 4*s+1, halo),
+				r.Isend(east, 4*s+2, halo), r.Isend(west, 4*s+3, halo),
+			}
+			if !v.split {
+				// Naive: finish communication first, then compute.
+				r.Waitall(append(recvs, sends...)...)
+				r.Compute(interior + boundary)
+				continue
+			}
+			// Split: interior needs no halos — compute it while the
+			// exchange is in flight, optionally nudging progress.
+			slices := v.probes + 1
+			for k := 0; k < slices; k++ {
+				r.Compute(interior / time.Duration(slices))
+				if k < v.probes {
+					r.Iprobe(mpi.AnySource, mpi.AnyTag)
+				}
+			}
+			r.Waitall(append(recvs, sends...)...)
+			r.Compute(boundary)
+		}
+		r.Barrier()
+	})
+}

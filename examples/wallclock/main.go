@@ -1,0 +1,143 @@
+// Wallclock: the instrumentation framework on real code, real time.
+//
+// Everything else in this repository runs in simulated virtual time,
+// but the overlap monitor itself is substrate-independent: it needs
+// only a Clock and the four events. This example instruments a real
+// Go producer/consumer pipeline in which "communication" is an
+// asynchronous buffer copy performed by a background goroutine (the
+// role the DMA engine plays on a real NIC) and "computation" is an
+// actual checksum loop.
+//
+// Two pipeline structures are compared, mirroring the paper's
+// blocking-versus-nonblocking story: waiting for each copy before
+// computing, versus starting the copy and computing while it runs.
+//
+// Run with: go run ./examples/wallclock
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/overlap"
+)
+
+const (
+	blockWords = 1 << 21 // 16 MiB of int64s per block
+	rounds     = 24
+)
+
+// copier is the "NIC": it copies blocks in the background and posts a
+// completion when done.
+type copier struct {
+	src, dst []int64
+	done     chan struct{}
+}
+
+func newCopier() *copier {
+	return &copier{
+		src:  make([]int64, blockWords),
+		dst:  make([]int64, blockWords),
+		done: make(chan struct{}, 1),
+	}
+}
+
+// start launches the asynchronous copy.
+func (c *copier) start() {
+	go func() {
+		copy(c.dst, c.src)
+		c.done <- struct{}{}
+	}()
+}
+
+// wait blocks until the in-flight copy completes.
+func (c *copier) wait() { <-c.done }
+
+// compute is the real computation overlapped with the copy: a checksum
+// over an unrelated buffer.
+func compute(buf []int64) int64 {
+	var sum int64
+	for i := range buf {
+		sum += buf[i] ^ int64(i)
+	}
+	return sum
+}
+
+// calibrate measures the a-priori "transfer time" of one block copy —
+// the analogue of running perf_main before the application.
+func calibrate(c *copier) *calib.Table {
+	const reps = 5
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		c.start()
+		c.wait()
+		total += time.Since(t0)
+	}
+	table, err := calib.NewTable([]calib.Point{
+		{Size: blockWords * 8, Time: total / reps},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return table
+}
+
+// run executes the pipeline, instrumented, and returns the report.
+func run(table *calib.Table, overlapped bool) *overlap.Report {
+	c := newCopier()
+	work := make([]int64, blockWords)
+	mon := overlap.NewMonitor(overlap.Config{
+		Clock: overlap.NewWallClock(),
+		Table: table,
+	})
+
+	var sink int64
+	for i := 0; i < rounds; i++ {
+		id := uint64(i + 1)
+		mon.CallEnter() // "Isend": post the copy
+		mon.XferBegin(id, blockWords*8)
+		c.start()
+		mon.CallExit()
+
+		if overlapped {
+			sink += compute(work) // compute while the copy runs
+		}
+
+		mon.CallEnter() // "Wait"
+		c.wait()
+		mon.XferEnd(id, 0)
+		mon.CallExit()
+
+		if !overlapped {
+			sink += compute(work) // compute after the copy
+		}
+	}
+	_ = sink
+	return mon.Finalize()
+}
+
+func main() {
+	c := newCopier()
+	table := calibrate(c)
+	fmt.Printf("calibrated: one %d MiB copy takes %v\n\n",
+		blockWords*8>>20, table.XferTime(blockWords*8).Round(time.Microsecond))
+
+	for _, overlapped := range []bool{false, true} {
+		name := "copy-then-compute"
+		if overlapped {
+			name = "copy-while-computing"
+		}
+		rep := run(table, overlapped)
+		tot := rep.Total()
+		fmt.Printf("%-20s  wall %8v   data %8v   overlap min %5.1f%%  max %5.1f%%\n",
+			name,
+			rep.Duration.Round(time.Millisecond),
+			tot.DataTransferTime.Round(time.Millisecond),
+			tot.MinPercent(), tot.MaxPercent())
+	}
+	fmt.Println("\nThe same bounds algorithm that characterized the simulated MPI")
+	fmt.Println("libraries measures a live Go pipeline: the overlapped structure's")
+	fmt.Println("minimum bound certifies how much copy time was genuinely hidden.")
+}

@@ -1,0 +1,3 @@
+module ovlp
+
+go 1.22

@@ -1,0 +1,260 @@
+package calib
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustTable(t *testing.T, points ...Point) *Table {
+	t.Helper()
+	tbl, err := NewTable(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestLookupExactPoints(t *testing.T) {
+	tbl := mustTable(t,
+		Point{Size: 100, Time: 10 * time.Microsecond},
+		Point{Size: 1000, Time: 40 * time.Microsecond},
+	)
+	if got := tbl.XferTime(100); got != 10*time.Microsecond {
+		t.Errorf("XferTime(100) = %v", got)
+	}
+	if got := tbl.XferTime(1000); got != 40*time.Microsecond {
+		t.Errorf("XferTime(1000) = %v", got)
+	}
+}
+
+func TestLookupInterpolates(t *testing.T) {
+	tbl := mustTable(t,
+		Point{Size: 0, Time: 10 * time.Microsecond},
+		Point{Size: 1000, Time: 30 * time.Microsecond},
+	)
+	if got := tbl.XferTime(500); got != 20*time.Microsecond {
+		t.Errorf("midpoint = %v, want 20µs", got)
+	}
+	if got := tbl.XferTime(250); got != 15*time.Microsecond {
+		t.Errorf("quarter = %v, want 15µs", got)
+	}
+}
+
+func TestLookupBelowSmallestIsLatencyBound(t *testing.T) {
+	tbl := mustTable(t,
+		Point{Size: 64, Time: 5 * time.Microsecond},
+		Point{Size: 128, Time: 6 * time.Microsecond},
+	)
+	if got := tbl.XferTime(1); got != 5*time.Microsecond {
+		t.Errorf("below-range lookup = %v, want the first sample", got)
+	}
+}
+
+func TestLookupExtrapolatesBandwidth(t *testing.T) {
+	// Last segment: 1000B per 10µs => 10ns/B.
+	tbl := mustTable(t,
+		Point{Size: 1000, Time: 10 * time.Microsecond},
+		Point{Size: 2000, Time: 20 * time.Microsecond},
+	)
+	if got := tbl.XferTime(3000); got != 30*time.Microsecond {
+		t.Errorf("extrapolated = %v, want 30µs", got)
+	}
+}
+
+func TestSinglePointTable(t *testing.T) {
+	tbl := mustTable(t, Point{Size: 100, Time: time.Microsecond})
+	for _, size := range []int{1, 100, 100000} {
+		if got := tbl.XferTime(size); got != time.Microsecond {
+			t.Errorf("XferTime(%d) = %v", size, got)
+		}
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []Point
+	}{
+		{"empty", nil},
+		{"duplicate", []Point{{1, time.Microsecond}, {1, 2 * time.Microsecond}}},
+		{"zero time", []Point{{1, 0}}},
+		{"negative size", []Point{{-1, time.Microsecond}}},
+	}
+	for _, c := range cases {
+		if _, err := NewTable(c.points); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNewTableSortsInput(t *testing.T) {
+	tbl := mustTable(t,
+		Point{Size: 1000, Time: 30 * time.Microsecond},
+		Point{Size: 10, Time: 3 * time.Microsecond},
+	)
+	ps := tbl.Points()
+	if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Size < ps[j].Size }) {
+		t.Fatalf("points not sorted: %v", ps)
+	}
+}
+
+func TestRoundTripText(t *testing.T) {
+	orig := mustTable(t,
+		Point{Size: 1, Time: 4051 * time.Nanosecond},
+		Point{Size: 1024, Time: 5187 * time.Nanosecond},
+		Point{Size: 1 << 20, Time: 1200 * time.Microsecond},
+	)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := orig.Points(), back.Points()
+	if len(a) != len(b) {
+		t.Fatalf("point count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n100 5000\n  # indented comment\n200 9000\n"
+	tbl, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Points()) != 2 {
+		t.Fatalf("got %d points", len(tbl.Points()))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not numbers\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "xfer.table")
+	orig := mustTable(t, Point{Size: 8, Time: 3 * time.Microsecond})
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.XferTime(8) != 3*time.Microsecond {
+		t.Fatal("loaded table differs")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestStandardSizesShape(t *testing.T) {
+	sizes := StandardSizes()
+	if sizes[0] != 1 {
+		t.Errorf("first size %d, want 1", sizes[0])
+	}
+	if last := sizes[len(sizes)-1]; last != 4<<20 {
+		t.Errorf("last size %d, want 4MiB", last)
+	}
+	if !sort.IntsAreSorted(sizes) {
+		t.Error("sizes not ascending")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] == sizes[i-1] {
+			t.Fatalf("duplicate size %d", sizes[i])
+		}
+	}
+}
+
+// Property: with monotone non-decreasing sample times, XferTime is
+// monotone non-decreasing in size, and every lookup lies within the
+// sample range (or extrapolates beyond the last point, never below
+// the last sample).
+func TestQuickLookupMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		points := make([]Point, n)
+		size := 1
+		tm := time.Duration(rng.Intn(1000) + 1)
+		for i := 0; i < n; i++ {
+			points[i] = Point{Size: size, Time: tm}
+			size += rng.Intn(10000) + 1
+			tm += time.Duration(rng.Intn(100000))
+		}
+		tbl, err := NewTable(points)
+		if err != nil {
+			return false
+		}
+		prev := time.Duration(-1)
+		for s := 0; s < size+20000; s += rng.Intn(777) + 1 {
+			got := tbl.XferTime(s)
+			if got < prev {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: text round-trip is the identity on tables.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		points := make([]Point, n)
+		size := 0
+		for i := range points {
+			size += rng.Intn(100000) + 1
+			points[i] = Point{Size: size, Time: time.Duration(rng.Intn(1<<30)) + 1}
+		}
+		tbl, err := NewTable(points)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := tbl.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		a, b := tbl.Points(), back.Points()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

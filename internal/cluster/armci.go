@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"time"
+
+	"ovlp/internal/armci"
+	"ovlp/internal/calib"
+	"ovlp/internal/fabric"
+	"ovlp/internal/overlap"
+	"ovlp/internal/vtime"
+)
+
+// ARMCIConfig describes a one-sided (ARMCI) run.
+type ARMCIConfig struct {
+	// Procs is the number of processes (one per node).
+	Procs int
+	// Cost is the fabric cost model; zero selects the default.
+	Cost fabric.CostModel
+	// ARMCI configures the library; a nil Instrument.Table is filled
+	// by calibration, as for MPI runs.
+	ARMCI armci.Config
+	// RecordTruth retains the ground-truth transfer log.
+	RecordTruth bool
+}
+
+// ARMCIResult collects the observations of an ARMCI run.
+type ARMCIResult struct {
+	Reports   []*overlap.Report
+	Duration  time.Duration
+	LibTimes  []time.Duration
+	Transfers []fabric.Transfer
+}
+
+// RunARMCI executes main on every process of a fresh machine using the
+// one-sided library.
+func RunARMCI(cfg ARMCIConfig, main func(p *armci.Proc)) ARMCIResult {
+	if cfg.Procs <= 0 {
+		panic("cluster: Procs must be positive")
+	}
+	if (cfg.Cost == fabric.CostModel{}) {
+		cfg.Cost = fabric.DefaultCostModel()
+	}
+	if ic := cfg.ARMCI.Instrument; ic != nil && ic.Table == nil {
+		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
+	}
+	sim := vtime.NewSim()
+	fab := fabric.New(sim, cfg.Procs, cfg.Cost)
+	world := armci.NewWorld(sim, fab, cfg.ARMCI)
+
+	procs := make([]*armci.Proc, 0, cfg.Procs)
+	world.Start(func(p *armci.Proc) {
+		procs = append(procs, p)
+		main(p)
+	})
+	end := sim.Run()
+
+	res := ARMCIResult{
+		Reports:  world.Reports(),
+		Duration: end.Duration(),
+		LibTimes: make([]time.Duration, cfg.Procs),
+	}
+	for _, p := range procs {
+		res.LibTimes[p.ID()] = p.LibTime()
+	}
+	if cfg.RecordTruth {
+		res.Transfers = fab.Transfers()
+	}
+	return res
+}

@@ -1,0 +1,166 @@
+// Package cluster assembles a complete simulated machine — virtual
+// time kernel, RDMA fabric, and an instrumented communication library —
+// and runs message-passing programs on it. It is the top-level entry
+// point the examples, benchmarks and experiment binaries use.
+package cluster
+
+import (
+	"time"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/overlap"
+	"ovlp/internal/vtime"
+)
+
+// Config describes the machine and library configuration for one run.
+type Config struct {
+	// Procs is the number of ranks (one per node).
+	Procs int
+	// Cost is the fabric cost model; the zero value selects
+	// fabric.DefaultCostModel.
+	Cost fabric.CostModel
+	// MPI configures the message-passing library. If MPI.Instrument is
+	// non-nil but its Table is nil, the table is produced by running
+	// Calibrate on the same cost model first — exactly the paper's
+	// a-priori characterization step.
+	MPI mpi.Config
+	// RecordTruth retains the fabric's ground-truth transfer log in
+	// the result (costs memory proportional to message count).
+	RecordTruth bool
+}
+
+// Result collects everything observable after a run.
+type Result struct {
+	// Reports holds each rank's instrumentation report (nil entries
+	// when uninstrumented).
+	Reports []*overlap.Report
+	// Duration is the total virtual run time.
+	Duration time.Duration
+	// MPITimes is each rank's aggregate time inside library calls.
+	MPITimes []time.Duration
+	// Transfers is the ground-truth transfer log (only when
+	// Config.RecordTruth).
+	Transfers []fabric.Transfer
+}
+
+// Run executes main on every rank of a freshly built machine and
+// returns the observations. It is deterministic: identical
+// configurations and programs produce identical results.
+func Run(cfg Config, main func(r *mpi.Rank)) Result {
+	if cfg.Procs <= 0 {
+		panic("cluster: Procs must be positive")
+	}
+	if (cfg.Cost == fabric.CostModel{}) {
+		cfg.Cost = fabric.DefaultCostModel()
+	}
+	if ic := cfg.MPI.Instrument; ic != nil && ic.Table == nil {
+		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
+	}
+	sim := vtime.NewSim()
+	fab := fabric.New(sim, cfg.Procs, cfg.Cost)
+	world := mpi.NewWorld(sim, fab, cfg.MPI)
+
+	ranks := make([]*mpi.Rank, 0, cfg.Procs)
+	world.Start(func(r *mpi.Rank) {
+		ranks = append(ranks, r)
+		main(r)
+	})
+	end := sim.Run()
+
+	res := Result{
+		Reports:  world.Reports(),
+		Duration: end.Duration(),
+		MPITimes: make([]time.Duration, cfg.Procs),
+	}
+	for _, r := range ranks {
+		res.MPITimes[r.ID()] = r.MPITime()
+	}
+	if cfg.RecordTruth {
+		res.Transfers = fab.Transfers()
+	}
+	return res
+}
+
+// Calibrate measures the fabric's transfer time for each message size
+// by timing RDMA writes between two nodes, repeating reps times per
+// size and averaging — the simulation analogue of characterizing the
+// interconnect with the vendor's perf_main utility before the
+// application runs.
+func Calibrate(cost fabric.CostModel, sizes []int, reps int) *calib.Table {
+	if (cost == fabric.CostModel{}) {
+		cost = fabric.DefaultCostModel()
+	}
+	if len(sizes) == 0 {
+		sizes = calib.StandardSizes()
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	sim := vtime.NewSim()
+	fab := fabric.New(sim, 2, cost)
+	src, dst := fab.NIC(0), fab.NIC(1)
+
+	type token struct{ seq int }
+	totals := make([]time.Duration, len(sizes))
+	var posted vtime.Time
+
+	receiver := sim.Spawn("calib-recv", func(p *vtime.Proc) {
+		for i := 0; i < len(sizes)*reps; i++ {
+			var pkt *fabric.Packet
+			for pkt == nil {
+				if !dst.Pending() {
+					p.Park("calib.recv")
+					continue
+				}
+				if q := dst.PollInbox(p); q != nil {
+					pkt = q
+					break
+				}
+				dst.PollCQ(p) // drain completions of our own acks
+			}
+			arrival := p.Now()
+			totals[pkt.Payload.(token).seq] += arrival.Sub(posted)
+			// Acknowledge so the sender paces one transfer at a time.
+			dst.Send(p, 0, 0, 0, token{})
+		}
+	})
+	dst.SetNotify(func() { receiver.Unpark() })
+
+	sender := sim.Spawn("calib-send", func(p *vtime.Proc) {
+		for si, size := range sizes {
+			for rep := 0; rep < reps; rep++ {
+				posted = p.Now()
+				src.RDMAWrite(p, 1, size, 0, token{seq: si})
+				// Drain the local completion and the ack.
+				got := 0
+				for got < 2 {
+					if src.Pending() {
+						if cqe := src.PollCQ(p); cqe != nil {
+							got++
+							continue
+						}
+						if pkt := src.PollInbox(p); pkt != nil {
+							got++
+							continue
+						}
+					}
+					p.Park("calib.send")
+				}
+			}
+		}
+	})
+	src.SetNotify(func() { sender.Unpark() })
+
+	sim.Run()
+	points := make([]calib.Point, len(sizes))
+	for i, size := range sizes {
+		points[i] = calib.Point{Size: size, Time: totals[i] / time.Duration(reps)}
+	}
+	table, err := calib.NewTable(points)
+	if err != nil {
+		panic("cluster: calibration produced invalid table: " + err.Error())
+	}
+	return table
+}

@@ -1,0 +1,130 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+)
+
+func TestCalibrateMatchesCostModel(t *testing.T) {
+	cost := fabric.DefaultCostModel()
+	table := cluster.Calibrate(cost, []int{1, 1 << 10, 64 << 10, 1 << 20}, 3)
+	for _, size := range []int{1, 1 << 10, 64 << 10, 1 << 20} {
+		measured := table.XferTime(size)
+		// Measured time = DMA startup + wire + latency; compare to the
+		// analytic transfer time within the startup slack.
+		analytic := cost.TransferTime(size)
+		diff := measured - analytic
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > cost.DMAStartup+2*time.Microsecond {
+			t.Errorf("size %d: measured %v vs analytic %v", size, measured, analytic)
+		}
+	}
+}
+
+func TestCalibrateMonotone(t *testing.T) {
+	table := cluster.Calibrate(fabric.CostModel{}, nil, 0)
+	points := table.Points()
+	for i := 1; i < len(points); i++ {
+		if points[i].Time < points[i-1].Time {
+			t.Fatalf("calibration not monotone: %v then %v", points[i-1], points[i])
+		}
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	a := cluster.Calibrate(fabric.CostModel{}, []int{1 << 10, 1 << 16}, 4)
+	b := cluster.Calibrate(fabric.CostModel{}, []int{1 << 10, 1 << 16}, 4)
+	pa, pb := a.Points(), b.Points()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("calibration nondeterministic: %v vs %v", pa[i], pb[i])
+		}
+	}
+}
+
+func TestRunAutoCalibratesTable(t *testing.T) {
+	ic := &mpi.InstrumentConfig{}
+	res := cluster.Run(cluster.Config{
+		Procs: 2,
+		MPI:   mpi.Config{Instrument: ic},
+	}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 1024)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if ic.Table == nil {
+		t.Fatal("Run did not fill the calibration table")
+	}
+	if res.Reports[0] == nil || res.Reports[1] == nil {
+		t.Fatal("missing reports")
+	}
+}
+
+func TestRunUninstrumented(t *testing.T) {
+	res := cluster.Run(cluster.Config{Procs: 2}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 4096)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if res.Reports[0] != nil {
+		t.Error("uninstrumented run should have nil reports")
+	}
+	if res.Duration <= 0 {
+		t.Error("no time elapsed")
+	}
+	if res.MPITimes[1] <= 0 {
+		t.Error("MPI time not tracked without instrumentation")
+	}
+}
+
+func TestRunRejectsZeroProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cluster.Run(cluster.Config{}, func(r *mpi.Rank) {})
+}
+
+func TestExplicitTableIsUsed(t *testing.T) {
+	// A deliberately wrong table (10x slower) should inflate the data
+	// transfer time measure accordingly.
+	cost := fabric.DefaultCostModel()
+	honest := cluster.Calibrate(cost, nil, 0)
+	var inflated []calib.Point
+	for _, p := range honest.Points() {
+		inflated = append(inflated, calib.Point{Size: p.Size, Time: 10 * p.Time})
+	}
+	slow, err := calib.NewTable(inflated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(tbl *calib.Table) time.Duration {
+		res := cluster.Run(cluster.Config{
+			Procs: 2,
+			MPI:   mpi.Config{Instrument: &mpi.InstrumentConfig{Table: tbl}},
+		}, func(r *mpi.Rank) {
+			if r.ID() == 0 {
+				r.Send(1, 0, 64<<10)
+			} else {
+				r.Recv(0, 0)
+			}
+		})
+		return res.Reports[0].Total().DataTransferTime
+	}
+	if a, b := run(honest), run(slow); b != 10*a {
+		t.Errorf("inflated table: data %v vs %v, want exactly 10x", a, b)
+	}
+}

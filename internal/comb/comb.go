@@ -1,0 +1,164 @@
+// Package comb implements a baseline in the spirit of the COMB
+// benchmark suite (Lawry et al., IEEE Cluster 2002), which the paper's
+// related-work section contrasts itself with: COMB assesses a
+// *system's* ability to overlap MPI communication and computation,
+// while the paper's framework measures the overlap an *application*
+// actually achieved.
+//
+// Two methods are implemented:
+//
+//   - PostWorkWait: post non-blocking operations, perform a fixed
+//     amount of work, wait; sweeping the work reveals how much
+//     communication the system can hide behind it.
+//   - Polling: slice the work into quanta separated by Test calls
+//     (progress opportunities) — the structure that rescues overlap on
+//     polling-progress libraries, foreshadowing the paper's SP fix.
+//
+// For each configuration the benchmark reports CPU availability — the
+// fraction of wall time during the exchange that the application spent
+// computing — and the overlap efficiency — the fraction of the
+// hideable communication time that was actually hidden.
+package comb
+
+import (
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+)
+
+// Method selects the COMB measurement structure.
+type Method int
+
+const (
+	// PostWorkWait posts the exchange, computes one solid block, then
+	// waits.
+	PostWorkWait Method = iota
+	// Polling slices the work into quanta separated by Test calls.
+	Polling
+)
+
+func (m Method) String() string {
+	if m == PostWorkWait {
+		return "post-work-wait"
+	}
+	return "polling"
+}
+
+// Config describes one COMB sweep.
+type Config struct {
+	Method   Method
+	Protocol mpi.LongProtocol
+	MsgSize  int
+	// Work values to sweep (computation per exchange).
+	Work []time.Duration
+	// Quantum is the polling method's compute slice between Test
+	// calls (default 20µs).
+	Quantum time.Duration
+	// Reps per point (default 50).
+	Reps int
+	// Cluster overrides the machine configuration.
+	Cluster cluster.Config
+}
+
+// Point is one measured sweep entry.
+type Point struct {
+	Work time.Duration
+	// Elapsed is the mean wall time of one exchange+work iteration.
+	Elapsed time.Duration
+	// Base is the exchange time with zero work (measured once per
+	// sweep).
+	Base time.Duration
+	// Availability is work / elapsed: the CPU fraction the
+	// application kept for itself.
+	Availability float64
+	// OverlapEfficiency is (base + work - elapsed) / min(base, work):
+	// the fraction of the hideable time actually hidden, clamped to
+	// [0, 1].
+	OverlapEfficiency float64
+}
+
+// Run executes the sweep.
+func (c Config) Run() []Point {
+	if c.MsgSize <= 0 {
+		panic("comb: MsgSize must be positive")
+	}
+	if c.Reps == 0 {
+		c.Reps = 50
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 20 * time.Microsecond
+	}
+	base := c.measure(0)
+	points := make([]Point, 0, len(c.Work))
+	for _, w := range c.Work {
+		elapsed := c.measure(w)
+		p := Point{Work: w, Elapsed: elapsed, Base: base}
+		if elapsed > 0 {
+			p.Availability = float64(w) / float64(elapsed)
+		}
+		hideable := base
+		if w < hideable {
+			hideable = w
+		}
+		if hideable > 0 {
+			eff := float64(base+w-elapsed) / float64(hideable)
+			if eff < 0 {
+				eff = 0
+			}
+			if eff > 1 {
+				eff = 1
+			}
+			p.OverlapEfficiency = eff
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// measure times the per-iteration cost of the exchange with the given
+// work inserted, on a fresh deterministic cluster.
+func (c Config) measure(work time.Duration) time.Duration {
+	cfg := c.Cluster
+	cfg.Procs = 2
+	cfg.MPI.Protocol = c.Protocol
+	var total time.Duration
+	cluster.Run(cfg, func(r *mpi.Rank) {
+		peer := 1 - r.ID()
+		start := r.Now()
+		for i := 0; i < c.Reps; i++ {
+			s := r.Isend(peer, 0, c.MsgSize)
+			q := r.Irecv(peer, 0)
+			c.doWork(r, work, s, q)
+			r.Waitall(s, q)
+		}
+		if r.ID() == 0 {
+			total = r.Now() - start
+		}
+	})
+	return total / time.Duration(c.Reps)
+}
+
+// doWork performs the method's computation structure.
+func (c Config) doWork(r *mpi.Rank, work time.Duration, s, q *mpi.Request) {
+	if work <= 0 {
+		return
+	}
+	if c.Method == PostWorkWait {
+		r.Compute(work)
+		return
+	}
+	remaining := work
+	for remaining > 0 {
+		slice := c.Quantum
+		if slice > remaining {
+			slice = remaining
+		}
+		r.Compute(slice)
+		remaining -= slice
+		if remaining > 0 {
+			r.Test(s)
+			r.Test(q)
+		}
+	}
+}

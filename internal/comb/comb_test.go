@@ -1,0 +1,137 @@
+package comb
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/mpi"
+)
+
+func sweep() []time.Duration {
+	return []time.Duration{
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		1000 * time.Microsecond,
+		2000 * time.Microsecond,
+	}
+}
+
+func TestDirectReadPWWCannotHideRendezvous(t *testing.T) {
+	// Under post-work-wait the polling library never notices the
+	// rendezvous request until Wait, so the read cannot start during
+	// the work block: poor overlap no matter how much work is
+	// inserted. This is COMB's system-level view of exactly the
+	// failure the paper diagnoses in NAS SP.
+	pts := Config{
+		Method:   PostWorkWait,
+		Protocol: mpi.DirectRDMARead,
+		MsgSize:  1 << 20,
+		Work:     sweep(),
+		Reps:     20,
+	}.Run()
+	last := pts[len(pts)-1]
+	if last.OverlapEfficiency > 0.4 {
+		t.Errorf("direct read PWW efficiency %.2f at w=%v; the read should not start until Wait",
+			last.OverlapEfficiency, last.Work)
+	}
+	// Availability still grows with work (the denominator grows).
+	if pts[0].Availability >= last.Availability {
+		t.Errorf("availability should grow with work: %.2f -> %.2f",
+			pts[0].Availability, last.Availability)
+	}
+}
+
+func TestPollingBeatsPWWOnPollingLibrary(t *testing.T) {
+	// Slicing the work with Test calls gives the polling progress
+	// engine opportunities it otherwise lacks — COMB's system-level
+	// view of the same effect the paper exploits with Iprobe in SP.
+	run := func(m Method) float64 {
+		pts := Config{
+			Method:   m,
+			Protocol: mpi.DirectRDMARead,
+			MsgSize:  1 << 20,
+			Work:     []time.Duration{1500 * time.Microsecond},
+			Reps:     20,
+		}.Run()
+		return pts[0].OverlapEfficiency
+	}
+	pww, polling := run(PostWorkWait), run(Polling)
+	if polling < pww+0.3 {
+		t.Errorf("polling method efficiency %.2f should far exceed post-work-wait's %.2f",
+			polling, pww)
+	}
+	if polling < 0.7 {
+		t.Errorf("polling method efficiency %.2f, want high", polling)
+	}
+}
+
+func TestPipelinedShowsPoorOverlapCapability(t *testing.T) {
+	pts := Config{
+		Method:   PostWorkWait,
+		Protocol: mpi.PipelinedRDMA,
+		MsgSize:  1 << 20,
+		Work:     sweep(),
+		Reps:     20,
+	}.Run()
+	for _, p := range pts {
+		if p.OverlapEfficiency > 0.35 {
+			t.Errorf("pipelined PWW efficiency %.2f at w=%v; only the first fragment should hide",
+				p.OverlapEfficiency, p.Work)
+		}
+	}
+}
+
+func TestEagerSmallMessagesLargelyHidden(t *testing.T) {
+	// The eager wire time hides behind the work; only the bounce-
+	// buffer copies and post overheads remain exposed, so efficiency
+	// is substantial but bounded away from 1.
+	pts := Config{
+		Method:   PostWorkWait,
+		Protocol: mpi.PipelinedRDMA,
+		MsgSize:  8 << 10,
+		Work:     []time.Duration{200 * time.Microsecond},
+		Reps:     20,
+	}.Run()
+	if eff := pts[0].OverlapEfficiency; eff < 0.4 {
+		t.Errorf("eager exchange efficiency %.2f, want substantial", eff)
+	}
+	// And it must beat the rendezvous PWW case by a wide margin.
+	rndv := Config{
+		Method:   PostWorkWait,
+		Protocol: mpi.DirectRDMARead,
+		MsgSize:  1 << 20,
+		Work:     []time.Duration{1500 * time.Microsecond},
+		Reps:     20,
+	}.Run()
+	if pts[0].OverlapEfficiency < rndv[0].OverlapEfficiency+0.2 {
+		t.Errorf("eager efficiency %.2f should far exceed rendezvous PWW %.2f",
+			pts[0].OverlapEfficiency, rndv[0].OverlapEfficiency)
+	}
+}
+
+func TestBaseConsistency(t *testing.T) {
+	pts := Config{
+		Method:   PostWorkWait,
+		Protocol: mpi.DirectRDMARead,
+		MsgSize:  256 << 10,
+		Work:     sweep()[:2],
+		Reps:     10,
+	}.Run()
+	for _, p := range pts {
+		if p.Base <= 0 || p.Elapsed <= 0 {
+			t.Fatalf("degenerate timing: %+v", p)
+		}
+		if p.Elapsed+time.Microsecond < p.Work {
+			t.Fatalf("elapsed %v below inserted work %v", p.Elapsed, p.Work)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero message size")
+		}
+	}()
+	Config{}.Run()
+}

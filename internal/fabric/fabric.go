@@ -1,0 +1,383 @@
+// Package fabric models a user-level networking fabric in the style of
+// InfiniBand verbs, on top of the vtime simulation kernel.
+//
+// Each node owns a NIC with a DMA engine, a completion queue (CQ) and
+// an inbox of arrived packets. The defining property reproduced here —
+// the one the paper's measurement framework exists to cope with — is
+// that data transfer is initiated and progressed by the NIC, not the
+// host: once a work request is posted, the wire transfer proceeds in
+// the background in virtual time, and the host learns about it only by
+// polling the CQ or inbox.
+//
+// Three operations are provided, mirroring the primitives the paper's
+// protocols are built from:
+//
+//   - Send: a channel send carrying a library-defined payload,
+//     delivered to the destination inbox (used for control packets and
+//     eager data).
+//   - RDMAWrite: one-sided write; the destination host is not involved
+//     unless an immediate payload is attached, which lands in its inbox
+//     after the data.
+//   - RDMARead: one-sided read; the remote NIC serves the data without
+//     any remote host involvement.
+//
+// The fabric keeps a ground-truth log of the physical transfer
+// interval of every user-data operation. Real hardware cannot offer
+// this; the simulator uses it to validate the instrumentation's
+// min/max overlap bounds in tests.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/vtime"
+)
+
+// NodeID identifies a node (and its NIC) in the fabric.
+type NodeID int
+
+// OpKind distinguishes the verb that produced a completion.
+type OpKind int
+
+const (
+	OpSend OpKind = iota
+	OpRDMAWrite
+	OpRDMARead
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpSend:
+		return "send"
+	case OpRDMAWrite:
+		return "rdma-write"
+	case OpRDMARead:
+		return "rdma-read"
+	}
+	return "invalid"
+}
+
+// CQE is a completion-queue entry: the NIC's notification that a
+// locally posted work request has completed.
+//
+// Start and End carry the NIC's hardware time-stamps for the physical
+// transfer interval. Real HCAs of the paper's era could not expose
+// these (the gap the bounds algorithm exists to bridge); libraries
+// built for precise characterization may consume them (see
+// mpi.Config.HWTimestamps), implementing the refinement the paper
+// names as future work.
+type CQE struct {
+	WRID   uint64 // work-request id returned by the posting call
+	Kind   OpKind
+	XferID uint64 // transfer id given at post time (0 if none)
+	Size   int    // payload bytes
+	Start  vtime.Time
+	End    vtime.Time
+}
+
+// Packet is a message that arrived at a node: a Send payload or the
+// immediate notification of a remote RDMA write. Start and End are the
+// NIC's hardware time-stamps of the physical transfer (see CQE).
+type Packet struct {
+	From    NodeID
+	Kind    OpKind // OpSend or OpRDMAWrite (immediate)
+	Size    int    // payload bytes carried
+	XferID  uint64
+	Payload any // library-defined header or body descriptor
+	Start   vtime.Time
+	End     vtime.Time
+}
+
+// CostModel parameterizes the timing of the fabric. The defaults
+// returned by DefaultCostModel approximate the paper's platform: an
+// 8 Gbit/s InfiniBand network with Mellanox MT23108 HCAs on PCI-X and
+// 2.4 GHz Xeon hosts.
+type CostModel struct {
+	// LinkLatency is the one-way wire + switch propagation delay.
+	LinkLatency time.Duration
+	// Bandwidth is the per-link bandwidth in bytes per second.
+	Bandwidth float64
+	// PostOverhead is the host CPU cost of posting one work request.
+	PostOverhead time.Duration
+	// PollOverhead is the host CPU cost of one CQ/inbox poll.
+	PollOverhead time.Duration
+	// DMAStartup is the NIC-side delay between a post and the wire
+	// transfer beginning (descriptor fetch, doorbell processing).
+	DMAStartup time.Duration
+	// PacketOverhead is the fixed per-message wire cost (headers,
+	// CRC), added to the serialization time of every transfer.
+	PacketOverhead time.Duration
+	// MemCopyBandwidth is the host memcpy bandwidth in bytes per
+	// second, used by libraries for bounce-buffer copies.
+	MemCopyBandwidth float64
+	// RegBase and RegPerPage model memory registration (pinning):
+	// a fixed cost plus a per-4KiB-page cost, charged to the host by
+	// libraries that pin buffers on the fly.
+	RegBase    time.Duration
+	RegPerPage time.Duration
+}
+
+// DefaultCostModel returns parameters approximating the paper's
+// testbed (see package comment).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LinkLatency:      3 * time.Microsecond,
+		Bandwidth:        900e6, // ~7.2 Gbit/s effective on the 8 Gbit/s link
+		PostOverhead:     250 * time.Nanosecond,
+		PollOverhead:     100 * time.Nanosecond,
+		DMAStartup:       500 * time.Nanosecond,
+		PacketOverhead:   200 * time.Nanosecond,
+		MemCopyBandwidth: 1.5e9,
+		RegBase:          25 * time.Microsecond,
+		RegPerPage:       700 * time.Nanosecond,
+	}
+}
+
+// Wire returns the serialization time of size bytes on the link.
+func (c CostModel) Wire(size int) time.Duration {
+	return c.PacketOverhead + time.Duration(float64(size)/c.Bandwidth*1e9)
+}
+
+// Copy returns the host memcpy time for size bytes.
+func (c CostModel) Copy(size int) time.Duration {
+	return time.Duration(float64(size) / c.MemCopyBandwidth * 1e9)
+}
+
+// RegCost returns the cost of registering (pinning) size bytes.
+func (c CostModel) RegCost(size int) time.Duration {
+	pages := (size + 4095) / 4096
+	return c.RegBase + time.Duration(pages)*c.RegPerPage
+}
+
+// TransferTime returns the end-to-end time of moving size bytes
+// between two hosts once the transfer starts: serialization plus
+// propagation. This is what an a-priori ping-pong characterization
+// observes per direction.
+func (c CostModel) TransferTime(size int) time.Duration {
+	return c.Wire(size) + c.LinkLatency
+}
+
+// Transfer is a ground-truth record of one physical user-data
+// transfer: the interval during which the payload actually occupied
+// the wire, as only the simulator can know it.
+type Transfer struct {
+	XferID uint64
+	Src    NodeID // node whose NIC sourced the data
+	Dst    NodeID
+	Size   int
+	Start  vtime.Time // wire transfer begins
+	End    vtime.Time // last byte arrives at Dst
+}
+
+// Fabric is a set of NICs connected by a full-crossbar switch with
+// per-NIC egress serialization: a NIC transmits one payload at a time,
+// so concurrent transfers from one node queue behind each other, while
+// transfers from different nodes proceed in parallel.
+type Fabric struct {
+	sim   *vtime.Sim
+	cost  CostModel
+	nics  []*NIC
+	xseq  uint64
+	wrseq uint64
+	truth []Transfer
+}
+
+// New creates a fabric of n nodes.
+func New(sim *vtime.Sim, n int, cost CostModel) *Fabric {
+	f := &Fabric{sim: sim, cost: cost}
+	f.nics = make([]*NIC, n)
+	for i := range f.nics {
+		f.nics[i] = &NIC{fab: f, id: NodeID(i)}
+	}
+	return f
+}
+
+// Cost returns the fabric's cost model.
+func (f *Fabric) Cost() CostModel { return f.cost }
+
+// Nodes returns the number of nodes.
+func (f *Fabric) Nodes() int { return len(f.nics) }
+
+// NIC returns node id's network interface.
+func (f *Fabric) NIC(id NodeID) *NIC {
+	if int(id) < 0 || int(id) >= len(f.nics) {
+		panic(fmt.Sprintf("fabric: no such node %d", id))
+	}
+	return f.nics[id]
+}
+
+// NewXferID allocates a fresh nonzero transfer id, used to correlate
+// library instrumentation with ground truth.
+func (f *Fabric) NewXferID() uint64 {
+	f.xseq++
+	return f.xseq
+}
+
+// Transfers returns the ground-truth log of all user-data transfers
+// recorded so far, in completion order.
+func (f *Fabric) Transfers() []Transfer { return f.truth }
+
+func (f *Fabric) record(t Transfer) {
+	if t.XferID != 0 {
+		f.truth = append(f.truth, t)
+	}
+}
+
+// NIC is one node's network interface: a DMA engine plus completion
+// and receive queues. All posting and polling methods must be called
+// from the owning node's proc; they charge the corresponding host
+// overheads to that proc.
+type NIC struct {
+	fab *Fabric
+	id  NodeID
+
+	cq    []CQE
+	inbox []Packet
+
+	// egressFree is the time at which the NIC's transmit engine
+	// becomes idle; transfers posted earlier queue until then.
+	egressFree vtime.Time
+
+	notify func() // invoked (in event context) when cq or inbox gains an entry
+}
+
+// ID returns the NIC's node id.
+func (n *NIC) ID() NodeID { return n.id }
+
+// SetNotify registers fn to be called, in simulation event context,
+// whenever a CQE or packet arrives at this NIC. Libraries use it to
+// unpark a rank blocked inside a library call. fn must not block.
+func (n *NIC) SetNotify(fn func()) { n.notify = fn }
+
+func (n *NIC) wake() {
+	if n.notify != nil {
+		n.notify()
+	}
+}
+
+func (n *NIC) pushCQE(e CQE) {
+	n.cq = append(n.cq, e)
+	n.wake()
+}
+
+func (n *NIC) pushPacket(p Packet) {
+	n.inbox = append(n.inbox, p)
+	n.wake()
+}
+
+// PollCQ charges one poll overhead to p and returns the oldest
+// completion, or nil if the CQ is empty.
+func (n *NIC) PollCQ(p *vtime.Proc) *CQE {
+	p.Compute(n.fab.cost.PollOverhead)
+	if len(n.cq) == 0 {
+		return nil
+	}
+	e := n.cq[0]
+	n.cq = n.cq[1:]
+	return &e
+}
+
+// PollInbox charges one poll overhead to p and returns the oldest
+// arrived packet, or nil if none.
+func (n *NIC) PollInbox(p *vtime.Proc) *Packet {
+	p.Compute(n.fab.cost.PollOverhead)
+	if len(n.inbox) == 0 {
+		return nil
+	}
+	pk := n.inbox[0]
+	n.inbox = n.inbox[1:]
+	return &pk
+}
+
+// Pending reports whether the NIC holds undelivered completions or
+// packets; it costs nothing (used by wait loops before parking).
+func (n *NIC) Pending() bool { return len(n.cq) > 0 || len(n.inbox) > 0 }
+
+// reserveEgress occupies this NIC's transmit engine for the given wire
+// time starting no earlier than earliest, and returns the interval
+// during which the data is on the wire.
+func (n *NIC) reserveEgress(earliest vtime.Time, wire time.Duration) (start, end vtime.Time) {
+	start = earliest
+	if n.egressFree > start {
+		start = n.egressFree
+	}
+	end = start.Add(wire)
+	n.egressFree = end
+	return start, end
+}
+
+// Send posts a channel send of size payload bytes to dst. The host is
+// charged PostOverhead. The payload lands in dst's inbox one link
+// latency after serialization finishes; a CQE appears locally when the
+// data has left the NIC. Returns the work-request id.
+func (n *NIC) Send(p *vtime.Proc, dst NodeID, size int, xferID uint64, payload any) uint64 {
+	return n.transmit(p, dst, OpSend, size, n.fab.cost.Wire(size), xferID, payload, true)
+}
+
+// RDMAWrite posts a one-sided write of size bytes to dst. If payload
+// is non-nil it is delivered to dst's inbox as an immediate
+// notification after the data arrives; otherwise the remote host
+// observes nothing. Returns the work-request id.
+func (n *NIC) RDMAWrite(p *vtime.Proc, dst NodeID, size int, xferID uint64, payload any) uint64 {
+	return n.transmit(p, dst, OpRDMAWrite, size, n.fab.cost.Wire(size), xferID, payload, payload != nil)
+}
+
+// RDMAWriteStrided posts a vectored one-sided write of count segments
+// of block bytes each: one work request, but each segment pays its own
+// per-packet wire overhead, as non-unit-stride transfers do on real
+// HCAs. Returns the work-request id.
+func (n *NIC) RDMAWriteStrided(p *vtime.Proc, dst NodeID, count, block int, xferID uint64, payload any) uint64 {
+	if count < 1 {
+		panic("fabric: strided write needs at least one segment")
+	}
+	wire := time.Duration(count) * n.fab.cost.Wire(block)
+	return n.transmit(p, dst, OpRDMAWrite, count*block, wire, xferID, payload, payload != nil)
+}
+
+func (n *NIC) transmit(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire time.Duration, xferID uint64, payload any, deliver bool) uint64 {
+	f := n.fab
+	p.Compute(f.cost.PostOverhead)
+	f.wrseq++
+	wr := f.wrseq
+	target := f.NIC(dst)
+	start, end := n.reserveEgress(f.sim.Now().Add(f.cost.DMAStartup), wire)
+	arrive := end.Add(f.cost.LinkLatency)
+	src := n.id
+	f.sim.After(end.Sub(f.sim.Now()), func() {
+		n.pushCQE(CQE{WRID: wr, Kind: kind, XferID: xferID, Size: size, Start: start, End: arrive})
+	})
+	f.sim.After(arrive.Sub(f.sim.Now()), func() {
+		f.record(Transfer{XferID: xferID, Src: src, Dst: dst, Size: size, Start: start, End: arrive})
+		if deliver {
+			target.pushPacket(Packet{From: src, Kind: kind, Size: size, XferID: xferID,
+				Payload: payload, Start: start, End: arrive})
+		}
+	})
+	return wr
+}
+
+// RDMARead posts a one-sided read of size bytes from src into local
+// memory. The request travels to src, whose NIC serves the data with
+// no host involvement there; a CQE appears locally when the last byte
+// has arrived. Returns the work-request id.
+func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint64 {
+	f := n.fab
+	p.Compute(f.cost.PostOverhead)
+	f.wrseq++
+	wr := f.wrseq
+	remote := f.NIC(src)
+	// Request packet: DMA startup + a header-sized hop to src.
+	reqArrive := f.sim.Now().Add(f.cost.DMAStartup + f.cost.Wire(0) + f.cost.LinkLatency)
+	dst := n.id
+	f.sim.After(reqArrive.Sub(f.sim.Now()), func() {
+		// The remote NIC sources the data on its egress link.
+		start, end := remote.reserveEgress(f.sim.Now(), f.cost.Wire(size))
+		arrive := end.Add(f.cost.LinkLatency)
+		f.sim.After(arrive.Sub(f.sim.Now()), func() {
+			f.record(Transfer{XferID: xferID, Src: src, Dst: dst, Size: size, Start: start, End: arrive})
+			n.pushCQE(CQE{WRID: wr, Kind: OpRDMARead, XferID: xferID, Size: size, Start: start, End: arrive})
+		})
+	})
+	return wr
+}

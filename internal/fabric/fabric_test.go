@@ -1,0 +1,300 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ovlp/internal/vtime"
+)
+
+func twoNodes(t *testing.T) (*vtime.Sim, *Fabric) {
+	t.Helper()
+	sim := vtime.NewSim()
+	return sim, New(sim, 2, DefaultCostModel())
+}
+
+func TestSendDeliversPayload(t *testing.T) {
+	sim, f := twoNodes(t)
+	src, dst := f.NIC(0), f.NIC(1)
+
+	var got *Packet
+	receiver := sim.Spawn("recv", func(p *vtime.Proc) {
+		for got == nil {
+			if q := dst.PollInbox(p); q != nil {
+				got = q
+				return
+			}
+			p.Park("recv")
+		}
+	})
+	dst.SetNotify(func() { receiver.Unpark() })
+
+	sim.Spawn("send", func(p *vtime.Proc) {
+		src.Send(p, 1, 4096, f.NewXferID(), "hello")
+	})
+	sim.Run()
+
+	if got == nil {
+		t.Fatal("nothing delivered")
+	}
+	if got.Payload.(string) != "hello" || got.From != 0 || got.Size != 4096 {
+		t.Fatalf("bad packet %+v", got)
+	}
+}
+
+func TestSendLocalCompletionBeforeRemoteArrival(t *testing.T) {
+	sim, f := twoNodes(t)
+	src, dst := f.NIC(0), f.NIC(1)
+	var cqeAt, arriveAt vtime.Time
+
+	receiver := sim.Spawn("recv", func(p *vtime.Proc) {
+		for {
+			if q := dst.PollInbox(p); q != nil {
+				arriveAt = p.Now()
+				return
+			}
+			p.Park("recv")
+		}
+	})
+	dst.SetNotify(func() { receiver.Unpark() })
+
+	sender := sim.Spawn("send", func(p *vtime.Proc) {
+		src.Send(p, 1, 64<<10, 0, struct{}{})
+		for {
+			if c := src.PollCQ(p); c != nil {
+				cqeAt = p.Now()
+				return
+			}
+			p.Park("send")
+		}
+	})
+	src.SetNotify(func() { sender.Unpark() })
+	sim.Run()
+
+	if cqeAt == 0 || arriveAt == 0 {
+		t.Fatal("events did not fire")
+	}
+	if cqeAt >= arriveAt {
+		t.Errorf("local CQE at %v should precede remote arrival at %v (link latency)", cqeAt, arriveAt)
+	}
+}
+
+func TestRDMAWriteWithoutImmediateIsInvisibleRemotely(t *testing.T) {
+	sim, f := twoNodes(t)
+	src, dst := f.NIC(0), f.NIC(1)
+	sim.Spawn("send", func(p *vtime.Proc) {
+		src.RDMAWrite(p, 1, 1<<20, f.NewXferID(), nil)
+		for src.PollCQ(p) == nil {
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	sim.Run()
+	if dst.Pending() {
+		t.Error("plain RDMA write must not notify the remote host")
+	}
+	if len(f.Transfers()) != 1 {
+		t.Fatalf("ground truth has %d transfers, want 1", len(f.Transfers()))
+	}
+}
+
+func TestRDMAReadPullsFromRemote(t *testing.T) {
+	sim, f := twoNodes(t)
+	reader := f.NIC(0)
+	var doneAt vtime.Time
+	sim.Spawn("read", func(p *vtime.Proc) {
+		reader.RDMARead(p, 1, 512<<10, f.NewXferID())
+		for {
+			if c := reader.PollCQ(p); c != nil {
+				if c.Kind != OpRDMARead {
+					t.Errorf("completion kind %v", c.Kind)
+				}
+				doneAt = p.Now()
+				return
+			}
+			p.Sleep(5 * time.Microsecond)
+		}
+	})
+	sim.Run()
+
+	cost := f.Cost()
+	// Read needs request propagation + data serialization + return.
+	minimum := cost.Wire(512<<10) + 2*cost.LinkLatency
+	if doneAt.Duration() < minimum {
+		t.Errorf("read completed in %v, physically needs at least %v", doneAt.Duration(), minimum)
+	}
+	tr := f.Transfers()[0]
+	if tr.Src != 1 || tr.Dst != 0 {
+		t.Errorf("truth direction wrong: %+v", tr)
+	}
+}
+
+func TestEgressSerialization(t *testing.T) {
+	// Two back-to-back sends from one NIC must serialize on its
+	// egress: the second transfer starts no earlier than the first
+	// ends.
+	sim, f := twoNodes(t)
+	src := f.NIC(0)
+	sim.Spawn("send", func(p *vtime.Proc) {
+		src.Send(p, 1, 256<<10, f.NewXferID(), nil)
+		src.Send(p, 1, 256<<10, f.NewXferID(), nil)
+	})
+	sim.Run()
+	trs := f.Transfers()
+	if len(trs) != 2 {
+		t.Fatalf("want 2 transfers, got %d", len(trs))
+	}
+	a, b := trs[0], trs[1]
+	if a.Start > b.Start {
+		a, b = b, a
+	}
+	if b.Start < a.End-vtime.Time(f.Cost().LinkLatency) {
+		t.Errorf("second transfer started at %v before first left the wire at %v", b.Start, a.End)
+	}
+}
+
+func TestDistinctSourcesDoNotSerialize(t *testing.T) {
+	sim := vtime.NewSim()
+	f := New(sim, 3, DefaultCostModel())
+	for i := 0; i < 2; i++ {
+		nic := f.NIC(NodeID(i))
+		sim.Spawn("send", func(p *vtime.Proc) {
+			nic.Send(p, 2, 1<<20, f.NewXferID(), nil)
+		})
+	}
+	sim.Run()
+	trs := f.Transfers()
+	if len(trs) != 2 {
+		t.Fatalf("want 2 transfers, got %d", len(trs))
+	}
+	// Both should be in flight concurrently: each starts before the
+	// other ends.
+	if trs[0].Start >= trs[1].End || trs[1].Start >= trs[0].End {
+		t.Errorf("transfers from different NICs serialized: %+v / %+v", trs[0], trs[1])
+	}
+}
+
+func TestCostModelArithmetic(t *testing.T) {
+	c := CostModel{
+		LinkLatency:      time.Microsecond,
+		Bandwidth:        1e9, // 1 GB/s
+		PacketOverhead:   100 * time.Nanosecond,
+		MemCopyBandwidth: 2e9,
+		RegBase:          10 * time.Microsecond,
+		RegPerPage:       time.Microsecond,
+	}
+	if got := c.Wire(1000); got != 100*time.Nanosecond+time.Microsecond {
+		t.Errorf("Wire(1000) = %v", got)
+	}
+	if got := c.Copy(2000); got != time.Microsecond {
+		t.Errorf("Copy(2000) = %v", got)
+	}
+	if got := c.RegCost(4096); got != 11*time.Microsecond {
+		t.Errorf("RegCost(4096) = %v", got)
+	}
+	if got := c.RegCost(4097); got != 12*time.Microsecond {
+		t.Errorf("RegCost(4097) = %v (two pages)", got)
+	}
+	if got := c.TransferTime(1000); got != c.Wire(1000)+c.LinkLatency {
+		t.Errorf("TransferTime = %v", got)
+	}
+}
+
+func TestPollChargesOverhead(t *testing.T) {
+	sim, f := twoNodes(t)
+	nic := f.NIC(0)
+	var elapsed time.Duration
+	sim.Spawn("poll", func(p *vtime.Proc) {
+		start := p.Now()
+		for i := 0; i < 10; i++ {
+			nic.PollCQ(p)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	sim.Run()
+	if want := 10 * f.Cost().PollOverhead; elapsed != want {
+		t.Errorf("10 polls took %v, want %v", elapsed, want)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpSend.String() != "send" || OpRDMAWrite.String() != "rdma-write" || OpRDMARead.String() != "rdma-read" {
+		t.Fatal("OpKind labels wrong")
+	}
+}
+
+func TestBadNodePanics(t *testing.T) {
+	_, f := twoNodes(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	f.NIC(7)
+}
+
+// Property: every recorded transfer has a positive-duration interval
+// of at least the wire time, arrival order is causally consistent, and
+// transfers sourced by one NIC never overlap each other on its egress
+// link.
+func TestQuickTruthIntervals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := vtime.NewSim()
+		nodes := rng.Intn(4) + 2
+		fab := New(sim, nodes, DefaultCostModel())
+		for n := 0; n < nodes; n++ {
+			nic := fab.NIC(NodeID(n))
+			count := rng.Intn(8)
+			gaps := make([]time.Duration, count)
+			sizes := make([]int, count)
+			dsts := make([]int, count)
+			for i := range gaps {
+				gaps[i] = time.Duration(rng.Intn(1000)) * time.Microsecond
+				sizes[i] = rng.Intn(1 << 20)
+				dsts[i] = rng.Intn(nodes)
+			}
+			n := n
+			sim.Spawn("sender", func(p *vtime.Proc) {
+				for i := range gaps {
+					p.Compute(gaps[i])
+					dst := dsts[i]
+					if dst == n {
+						dst = (dst + 1) % nodes
+					}
+					nic.RDMAWrite(p, NodeID(dst), sizes[i], fab.NewXferID(), nil)
+				}
+			})
+		}
+		sim.Run()
+
+		cost := fab.Cost()
+		bySource := map[NodeID][]Transfer{}
+		for _, tr := range fab.Transfers() {
+			if tr.End <= tr.Start {
+				return false
+			}
+			if tr.End.Sub(tr.Start) < cost.Wire(tr.Size) {
+				return false
+			}
+			bySource[tr.Src] = append(bySource[tr.Src], tr)
+		}
+		for _, list := range bySource {
+			for i := 0; i < len(list); i++ {
+				for j := i + 1; j < len(list); j++ {
+					a, b := list[i], list[j]
+					aEnd := a.End - vtime.Time(cost.LinkLatency) // wire occupancy excludes propagation
+					bEnd := b.End - vtime.Time(cost.LinkLatency)
+					if a.Start < bEnd && b.Start < aEnd {
+						return false // egress overlap
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

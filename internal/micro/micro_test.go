@@ -1,0 +1,163 @@
+package micro
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/mpi"
+)
+
+const testReps = 40
+
+// last returns the final sweep point.
+func last(pts []Point) Point { return pts[len(pts)-1] }
+
+func TestFig3EagerFullOverlapAbility(t *testing.T) {
+	pts := PaperFigure(3, testReps).Run()
+	first, end := pts[0], last(pts)
+	// Sender: overlap grows from ~0 to ~100% as computation grows.
+	if first.SenderMax > 5 {
+		t.Errorf("sender max overlap at c=0 is %.1f%%, want ~0", first.SenderMax)
+	}
+	if end.SenderMax < 95 || end.SenderMin < 90 {
+		t.Errorf("sender overlap at max compute is min %.1f / max %.1f, want ~100",
+			end.SenderMin, end.SenderMax)
+	}
+	// Receiver: initiation invisible, so min 0 and max 100, flat.
+	for _, p := range pts {
+		if p.ReceiverMin != 0 || p.ReceiverMax < 95 {
+			t.Fatalf("receiver bounds at c=%v are %.1f/%.1f, want 0/100",
+				p.Compute, p.ReceiverMin, p.ReceiverMax)
+		}
+	}
+	// Sender wait time drops to its floor once overlap saturates.
+	if end.SenderWait >= first.SenderWait/4 {
+		t.Errorf("sender wait did not drop: %v -> %v", first.SenderWait, end.SenderWait)
+	}
+}
+
+// pipelinedFlat asserts the pipelined-protocol signature: only the
+// first fragment can be overlapped, so the curves stay flat and small
+// regardless of computation.
+func pipelinedFlat(t *testing.T, pts []Point, side string, sel func(Point) (float64, float64)) {
+	t.Helper()
+	for _, p := range pts {
+		minOv, maxOv := sel(p)
+		if maxOv > 10 {
+			t.Fatalf("%s max overlap at c=%v is %.1f%%, want flat and small (first fragment only)",
+				side, p.Compute, maxOv)
+		}
+		if minOv > maxOv+0.01 {
+			t.Fatalf("%s min %.1f%% exceeds max %.1f%%", side, minOv, maxOv)
+		}
+	}
+	// And not identically zero at high compute: the first fragment is
+	// overlappable.
+	if _, maxOv := sel(last(pts)); maxOv <= 0 {
+		t.Errorf("%s max overlap stuck at zero; first fragment should overlap", side)
+	}
+}
+
+func TestFig4PipelinedIsendRecvSenderFlat(t *testing.T) {
+	pts := PaperFigure(4, testReps).Run()
+	pipelinedFlat(t, pts, "sender", func(p Point) (float64, float64) { return p.SenderMin, p.SenderMax })
+	// Wait time stays high: the bulk cannot be hidden.
+	if w := last(pts).SenderWait; w < 500*time.Microsecond {
+		t.Errorf("sender wait %v at max compute; pipelined should stay high", w)
+	}
+}
+
+func TestFig5DirectIsendRecvSenderOverlaps(t *testing.T) {
+	pts := PaperFigure(5, testReps).Run()
+	first, end := pts[0], last(pts)
+	if first.SenderMax > 5 {
+		t.Errorf("sender max at c=0 = %.1f%%, want ~0", first.SenderMax)
+	}
+	if end.SenderMax < 95 || end.SenderMin < 90 {
+		t.Errorf("sender bounds at max compute = %.1f/%.1f, want ~100", end.SenderMin, end.SenderMax)
+	}
+	// "the progressive drop in wait time further confirms this trend"
+	if end.SenderWait > first.SenderWait/10 {
+		t.Errorf("sender wait should collapse with full overlap: %v -> %v",
+			first.SenderWait, end.SenderWait)
+	}
+	// Monotone non-increasing wait as compute grows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SenderWait > pts[i-1].SenderWait+time.Microsecond {
+			t.Errorf("sender wait rose from %v to %v at c=%v",
+				pts[i-1].SenderWait, pts[i].SenderWait, pts[i].Compute)
+		}
+	}
+}
+
+func TestFig6PipelinedSendIrecvReceiverFirstFragmentOnly(t *testing.T) {
+	pts := PaperFigure(6, testReps).Run()
+	pipelinedFlat(t, pts, "receiver", func(p Point) (float64, float64) { return p.ReceiverMin, p.ReceiverMax })
+}
+
+func TestFig7DirectSendIrecvZeroReceiverOverlap(t *testing.T) {
+	pts := PaperFigure(7, testReps).Run()
+	for _, p := range pts {
+		if p.ReceiverMin != 0 || p.ReceiverMax > 1 {
+			t.Fatalf("receiver bounds at c=%v are %.1f/%.1f, want 0/0 (polling misses the request)",
+				p.Compute, p.ReceiverMin, p.ReceiverMax)
+		}
+	}
+	// Receiver wait stays high and roughly unchanged.
+	w0, wn := pts[1].ReceiverWait, last(pts).ReceiverWait
+	if wn < w0/2 || wn < 500*time.Microsecond {
+		t.Errorf("receiver wait should stay high: %v -> %v", w0, wn)
+	}
+}
+
+func TestFig8PipelinedIsendIrecvBothFlat(t *testing.T) {
+	pts := PaperFigure(8, testReps).Run()
+	pipelinedFlat(t, pts, "sender", func(p Point) (float64, float64) { return p.SenderMin, p.SenderMax })
+	pipelinedFlat(t, pts, "receiver", func(p Point) (float64, float64) { return p.ReceiverMin, p.ReceiverMax })
+}
+
+func TestFig9DirectIsendIrecvSenderMaxRises(t *testing.T) {
+	pts := PaperFigure(9, testReps).Run()
+	if first := pts[0]; first.SenderMax > 5 {
+		t.Errorf("sender max at c=0 = %.1f%%", first.SenderMax)
+	}
+	if end := last(pts); end.SenderMax < 95 {
+		t.Errorf("sender max at full compute = %.1f%%, want ~100 (complete overlap possible)",
+			end.SenderMax)
+	}
+	for _, p := range pts {
+		if p.ReceiverMax > 1 {
+			t.Errorf("receiver max at c=%v = %.1f%%, want ~0", p.Compute, p.ReceiverMax)
+		}
+	}
+}
+
+func TestSweepSpacing(t *testing.T) {
+	pts := sweep(0, 100*time.Microsecond, 5)
+	want := []time.Duration{0, 25 * time.Microsecond, 50 * time.Microsecond,
+		75 * time.Microsecond, 100 * time.Microsecond}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestPaperFigureRejectsUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for figure 42")
+		}
+	}()
+	PaperFigure(42, 1)
+}
+
+func TestCallPairStrings(t *testing.T) {
+	if IsendRecv.String() != "Isend-Recv" || SendIrecv.String() != "Send-Irecv" ||
+		IsendIrecv.String() != "Isend-Irecv" {
+		t.Fatal("CallPair String labels wrong")
+	}
+	if mpi.PipelinedRDMA.String() != "pipelined-rdma" {
+		t.Fatal("protocol label wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian process topology in the style of
+// MPI_Cart_create: it maps ranks to grid coordinates and answers the
+// neighbour queries stencil codes need (MPI_Cart_shift).
+type Cart struct {
+	dims     []int
+	periodic []bool
+	rank     int
+}
+
+// NewCart builds a topology of the given dimensions over nranks
+// processes; the product of dims must equal nranks. periodic marks
+// wraparound per dimension (nil means all non-periodic).
+func NewCart(rank, nranks int, dims []int, periodic []bool) *Cart {
+	prod := 1
+	for _, d := range dims {
+		if d < 1 {
+			panic("mpi: cart dimensions must be positive")
+		}
+		prod *= d
+	}
+	if prod != nranks {
+		panic(fmt.Sprintf("mpi: cart dims %v hold %d ranks, world has %d", dims, prod, nranks))
+	}
+	if rank < 0 || rank >= nranks {
+		panic("mpi: cart rank out of range")
+	}
+	if periodic == nil {
+		periodic = make([]bool, len(dims))
+	}
+	if len(periodic) != len(dims) {
+		panic("mpi: cart periodic length mismatch")
+	}
+	return &Cart{
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+		rank:     rank,
+	}
+}
+
+// CartDims factors nranks into ndims balanced dimensions, largest
+// first (MPI_Dims_create).
+func CartDims(nranks, ndims int) []int {
+	if ndims < 1 || nranks < 1 {
+		panic("mpi: CartDims needs positive arguments")
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Collect prime factors, then assign them largest-first onto the
+	// currently smallest dimension — this keeps the result balanced.
+	var factors []int
+	n := nranks
+	for f := 2; n > 1; {
+		if n%f == 0 {
+			factors = append(factors, f)
+			n /= f
+		} else {
+			f++
+		}
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		small := 0
+		for j := 1; j < ndims; j++ {
+			if dims[j] < dims[small] {
+				small = j
+			}
+		}
+		dims[small] *= factors[i]
+	}
+	// Largest first, as MPI_Dims_create specifies.
+	for i := 0; i < ndims; i++ {
+		for j := i + 1; j < ndims; j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims
+}
+
+// Ndims returns the number of dimensions.
+func (c *Cart) Ndims() int { return len(c.dims) }
+
+// Dims returns a copy of the grid dimensions.
+func (c *Cart) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Coords returns the calling rank's grid coordinates (row-major
+// order, first dimension varying slowest — MPI's convention).
+func (c *Cart) Coords() []int { return c.CoordsOf(c.rank) }
+
+// CoordsOf returns the coordinates of an arbitrary rank.
+func (c *Cart) CoordsOf(rank int) []int {
+	coords := make([]int, len(c.dims))
+	for i := len(c.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % c.dims[i]
+		rank /= c.dims[i]
+	}
+	return coords
+}
+
+// RankOf returns the rank at the given coordinates, applying
+// periodicity; it returns -1 (like MPI_PROC_NULL) if a non-periodic
+// coordinate is out of range.
+func (c *Cart) RankOf(coords []int) int {
+	if len(coords) != len(c.dims) {
+		panic("mpi: cart coordinate arity mismatch")
+	}
+	rank := 0
+	for i, x := range coords {
+		d := c.dims[i]
+		if c.periodic[i] {
+			x = ((x % d) + d) % d
+		} else if x < 0 || x >= d {
+			return ProcNull
+		}
+		rank = rank*d + x
+	}
+	return rank
+}
+
+// ProcNull is the null neighbour rank for non-periodic boundaries
+// (MPI_PROC_NULL).
+const ProcNull = -2
+
+// Shift returns the source and destination ranks displacement steps
+// away along dim (MPI_Cart_shift): recvFrom is the neighbour that
+// would send to this rank, sendTo the one this rank sends to.
+func (c *Cart) Shift(dim, displacement int) (recvFrom, sendTo int) {
+	coords := c.Coords()
+	coords[dim] += displacement
+	sendTo = c.RankOf(coords)
+	coords[dim] -= 2 * displacement
+	recvFrom = c.RankOf(coords)
+	return recvFrom, sendTo
+}

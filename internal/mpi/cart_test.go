@@ -1,0 +1,143 @@
+package mpi_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+)
+
+func TestCartDimsBalanced(t *testing.T) {
+	cases := []struct {
+		n, nd int
+		want  []int
+	}{
+		{16, 2, []int{4, 4}},
+		{12, 2, []int{4, 3}},
+		{8, 3, []int{2, 2, 2}},
+		{24, 3, []int{4, 3, 2}},
+		{7, 2, []int{7, 1}},
+		{1, 3, []int{1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := mpi.CartDims(c.n, c.nd)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("CartDims(%d,%d) = %v, want %v", c.n, c.nd, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed)%60 + 1
+		dims := mpi.CartDims(n, 3)
+		for rank := 0; rank < n; rank++ {
+			c := mpi.NewCart(rank, n, dims, nil)
+			if got := c.RankOf(c.Coords()); got != rank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShiftPeriodic(t *testing.T) {
+	c := mpi.NewCart(0, 4, []int{2, 2}, []bool{true, true})
+	from, to := c.Shift(0, 1)
+	// Rank 0 is (0,0); +1 along dim 0 wraps to (1,0)=rank 2 both ways.
+	if to != 2 || from != 2 {
+		t.Errorf("Shift = (%d, %d), want (2, 2)", from, to)
+	}
+}
+
+func TestCartShiftNonPeriodicBoundary(t *testing.T) {
+	c := mpi.NewCart(0, 4, []int{2, 2}, nil)
+	from, to := c.Shift(0, 1)
+	if from != mpi.ProcNull {
+		t.Errorf("rank 0 has no -1 neighbour, got %d", from)
+	}
+	if to != 2 {
+		t.Errorf("sendTo = %d, want 2", to)
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad product": func() { mpi.NewCart(0, 5, []int{2, 2}, nil) },
+		"bad rank":    func() { mpi.NewCart(9, 4, []int{2, 2}, nil) },
+		"zero dim":    func() { mpi.NewCart(0, 0, []int{0}, nil) },
+		"bad arity": func() {
+			c := mpi.NewCart(0, 4, []int{2, 2}, nil)
+			c.RankOf([]int{1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCartHaloExchange uses the topology for a real exchange: every
+// rank sendrecvs with its four periodic neighbours.
+func TestCartHaloExchange(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 6}, func(r *mpi.Rank) {
+		cart := mpi.NewCart(r.ID(), r.Size(), mpi.CartDims(r.Size(), 2), []bool{true, true})
+		for dim := 0; dim < 2; dim++ {
+			from, to := cart.Shift(dim, 1)
+			st := r.Sendrecv(to, dim, 4096, from, dim)
+			if st.Size != 4096 {
+				t.Errorf("rank %d dim %d: size %d", r.ID(), dim, st.Size)
+			}
+		}
+	})
+}
+
+func TestNewCollectives(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7} {
+		res := cluster.Run(cluster.Config{Procs: n}, func(r *mpi.Rank) {
+			r.Scan(1024)
+			r.Exscan(1024)
+			r.ReduceScatter(2048)
+			sizes := make([]int, r.Size())
+			for i := range sizes {
+				sizes[i] = 512 * (i + 1)
+			}
+			r.Allgatherv(sizes)
+			r.Gatherv(0, sizes)
+			r.Barrier()
+		})
+		if res.Duration <= 0 {
+			t.Fatalf("n=%d: no time elapsed", n)
+		}
+	}
+}
+
+func TestScanIsChained(t *testing.T) {
+	// Rank i cannot leave Scan before rank i-1 contributed: completion
+	// times must be non-decreasing in rank.
+	const n = 5
+	var done [n]int64
+	cluster.Run(cluster.Config{Procs: n}, func(r *mpi.Rank) {
+		r.Compute(100) // tiny skew
+		r.Scan(4096)
+		done[r.ID()] = int64(r.Now())
+	})
+	for i := 1; i < n; i++ {
+		if done[i] < done[i-1] {
+			t.Errorf("rank %d finished Scan at %d before rank %d at %d",
+				i, done[i], i-1, done[i-1])
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of world ranks with its own
+// rank numbering, isolated point-to-point tag space and collective
+// context — the MPI_Comm_split machinery NPB codes use for row/column
+// reductions and transposes.
+//
+// Communicators are created with Rank.World (the world communicator)
+// and Comm.Split. As in MPI, Split is collective: every member of the
+// parent must call it, and members choosing the same color form a new
+// communicator ordered by (key, world rank).
+type Comm struct {
+	r       *Rank
+	id      int   // globally agreed communicator id
+	members []int // world ranks, index = communicator rank
+	myIdx   int
+	colSeq  int
+}
+
+// maxUserTag bounds user tags on communicator point-to-point calls so
+// the communicator id can share the tag space.
+const maxUserTag = 1 << 20
+
+// commKey identifies a Split group for id agreement.
+type commKey struct {
+	parent, seq, color int
+}
+
+// commID returns the agreed id for a split group, assigning a fresh
+// one on first request. The world's registry is shared state, but the
+// simulator's coroutine discipline serializes access, and ids only
+// need to be agreed upon, not dense or ordered.
+func (w *World) commID(k commKey) int {
+	if w.commIDs == nil {
+		w.commIDs = make(map[commKey]int)
+	}
+	id, ok := w.commIDs[k]
+	if !ok {
+		w.nextCommID++
+		id = w.nextCommID
+		w.commIDs[k] = id
+	}
+	return id
+}
+
+// World returns the communicator spanning all ranks, with communicator
+// ranks equal to world ranks.
+func (r *Rank) World() *Comm {
+	if r.worldComm == nil {
+		members := make([]int, r.Size())
+		for i := range members {
+			members[i] = i
+		}
+		r.worldComm = &Comm{r: r, id: 0, members: members, myIdx: r.id}
+	}
+	return r.worldComm
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.myIdx }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// tag scopes a user tag to this communicator.
+func (c *Comm) tag(t int) int {
+	if t != AnyTag && (t < 0 || t >= maxUserTag) {
+		panic(fmt.Sprintf("mpi: communicator tags must be in [0, %d)", maxUserTag))
+	}
+	if t == AnyTag {
+		return AnyTag
+	}
+	return c.id*maxUserTag + t
+}
+
+// ctag scopes an internal collective tag to this communicator.
+func (c *Comm) ctag(seq, round int) int {
+	return c.id*maxUserTag + colTag(seq, round)
+}
+
+func (c *Comm) nextSeq() int {
+	// The world communicator shares the rank's collective sequence so
+	// Rank-level collectives (r.Barrier()) and world-communicator
+	// collectives (r.World().Barrier()) can be freely interleaved
+	// without tag collisions.
+	if c.id == 0 {
+		return c.r.nextColSeq()
+	}
+	s := c.colSeq
+	c.colSeq++
+	return s
+}
+
+// peekSeq returns the sequence number the next collective will use,
+// without consuming it.
+func (c *Comm) peekSeq() int {
+	if c.id == 0 {
+		return c.r.colSeq
+	}
+	return c.colSeq
+}
+
+// translateSrc maps a communicator source (or AnySource) to the world
+// rank for matching.
+func (c *Comm) translateSrc(src int) int {
+	if src == AnySource {
+		return AnySource
+	}
+	return c.members[src]
+}
+
+// commStatus rewrites a status's source into communicator ranks.
+func (c *Comm) commStatus(st Status) Status {
+	for i, wr := range c.members {
+		if wr == st.Source {
+			st.Source = i
+			break
+		}
+	}
+	if st.Tag != AnyTag && st.Tag >= 0 {
+		st.Tag -= c.id * maxUserTag
+	}
+	return st
+}
+
+// Send transmits size bytes to communicator rank dst.
+func (c *Comm) Send(dst, tag, size int) {
+	c.r.Send(c.members[dst], c.tag(tag), size)
+}
+
+// Recv receives a message from communicator rank src (or AnySource).
+func (c *Comm) Recv(src, tag int) Status {
+	return c.commStatus(c.r.Recv(c.translateSrc(src), c.tag(tag)))
+}
+
+// Isend starts a non-blocking send to communicator rank dst.
+func (c *Comm) Isend(dst, tag, size int) *Request {
+	return c.r.Isend(c.members[dst], c.tag(tag), size)
+}
+
+// Irecv posts a non-blocking receive from communicator rank src.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return c.r.Irecv(c.translateSrc(src), c.tag(tag))
+}
+
+// Sendrecv exchanges with communicator ranks dst and src.
+func (c *Comm) Sendrecv(dst, sendTag, sendSize, src, recvTag int) Status {
+	return c.commStatus(c.r.Sendrecv(
+		c.members[dst], c.tag(sendTag), sendSize,
+		c.translateSrc(src), c.tag(recvTag)))
+}
+
+// splitMsg is one member's contribution to a Split.
+type splitMsg struct {
+	color, key, worldRank int
+}
+
+// splitGather collects contributions for one Split instance in the
+// world registry; reads counts consumers so the entry can be reclaimed
+// once every member has built its communicator.
+type splitGather struct {
+	contrib []splitMsg
+	reads   int
+}
+
+// Split partitions the communicator: members passing the same color
+// form a new communicator, ordered by (key, world rank). Every member
+// must call Split; a member passing a negative color receives nil
+// (MPI_UNDEFINED).
+//
+// The grouping metadata moves through the world's shared registry (the
+// simulator's equivalent of the payload bytes a real MPI would carry),
+// while an Allgather of the 12-byte (color, key, rank) triples models
+// the traffic and provides the required synchronization: a member's
+// ring allgather cannot complete until every member has entered — and
+// therefore deposited.
+func (c *Comm) Split(color, key int) *Comm {
+	r := c.r
+	seq := c.peekSeq() // the sequence the Allgather below will consume
+	k := commKey{parent: c.id, seq: seq, color: 0}
+	w := r.w
+	if w.splitBuf == nil {
+		w.splitBuf = make(map[commKey]*splitGather)
+	}
+	g := w.splitBuf[k]
+	if g == nil {
+		g = &splitGather{}
+		w.splitBuf[k] = g
+	}
+	g.contrib = append(g.contrib, splitMsg{color, key, r.id})
+
+	c.Allgather(12)
+
+	groups := groupByColor(g.contrib)
+	myGroup := groups[color]
+	g.reads++
+	if g.reads == len(c.members) {
+		delete(w.splitBuf, k)
+	}
+	if color < 0 {
+		return nil
+	}
+	return c.buildComm(seq, color, myGroup)
+}
+
+// groupByColor partitions contributions, ordering each group by
+// (key, world rank). Negative colors are dropped (MPI_UNDEFINED).
+func groupByColor(contrib []splitMsg) map[int][]splitMsg {
+	groups := make(map[int][]splitMsg)
+	for _, m := range contrib {
+		if m.color < 0 {
+			continue
+		}
+		groups[m.color] = append(groups[m.color], m)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].key != g[j].key {
+				return g[i].key < g[j].key
+			}
+			return g[i].worldRank < g[j].worldRank
+		})
+	}
+	return groups
+}
+
+// buildComm assembles the new communicator from a group.
+func (c *Comm) buildComm(seq, color int, group []splitMsg) *Comm {
+	if color < 0 {
+		return nil
+	}
+	r := c.r
+	members := make([]int, len(group))
+	myIdx := -1
+	for i, m := range group {
+		members[i] = m.worldRank
+		if m.worldRank == r.id {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		panic("mpi: split group does not contain the caller")
+	}
+	return &Comm{
+		r:       r,
+		id:      r.w.commID(commKey{parent: c.id, seq: seq, color: color}),
+		members: members,
+		myIdx:   myIdx,
+	}
+}
+
+// --- Collectives over a communicator --------------------------------
+
+// Barrier blocks until all members have entered it.
+func (c *Comm) Barrier() {
+	r := c.r
+	r.enterOp("Barrier")
+	defer r.exit()
+	seq := c.nextSeq()
+	p := c.Size()
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		dst := c.members[(c.myIdx+k)%p]
+		src := c.members[(c.myIdx-k+p)%p]
+		s := r.isendCol(dst, c.ctag(seq, round), tokenSize)
+		q := r.irecvCol(src, c.ctag(seq, round))
+		r.waitBoth(s, q)
+	}
+}
+
+// Bcast broadcasts size bytes from communicator rank root (binomial).
+func (c *Comm) Bcast(root, size int) {
+	r := c.r
+	r.enterOp("Bcast")
+	defer r.exit()
+	seq := c.nextSeq()
+	p := c.Size()
+	vr := (c.myIdx - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := c.members[(vr-mask+root)%p]
+			q := r.irecvCol(src, c.ctag(seq, 0))
+			r.waitUntil(func() bool { return q.done })
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			dst := c.members[(vr+mask+root)%p]
+			s := r.isendCol(dst, c.ctag(seq, 0), size)
+			r.waitUntil(func() bool { return s.done })
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines size bytes onto communicator rank root (binomial).
+func (c *Comm) Reduce(root, size int) {
+	r := c.r
+	r.enterOp("Reduce")
+	defer r.exit()
+	seq := c.nextSeq()
+	p := c.Size()
+	vr := (c.myIdx - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask == 0 {
+			if vr+mask < p {
+				src := c.members[(vr+mask+root)%p]
+				q := r.irecvCol(src, c.ctag(seq, 0))
+				r.waitUntil(func() bool { return q.done })
+				r.proc.Compute(r.reduceCost(size))
+			}
+		} else {
+			dst := c.members[(vr-mask+root)%p]
+			s := r.isendCol(dst, c.ctag(seq, 0), size)
+			r.waitUntil(func() bool { return s.done })
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines size bytes across all members.
+func (c *Comm) Allreduce(size int) {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		c.Reduce(0, size)
+		c.Bcast(0, size)
+		return
+	}
+	r := c.r
+	r.enterOp("Allreduce")
+	defer r.exit()
+	seq := c.nextSeq()
+	for mask, round := 1, 0; mask < p; mask, round = mask<<1, round+1 {
+		partner := c.members[c.myIdx^mask]
+		s := r.isendCol(partner, c.ctag(seq, round), size)
+		q := r.irecvCol(partner, c.ctag(seq, round))
+		r.waitBoth(s, q)
+		r.proc.Compute(r.reduceCost(size))
+	}
+}
+
+// Alltoall exchanges size bytes between every member pair.
+func (c *Comm) Alltoall(size int) {
+	r := c.r
+	r.enterOp("Alltoall")
+	defer r.exit()
+	seq := c.nextSeq()
+	p := c.Size()
+	r.proc.Compute(r.cost().Copy(size))
+	for i := 1; i < p; i++ {
+		dst := c.members[(c.myIdx+i)%p]
+		src := c.members[(c.myIdx-i+p)%p]
+		s := r.isendCol(dst, c.ctag(seq, i), size)
+		q := r.irecvCol(src, c.ctag(seq, i))
+		r.waitBoth(s, q)
+	}
+}
+
+// Allgather collects size bytes from every member on every member
+// (ring).
+func (c *Comm) Allgather(size int) {
+	r := c.r
+	r.enterOp("Allgather")
+	defer r.exit()
+	seq := c.nextSeq()
+	p := c.Size()
+	next := c.members[(c.myIdx+1)%p]
+	prev := c.members[(c.myIdx-1+p)%p]
+	for step := 0; step < p-1; step++ {
+		s := r.isendCol(next, c.ctag(seq, step), size)
+		q := r.irecvCol(prev, c.ctag(seq, step))
+		r.waitBoth(s, q)
+	}
+}

@@ -1,0 +1,177 @@
+package mpi_test
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+)
+
+func TestWorldCommMirrorsWorld(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 4}, func(r *mpi.Rank) {
+		w := r.World()
+		if w.Rank() != r.ID() || w.Size() != r.Size() {
+			t.Errorf("world comm rank/size %d/%d != %d/%d", w.Rank(), w.Size(), r.ID(), r.Size())
+		}
+		if w.WorldRank(2) != 2 {
+			t.Errorf("world comm translation broken")
+		}
+		w.Barrier()
+		r.Barrier() // interleaving with rank-level collectives is safe
+		w.Allreduce(8)
+	})
+}
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	// A 2x3 grid: rows {0,1,2} {3,4,5}, columns {0,3} {1,4} {2,5}.
+	cluster.Run(cluster.Config{Procs: 6}, func(r *mpi.Rank) {
+		w := r.World()
+		row := w.Split(r.ID()/3, r.ID()%3)
+		col := w.Split(r.ID()%3, r.ID()/3)
+		if row.Size() != 3 || col.Size() != 2 {
+			t.Fatalf("rank %d: row size %d col size %d", r.ID(), row.Size(), col.Size())
+		}
+		if row.Rank() != r.ID()%3 || col.Rank() != r.ID()/3 {
+			t.Errorf("rank %d: row rank %d col rank %d", r.ID(), row.Rank(), col.Rank())
+		}
+		if got := row.WorldRank(row.Rank()); got != r.ID() {
+			t.Errorf("rank %d: row translation gives %d", r.ID(), got)
+		}
+		// Collectives within each sub-communicator.
+		row.Allreduce(1024)
+		col.Barrier()
+		row.Bcast(0, 4096)
+		col.Reduce(0, 512)
+		row.Alltoall(256)
+		col.Allgather(128)
+	})
+}
+
+func TestSplitOrdersByKey(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 4}, func(r *mpi.Rank) {
+		// Reverse key: world rank 3 becomes comm rank 0.
+		c := r.World().Split(0, -r.ID())
+		if want := r.Size() - 1 - r.ID(); c.Rank() != want {
+			t.Errorf("rank %d: comm rank %d, want %d", r.ID(), c.Rank(), want)
+		}
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 4}, func(r *mpi.Rank) {
+		var c *mpi.Comm
+		if r.ID() == 3 {
+			c = r.World().Split(-1, 0) // MPI_UNDEFINED
+		} else {
+			c = r.World().Split(0, r.ID())
+		}
+		if r.ID() == 3 {
+			if c != nil {
+				t.Error("undefined color should yield nil communicator")
+			}
+			return
+		}
+		if c.Size() != 3 {
+			t.Errorf("rank %d: size %d, want 3", r.ID(), c.Size())
+		}
+		c.Barrier()
+	})
+}
+
+func TestCommPointToPointIsolatedFromWorld(t *testing.T) {
+	// The same (peer, tag) on a sub-communicator and on the world must
+	// match independently.
+	cluster.Run(cluster.Config{Procs: 2}, func(r *mpi.Rank) {
+		c := r.World().Split(0, r.ID())
+		if r.ID() == 0 {
+			c.Send(1, 5, 100) // via comm
+			r.Send(1, 5, 200) // via world
+			return
+		}
+		// Receive the world one first, then the comm one: tags isolate
+		// them even though both used tag 5.
+		if st := r.Recv(0, 5); st.Size != 200 {
+			t.Errorf("world recv got size %d, want 200", st.Size)
+		}
+		if st := c.Recv(0, 5); st.Size != 100 || st.Source != 0 {
+			t.Errorf("comm recv got %+v, want size 100 from comm rank 0", st)
+		}
+	})
+}
+
+func TestCommSendrecvAndNonblocking(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 4}, func(r *mpi.Rank) {
+		c := r.World().Split(r.ID()%2, r.ID()) // evens and odds
+		peer := 1 - c.Rank()
+		st := c.Sendrecv(peer, 1, 2048, peer, 1)
+		if st.Size != 2048 || st.Source != peer {
+			t.Errorf("comm sendrecv %+v", st)
+		}
+		s := c.Isend(peer, 2, 64<<10)
+		q := c.Irecv(peer, 2)
+		r.Compute(100 * time.Microsecond)
+		r.Waitall(s, q)
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 8}, func(r *mpi.Rank) {
+		half := r.World().Split(r.ID()/4, r.ID())    // two halves of 4
+		quarter := half.Split(half.Rank()/2, r.ID()) // pairs
+		if quarter.Size() != 2 {
+			t.Fatalf("rank %d: quarter size %d", r.ID(), quarter.Size())
+		}
+		quarter.Allreduce(8)
+		half.Barrier()
+		r.Barrier()
+	})
+}
+
+func TestConcurrentSubCommCollectives(t *testing.T) {
+	// Rows perform allreduces at the same time as other rows; tags are
+	// comm-scoped so the traffic cannot cross.
+	res := cluster.Run(cluster.Config{Procs: 8}, func(r *mpi.Rank) {
+		row := r.World().Split(r.ID()/2, r.ID())
+		for i := 0; i < 20; i++ {
+			row.Allreduce(4096)
+		}
+		r.Barrier()
+	})
+	if res.Duration <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestCommTagValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized tag")
+		}
+	}()
+	cluster.Run(cluster.Config{Procs: 2}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.World().Send(1, 1<<20, 10)
+		} else {
+			r.World().Recv(0, 1<<20)
+		}
+	})
+}
+
+func TestCGStyleRowReduction(t *testing.T) {
+	// The NPB CG pattern expressed with communicators: a 2-D grid,
+	// partial-sum reductions within rows, transpose via column comms.
+	const procs = 8 // 2x4
+	cluster.Run(cluster.Config{Procs: procs}, func(r *mpi.Rank) {
+		const npcols = 4
+		row := r.World().Split(r.ID()/npcols, r.ID()%npcols)
+		col := r.World().Split(r.ID()%npcols, r.ID()/npcols)
+		for iter := 0; iter < 5; iter++ {
+			r.Compute(200 * time.Microsecond) // local matvec
+			row.Allreduce(14000 / npcols * 8) // partial vector sums
+			col.Allgather(14000 / npcols * 8 / 2)
+			row.Allreduce(8) // dot product
+		}
+		r.Barrier()
+	})
+}

@@ -1,0 +1,388 @@
+// Package mpi implements a message-passing library in the style of the
+// MPI implementations the paper instruments (Open MPI 1.0.1 and
+// MVAPICH2 0.6.5), running over the simulated RDMA fabric.
+//
+// The library reproduces the architectural properties that determine
+// overlap behaviour on real systems:
+//
+//   - A single-threaded, polling-based progress engine: protocol state
+//     machines advance only while the application is inside a library
+//     call. An arrived rendezvous request or acknowledgment sits
+//     unnoticed in the NIC queues until the next MPI call polls.
+//   - An eager protocol for short messages (bounce-buffer copy, then a
+//     one-sided write the receiver discovers by polling).
+//   - Two long-message rendezvous protocols, selectable per-world like
+//     Open MPI's mpi_leave_pinned parameter: PipelinedRDMA (fragmented
+//     RDMA writes scheduled by the sender after an acknowledgment —
+//     Open MPI's default) and DirectRDMARead (the receiver reads the
+//     sender's buffer directly upon the request — Open MPI with
+//     leave_pinned, and MVAPICH2's rendezvous).
+//
+// The library embeds the paper's instrumentation (package overlap):
+// every call is bracketed by CALL_ENTER/CALL_EXIT and every user-data
+// transfer posts XFER_BEGIN/XFER_END where the library can observe
+// them, entirely within the library.
+//
+// Messages carry sizes and envelopes, not payload bytes: the package
+// is a timing-faithful communication skeleton, which is exactly what
+// overlap characterization requires.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/fabric"
+	"ovlp/internal/overlap"
+	"ovlp/internal/vtime"
+)
+
+// LongProtocol selects the rendezvous protocol for messages above the
+// eager threshold.
+type LongProtocol int
+
+const (
+	// PipelinedRDMA fragments the message; the sender transmits a
+	// request plus the first fragment, waits for an acknowledgment,
+	// and then pipelines the remaining fragments — but only while the
+	// application is inside the library (Open MPI v1.0 default).
+	PipelinedRDMA LongProtocol = iota
+	// DirectRDMARead has the receiver pull the whole message from the
+	// sender's registered buffer with a single RDMA read upon seeing
+	// the request (Open MPI mpi_leave_pinned; MVAPICH2 rendezvous).
+	DirectRDMARead
+)
+
+func (p LongProtocol) String() string {
+	switch p {
+	case PipelinedRDMA:
+		return "pipelined-rdma"
+	case DirectRDMARead:
+		return "direct-rdma-read"
+	}
+	return "invalid"
+}
+
+// Wildcards for Recv/Irecv/Probe matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// InstrumentConfig enables the overlap instrumentation inside the
+// library.
+type InstrumentConfig struct {
+	// Table is the a-priori transfer-time table (required).
+	Table *calib.Table
+	// QueueSize and BinBounds configure each rank's Monitor
+	// (zero-values select the overlap package defaults).
+	QueueSize int
+	BinBounds []int
+	// ModelCost, when true, charges the modelled CPU cost of the
+	// instrumentation itself to the rank (used by the overhead
+	// experiment, Fig. 20).
+	ModelCost bool
+	// EventCost and DrainCostPerEvent override the modelled unit costs
+	// when ModelCost is set; zero selects defaults (40ns, 25ns).
+	EventCost         time.Duration
+	DrainCostPerEvent time.Duration
+	// TraceSinkFor, if non-nil, supplies a per-rank event sink for
+	// validation against ground truth. Production configs leave it nil.
+	TraceSinkFor func(rank int) func(overlap.Event)
+}
+
+// Config parameterizes a World.
+type Config struct {
+	// Protocol is the long-message protocol (default PipelinedRDMA).
+	Protocol LongProtocol
+	// EagerThreshold is the largest message sent eagerly, in bytes
+	// (default 12 KiB, typical for InfiniBand MPIs of the era).
+	EagerThreshold int
+	// FragmentSize is the pipelined-protocol fragment size (default
+	// 64 KiB). The first fragment, which travels with the request, is
+	// EagerThreshold bytes.
+	FragmentSize int
+	// MaxOutstanding is the pipelined-protocol credit limit on
+	// simultaneously posted fragments (default 4).
+	MaxOutstanding int
+	// LeavePinned enables the registration cache: buffers keyed by
+	// (peer, tag, size) are pinned once and reused, as with Open MPI's
+	// mpi_leave_pinned MRU cache. When false, rendezvous operations
+	// pin on the fly every time (MVAPICH2 behaviour).
+	LeavePinned bool
+	// ReduceBandwidth models the reduction-operator cost in bytes per
+	// second (default 2 GB/s).
+	ReduceBandwidth float64
+	// HWTimestamps makes the library consume the NIC's hardware
+	// transfer time-stamps, feeding the instrumentation's precise
+	// XferExact path instead of the XFER_BEGIN/XFER_END bounds — the
+	// refinement the paper names as future work. The HCAs of the
+	// paper's era could not do this; the simulated fabric can.
+	HWTimestamps bool
+	// Instrument enables the overlap instrumentation; nil runs the
+	// library uninstrumented.
+	Instrument *InstrumentConfig
+}
+
+func (c *Config) fillDefaults() {
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = 12 << 10
+	}
+	if c.FragmentSize == 0 {
+		c.FragmentSize = 64 << 10
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 4
+	}
+	if c.ReduceBandwidth == 0 {
+		c.ReduceBandwidth = 2e9
+	}
+	if ic := c.Instrument; ic != nil && ic.ModelCost {
+		if ic.EventCost == 0 {
+			ic.EventCost = 40 * time.Nanosecond
+		}
+		if ic.DrainCostPerEvent == 0 {
+			ic.DrainCostPerEvent = 25 * time.Nanosecond
+		}
+	}
+}
+
+// World is a set of communicating ranks over one fabric — the
+// simulation analogue of MPI_COMM_WORLD.
+type World struct {
+	sim     *vtime.Sim
+	fab     *fabric.Fabric
+	cfg     Config
+	ranks   []*Rank
+	reports []*overlap.Report
+
+	// Communicator bookkeeping (accessed under the simulator's
+	// coroutine discipline, so no locking is needed).
+	commIDs    map[commKey]int
+	nextCommID int
+	splitBuf   map[commKey]*splitGather
+}
+
+// NewWorld creates a world spanning every node of the fabric.
+func NewWorld(sim *vtime.Sim, fab *fabric.Fabric, cfg Config) *World {
+	cfg.fillDefaults()
+	w := &World{
+		sim:     sim,
+		fab:     fab,
+		cfg:     cfg,
+		reports: make([]*overlap.Report, fab.Nodes()),
+	}
+	for i := 0; i < fab.Nodes(); i++ {
+		w.ranks = append(w.ranks, newRank(w, i))
+	}
+	return w
+}
+
+// Config returns the world's (defaults-filled) configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Start spawns one proc per rank, each executing main. The simulation
+// must be run (sim.Run) afterwards to execute them.
+func (w *World) Start(main func(r *Rank)) {
+	for _, r := range w.ranks {
+		r := r
+		w.sim.Spawn(fmt.Sprintf("rank%d", r.id), func(p *vtime.Proc) {
+			r.attach(p)
+			main(r)
+			r.finalize()
+		})
+	}
+}
+
+// Reports returns the per-rank instrumentation reports; valid after
+// the simulation has run to completion, nil entries if uninstrumented.
+func (w *World) Reports() []*overlap.Report { return w.reports }
+
+// procClock adapts a vtime proc to the overlap.Clock interface.
+type procClock struct{ p *vtime.Proc }
+
+func (c procClock) Now() time.Duration { return c.p.Now().Duration() }
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Size   int
+}
+
+// Rank is one process's handle to the library: the target of all
+// communication calls. All methods must be called from the rank's own
+// proc (the main function passed to Start).
+type Rank struct {
+	w    *World
+	id   int
+	proc *vtime.Proc
+	nic  *fabric.NIC
+	mon  *overlap.Monitor
+
+	recvQ  []*Request // posted, unmatched receives, in post order
+	unexpQ []inbound  // arrived, unmatched messages, in arrival order
+
+	wrMap      map[uint64]pendingWR // CQE routing
+	ctsWaiters map[uint64]*Request  // sender reqID -> rendezvous send
+	rxActive   map[uint64]*Request  // receiver reqID -> rendezvous recv
+	pump       []*Request           // pipelined sends with fragments to post
+
+	regCache  map[regKey]bool // leave_pinned registration cache
+	worldComm *Comm
+
+	reqSeq    uint64
+	colSeq    int
+	depth     int
+	enterAt   vtime.Time
+	curOp     string
+	mpiTime   time.Duration
+	callTimes map[string]time.Duration
+	waiting   bool
+}
+
+type regKey struct {
+	peer, tag, size int
+}
+
+func newRank(w *World, id int) *Rank {
+	return &Rank{
+		w:          w,
+		id:         id,
+		nic:        w.fab.NIC(fabric.NodeID(id)),
+		wrMap:      make(map[uint64]pendingWR),
+		ctsWaiters: make(map[uint64]*Request),
+		rxActive:   make(map[uint64]*Request),
+		regCache:   make(map[regKey]bool),
+		callTimes:  make(map[string]time.Duration),
+	}
+}
+
+// attach binds the rank to its proc at spawn time and builds its
+// monitor.
+func (r *Rank) attach(p *vtime.Proc) {
+	r.proc = p
+	// Unpark unconditionally: a packet can land between the wait
+	// loop's last empty poll and its Park (during a poll's own yield),
+	// and the permit semantics turn the early notification into an
+	// immediate wake instead of a lost one.
+	r.nic.SetNotify(func() { r.proc.Unpark() })
+	if ic := r.w.cfg.Instrument; ic != nil {
+		mc := overlap.Config{
+			Clock:     procClock{p},
+			Table:     ic.Table,
+			QueueSize: ic.QueueSize,
+			BinBounds: ic.BinBounds,
+		}
+		if ic.ModelCost {
+			mc.Charge = func(d time.Duration) { p.Compute(d) }
+			mc.EventCost = ic.EventCost
+			mc.DrainCostPerEvent = ic.DrainCostPerEvent
+		}
+		if ic.TraceSinkFor != nil {
+			mc.TraceSink = ic.TraceSinkFor(r.id)
+		}
+		r.mon = overlap.NewMonitor(mc)
+	}
+}
+
+// finalize produces the rank's report at the end of main.
+func (r *Rank) finalize() {
+	if r.mon != nil {
+		rep := r.mon.Finalize()
+		rep.Rank = r.id
+		r.w.reports[r.id] = rep
+	}
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Now returns the rank's current (virtual) time.
+func (r *Rank) Now() time.Duration { return r.proc.Now().Duration() }
+
+// Compute models d of user computation. The network makes progress in
+// the background, but the library does not: arrivals are noticed only
+// at the next library call — the defining property of polling-based
+// progress.
+func (r *Rank) Compute(d time.Duration) { r.proc.Compute(d) }
+
+// PushRegion and PopRegion delimit a monitored code section (see
+// overlap.Monitor.PushRegion). No-ops when uninstrumented.
+func (r *Rank) PushRegion(name string) { r.mon.PushRegion(name) }
+
+// PopRegion closes the innermost monitored section.
+func (r *Rank) PopRegion() { r.mon.PopRegion() }
+
+// Report returns the rank's finalized report (nil until main returns
+// or when uninstrumented).
+func (r *Rank) Report() *overlap.Report { return r.w.reports[r.id] }
+
+// MPITime returns the aggregate time this rank has spent inside
+// library calls, maintained independently of the instrumentation so
+// uninstrumented runs can report it too.
+func (r *Rank) MPITime() time.Duration { return r.mpiTime }
+
+// CallTimes returns the rank's library time broken down by the
+// outermost call type ("Wait", "Send", "Allreduce", ...) — the
+// quantity the paper's microbenchmarks plot as "average time spent in
+// MPI_Wait". The returned map is a copy.
+func (r *Rank) CallTimes() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(r.callTimes))
+	for k, v := range r.callTimes {
+		out[k] = v
+	}
+	return out
+}
+
+// enterOp/exit bracket every public library call: they drive the
+// monitor's CALL events and the rank's own MPI-time accounting —
+// total and per call type — and nest so collectives built on
+// point-to-point register once, under the outermost call's name.
+func (r *Rank) enterOp(name string) {
+	r.depth++
+	if r.depth == 1 {
+		r.enterAt = r.proc.Now()
+		r.curOp = name
+	}
+	r.mon.CallEnter()
+}
+
+func (r *Rank) exit() {
+	r.mon.CallExit()
+	r.depth--
+	if r.depth == 0 {
+		d := r.proc.Now().Sub(r.enterAt)
+		r.mpiTime += d
+		r.callTimes[r.curOp] += d
+	}
+}
+
+// cost returns the fabric cost model.
+func (r *Rank) cost() fabric.CostModel { return r.w.fab.Cost() }
+
+// newReq allocates a request.
+func (r *Rank) newReq(kind reqKind, peer, tag, size int) *Request {
+	r.reqSeq++
+	return &Request{rank: r, kind: kind, id: r.reqSeq, peer: peer, tag: tag, size: size}
+}
+
+// registerBuffer charges the cost of pinning a rendezvous buffer,
+// honouring the leave_pinned registration cache.
+func (r *Rank) registerBuffer(peer, tag, size int) {
+	if r.w.cfg.LeavePinned {
+		key := regKey{peer, tag, size}
+		if r.regCache[key] {
+			return
+		}
+		r.regCache[key] = true
+	}
+	r.proc.Compute(r.cost().RegCost(size))
+}

@@ -1,0 +1,39 @@
+package mpi
+
+// Additional completion operations in the MPI style.
+
+// Waitany blocks until at least one of the requests completes and
+// returns the index of a completed request (the lowest-indexed one)
+// and its status.
+func (r *Rank) Waitany(reqs ...*Request) (int, Status) {
+	if len(reqs) == 0 {
+		panic("mpi: Waitany needs at least one request")
+	}
+	r.enterOp("Waitany")
+	defer r.exit()
+	idx := -1
+	r.waitUntil(func() bool {
+		for i, q := range reqs {
+			if q.done {
+				idx = i
+				return true
+			}
+		}
+		return false
+	})
+	return idx, reqs[idx].status
+}
+
+// Testall invokes the progress engine once and reports whether every
+// request has completed.
+func (r *Rank) Testall(reqs ...*Request) bool {
+	r.enterOp("Testall")
+	defer r.exit()
+	r.progress()
+	for _, q := range reqs {
+		if !q.done {
+			return false
+		}
+	}
+	return true
+}

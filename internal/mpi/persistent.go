@@ -1,0 +1,74 @@
+package mpi
+
+// Synchronous and persistent point-to-point operations.
+
+// Ssend is the synchronous-mode send: it always uses the rendezvous
+// protocol and completes only once the receiver has matched, whatever
+// the message size. (MPI_Ssend; useful to benchmark pure rendezvous
+// behaviour below the eager threshold.)
+func (r *Rank) Ssend(dst, tag, size int) {
+	r.enterOp("Ssend")
+	defer r.exit()
+	req := r.newReq(reqSend, dst, tag, size)
+	r.startSendSync(req, ctxUser)
+	r.waitUntil(func() bool { return req.done })
+}
+
+// Issend starts a non-blocking synchronous send.
+func (r *Rank) Issend(dst, tag, size int) *Request {
+	r.enterOp("Issend")
+	defer r.exit()
+	req := r.newReq(reqSend, dst, tag, size)
+	r.startSendSync(req, ctxUser)
+	return req
+}
+
+// startSendSync forces the rendezvous path regardless of size.
+func (r *Rank) startSendSync(req *Request, ctx int) {
+	r.startSendWith(req, ctx, false, true)
+}
+
+// PersistentRequest is an MPI persistent communication request: the
+// envelope is bound once with SendInit or RecvInit and the operation
+// restarted any number of times with Start (MPI_Send_init and
+// friends). NPB LU's pipelined exchanges are the classic use.
+type PersistentRequest struct {
+	rank   *Rank
+	kind   reqKind
+	peer   int
+	tag    int
+	size   int
+	active *Request
+}
+
+// SendInit creates a persistent send of size bytes to dst.
+func (r *Rank) SendInit(dst, tag, size int) *PersistentRequest {
+	return &PersistentRequest{rank: r, kind: reqSend, peer: dst, tag: tag, size: size}
+}
+
+// RecvInit creates a persistent receive matching (src, tag).
+func (r *Rank) RecvInit(src, tag int) *PersistentRequest {
+	return &PersistentRequest{rank: r, kind: reqRecv, peer: src, tag: tag}
+}
+
+// Start activates the persistent operation; the returned Request is
+// also retrievable via Active until the next Start.
+func (p *PersistentRequest) Start() *Request {
+	r := p.rank
+	if p.active != nil && !p.active.done {
+		panic("mpi: Start on a persistent request that is still active")
+	}
+	r.enterOp("Start")
+	defer r.exit()
+	if p.kind == reqSend {
+		req := r.newReq(reqSend, p.peer, p.tag, p.size)
+		r.startSend(req, ctxUser, false)
+		p.active = req
+	} else {
+		p.active = r.postRecv(p.peer, p.tag, ctxUser)
+	}
+	return p.active
+}
+
+// Active returns the request from the most recent Start, or nil.
+func (p *PersistentRequest) Active() *Request { return p.active }

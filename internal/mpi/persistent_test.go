@@ -1,0 +1,101 @@
+package mpi_test
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+)
+
+func TestSsendWaitsForMatchEvenWhenSmall(t *testing.T) {
+	// A 1 KiB Ssend must not return until the receiver matches, unlike
+	// the buffered eager Send.
+	for _, proto := range []mpi.LongProtocol{mpi.PipelinedRDMA, mpi.DirectRDMARead} {
+		var sendTime time.Duration
+		cluster.Run(cluster.Config{
+			Procs: 2,
+			MPI:   mpi.Config{Protocol: proto},
+		}, func(r *mpi.Rank) {
+			if r.ID() == 0 {
+				t0 := r.Now()
+				r.Ssend(1, 0, 1024)
+				sendTime = r.Now() - t0
+				return
+			}
+			r.Compute(2 * time.Millisecond)
+			st := r.Recv(0, 0)
+			if st.Size != 1024 {
+				t.Errorf("%v: size %d", proto, st.Size)
+			}
+		})
+		if sendTime < 2*time.Millisecond {
+			t.Errorf("%v: Ssend returned after %v, before the receiver matched", proto, sendTime)
+		}
+	}
+}
+
+func TestIssendNonblockingSynchronous(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 2}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			q := r.Issend(1, 0, 4096)
+			if r.Test(q) {
+				t.Error("Issend complete before any receiver activity")
+			}
+			r.Wait(q)
+			return
+		}
+		r.Compute(time.Millisecond)
+		r.Recv(0, 0)
+	})
+}
+
+func TestSsendLargeMessage(t *testing.T) {
+	cluster.Run(cluster.Config{Procs: 2, MPI: mpi.Config{Protocol: mpi.PipelinedRDMA}},
+		func(r *mpi.Rank) {
+			if r.ID() == 0 {
+				r.Ssend(1, 0, 1<<20)
+			} else {
+				if st := r.Recv(0, 0); st.Size != 1<<20 {
+					t.Errorf("size %d", st.Size)
+				}
+			}
+		})
+}
+
+func TestPersistentRequestsReuse(t *testing.T) {
+	const rounds = 15
+	cluster.Run(cluster.Config{Procs: 2}, func(r *mpi.Rank) {
+		peer := 1 - r.ID()
+		ps := r.SendInit(peer, 3, 2048)
+		pr := r.RecvInit(peer, 3)
+		for i := 0; i < rounds; i++ {
+			s := ps.Start()
+			q := pr.Start()
+			r.Compute(100 * time.Microsecond)
+			r.Waitall(s, q)
+			if q.Status().Size != 2048 {
+				t.Errorf("round %d: size %d", i, q.Status().Size)
+			}
+		}
+	})
+}
+
+func TestPersistentStartWhileActivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cluster.Run(cluster.Config{Procs: 2}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			p := r.RecvInit(1, 0)
+			p.Start()
+			p.Start() // first never completed
+		} else {
+			r.Compute(time.Millisecond)
+			r.Send(0, 0, 64)
+			r.Send(0, 0, 64)
+		}
+	})
+}

@@ -1,0 +1,488 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/vtime"
+)
+
+// The xfer* helpers route transfer observations to the right monitor
+// entry point: the classic XFER_BEGIN/XFER_END pair normally, or the
+// precise XferExact path when the world runs with hardware time-stamps
+// (Config.HWTimestamps).
+
+func (r *Rank) xferBegin(id uint64, size int) {
+	if !r.w.cfg.HWTimestamps {
+		r.mon.XferBegin(id, size)
+	}
+}
+
+func (r *Rank) xferEnd(id uint64, size int) {
+	if !r.w.cfg.HWTimestamps {
+		r.mon.XferEnd(id, size)
+	}
+}
+
+func (r *Rank) xferExact(id uint64, size int, start, end vtime.Time) {
+	if r.w.cfg.HWTimestamps {
+		r.mon.XferExact(id, size, start.Duration(), end.Duration())
+	}
+}
+
+// Message contexts separate user point-to-point traffic from
+// library-internal collective traffic, so wildcard receives never
+// match collective packets.
+const (
+	ctxUser = iota
+	ctxCollective
+)
+
+// Wire payloads. Header bytes are folded into the fabric's per-packet
+// overhead, so control packets travel with size 0 and data packets
+// with exactly the user payload size — keeping the ground-truth
+// transfer log aligned with the calibration table.
+
+// eagerMsg carries a whole short message.
+type eagerMsg struct {
+	src, tag, ctx, size int
+	xferID              uint64
+}
+
+// rtsMsg is the rendezvous request-to-send. Under PipelinedRDMA it
+// carries the first fragment of user data (frag0 > 0); under
+// DirectRDMARead it is a pure control packet advertising the pinned
+// source buffer, and readXfer is the transfer id the receiver's RDMA
+// read will use.
+type rtsMsg struct {
+	src, tag, ctx, size int
+	sendReq             uint64
+	frag0               int
+	frag0Xfer           uint64
+	readXfer            uint64
+}
+
+// ctsMsg is the receiver's clear-to-send acknowledging a pipelined
+// rendezvous; recvReq keys subsequent fragments to the receive.
+type ctsMsg struct {
+	sendReq, recvReq uint64
+}
+
+// fragMsg is the immediate notification of one pipelined RDMA-write
+// fragment landing in the receive buffer.
+type fragMsg struct {
+	recvReq uint64
+	size    int
+}
+
+// finMsg tells the sender a direct RDMA read has drained its buffer.
+// When hardware time-stamps are in use, the receiver echoes the read's
+// physical interval so the sender can account the transfer precisely.
+type finMsg struct {
+	sendReq    uint64
+	start, end vtime.Time
+}
+
+// inbound is an unexpected-queue entry: a message that arrived before
+// a matching receive was posted.
+type inbound struct {
+	src, tag, ctx, size int
+	eager               bool
+	xferID              uint64 // eager data transfer id
+	rts                 *rtsMsg
+}
+
+// wrKind routes completion-queue entries to protocol actions.
+type wrKind int
+
+const (
+	wrControl wrKind = iota
+	wrEager
+	wrFrag0
+	wrFrag
+	wrRead
+)
+
+// pendingWR remembers what a posted work request was for.
+type pendingWR struct {
+	kind   wrKind
+	req    *Request
+	xferID uint64
+	size   int
+}
+
+// progress is the library's polling progress engine: drain arrived
+// packets and completions, then pump pipelined sends. It runs only
+// inside library calls — never while the application computes — which
+// is the property that shapes every overlap result in the paper.
+// It reports whether any protocol state advanced.
+func (r *Rank) progress() bool {
+	did := false
+	for {
+		pkt := r.nic.PollInbox(r.proc)
+		if pkt == nil {
+			break
+		}
+		r.handlePacket(pkt)
+		did = true
+	}
+	for {
+		cqe := r.nic.PollCQ(r.proc)
+		if cqe == nil {
+			break
+		}
+		r.handleCQE(cqe)
+		did = true
+	}
+	if r.pumpPipelines() {
+		did = true
+	}
+	return did
+}
+
+// waitUntil drives progress until cond holds. When nothing can
+// advance, the rank parks until its NIC signals new work; the
+// resulting detection time equals what a spinning poll loop would
+// observe, without simulating each empty poll.
+func (r *Rank) waitUntil(cond func() bool) {
+	for !cond() {
+		if r.progress() {
+			continue
+		}
+		if cond() || r.nic.Pending() {
+			continue
+		}
+		r.waiting = true
+		r.proc.Park("mpi.waitUntil")
+		r.waiting = false
+	}
+}
+
+// startSend launches the protocol for a send request. Caller must be
+// inside enter/exit. buffered marks a blocking-call fast path: an
+// eager send is then considered complete once the data is copied out
+// and posted (the user buffer is reusable), with the local completion
+// reaped lazily by a later progress invocation — the behaviour of
+// MPI_Send's short-message path on InfiniBand MPIs. Non-blocking sends
+// complete at the local CQE, as in Open MPI.
+func (r *Rank) startSend(req *Request, ctx int, buffered bool) {
+	r.startSendWith(req, ctx, buffered, false)
+}
+
+// startSendWith adds the synchronous-mode option: sync forces the
+// rendezvous protocol regardless of size (MPI_Ssend semantics).
+func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
+	c := r.cost()
+	cfg := &r.w.cfg
+	dst := fabric.NodeID(req.peer)
+	if !sync && req.size <= cfg.EagerThreshold {
+		// Eager: copy into a pre-registered bounce buffer and ship it.
+		r.proc.Compute(c.Copy(req.size))
+		xid := r.w.fab.NewXferID()
+		r.xferBegin(xid, req.size)
+		wr := r.nic.Send(r.proc, dst, req.size, xid,
+			eagerMsg{src: r.id, tag: req.tag, ctx: ctx, size: req.size, xferID: xid})
+		r.wrMap[wr] = pendingWR{kind: wrEager, req: req, xferID: xid, size: req.size}
+		if buffered {
+			req.complete()
+		}
+		return
+	}
+	switch cfg.Protocol {
+	case PipelinedRDMA:
+		// Request-to-send carries the first (eager-limit-sized)
+		// fragment; the rest waits for the receiver's acknowledgment.
+		frag0 := cfg.EagerThreshold
+		if frag0 > req.size {
+			frag0 = req.size // sync mode can rendezvous small messages
+		}
+		if frag0 < 1 {
+			frag0 = 1
+		}
+		r.proc.Compute(c.Copy(frag0))
+		xid := r.w.fab.NewXferID()
+		r.xferBegin(xid, frag0)
+		wr := r.nic.Send(r.proc, dst, frag0, xid, rtsMsg{
+			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
+			sendReq: req.id, frag0: frag0, frag0Xfer: xid,
+		})
+		r.wrMap[wr] = pendingWR{kind: wrFrag0, req: req, xferID: xid, size: frag0}
+		req.nextOffset = frag0
+		req.phase = sendRTSPosted
+		r.ctsWaiters[req.id] = req
+	case DirectRDMARead:
+		// Pin the source buffer and advertise it; the receiver pulls.
+		r.registerBuffer(req.peer, req.tag, req.size)
+		xid := r.w.fab.NewXferID()
+		req.dataXfer = xid
+		r.xferBegin(xid, req.size)
+		wr := r.nic.Send(r.proc, dst, 0, 0, rtsMsg{
+			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
+			sendReq: req.id, readXfer: xid,
+		})
+		r.wrMap[wr] = pendingWR{kind: wrControl}
+		req.phase = sendRTSPosted
+		r.ctsWaiters[req.id] = req
+	default:
+		panic(fmt.Sprintf("mpi: unknown protocol %v", cfg.Protocol))
+	}
+}
+
+// postRecv posts a receive, matching the unexpected queue first.
+func (r *Rank) postRecv(src, tag, ctx int) *Request {
+	req := r.newReq(reqRecv, src, tag, 0)
+	req.ctx = ctx
+	if i := r.findUnexpected(src, tag, ctx); i >= 0 {
+		ib := r.unexpQ[i]
+		r.unexpQ = append(r.unexpQ[:i], r.unexpQ[i+1:]...)
+		if ib.eager {
+			// Copy out of the unexpected buffer; the transfer-end
+			// observation was already logged at arrival.
+			req.peer, req.tag, req.size = ib.src, ib.tag, ib.size
+			r.proc.Compute(r.cost().Copy(ib.size))
+			req.complete()
+		} else {
+			r.handleMatchedRTS(req, ib.rts, true, nil)
+		}
+		return req
+	}
+	r.recvQ = append(r.recvQ, req)
+	return req
+}
+
+// findUnexpected returns the index of the first unexpected message
+// matching (src, tag, ctx), or -1.
+func (r *Rank) findUnexpected(src, tag, ctx int) int {
+	for i, ib := range r.unexpQ {
+		if ib.ctx != ctx {
+			continue
+		}
+		if (src == AnySource || src == ib.src) && (tag == AnyTag || tag == ib.tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// matchPostedRecv removes and returns the first posted receive
+// matching an arrived envelope, or nil.
+func (r *Rank) matchPostedRecv(src, tag, ctx int) *Request {
+	for i, req := range r.recvQ {
+		if req.ctx == ctx && req.matchesEnvelope(src, tag) {
+			r.recvQ = append(r.recvQ[:i], r.recvQ[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// handlePacket dispatches one arrived packet through the protocol
+// state machines.
+func (r *Rank) handlePacket(pkt *fabric.Packet) {
+	c := r.cost()
+	switch msg := pkt.Payload.(type) {
+	case eagerMsg:
+		if req := r.matchPostedRecv(msg.src, msg.tag, msg.ctx); req != nil {
+			req.peer, req.tag, req.size = msg.src, msg.tag, msg.size
+			r.proc.Compute(c.Copy(msg.size)) // bounce buffer -> user buffer
+			r.xferEnd(msg.xferID, msg.size)
+			r.xferExact(msg.xferID, msg.size, pkt.Start, pkt.End)
+			req.complete()
+			return
+		}
+		// Unexpected: stash in a temporary buffer. The transfer has
+		// ended as far as this process can ever know.
+		r.proc.Compute(c.Copy(msg.size))
+		r.xferEnd(msg.xferID, msg.size)
+		r.xferExact(msg.xferID, msg.size, pkt.Start, pkt.End)
+		r.unexpQ = append(r.unexpQ, inbound{
+			src: msg.src, tag: msg.tag, ctx: msg.ctx, size: msg.size,
+			eager: true, xferID: msg.xferID,
+		})
+	case rtsMsg:
+		if req := r.matchPostedRecv(msg.src, msg.tag, msg.ctx); req != nil {
+			r.handleMatchedRTS(req, &msg, false, pkt)
+			return
+		}
+		if msg.frag0 > 0 {
+			// Buffer the piggybacked first fragment.
+			r.proc.Compute(c.Copy(msg.frag0))
+			r.xferEnd(msg.frag0Xfer, msg.frag0)
+			r.xferExact(msg.frag0Xfer, msg.frag0, pkt.Start, pkt.End)
+		}
+		m := msg
+		r.unexpQ = append(r.unexpQ, inbound{
+			src: msg.src, tag: msg.tag, ctx: msg.ctx, size: msg.size, rts: &m,
+		})
+	case ctsMsg:
+		req := r.ctsWaiters[msg.sendReq]
+		if req == nil {
+			panic("mpi: CTS for unknown send request")
+		}
+		delete(r.ctsWaiters, msg.sendReq)
+		req.ctsRecvReq = msg.recvReq
+		req.phase = sendStreaming
+		r.queuePump(req)
+		r.checkSendDone(req)
+	case fragMsg:
+		req := r.rxActive[msg.recvReq]
+		if req == nil {
+			panic("mpi: fragment for unknown receive request")
+		}
+		req.arrivedBytes += msg.size
+		if req.bulkStart == 0 || pkt.Start < req.bulkStart {
+			req.bulkStart = pkt.Start
+		}
+		if req.arrivedBytes >= req.size {
+			delete(r.rxActive, msg.recvReq)
+			if req.bulkXfer != 0 {
+				r.xferEnd(req.bulkXfer, req.bulkSize)
+				r.xferExact(req.bulkXfer, req.bulkSize, req.bulkStart, pkt.End)
+			}
+			req.complete()
+		}
+	case finMsg:
+		req := r.ctsWaiters[msg.sendReq]
+		if req == nil {
+			panic("mpi: FIN for unknown send request")
+		}
+		delete(r.ctsWaiters, msg.sendReq)
+		r.xferEnd(req.dataXfer, req.size)
+		r.xferExact(req.dataXfer, req.size, msg.start, msg.end)
+		req.phase = sendDone
+		req.complete()
+	default:
+		panic(fmt.Sprintf("mpi: unknown packet payload %T", pkt.Payload))
+	}
+}
+
+// handleMatchedRTS continues a rendezvous once the receive is matched.
+// frag0Buffered indicates the first fragment was already copied and
+// accounted when the RTS sat in the unexpected queue; pkt is the
+// just-arrived RTS packet (nil on the unexpected-queue path).
+func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, pkt *fabric.Packet) {
+	req.matched = true
+	req.peer, req.tag, req.size = rts.src, rts.tag, rts.size
+	req.rxPeerReq = rts.sendReq
+	switch r.w.cfg.Protocol {
+	case PipelinedRDMA:
+		if rts.frag0 > 0 {
+			r.proc.Compute(r.cost().Copy(rts.frag0)) // into user buffer
+			if !frag0Buffered {
+				r.xferEnd(rts.frag0Xfer, rts.frag0)
+				r.xferExact(rts.frag0Xfer, rts.frag0, pkt.Start, pkt.End)
+			}
+			req.arrivedBytes += rts.frag0
+		}
+		r.registerBuffer(rts.src, rts.tag, rts.size)
+		r.rxActive[req.id] = req
+		// The receiver schedules the remaining fragments by
+		// acknowledging; from its library's viewpoint the post-frag0
+		// bulk is one data transfer beginning at the acknowledgment
+		// and ending when the last fragment lands.
+		if req.bulkSize = rts.size - rts.frag0; req.bulkSize > 0 {
+			req.bulkXfer = r.w.fab.NewXferID()
+			r.xferBegin(req.bulkXfer, req.bulkSize)
+		}
+		wr := r.nic.Send(r.proc, fabric.NodeID(rts.src), 0, 0,
+			ctsMsg{sendReq: rts.sendReq, recvReq: req.id})
+		r.wrMap[wr] = pendingWR{kind: wrControl}
+		if req.arrivedBytes >= req.size {
+			delete(r.rxActive, req.id)
+			req.complete()
+		}
+	case DirectRDMARead:
+		r.registerBuffer(rts.src, rts.tag, rts.size)
+		r.xferBegin(rts.readXfer, rts.size)
+		wr := r.nic.RDMARead(r.proc, fabric.NodeID(rts.src), rts.size, rts.readXfer)
+		r.wrMap[wr] = pendingWR{kind: wrRead, req: req, xferID: rts.readXfer, size: rts.size}
+	}
+}
+
+// handleCQE dispatches one local completion.
+func (r *Rank) handleCQE(cqe *fabric.CQE) {
+	pw, ok := r.wrMap[cqe.WRID]
+	if !ok {
+		panic("mpi: completion for unknown work request")
+	}
+	delete(r.wrMap, cqe.WRID)
+	switch pw.kind {
+	case wrControl:
+		// Control packet left the NIC; nothing to do.
+	case wrEager:
+		r.xferEnd(pw.xferID, pw.size)
+		r.xferExact(pw.xferID, pw.size, cqe.Start, cqe.End)
+		if !pw.req.done {
+			pw.req.complete()
+		}
+	case wrFrag0:
+		r.xferEnd(pw.xferID, pw.size)
+		r.xferExact(pw.xferID, pw.size, cqe.Start, cqe.End)
+	case wrFrag:
+		r.xferEnd(pw.xferID, pw.size)
+		r.xferExact(pw.xferID, pw.size, cqe.Start, cqe.End)
+		pw.req.fragsInNet--
+		r.queuePump(pw.req)
+		r.checkSendDone(pw.req)
+	case wrRead:
+		// Receiver side of direct rendezvous: data is in place; the
+		// FIN echoes the hardware stamps for the sender's accounting.
+		r.xferEnd(pw.xferID, pw.size)
+		r.xferExact(pw.xferID, pw.size, cqe.Start, cqe.End)
+		wr := r.nic.Send(r.proc, fabric.NodeID(pw.req.peer), 0, 0,
+			finMsg{sendReq: pw.req.rxPeerReq, start: cqe.Start, end: cqe.End})
+		r.wrMap[wr] = pendingWR{kind: wrControl}
+		pw.req.complete()
+	}
+}
+
+// queuePump marks a streaming pipelined send as having work for the
+// fragment pump.
+func (r *Rank) queuePump(req *Request) {
+	if req.fragsQueued || req.phase != sendStreaming {
+		return
+	}
+	req.fragsQueued = true
+	r.pump = append(r.pump, req)
+}
+
+// pumpPipelines posts pending fragments for streaming sends, limited
+// by the credit window. Like every protocol action, it runs only from
+// progress — i.e. only while the application is inside the library.
+func (r *Rank) pumpPipelines() bool {
+	cfg := &r.w.cfg
+	did := false
+	kept := r.pump[:0]
+	for _, req := range r.pump {
+		for req.nextOffset < req.size && req.fragsInNet < cfg.MaxOutstanding {
+			fsize := cfg.FragmentSize
+			if rem := req.size - req.nextOffset; fsize > rem {
+				fsize = rem
+			}
+			xid := r.w.fab.NewXferID()
+			r.xferBegin(xid, fsize)
+			wr := r.nic.RDMAWrite(r.proc, fabric.NodeID(req.peer), fsize, xid,
+				fragMsg{recvReq: req.ctsRecvReq, size: fsize})
+			r.wrMap[wr] = pendingWR{kind: wrFrag, req: req, xferID: xid, size: fsize}
+			req.nextOffset += fsize
+			req.fragsInNet++
+			did = true
+		}
+		if req.nextOffset < req.size {
+			kept = append(kept, req)
+		} else {
+			req.fragsQueued = false
+		}
+	}
+	r.pump = kept
+	return did
+}
+
+// checkSendDone completes a pipelined send once every fragment has
+// been posted and locally completed.
+func (r *Rank) checkSendDone(req *Request) {
+	if req.phase == sendStreaming && req.nextOffset >= req.size && req.fragsInNet == 0 {
+		req.phase = sendDone
+		req.complete()
+	}
+}

@@ -1,0 +1,188 @@
+package nas
+
+import (
+	"time"
+
+	"ovlp/internal/armci"
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+	"ovlp/internal/overlap"
+)
+
+// This file is the experiment harness behind the paper's Sec. 4
+// figures: it runs a benchmark on a fresh simulated cluster and
+// extracts the measures the figures plot. As in the paper, overlap
+// percentages are reported for process 0.
+
+// OverlapResult is one benchmark characterization — a bar of
+// Figs. 10-13 / 19.
+type OverlapResult struct {
+	Benchmark string
+	Class     Class
+	Procs     int
+	// MinPct and MaxPct are process 0's whole-run overlap bounds.
+	MinPct, MaxPct float64
+	// Transfers and DataTransferTime summarize process 0's traffic.
+	Transfers        int
+	DataTransferTime time.Duration
+	// Duration is total virtual run time; MPITime is process 0's time
+	// inside the library.
+	Duration time.Duration
+	MPITime  time.Duration
+}
+
+// Options refines a characterization run beyond the common case.
+type Options struct {
+	// Protocol selects the library flavour: the paper pairs BT and CG
+	// with Open MPI (PipelinedRDMA) and LU, FT and SP with MVAPICH2
+	// (DirectRDMARead).
+	Protocol mpi.LongProtocol
+	// MaxIters caps the benchmark's iterations (0 = full).
+	MaxIters int
+	// HWTimestamps enables the precise NIC-time-stamp mode.
+	HWTimestamps bool
+}
+
+// Characterize runs one MPI benchmark instrumented and returns process
+// 0's overlap measures.
+func Characterize(name string, class Class, procs int, proto mpi.LongProtocol, maxIters int) OverlapResult {
+	_, res := CharacterizeReport(name, class, procs, Options{Protocol: proto, MaxIters: maxIters})
+	return res
+}
+
+// CharacterizeReport is Characterize with full control and access to
+// process 0's complete report (regions and per-size-bin breakdown).
+func CharacterizeReport(name string, class Class, procs int, opt Options) (*overlap.Report, OverlapResult) {
+	reports, res := CharacterizeAllReports(name, class, procs, opt)
+	return reports[0], res
+}
+
+// CharacterizeAllReports additionally returns every rank's report, for
+// cross-rank aggregation or saving per-process output files.
+func CharacterizeAllReports(name string, class Class, procs int, opt Options) ([]*overlap.Report, OverlapResult) {
+	res := cluster.Run(cluster.Config{
+		Procs: procs,
+		MPI: mpi.Config{
+			Protocol:     opt.Protocol,
+			HWTimestamps: opt.HWTimestamps,
+			Instrument:   &mpi.InstrumentConfig{},
+		},
+	}, func(r *mpi.Rank) {
+		Run(name, r, Params{Class: class, MaxIters: opt.MaxIters})
+	})
+	return res.Reports, summarize(name, class, procs, res.Reports[0], res.Duration, res.MPITimes[0])
+}
+
+func summarize(name string, class Class, procs int, rep *overlap.Report, dur, mpiTime time.Duration) OverlapResult {
+	tot := rep.Total()
+	return OverlapResult{
+		Benchmark:        name,
+		Class:            class,
+		Procs:            procs,
+		MinPct:           tot.MinPercent(),
+		MaxPct:           tot.MaxPercent(),
+		Transfers:        tot.Count,
+		DataTransferTime: tot.DataTransferTime,
+		Duration:         dur,
+		MPITime:          mpiTime,
+	}
+}
+
+// SPResult captures one SP run of the Sec. 4.3 case study: overlap
+// bounds for the explicit overlapping section and for the complete
+// code, plus the total MPI time — the ingredients of Figs. 14-18.
+type SPResult struct {
+	Class    Class
+	Procs    int
+	Modified bool
+	// Section bounds: the x/y/z_solve sweeps only (Figs. 14-15).
+	SectionMinPct, SectionMaxPct float64
+	// Whole-code bounds (Figs. 16-17).
+	TotalMinPct, TotalMaxPct float64
+	// MPITime is process 0's aggregate library time (Fig. 18).
+	MPITime  time.Duration
+	Duration time.Duration
+}
+
+// CharacterizeSP runs SP (original or Iprobe-modified) under the
+// direct-RDMA-read library (MVAPICH2, as in the paper) and reports the
+// case-study measures.
+func CharacterizeSP(class Class, procs int, modified bool, maxIters int) SPResult {
+	res := cluster.Run(cluster.Config{
+		Procs: procs,
+		MPI: mpi.Config{
+			Protocol:   mpi.DirectRDMARead,
+			Instrument: &mpi.InstrumentConfig{},
+		},
+	}, func(r *mpi.Rank) {
+		RunSP(r, SPParams{
+			Params:   Params{Class: class, MaxIters: maxIters},
+			Modified: modified,
+		})
+	})
+	rep := res.Reports[0]
+	out := SPResult{
+		Class:    class,
+		Procs:    procs,
+		Modified: modified,
+		MPITime:  res.MPITimes[0],
+		Duration: res.Duration,
+	}
+	if sec := rep.Region(RegionSPOverlap); sec != nil {
+		out.SectionMinPct = sec.Total.MinPercent()
+		out.SectionMaxPct = sec.Total.MaxPercent()
+	}
+	tot := rep.Total()
+	out.TotalMinPct = tot.MinPercent()
+	out.TotalMaxPct = tot.MaxPercent()
+	return out
+}
+
+// CharacterizeMGARMCI runs the one-sided MG variant and reports
+// process 0's overlap measures (Fig. 19).
+func CharacterizeMGARMCI(class Class, procs int, variant MGVariant, maxIters int) OverlapResult {
+	res := cluster.RunARMCI(cluster.ARMCIConfig{
+		Procs: procs,
+		ARMCI: armci.Config{Instrument: &armci.InstrumentConfig{}},
+	}, func(pr *armci.Proc) {
+		RunMGARMCI(pr, Params{Class: class, MaxIters: maxIters}, variant)
+	})
+	out := summarize("MG/"+variant.String(), class, procs, res.Reports[0], res.Duration, res.LibTimes[0])
+	return out
+}
+
+// OverheadResult compares instrumented and uninstrumented run times of
+// one benchmark (Fig. 20).
+type OverheadResult struct {
+	Benchmark    string
+	Class        Class
+	Procs        int
+	Plain        time.Duration // uninstrumented virtual run time
+	Instrumented time.Duration // with instrumentation costs modelled
+	OverheadPct  float64
+}
+
+// MeasureOverhead runs a benchmark twice — uninstrumented, and with
+// the instrumentation's modelled CPU costs charged to the ranks — and
+// reports the run-time overhead percentage.
+func MeasureOverhead(name string, class Class, procs int, proto mpi.LongProtocol, maxIters int) OverheadResult {
+	run := func(instr *mpi.InstrumentConfig) time.Duration {
+		res := cluster.Run(cluster.Config{
+			Procs: procs,
+			MPI:   mpi.Config{Protocol: proto, Instrument: instr},
+		}, func(r *mpi.Rank) {
+			Run(name, r, Params{Class: class, MaxIters: maxIters})
+		})
+		return res.Duration
+	}
+	plain := run(nil)
+	instrumented := run(&mpi.InstrumentConfig{ModelCost: true})
+	return OverheadResult{
+		Benchmark:    name,
+		Class:        class,
+		Procs:        procs,
+		Plain:        plain,
+		Instrumented: instrumented,
+		OverheadPct:  100 * (float64(instrumented) - float64(plain)) / float64(plain),
+	}
+}

@@ -1,0 +1,70 @@
+package nas
+
+import (
+	"math"
+
+	"ovlp/internal/mpi"
+)
+
+// FT — 3-D FFT PDE solver using the transpose algorithm with a 1-D
+// (slab) decomposition.
+//
+// Nearly all of FT's communication is the Alltoall that implements the
+// distributed transpose between the local FFT passes, moving long
+// messages with no interleaved computation — which is why the paper
+// measures little overlap for FT (Fig. 13); the small residue comes
+// from the short messages in the checksum Reduce and setup Bcast.
+
+type ftSpec struct {
+	nx, ny, nz int
+	iters      int
+}
+
+var ftSpecs = map[Class]ftSpec{
+	ClassS: {64, 64, 64, 6},
+	ClassW: {128, 128, 32, 6},
+	ClassA: {256, 256, 128, 6},
+	ClassB: {512, 256, 256, 20},
+}
+
+// complexBytes is the size of a double-precision complex value.
+const complexBytes = 16
+
+// RunFT executes the FT skeleton on the calling rank.
+func RunFT(r *mpi.Rank, p Params) {
+	p.fill()
+	spec, ok := ftSpecs[p.Class]
+	if !ok {
+		panic("nas: FT has no class " + p.Class.String())
+	}
+	procs := r.Size()
+	total := spec.nx * spec.ny * spec.nz
+	local := float64(total) / float64(procs)
+	m := p.Machine
+
+	// Per-pair transpose block: the local slab sliced P ways.
+	blockBytes := total * complexBytes / (procs * procs)
+	if blockBytes == 0 {
+		blockBytes = complexBytes
+	}
+	// One 3-D FFT costs ~5 N log2 N flops, split around the transpose.
+	fftFlops := 5 * float64(total) * math.Log2(float64(total)) / float64(procs)
+
+	r.Bcast(0, 3*doubleBytes)               // problem parameters
+	r.Compute(m.FlopTime(30 * local))       // compute_indexmap + initial conditions
+	r.Compute(m.FlopTime(fftFlops * 2 / 3)) // forward FFT, local dimensions
+	r.Alltoall(blockBytes)                  // distributed transpose
+	r.Compute(m.FlopTime(fftFlops * 1 / 3)) // forward FFT, remaining dimension
+
+	iters := p.iters(spec.iters)
+	for it := 0; it < iters; it++ {
+		r.Compute(m.FlopTime(6 * local))        // evolve
+		r.Compute(m.FlopTime(fftFlops * 2 / 3)) // inverse FFT, local dims
+		r.Alltoall(blockBytes)                  // distributed transpose
+		r.Compute(m.FlopTime(fftFlops * 1 / 3)) // inverse FFT, last dim
+		r.Compute(m.FlopTime(10 * local / float64(procs)))
+		r.Reduce(0, complexBytes) // checksum
+		r.Bcast(0, complexBytes)
+	}
+	r.Barrier()
+}

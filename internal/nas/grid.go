@@ -1,0 +1,36 @@
+package nas
+
+// sqGrid is the q x q logical process grid BT and SP run on
+// (multi-partition scheme: P = q*q, each rank owning q cells along the
+// sweep diagonals).
+type sqGrid struct {
+	q        int
+	row, col int
+}
+
+func newSqGrid(id, procs int) sqGrid {
+	q := isqrt(procs)
+	return sqGrid{q: q, row: id / q, col: id % q}
+}
+
+func (g sqGrid) rank(row, col int) int {
+	return ((row+g.q)%g.q)*g.q + (col+g.q)%g.q
+}
+
+// Successor/predecessor ranks for sweeps in each direction. In the
+// multi-partition scheme cell ownership rotates along diagonals; the
+// x sweep moves along grid rows, the y sweep along columns, and the z
+// sweep along the diagonal.
+func (g sqGrid) xSucc() int { return g.rank(g.row, g.col+1) }
+func (g sqGrid) xPred() int { return g.rank(g.row, g.col-1) }
+func (g sqGrid) ySucc() int { return g.rank(g.row+1, g.col) }
+func (g sqGrid) yPred() int { return g.rank(g.row-1, g.col) }
+func (g sqGrid) zSucc() int { return g.rank(g.row+1, g.col+1) }
+func (g sqGrid) zPred() int { return g.rank(g.row-1, g.col-1) }
+
+// faceNeighbors returns the six copy_faces peers in a fixed order
+// (each pair is mutual, so posting all receives before all sends is
+// deadlock-free).
+func (g sqGrid) faceNeighbors() [6]int {
+	return [6]int{g.xSucc(), g.xPred(), g.ySucc(), g.yPred(), g.zSucc(), g.zPred()}
+}

@@ -1,0 +1,174 @@
+// Package nas implements communication-faithful skeletons of the NAS
+// Parallel Benchmarks (NPB 3.2 for MPI, NPB 2.4 for the ARMCI MG
+// variants) — the application workloads of the paper's Sec. 4.
+//
+// Each skeleton reproduces the benchmark's process topology,
+// communication structure (which calls, in which order, with which
+// neighbours), message sizes and message counts for the standard
+// problem classes, with the numerical kernels replaced by virtual-time
+// computation whose duration comes from the kernel's floating-point
+// operation count over a machine model. Overlap characterization
+// depends exactly on these properties — the message-size distribution,
+// the placement of nonblocking calls relative to computation, and the
+// compute-to-communication ratio — not on the arithmetic itself.
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ovlp/internal/mpi"
+)
+
+// Class is an NPB problem class.
+type Class byte
+
+// The standard problem classes. (C and beyond are omitted: the paper
+// evaluates S through B.)
+const (
+	ClassS Class = 'S'
+	ClassW Class = 'W'
+	ClassA Class = 'A'
+	ClassB Class = 'B'
+)
+
+func (c Class) String() string { return string(c) }
+
+// Classes lists the supported classes smallest-first.
+func Classes() []Class { return []Class{ClassS, ClassW, ClassA, ClassB} }
+
+// Machine models the compute node: the sustained floating-point rate
+// that converts kernel flop counts into virtual computation time.
+type Machine struct {
+	// FlopRate is sustained flops per second.
+	FlopRate float64
+}
+
+// DefaultMachine approximates the paper's 2.4 GHz Pentium 4 Xeon at a
+// sustained 1 GFLOP/s.
+func DefaultMachine() Machine { return Machine{FlopRate: 1e9} }
+
+// FlopTime converts a flop count to computation time.
+func (m Machine) FlopTime(flops float64) time.Duration {
+	if m.FlopRate <= 0 {
+		panic("nas: machine flop rate must be positive")
+	}
+	return time.Duration(flops / m.FlopRate * 1e9)
+}
+
+// Params configures one benchmark run.
+type Params struct {
+	Class Class
+	// MaxIters caps the benchmark's iteration count (0 = the class's
+	// standard count). Overlap percentages converge within a few
+	// iterations, so experiments may truncate long benchmarks.
+	MaxIters int
+	// Machine supplies the compute model; the zero value selects
+	// DefaultMachine.
+	Machine Machine
+}
+
+func (p *Params) fill() {
+	if p.Machine.FlopRate == 0 {
+		p.Machine = DefaultMachine()
+	}
+	if p.Class == 0 {
+		p.Class = ClassS
+	}
+}
+
+func (p *Params) iters(std int) int {
+	if p.MaxIters > 0 && p.MaxIters < std {
+		return p.MaxIters
+	}
+	return std
+}
+
+// doubleBytes is the size of the Fortran double precision word all
+// NPB payloads are made of.
+const doubleBytes = 8
+
+// isqrt returns the integer square root of n, panicking unless n is a
+// perfect square — BT and SP require square process grids.
+func isqrt(n int) int {
+	q := int(math.Round(math.Sqrt(float64(n))))
+	if q*q != n {
+		panic(fmt.Sprintf("nas: %d processes do not form a square grid", n))
+	}
+	return q
+}
+
+// grid2 factors p into the most square px*py decomposition with
+// px >= py (as NPB's LU and CG do for powers of two, generalized).
+func grid2(p int) (px, py int) {
+	py = int(math.Sqrt(float64(p)))
+	for p%py != 0 {
+		py--
+	}
+	return p / py, py
+}
+
+// grid3 factors p into a near-cubic px*py*pz decomposition.
+func grid3(p int) (px, py, pz int) {
+	pz = int(math.Cbrt(float64(p)))
+	for p%pz != 0 {
+		pz--
+	}
+	px, py = grid2(p / pz)
+	return px, py, pz
+}
+
+// ceilDiv returns ceil(a/b).
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// log2 returns floor(log2 n).
+func log2(n int) int {
+	k := 0
+	for 1<<(k+1) <= n {
+		k++
+	}
+	return k
+}
+
+// Benchmark names, as accepted by Run.
+const (
+	BT = "BT"
+	CG = "CG"
+	LU = "LU"
+	FT = "FT"
+	SP = "SP"
+	MG = "MG"
+	IS = "IS"
+	EP = "EP"
+)
+
+// Names lists the MPI benchmarks in the order the paper discusses
+// them.
+func Names() []string { return []string{BT, CG, LU, FT, SP, MG, IS, EP} }
+
+// Run dispatches a benchmark by name on the calling rank. SP runs the
+// original (unmodified) code; use RunSP directly for the
+// Iprobe-modified variant.
+func Run(name string, r *mpi.Rank, p Params) {
+	switch name {
+	case BT:
+		RunBT(r, p)
+	case CG:
+		RunCG(r, p)
+	case LU:
+		RunLU(r, p)
+	case FT:
+		RunFT(r, p)
+	case SP:
+		RunSP(r, SPParams{Params: p})
+	case MG:
+		RunMG(r, p)
+	case IS:
+		RunIS(r, p)
+	case EP:
+		RunEP(r, p)
+	default:
+		panic(fmt.Sprintf("nas: unknown benchmark %q", name))
+	}
+}

@@ -1,0 +1,199 @@
+package nas
+
+import (
+	"testing"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+)
+
+// Structural fidelity tests: the skeletons must emit the message
+// counts and sizes the NPB communication structures imply. Direct
+// RDMA read keeps one wire transfer per user message, so the fabric's
+// ground-truth log is directly comparable to closed-form expectations.
+
+func runTruth(t *testing.T, name string, class Class, procs, iters int) []fabric.Transfer {
+	t.Helper()
+	res := cluster.Run(cluster.Config{
+		Procs:       procs,
+		MPI:         mpi.Config{Protocol: mpi.DirectRDMARead},
+		RecordTruth: true,
+	}, func(r *mpi.Rank) {
+		Run(name, r, Params{Class: class, MaxIters: iters})
+	})
+	return res.Transfers
+}
+
+// countBySize tallies wire transfers of exactly the given size.
+func countBySize(trs []fabric.Transfer, size int) int {
+	n := 0
+	for _, tr := range trs {
+		if tr.Size == size {
+			n++
+		}
+	}
+	return n
+}
+
+// marginal returns the per-iteration difference in transfer counts
+// between runs of a and b iterations (b > a), which cancels one-time
+// setup traffic.
+func marginal(t *testing.T, name string, class Class, procs, a, b int, size int) int {
+	t.Helper()
+	ta := runTruth(t, name, class, procs, a)
+	tb := runTruth(t, name, class, procs, b)
+	var ca, cb int
+	if size > 0 {
+		ca, cb = countBySize(ta, size), countBySize(tb, size)
+	} else {
+		ca, cb = len(ta), len(tb)
+	}
+	if (cb-ca)%(b-a) != 0 {
+		t.Fatalf("%s: transfer count not linear in iterations: %d @%d vs %d @%d",
+			name, ca, a, cb, b)
+	}
+	return (cb - ca) / (b - a)
+}
+
+func TestPerIterationMessageCountLinear(t *testing.T) {
+	// Every time-stepped benchmark must add a fixed number of wire
+	// transfers per iteration.
+	cases := []struct {
+		name  string
+		procs int
+	}{
+		{BT, 4}, {SP, 4}, {LU, 4}, {FT, 4}, {MG, 8}, {IS, 4}, {CG, 4},
+	}
+	for _, c := range cases {
+		m1 := marginal(t, c.name, ClassS, c.procs, 1, 2, 0)
+		m2 := marginal(t, c.name, ClassS, c.procs, 2, 4, 0)
+		if m1 != m2 {
+			t.Errorf("%s: per-iteration transfer count drifts: %d then %d", c.name, m1, m2)
+		}
+		if m1 <= 0 && c.name != EP {
+			t.Errorf("%s: no per-iteration communication (%d)", c.name, m1)
+		}
+	}
+}
+
+func TestBTCopyFacesCount(t *testing.T) {
+	// BT copy_faces: every rank sends 6 faces per iteration; the face
+	// size is 2*5*8*c^2*q bytes. (procs=4 keeps the face size distinct
+	// from the solve-stage size; at q=3 the two collide.)
+	const procs = 4
+	q := 2
+	c := ceilDiv(btSpecs[ClassS].n, q) // 12/2 = 6
+	faceBytes := 2 * 5 * doubleBytes * c * c * q
+	perIter := marginal(t, BT, ClassS, procs, 1, 4, faceBytes)
+	if want := 6 * procs; perIter != want {
+		t.Errorf("BT copy_faces: %d face messages per iteration, want %d", perIter, want)
+	}
+}
+
+func TestBTSolveStageCount(t *testing.T) {
+	// Each solve sweeps forward and backward over q stages: every rank
+	// sends q-1 stage messages per phase, for 3 directions.
+	const procs = 4
+	q := 2
+	c := ceilDiv(btSpecs[ClassS].n, q)
+	stageBytes := 30 * doubleBytes * c * c
+	perIter := marginal(t, BT, ClassS, procs, 1, 4, stageBytes)
+	if want := procs * 3 * 2 * (q - 1); perIter != want {
+		t.Errorf("BT solve stages: %d per iteration, want %d", perIter, want)
+	}
+}
+
+func TestSPSolveStageCount(t *testing.T) {
+	const procs = 4
+	q := 2
+	c := ceilDiv(spSpecs[ClassS].n, q) // 12/2 = 6
+	stageBytes := 8 * doubleBytes * c * c
+	perIter := marginal(t, SP, ClassS, procs, 1, 4, stageBytes)
+	if want := procs * 3 * 2 * (q - 1); perIter != want {
+		t.Errorf("SP solve stages: %d per iteration, want %d", perIter, want)
+	}
+}
+
+func TestFTAlltoallBlocks(t *testing.T) {
+	// One Alltoall per iteration: P(P-1) blocks of total*16/P^2 bytes
+	// cross the wire.
+	const procs = 4
+	spec := ftSpecs[ClassS]
+	block := spec.nx * spec.ny * spec.nz * complexBytes / (procs * procs)
+	perIter := marginal(t, FT, ClassS, procs, 1, 4, block)
+	if want := procs * (procs - 1); perIter != want {
+		t.Errorf("FT alltoall: %d blocks per iteration, want %d", perIter, want)
+	}
+}
+
+func TestLUPencilSizesPresent(t *testing.T) {
+	// The wavefront pencils of 5 doubles per boundary point must
+	// appear with both orientations' sizes.
+	px, py := grid2(4)
+	nxl := ceilDiv(luSpecs[ClassS].n, px)
+	nyl := ceilDiv(luSpecs[ClassS].n, py)
+	trs := runTruth(t, LU, ClassS, 4, 2)
+	if n := countBySize(trs, 5*doubleBytes*nyl); n == 0 {
+		t.Errorf("LU: no row pencils of %d bytes", 5*doubleBytes*nyl)
+	}
+	if n := countBySize(trs, 5*doubleBytes*nxl); n == 0 {
+		t.Errorf("LU: no column pencils of %d bytes", 5*doubleBytes*nxl)
+	}
+}
+
+func TestLUWavefrontCount(t *testing.T) {
+	// Lower+upper sweeps: each sweep sends one pencil per existing
+	// south/east (resp. north/west) link per plane. On a 4x2 grid
+	// there are (px-1)*py = 6 north/south links and px*(py-1) = 4
+	// east/west links, so 2 sweeps x nz planes x 10 pencils. (procs=8
+	// keeps the row and column pencil sizes distinct; on a square grid
+	// they coincide.)
+	const procs = 8
+	trs1 := runTruth(t, LU, ClassS, procs, 1)
+	trs2 := runTruth(t, LU, ClassS, procs, 2)
+	px, py := grid2(procs)
+	nxl := ceilDiv(luSpecs[ClassS].n, px)
+	nyl := ceilDiv(luSpecs[ClassS].n, py)
+	if nxl == nyl {
+		t.Fatal("test needs distinct pencil sizes")
+	}
+	pencils := func(trs []fabric.Transfer) int {
+		return countBySize(trs, 5*doubleBytes*nxl) + countBySize(trs, 5*doubleBytes*nyl)
+	}
+	perIter := pencils(trs2) - pencils(trs1)
+	nz := luSpecs[ClassS].n
+	links := (px-1)*py + px*(py-1)
+	if want := 2 * nz * links; perIter != want {
+		t.Errorf("LU pencils per iteration: %d, want %d", perIter, want)
+	}
+}
+
+func TestMGFaceSizesShrinkAcrossLevels(t *testing.T) {
+	// comm3 at each level exchanges faces whose sizes halve (per
+	// squared dimension) level to level; the truth log must contain
+	// multiple distinct face sizes.
+	trs := runTruth(t, MG, ClassS, 8, 1)
+	sizes := map[int]bool{}
+	for _, tr := range trs {
+		sizes[tr.Size] = true
+	}
+	if len(sizes) < 3 {
+		t.Errorf("MG: only %d distinct message sizes; expected several grid levels", len(sizes))
+	}
+}
+
+func TestNoSelfWireTransfers(t *testing.T) {
+	for _, name := range []string{BT, SP, LU, FT, MG, CG, IS} {
+		procs := 4
+		if name == MG {
+			procs = 8
+		}
+		for _, tr := range runTruth(t, name, ClassS, procs, 1) {
+			if tr.Src == tr.Dst {
+				t.Errorf("%s: self-transfer on the wire: %+v", name, tr)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package overlap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Machine-readable report serialization. The paper's implementation
+// writes one output file per process at application termination; this
+// is that file's structured form, suitable for post-processing across
+// ranks and runs.
+
+// EncodeJSON writes the report as indented JSON.
+func (r *Report) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeJSON reads a report written by EncodeJSON.
+func DecodeJSON(rd io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("overlap: decoding report: %w", err)
+	}
+	return &rep, nil
+}
+
+// SaveJSON writes the report to the named file.
+func (r *Report) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.EncodeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSON reads a report file written by SaveJSON.
+func LoadJSON(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeJSON(f)
+}

@@ -1,0 +1,84 @@
+package overlap
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	c := &fakeClock{}
+	m := newTestMonitor(t, c, 50*us, 64)
+	c.at(0)
+	m.PushRegion("solve")
+	m.CallEnter()
+	m.XferBegin(1, 2000)
+	c.at(5 * us)
+	m.CallExit()
+	c.at(60 * us)
+	m.CallEnter()
+	m.XferEnd(1, 0)
+	m.XferEnd(2, 100000) // case 3
+	c.at(65 * us)
+	m.CallExit()
+	m.PopRegion()
+	rep := m.Finalize()
+	rep.Rank = 5
+	return rep
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := rep.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip changed report:\nout %+v\nin  %+v", rep, back)
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	path := filepath.Join(t.TempDir(), "rank5.json")
+	if err := rep.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rank != 5 || back.Total() != rep.Total() {
+		t.Fatalf("loaded report differs: %+v", back)
+	}
+	if back.Region("solve") == nil {
+		t.Fatal("region lost in serialization")
+	}
+}
+
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestJSONDurationUnitsStable(t *testing.T) {
+	// Durations serialize as integer nanoseconds — guard against
+	// accidental format changes that would break downstream tooling.
+	rep := &Report{Duration: 1500 * time.Nanosecond}
+	var buf bytes.Buffer
+	if err := rep.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Duration": 1500`) {
+		t.Fatalf("duration encoding changed:\n%s", buf.String())
+	}
+}

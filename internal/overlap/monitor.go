@@ -1,0 +1,243 @@
+package overlap
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/calib"
+)
+
+// DefaultQueueSize is the default capacity of the circular event
+// queue.
+const DefaultQueueSize = 4096
+
+// DefaultBinBounds are the default message-size bin upper bounds
+// (inclusive), in bytes; messages larger than the last bound fall into
+// a final open-ended bin. The first bins cover the "short" (eager)
+// regime, the later ones the "long" (rendezvous) regime.
+func DefaultBinBounds() []int {
+	return []int{1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20}
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Clock supplies time-stamps. Required.
+	Clock Clock
+	// Table is the a-priori transfer-time table. Required.
+	Table *calib.Table
+	// QueueSize is the circular event queue capacity; 0 means
+	// DefaultQueueSize.
+	QueueSize int
+	// BinBounds are inclusive upper bounds of the message-size bins,
+	// ascending; nil means DefaultBinBounds().
+	BinBounds []int
+	// Charge, if non-nil, is invoked with the modelled host-CPU cost
+	// of instrumentation work (event logging, queue draining), so a
+	// simulation can account for the framework's own overhead. The
+	// per-unit costs below are only used when Charge is set.
+	Charge func(time.Duration)
+	// EventCost is the modelled cost of logging one event.
+	EventCost time.Duration
+	// DrainCostPerEvent is the modelled cost of processing one queued
+	// event in the data processing module.
+	DrainCostPerEvent time.Duration
+	// UserIntervalWindow is the number of recent user-computation
+	// intervals retained for XferExact intersection; 0 means
+	// DefaultUserIntervalWindow. Irrelevant unless the substrate
+	// supplies hardware time-stamps.
+	UserIntervalWindow int
+	// TraceSink, if non-nil, additionally receives every event as it
+	// is logged. It exists for validation against ground truth in
+	// tests; production configurations leave it nil (no tracing).
+	TraceSink func(Event)
+}
+
+// Monitor is the per-process instrumentation instance: the data
+// collection module (hot-path event logging into a circular queue) and
+// the data processing module (the bounds algorithm) of the framework.
+//
+// A nil *Monitor is valid and ignores all calls, so libraries can be
+// built with instrumentation unconditionally and run uninstrumented at
+// zero cost beyond a nil check.
+//
+// Monitors are process-local and perform no interprocess
+// communication; all methods must be called from the owning process's
+// context (they are not safe for concurrent use).
+type Monitor struct {
+	cfg   Config
+	q     *ring
+	depth int // nesting depth of library calls
+
+	regionIndex map[string]int32
+	regionNames []string
+	regionStack []int32
+
+	st        procState
+	finalized bool
+}
+
+// NewMonitor creates a Monitor. It panics if Clock or Table is
+// missing, since a silently mis-configured instrument is worse than a
+// crash at startup.
+func NewMonitor(cfg Config) *Monitor {
+	if cfg.Clock == nil {
+		panic("overlap: Config.Clock is required")
+	}
+	if cfg.Table == nil {
+		panic("overlap: Config.Table is required")
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.QueueSize < 2 {
+		panic("overlap: queue size must be at least 2")
+	}
+	if cfg.BinBounds == nil {
+		cfg.BinBounds = DefaultBinBounds()
+	}
+	if cfg.UserIntervalWindow == 0 {
+		cfg.UserIntervalWindow = DefaultUserIntervalWindow
+	}
+	for i := 1; i < len(cfg.BinBounds); i++ {
+		if cfg.BinBounds[i] <= cfg.BinBounds[i-1] {
+			panic("overlap: bin bounds must be strictly ascending")
+		}
+	}
+	m := &Monitor{
+		cfg:         cfg,
+		q:           newRing(cfg.QueueSize),
+		regionIndex: map[string]int32{"": 0},
+		regionNames: []string{""},
+	}
+	m.st.init(m)
+	return m
+}
+
+// log records an event in the circular queue, draining the queue
+// through the processing module first if it is full.
+func (m *Monitor) log(e Event) {
+	if m.finalized {
+		panic("overlap: event after Finalize")
+	}
+	if m.cfg.Charge != nil && m.cfg.EventCost > 0 {
+		m.cfg.Charge(m.cfg.EventCost)
+	}
+	if m.cfg.TraceSink != nil {
+		m.cfg.TraceSink(e)
+	}
+	if m.q.push(e) {
+		m.process()
+	}
+}
+
+// process drains the queue into the running measures.
+func (m *Monitor) process() {
+	n := m.q.drain(m.st.apply)
+	if m.cfg.Charge != nil && m.cfg.DrainCostPerEvent > 0 {
+		m.cfg.Charge(time.Duration(n) * m.cfg.DrainCostPerEvent)
+	}
+}
+
+// CallEnter marks entry into the communication library. Calls nest;
+// only the outermost transition is time-stamped, so collectives built
+// from point-to-point calls register as a single library visit.
+func (m *Monitor) CallEnter() {
+	if m == nil {
+		return
+	}
+	m.depth++
+	if m.depth == 1 {
+		m.log(Event{Kind: KindCallEnter, Stamp: m.cfg.Clock.Now()})
+	}
+}
+
+// CallExit marks the matching exit from the communication library.
+func (m *Monitor) CallExit() {
+	if m == nil {
+		return
+	}
+	if m.depth == 0 {
+		panic("overlap: CallExit without CallEnter")
+	}
+	m.depth--
+	if m.depth == 0 {
+		m.log(Event{Kind: KindCallExit, Stamp: m.cfg.Clock.Now()})
+	}
+}
+
+// InCall reports whether the process is currently inside a library
+// call (at any nesting depth).
+func (m *Monitor) InCall() bool { return m != nil && m.depth > 0 }
+
+// XferBegin marks the initiation of the data transfer identified by
+// id, of size bytes. It must be called from within a library call.
+func (m *Monitor) XferBegin(id uint64, size int) {
+	if m == nil {
+		return
+	}
+	m.log(Event{Kind: KindXferBegin, ID: id, Size: int64(size), Stamp: m.cfg.Clock.Now()})
+}
+
+// XferEnd marks the detected completion of transfer id. size is used
+// only when the transfer's begin event was never observed (for
+// example, the receive side of an eager transfer, where the initiation
+// is invisible to the receiver).
+func (m *Monitor) XferEnd(id uint64, size int) {
+	if m == nil {
+		return
+	}
+	m.log(Event{Kind: KindXferEnd, ID: id, Size: int64(size), Stamp: m.cfg.Clock.Now()})
+}
+
+// PushRegion directs subsequent activity to the named monitored
+// region, giving the application-level control over monitored code
+// sections described in the paper. Regions may nest; activity is
+// attributed to the innermost region only, so aggregating all regions
+// yields whole-program measures.
+func (m *Monitor) PushRegion(name string) {
+	if m == nil {
+		return
+	}
+	idx, ok := m.regionIndex[name]
+	if !ok {
+		idx = int32(len(m.regionNames))
+		m.regionIndex[name] = idx
+		m.regionNames = append(m.regionNames, name)
+	}
+	m.regionStack = append(m.regionStack, idx)
+	m.log(Event{Kind: KindRegionPush, Region: idx, Stamp: m.cfg.Clock.Now()})
+}
+
+// PopRegion leaves the current monitored region.
+func (m *Monitor) PopRegion() {
+	if m == nil {
+		return
+	}
+	if len(m.regionStack) == 0 {
+		panic("overlap: PopRegion without PushRegion")
+	}
+	m.regionStack = m.regionStack[:len(m.regionStack)-1]
+	top := int32(0)
+	if n := len(m.regionStack); n > 0 {
+		top = m.regionStack[n-1]
+	}
+	m.log(Event{Kind: KindRegionPop, Region: top, Stamp: m.cfg.Clock.Now()})
+}
+
+// Finalize drains outstanding events, closes still-open transfers
+// (single-stamped: zero minimum, full maximum overlap), and returns
+// the process's report. The monitor rejects further events afterwards.
+func (m *Monitor) Finalize() *Report {
+	if m == nil {
+		return nil
+	}
+	if m.finalized {
+		panic("overlap: Finalize called twice")
+	}
+	if m.depth != 0 {
+		panic(fmt.Sprintf("overlap: Finalize inside a library call (depth %d)", m.depth))
+	}
+	m.process()
+	m.finalized = true
+	return m.st.finish(m.cfg.Clock.Now())
+}

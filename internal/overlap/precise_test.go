@@ -1,0 +1,139 @@
+package overlap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestXferExactIntersectsUserIntervals(t *testing.T) {
+	// User computes during [10,40] and [60,80]; transfer spans [20,70]
+	// -> exact overlap = 20 (of [20,40]) + 10 (of [60,70]) = 30µs.
+	c := &fakeClock{}
+	m := newTestMonitor(t, c, 100*us, 64)
+
+	c.at(0)
+	m.CallEnter()
+	c.at(10 * us)
+	m.CallExit()
+	c.at(40 * us)
+	m.CallEnter()
+	c.at(60 * us)
+	m.CallExit()
+	c.at(80 * us)
+	m.CallEnter()
+	m.XferExact(1, 1000, 20*us, 70*us)
+	c.at(85 * us)
+	m.CallExit()
+
+	tot := m.Finalize().Total()
+	if tot.Exact != 1 {
+		t.Fatalf("expected one exact transfer: %+v", tot)
+	}
+	if tot.MinOverlapped != 30*us || tot.MaxOverlapped != 30*us {
+		t.Errorf("exact overlap %v/%v, want 30µs/30µs", tot.MinOverlapped, tot.MaxOverlapped)
+	}
+	if tot.DataTransferTime != 50*us {
+		t.Errorf("data transfer time %v, want the measured 50µs interval", tot.DataTransferTime)
+	}
+}
+
+func TestXferExactFullyInsideLibrary(t *testing.T) {
+	c := &fakeClock{}
+	m := newTestMonitor(t, c, 100*us, 64)
+	c.at(0)
+	m.CallEnter()
+	m.XferExact(1, 1000, 2*us, 8*us) // entirely within this call
+	c.at(10 * us)
+	m.CallExit()
+	tot := m.Finalize().Total()
+	if tot.MinOverlapped != 0 || tot.MaxOverlapped != 0 {
+		t.Errorf("transfer inside library shows overlap %v/%v", tot.MinOverlapped, tot.MaxOverlapped)
+	}
+}
+
+func TestXferExactWindowEvictionWidensBracket(t *testing.T) {
+	// With a 4-interval window, a transfer reaching back past the
+	// horizon gets the unknown prefix as bracket width instead of a
+	// wrong point estimate.
+	c := &fakeClock{}
+	m := NewMonitor(Config{
+		Clock:              c,
+		Table:              flatTable(t, 100*us),
+		QueueSize:          256,
+		UserIntervalWindow: 4,
+	})
+	// 10 user intervals of 10µs each: [10k, 10k+10] for k=0..9 —
+	// only the last 4 stay retained.
+	now := time.Duration(0)
+	for k := 0; k < 10; k++ {
+		c.at(now)
+		m.CallEnter()
+		now += 10 * us
+		c.at(now)
+		m.CallExit()
+		now += 10 * us
+	}
+	c.at(now)
+	m.CallEnter()
+	// Transfer spanning everything so far: true overlap would be
+	// 10x10µs = 100µs, but only the last 4 intervals (40µs) are
+	// retained; the unknown prefix is everything before the horizon.
+	m.XferExact(1, 1000, 0, now)
+	c.at(now + us)
+	m.CallExit()
+
+	tot := m.Finalize().Total()
+	if tot.MinOverlapped >= tot.MaxOverlapped {
+		t.Fatalf("eviction should widen the bracket: %v/%v", tot.MinOverlapped, tot.MaxOverlapped)
+	}
+	if tot.MinOverlapped != 40*us {
+		t.Errorf("min (known part) = %v, want 40µs", tot.MinOverlapped)
+	}
+	if tot.MaxOverlapped < 100*us {
+		t.Errorf("max = %v, must cover the true 100µs", tot.MaxOverlapped)
+	}
+	if tot.MaxOverlapped > tot.DataTransferTime {
+		t.Errorf("max %v exceeds data %v", tot.MaxOverlapped, tot.DataTransferTime)
+	}
+}
+
+func TestXferExactInvertedIntervalPanics(t *testing.T) {
+	c := &fakeClock{}
+	m := newTestMonitor(t, c, us, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.XferExact(1, 10, 50*us, 40*us)
+}
+
+func TestXferExactNilMonitor(t *testing.T) {
+	var m *Monitor
+	m.XferExact(1, 10, 0, us) // must not panic
+}
+
+func TestMixedExactAndBoundedTransfers(t *testing.T) {
+	c := &fakeClock{}
+	m := newTestMonitor(t, c, 50*us, 64)
+	c.at(0)
+	m.CallEnter()
+	m.XferBegin(1, 1000)
+	c.at(5 * us)
+	m.CallExit()
+	c.at(100 * us)
+	m.CallEnter()
+	m.XferEnd(1, 0)
+	m.XferExact(2, 1000, 20*us, 80*us) // overlaps user [5,100] on [20,80): 60µs
+	c.at(105 * us)
+	m.CallExit()
+	tot := m.Finalize().Total()
+	if tot.Count != 2 || tot.Exact != 1 || tot.BothStamps != 1 {
+		t.Fatalf("case mix wrong: %+v", tot)
+	}
+	// Bounded transfer: xt=50, comp=95, noncomp=5 -> min 45, max 50.
+	// Exact transfer: 60 exactly.
+	if tot.MinOverlapped != 105*us || tot.MaxOverlapped != 110*us {
+		t.Errorf("mixed totals %v/%v, want 105µs/110µs", tot.MinOverlapped, tot.MaxOverlapped)
+	}
+}

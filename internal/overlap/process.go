@@ -1,0 +1,222 @@
+package overlap
+
+import "time"
+
+// openXfer is the compact record kept for a transfer whose XFER_BEGIN
+// has been processed but whose XFER_END has not. Only cumulative-time
+// snapshots are retained, so open transfers survive queue drains
+// without tracing.
+type openXfer struct {
+	size           int64
+	cumUserAtBegin time.Duration
+	cumLibAtBegin  time.Duration
+	callSeq        uint64 // outermost-call sequence number at begin
+	region         int32
+}
+
+// procState is the data processing module: it replays queued events in
+// order and folds each completed transfer into the running measures
+// using the paper's three-case bounds algorithm (Sec. 2.2).
+type procState struct {
+	m *Monitor
+
+	lastStamp time.Duration
+	inLib     bool
+	callSeq   uint64
+	curRegion int32
+	lastExit  time.Duration
+
+	// Recent closed user-computation intervals, for precise
+	// (hardware-stamped) transfers; horizon is the end of the last
+	// dropped interval.
+	userIvals []userInterval
+	horizon   time.Duration
+
+	cumUser time.Duration // total user computation time so far
+	cumLib  time.Duration // total communication call time so far
+
+	open    map[uint64]openXfer
+	regions []*regionAcc
+}
+
+// regionAcc accumulates measures for one monitored region.
+type regionAcc struct {
+	userTime time.Duration
+	libTime  time.Duration
+	total    Measures
+	bins     []Measures
+}
+
+func (st *procState) init(m *Monitor) {
+	st.m = m
+	st.open = make(map[uint64]openXfer)
+	st.regions = []*regionAcc{st.newRegionAcc()}
+}
+
+func (st *procState) newRegionAcc() *regionAcc {
+	return &regionAcc{bins: make([]Measures, len(st.m.cfg.BinBounds)+1)}
+}
+
+// region returns the accumulator for region index idx, growing the
+// table as new regions appear in the event stream.
+func (st *procState) region(idx int32) *regionAcc {
+	for int32(len(st.regions)) <= idx {
+		st.regions = append(st.regions, st.newRegionAcc())
+	}
+	return st.regions[idx]
+}
+
+// binFor maps a message size to its bin index.
+func (st *procState) binFor(size int64) int {
+	for i, b := range st.m.cfg.BinBounds {
+		if size <= int64(b) {
+			return i
+		}
+	}
+	return len(st.m.cfg.BinBounds)
+}
+
+// advance accounts the wall segment ending at stamp to user or library
+// time according to the current mode.
+func (st *procState) advance(stamp time.Duration) {
+	span := stamp - st.lastStamp
+	if span < 0 {
+		panic("overlap: non-monotonic event stamps")
+	}
+	if st.inLib {
+		st.cumLib += span
+		st.region(st.curRegion).libTime += span
+	} else {
+		st.cumUser += span
+		st.region(st.curRegion).userTime += span
+	}
+	st.lastStamp = stamp
+}
+
+// apply processes one event in stream order.
+func (st *procState) apply(e *Event) {
+	st.advance(e.Stamp)
+	switch e.Kind {
+	case KindCallEnter:
+		st.inLib = true
+		st.callSeq++
+		st.recordUserInterval(st.lastExit, e.Stamp)
+	case KindCallExit:
+		st.inLib = false
+		st.lastExit = e.Stamp
+	case KindXferExact:
+		st.applyExact(e)
+	case KindRegionPush, KindRegionPop:
+		st.curRegion = e.Region
+	case KindXferBegin:
+		st.open[e.ID] = openXfer{
+			size:           e.Size,
+			cumUserAtBegin: st.cumUser,
+			cumLibAtBegin:  st.cumLib,
+			callSeq:        st.callSeq,
+			region:         st.curRegion,
+		}
+	case KindXferEnd:
+		st.completeXfer(e)
+	}
+}
+
+// completeXfer applies the three-case bounds computation for the
+// transfer ending at event e.
+func (st *procState) completeXfer(e *Event) {
+	rec, seen := st.open[e.ID]
+	if !seen {
+		// Case 3: only XFER_END was time-stamped (e.g. the receiver of
+		// an eager transfer, to whom initiation is invisible). Nothing
+		// conclusive can be said: minimum zero, maximum the full
+		// transfer time.
+		st.account(st.curRegion, e.Size, 0, st.xferTime(e.Size), caseSingleStamp)
+		return
+	}
+	delete(st.open, e.ID)
+	xt := st.xferTime(rec.size)
+	if rec.callSeq == st.callSeq && st.inLib {
+		// Case 1: begin and end fell inside the same communication
+		// call; the application could not compute meanwhile.
+		st.account(rec.region, rec.size, 0, 0, caseSameCall)
+		return
+	}
+	// Case 2: both stamped with interleaved user/library periods in
+	// between.
+	computation := st.cumUser - rec.cumUserAtBegin
+	noncomputation := st.cumLib - rec.cumLibAtBegin
+	maxOv := xt
+	if computation < xt {
+		maxOv = computation
+	}
+	minOv := xt - noncomputation
+	if minOv < 0 {
+		minOv = 0
+	}
+	// The library's completion events can fire before the physical
+	// transfer ends (a sender's CQE precedes remote delivery), which
+	// deflates noncomputation_time and can push the lower bound above
+	// the upper one. Clamp so the bracket stays well-formed.
+	if minOv > maxOv {
+		minOv = maxOv
+	}
+	st.account(rec.region, rec.size, minOv, maxOv, caseBothStamps)
+}
+
+func (st *procState) xferTime(size int64) time.Duration {
+	return st.m.cfg.Table.XferTime(int(size))
+}
+
+// account folds one transfer's bounds into its region and size bin.
+func (st *procState) account(region int32, size int64, minOv, maxOv time.Duration, c caseKind) {
+	xt := st.xferTime(size)
+	r := st.region(region)
+	bin := st.binFor(size)
+	for _, m := range []*Measures{&r.total, &r.bins[bin]} {
+		m.Count++
+		m.DataTransferTime += xt
+		m.MinOverlapped += minOv
+		m.MaxOverlapped += maxOv
+		switch c {
+		case caseSameCall:
+			m.SameCall++
+		case caseBothStamps:
+			m.BothStamps++
+		case caseSingleStamp:
+			m.SingleStamp++
+		}
+	}
+}
+
+type caseKind int
+
+const (
+	caseSameCall caseKind = iota
+	caseBothStamps
+	caseSingleStamp
+)
+
+// finish closes the stream at the given stamp: accounts the trailing
+// segment, resolves still-open transfers as single-stamped (case 3),
+// and builds the report.
+func (st *procState) finish(stamp time.Duration) *Report {
+	st.advance(stamp)
+	for id, rec := range st.open {
+		st.account(rec.region, rec.size, 0, st.xferTime(rec.size), caseSingleStamp)
+		delete(st.open, id)
+	}
+	rep := &Report{
+		Duration:  stamp,
+		BinBounds: append([]int(nil), st.m.cfg.BinBounds...),
+	}
+	for i, acc := range st.regions {
+		rep.Regions = append(rep.Regions, RegionReport{
+			Name:            st.m.regionNames[i],
+			UserComputeTime: acc.userTime,
+			CommCallTime:    acc.libTime,
+			Total:           acc.total,
+			Bins:            append([]Measures(nil), acc.bins...),
+		})
+	}
+	return rep
+}

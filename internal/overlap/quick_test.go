@@ -1,0 +1,150 @@
+package overlap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ovlp/internal/calib"
+)
+
+// Property: the circular queue delivers every pushed event exactly
+// once, in order, across arbitrary interleavings of pushes and drains.
+func TestQuickRingOrder(t *testing.T) {
+	f := func(seed int64, cap8 uint8) bool {
+		capacity := int(cap8)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		r := newRing(capacity)
+		var pushed, drained []uint64
+		next := uint64(0)
+		for op := 0; op < 200; op++ {
+			if r.n < capacity && rng.Intn(3) > 0 {
+				next++
+				pushed = append(pushed, next)
+				if r.push(Event{ID: next}) {
+					r.drain(func(e *Event) { drained = append(drained, e.ID) })
+				}
+			} else {
+				r.drain(func(e *Event) { drained = append(drained, e.ID) })
+			}
+		}
+		r.drain(func(e *Event) { drained = append(drained, e.ID) })
+		if len(drained) != len(pushed) {
+			return false
+		}
+		for i := range pushed {
+			if pushed[i] != drained[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any well-formed random event stream, the derived
+// measures satisfy the structural invariants of the bounds algorithm:
+// 0 <= min <= max <= data transfer time (per region and per bin), the
+// case counts sum to the transfer count, and user + library time add
+// up to the run duration.
+func TestQuickBoundsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := &fakeClock{}
+		tbl, err := newRandomTable(rng)
+		if err != nil {
+			return false
+		}
+		m := NewMonitor(Config{Clock: c, Table: tbl, QueueSize: rng.Intn(30) + 2})
+
+		now := time.Duration(0)
+		advance := func() { now += time.Duration(rng.Intn(2000)) * time.Microsecond; c.at(now) }
+
+		open := []uint64{}
+		nextID := uint64(0)
+		regions := 0
+		for step := 0; step < rng.Intn(300); step++ {
+			advance()
+			m.CallEnter()
+			for k := 0; k < rng.Intn(4); k++ {
+				advance()
+				switch rng.Intn(3) {
+				case 0: // begin
+					nextID++
+					open = append(open, nextID)
+					m.XferBegin(nextID, rng.Intn(1<<21)+1)
+				case 1: // end an open transfer
+					if len(open) > 0 {
+						i := rng.Intn(len(open))
+						m.XferEnd(open[i], rng.Intn(1<<21)+1)
+						open = append(open[:i], open[i+1:]...)
+					}
+				case 2: // end-only observation
+					nextID++
+					m.XferEnd(nextID, rng.Intn(1<<21)+1)
+				}
+			}
+			advance()
+			m.CallExit()
+			if rng.Intn(5) == 0 {
+				if regions > 0 && rng.Intn(2) == 0 {
+					m.PopRegion()
+					regions--
+				} else {
+					m.PushRegion(string(rune('a' + rng.Intn(4))))
+					regions++
+				}
+			}
+		}
+		for regions > 0 {
+			m.PopRegion()
+			regions--
+		}
+		advance()
+		rep := m.Finalize()
+
+		var user, lib time.Duration
+		for _, reg := range rep.Regions {
+			user += reg.UserComputeTime
+			lib += reg.CommCallTime
+			all := append([]Measures{reg.Total}, reg.Bins...)
+			for _, ms := range all {
+				if ms.MinOverlapped < 0 || ms.MinOverlapped > ms.MaxOverlapped {
+					return false
+				}
+				if ms.MaxOverlapped > ms.DataTransferTime {
+					return false
+				}
+			}
+			if reg.Total.SameCall+reg.Total.BothStamps+reg.Total.SingleStamp != reg.Total.Count {
+				return false
+			}
+			var binCount int
+			for _, b := range reg.Bins {
+				binCount += b.Count
+			}
+			if binCount != reg.Total.Count {
+				return false
+			}
+		}
+		return user+lib == rep.Duration
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newRandomTable(rng *rand.Rand) (*calib.Table, error) {
+	points := []calib.Point{{Size: 1, Time: time.Duration(rng.Intn(5000)+1) * time.Nanosecond}}
+	size := 1
+	last := points[0].Time
+	for size < 4<<20 {
+		size *= 2 + rng.Intn(3)
+		last += time.Duration(rng.Intn(100000)) * time.Nanosecond
+		points = append(points, calib.Point{Size: size, Time: last})
+	}
+	return calib.NewTable(points)
+}

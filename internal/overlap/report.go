@@ -1,0 +1,235 @@
+package overlap
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Measures are the framework's derived quantities for a set of
+// transfers, per the paper's Sec. 2.2: total (estimated) data transfer
+// time, and lower/upper bounds on how much of it was overlapped with
+// user computation.
+type Measures struct {
+	// Count is the number of transfers observed.
+	Count int
+	// DataTransferTime is the summed a-priori transfer time of all
+	// observed transfers.
+	DataTransferTime time.Duration
+	// MinOverlapped and MaxOverlapped are the summed lower and upper
+	// bounds on overlapped transfer time.
+	MinOverlapped time.Duration
+	MaxOverlapped time.Duration
+	// SameCall, BothStamps and SingleStamp count transfers that fell
+	// into each case of the bounds algorithm; Exact counts transfers
+	// measured precisely from hardware time-stamps (diagnostics).
+	SameCall    int
+	BothStamps  int
+	SingleStamp int
+	Exact       int
+}
+
+// Add accumulates o into m.
+func (m *Measures) Add(o Measures) {
+	m.Count += o.Count
+	m.DataTransferTime += o.DataTransferTime
+	m.MinOverlapped += o.MinOverlapped
+	m.MaxOverlapped += o.MaxOverlapped
+	m.SameCall += o.SameCall
+	m.BothStamps += o.BothStamps
+	m.SingleStamp += o.SingleStamp
+	m.Exact += o.Exact
+}
+
+// MinPercent returns the lower overlap bound as a percentage of data
+// transfer time (0 when nothing was transferred).
+func (m Measures) MinPercent() float64 { return pct(m.MinOverlapped, m.DataTransferTime) }
+
+// MaxPercent returns the upper overlap bound as a percentage of data
+// transfer time.
+func (m Measures) MaxPercent() float64 { return pct(m.MaxOverlapped, m.DataTransferTime) }
+
+// NonOverlapped returns the minimum duration of communication that was
+// not usefully overlapped with computation — the paper's primary
+// indicator of performance loss (data transfer time minus the maximum
+// overlapped transfer time).
+func (m Measures) NonOverlapped() time.Duration {
+	return m.DataTransferTime - m.MaxOverlapped
+}
+
+func pct(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// RegionReport holds one monitored region's measures, with a
+// per-message-size-bin breakdown.
+type RegionReport struct {
+	Name            string
+	UserComputeTime time.Duration
+	CommCallTime    time.Duration
+	Total           Measures
+	// Bins[i] covers sizes in (BinBounds[i-1], BinBounds[i]]; the last
+	// bin is open-ended.
+	Bins []Measures
+}
+
+// Report is the per-process output of the framework, produced by
+// Monitor.Finalize — the in-memory form of the output file the paper's
+// implementation writes per process at application termination.
+type Report struct {
+	Rank      int // set by the harness
+	Duration  time.Duration
+	BinBounds []int
+	Regions   []RegionReport // index 0 is the root (unnamed) region
+}
+
+// Region returns the report for the named region, or nil if the
+// region never appeared.
+func (r *Report) Region(name string) *RegionReport {
+	for i := range r.Regions {
+		if r.Regions[i].Name == name {
+			return &r.Regions[i]
+		}
+	}
+	return nil
+}
+
+// Total aggregates all regions into whole-program measures.
+func (r *Report) Total() Measures {
+	var t Measures
+	for i := range r.Regions {
+		t.Add(r.Regions[i].Total)
+	}
+	return t
+}
+
+// UserComputeTime returns the whole-program user computation time.
+func (r *Report) UserComputeTime() time.Duration {
+	var t time.Duration
+	for i := range r.Regions {
+		t += r.Regions[i].UserComputeTime
+	}
+	return t
+}
+
+// CommCallTime returns the whole-program aggregate time spent
+// executing communication calls.
+func (r *Report) CommCallTime() time.Duration {
+	var t time.Duration
+	for i := range r.Regions {
+		t += r.Regions[i].CommCallTime
+	}
+	return t
+}
+
+// binLabel renders the half-open size interval of bin i.
+func binLabel(bounds []int, i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<=%s", sizeLabel(bounds[0]))
+	case i < len(bounds):
+		return fmt.Sprintf("%s-%s", sizeLabel(bounds[i-1]), sizeLabel(bounds[i]))
+	default:
+		return fmt.Sprintf(">%s", sizeLabel(bounds[len(bounds)-1]))
+	}
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// WriteTo writes the human-readable per-process report — the analogue
+// of the output file the instrumented libraries produce at
+// MPI_Finalize.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	fmt.Fprintf(cw, "overlap report: rank %d, run time %v\n", r.Rank, r.Duration)
+	tot := r.Total()
+	fmt.Fprintf(cw, "  user computation time:   %v\n", r.UserComputeTime())
+	fmt.Fprintf(cw, "  communication call time: %v\n", r.CommCallTime())
+	fmt.Fprintf(cw, "  data transfer time:      %v over %d transfers\n", tot.DataTransferTime, tot.Count)
+	fmt.Fprintf(cw, "  overlapped transfer:     min %v (%.1f%%)  max %v (%.1f%%)\n",
+		tot.MinOverlapped, tot.MinPercent(), tot.MaxOverlapped, tot.MaxPercent())
+	fmt.Fprintf(cw, "  non-overlapped (min):    %v\n", tot.NonOverlapped())
+	for _, reg := range r.Regions {
+		name := reg.Name
+		if name == "" {
+			name = "(root)"
+		}
+		if reg.Total.Count == 0 && reg.UserComputeTime == 0 && reg.CommCallTime == 0 {
+			continue
+		}
+		fmt.Fprintf(cw, "  region %-18s xfers %6d  data %12v  min %6.1f%%  max %6.1f%%\n",
+			name, reg.Total.Count, reg.Total.DataTransferTime,
+			reg.Total.MinPercent(), reg.Total.MaxPercent())
+		for i, b := range reg.Bins {
+			if b.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(cw, "    %-12s xfers %6d  data %12v  min %6.1f%%  max %6.1f%%\n",
+				binLabel(r.BinBounds, i), b.Count, b.DataTransferTime,
+				b.MinPercent(), b.MaxPercent())
+		}
+	}
+	return cw.n, cw.err
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+// Aggregate sums measures across per-rank reports: whole-job totals
+// for each region present in any report. Bin bounds must match.
+func Aggregate(reports []*Report) *Report {
+	if len(reports) == 0 {
+		return &Report{}
+	}
+	agg := &Report{BinBounds: append([]int(nil), reports[0].BinBounds...), Rank: -1}
+	index := map[string]int{}
+	for _, rep := range reports {
+		if rep.Duration > agg.Duration {
+			agg.Duration = rep.Duration
+		}
+		for _, reg := range rep.Regions {
+			i, ok := index[reg.Name]
+			if !ok {
+				i = len(agg.Regions)
+				index[reg.Name] = i
+				agg.Regions = append(agg.Regions, RegionReport{
+					Name: reg.Name,
+					Bins: make([]Measures, len(reg.Bins)),
+				})
+			}
+			dst := &agg.Regions[i]
+			dst.UserComputeTime += reg.UserComputeTime
+			dst.CommCallTime += reg.CommCallTime
+			dst.Total.Add(reg.Total)
+			for b := range reg.Bins {
+				dst.Bins[b].Add(reg.Bins[b])
+			}
+		}
+	}
+	return agg
+}

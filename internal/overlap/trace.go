@@ -1,0 +1,81 @@
+package overlap
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Trace formatting: a human-readable rendering of an event stream
+// captured through Config.TraceSink, for debugging instrumented
+// libraries and inspecting how the bounds algorithm will see a run.
+// This is a development aid — production monitoring never traces.
+
+// FormatTrace writes one line per event, with a gutter marking
+// library (|) versus computation (.) periods and transfer intervals.
+func FormatTrace(w io.Writer, events []Event) error {
+	inLib := false
+	var last time.Duration
+	for i, e := range events {
+		gap := e.Stamp - last
+		mode := "."
+		if inLib {
+			mode = "|"
+		}
+		var desc string
+		switch e.Kind {
+		case KindCallEnter:
+			inLib = true
+			desc = "CALL_ENTER"
+		case KindCallExit:
+			inLib = false
+			desc = "CALL_EXIT"
+		case KindXferBegin:
+			desc = fmt.Sprintf("XFER_BEGIN  id=%d size=%s", e.ID, formatSize(e.Size))
+		case KindXferEnd:
+			desc = fmt.Sprintf("XFER_END    id=%d", e.ID)
+		case KindXferExact:
+			desc = fmt.Sprintf("XFER_EXACT  id=%d size=%s interval=[%v, %v]",
+				e.ID, formatSize(e.Size), e.Start, e.End)
+		case KindRegionPush:
+			desc = fmt.Sprintf("REGION_PUSH -> %d", e.Region)
+		case KindRegionPop:
+			desc = fmt.Sprintf("REGION_POP  -> %d", e.Region)
+		default:
+			desc = "?"
+		}
+		if _, err := fmt.Fprintf(w, "%6d  %12v  %s +%-12v %s\n",
+			i, e.Stamp, mode, gap, desc); err != nil {
+			return err
+		}
+		last = e.Stamp
+	}
+	return nil
+}
+
+// TraceString renders events via FormatTrace into a string.
+func TraceString(events []Event) string {
+	var b strings.Builder
+	if err := FormatTrace(&b, events); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return b.String()
+}
+
+func formatSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// CollectTrace returns a TraceSink that appends events to the given
+// slice — the common test/debug wiring in one place.
+func CollectTrace(dst *[]Event) func(Event) {
+	return func(e Event) { *dst = append(*dst, e) }
+}

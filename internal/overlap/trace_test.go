@@ -1,0 +1,69 @@
+package overlap
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatTrace(t *testing.T) {
+	var events []Event
+	c := &fakeClock{}
+	m := NewMonitor(Config{
+		Clock:     c,
+		Table:     flatTable(t, 10*us),
+		QueueSize: 16,
+		TraceSink: CollectTrace(&events),
+	})
+	c.at(0)
+	m.PushRegion("x")
+	m.CallEnter()
+	m.XferBegin(1, 2<<20)
+	c.at(5 * us)
+	m.CallExit()
+	c.at(20 * us)
+	m.CallEnter()
+	m.XferEnd(1, 0)
+	m.XferExact(2, 512, 3*us, 9*us)
+	c.at(25 * us)
+	m.CallExit()
+	m.PopRegion()
+	m.Finalize()
+
+	out := TraceString(events)
+	for _, want := range []string{
+		"CALL_ENTER", "CALL_EXIT", "XFER_BEGIN", "XFER_END", "XFER_EXACT",
+		"REGION_PUSH", "REGION_POP", "2.0MiB", "512B", "id=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Eight events, eight lines.
+	if got := strings.Count(out, "\n"); got != len(events) {
+		t.Errorf("%d lines for %d events", got, len(events))
+	}
+}
+
+func TestFormatSizeUnits(t *testing.T) {
+	cases := map[int64]string{
+		100:     "100B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+	}
+	for n, want := range cases {
+		if got := formatSize(n); got != want {
+			t.Errorf("formatSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestCollectTraceAppends(t *testing.T) {
+	var events []Event
+	sink := CollectTrace(&events)
+	sink(Event{Kind: KindCallEnter, Stamp: time.Microsecond})
+	sink(Event{Kind: KindCallExit, Stamp: 2 * time.Microsecond})
+	if len(events) != 2 || events[0].Kind != KindCallEnter {
+		t.Fatalf("collected %+v", events)
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Min(xs); m != 1 {
+		t.Errorf("Min = %v", m)
+	}
+	if m := Max(xs); m != 4 {
+		t.Errorf("Max = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %v", sd)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty inputs should yield zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Errorf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 91); p != 10 {
+		t.Errorf("P91 = %v", p)
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+// Property: Min <= Percentile(p) <= Max for any p, and Min <= Mean <=
+// Max.
+func TestQuickOrderInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, rng.Intn(50)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		lo, hi, mean := Min(xs), Max(xs), Mean(xs)
+		if mean < lo || mean > hi {
+			return false
+		}
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return Percentile(xs, 100) == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: callbacks fire in non-decreasing time order, with ties
+// broken by scheduling order, for arbitrary random schedules built
+// both up-front and from within running events.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		type firing struct {
+			at  Time
+			seq int
+		}
+		var fired []firing
+		seq := 0
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := rng.Intn(6)
+			for i := 0; i < n; i++ {
+				d := time.Duration(rng.Intn(1000)) * time.Microsecond
+				mySeq := seq
+				seq++
+				deeper := depth < 3 && rng.Intn(3) == 0
+				s.After(d, func() {
+					fired = append(fired, firing{at: s.Now(), seq: mySeq})
+					if deeper {
+						schedule(depth + 1)
+					}
+				})
+			}
+		}
+		schedule(0)
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N procs computing random sequences always finish at the
+// sum of their own durations, regardless of interleaving, and the sim
+// ends at the maximum across procs.
+func TestQuickComputeAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		n := rng.Intn(5) + 1
+		finals := make([]Time, n)
+		var want []time.Duration
+		for i := 0; i < n; i++ {
+			var total time.Duration
+			steps := make([]time.Duration, rng.Intn(20))
+			for j := range steps {
+				steps[j] = time.Duration(rng.Intn(10000)) * time.Nanosecond
+				total += steps[j]
+			}
+			want = append(want, total)
+			i := i
+			s.Spawn("p", func(p *Proc) {
+				for _, d := range steps {
+					p.Compute(d)
+				}
+				finals[i] = p.Now()
+			})
+		}
+		end := s.Run()
+		var maxWant time.Duration
+		for i := range finals {
+			if finals[i] != Time(want[i]) {
+				return false
+			}
+			if want[i] > maxWant {
+				maxWant = want[i]
+			}
+		}
+		return end == Time(maxWant)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

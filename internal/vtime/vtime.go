@@ -1,0 +1,325 @@
+// Package vtime implements a deterministic discrete-event simulation
+// kernel with virtual time.
+//
+// A Sim owns a virtual clock and an event heap. Work is performed by
+// procs — goroutines that run in a strict coroutine discipline: at any
+// instant exactly one goroutine (the scheduler or a single proc) is
+// executing, so every run of a given program is bit-for-bit
+// reproducible. Events that fire at the same virtual time execute in
+// the order they were scheduled.
+//
+// Procs model computation by calling Compute, which advances the
+// virtual clock without consuming real CPU time proportional to the
+// modelled duration, and synchronize through Park/Unpark (a permit
+// semaphore in the style of LockSupport) or through callbacks
+// scheduled with After.
+//
+// The kernel is the substrate for the fabric, mpi and armci packages:
+// NIC DMA engines are event chains, ranks are procs, and the overlap
+// instrumentation reads its time-stamps from the virtual clock.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time is an instant in virtual time, in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration converts a virtual-time span to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback. Events are ordered by (at, seq) so
+// that simultaneous events run in scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// procState describes what a proc is currently doing; it is reported
+// in deadlock dumps.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunning
+	stateComputing // blocked in Compute until a timer fires
+	stateParked    // blocked in Park until Unpark
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunning:
+		return "running"
+	case stateComputing:
+		return "computing"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Sim is a deterministic virtual-time simulator. The zero value is not
+// usable; create one with NewSim.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+	live   int // procs not yet done
+
+	yield   chan struct{} // proc -> scheduler: I blocked or finished
+	current *Proc         // proc currently executing, nil in scheduler context
+
+	panicked any // panic value captured from a proc
+	running  bool
+}
+
+// NewSim returns an empty simulator at virtual time zero.
+func NewSim() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Proc is a simulated thread of control. Procs are created with
+// Sim.Spawn and run under the kernel's coroutine discipline: all Proc
+// methods must be called from the proc's own goroutine, except Unpark,
+// which may be called from any simulation context (another proc or an
+// After callback).
+type Proc struct {
+	sim    *Sim
+	id     int
+	name   string
+	resume chan struct{}
+	state  procState
+	permit bool // pending Unpark while not parked
+
+	blockedSince Time   // for deadlock dumps
+	blockedAt    string // label of the blocking call site
+}
+
+// ID returns the proc's index in spawn order, starting at zero.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator the proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn registers a new proc that will execute fn when Run is called.
+// Spawning after Run has started is allowed only from within the
+// simulation (a proc or callback); the new proc starts at the current
+// virtual time.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		id:     len(s.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	s.procs = append(s.procs, p)
+	s.live++
+	s.schedule(s.now, func() { s.startProc(p, fn) })
+	return p
+}
+
+// startProc launches the proc goroutine and transfers control to it.
+// Runs in scheduler context.
+func (s *Sim) startProc(p *Proc, fn func(p *Proc)) {
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicked = fmt.Errorf("proc %q panicked: %v", p.name, r)
+			}
+			p.state = stateDone
+			s.live--
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	s.dispatch(p)
+}
+
+// dispatch hands control to p and waits until it blocks or finishes.
+// Must run in scheduler context (or transitively from it).
+func (s *Sim) dispatch(p *Proc) {
+	prev := s.current
+	s.current = p
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-s.yield
+	s.current = prev
+	if s.panicked != nil {
+		panic(s.panicked)
+	}
+}
+
+// schedule enqueues fn to run at time at in scheduler context.
+func (s *Sim) schedule(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("vtime: scheduling event in the past: %v < %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run in scheduler context d from now. It may be
+// called from any simulation context. fn must not block; to perform
+// blocking work, have fn Unpark a proc or Spawn one.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("vtime: negative delay")
+	}
+	s.schedule(s.now.Add(d), fn)
+}
+
+// block yields from the current proc to the scheduler and waits to be
+// dispatched again. Must be called from the proc's goroutine.
+func (p *Proc) block(st procState, where string) {
+	p.state = st
+	p.blockedSince = p.sim.now
+	p.blockedAt = where
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Compute advances the proc's view of time by d, modelling a stretch
+// of user computation (or any busy period). Other events continue to
+// fire during the interval. Compute(0) yields to already-scheduled
+// events at the current instant and then continues.
+func (p *Proc) Compute(d time.Duration) {
+	if d < 0 {
+		panic("vtime: negative compute duration")
+	}
+	s := p.sim
+	s.schedule(s.now.Add(d), func() { s.dispatch(p) })
+	p.block(stateComputing, "Compute")
+}
+
+// Sleep is an alias for Compute, for callers modelling idle waiting
+// rather than computation.
+func (p *Proc) Sleep(d time.Duration) { p.Compute(d) }
+
+// Yield reschedules the proc at the current virtual time behind any
+// events already queued for this instant.
+func (p *Proc) Yield() { p.Compute(0) }
+
+// Park blocks the proc until another simulation context calls Unpark.
+// If a permit is pending (Unpark happened since the last Park), Park
+// consumes it and returns immediately. The where label is reported in
+// deadlock dumps.
+func (p *Proc) Park(where string) {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.block(stateParked, where)
+}
+
+// Unpark makes a permit available to p: if p is parked it resumes at
+// the current virtual time; otherwise its next Park returns
+// immediately. Calling Unpark repeatedly before the proc parks is
+// idempotent. Unpark must be called from simulation context (a proc or
+// an After callback), never from outside Run.
+func (p *Proc) Unpark() {
+	if p.state == stateParked && !p.permit {
+		p.permit = true
+		s := p.sim
+		s.schedule(s.now, func() {
+			if p.state == stateParked && p.permit {
+				p.permit = false
+				s.dispatch(p)
+			}
+		})
+		return
+	}
+	p.permit = true
+}
+
+// Run executes the simulation until no events remain. It returns the
+// final virtual time. If events are exhausted while procs are still
+// blocked, Run panics with a deadlock report; if a proc panics, Run
+// re-panics with the proc's panic value.
+func (s *Sim) Run() Time {
+	if s.running {
+		panic("vtime: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at < s.now {
+			panic("vtime: time went backwards")
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.live > 0 {
+		panic("vtime: deadlock: " + s.deadlockReport())
+	}
+	return s.now
+}
+
+// deadlockReport describes every non-finished proc.
+func (s *Sim) deadlockReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d proc(s) blocked at t=%v with no pending events\n", s.live, s.now)
+	procs := append([]*Proc(nil), s.procs...)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
+		if p.state == stateDone {
+			continue
+		}
+		fmt.Fprintf(&b, "  proc %d %q: %v in %s since t=%v\n",
+			p.id, p.name, p.state, p.blockedAt, p.blockedSince)
+	}
+	return b.String()
+}
