@@ -24,6 +24,8 @@ import (
 	"strings"
 	"time"
 
+	"ovlp/internal/fabric"
+	"ovlp/internal/faultflag"
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
 	"ovlp/internal/overlap"
@@ -61,7 +63,15 @@ func main() {
 	bins := flag.Bool("bins", false, "also print process 0's per-message-size-bin breakdown")
 	hw := flag.Bool("hw", false, "use NIC hardware time-stamps (precise mode: min == max)")
 	jsonDir := flag.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
+	buildFaults := faultflag.Register(nil)
 	flag.Parse()
+	faults, err := buildFaults()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if desc := faultflag.Describe(faults); desc != "" {
+		fmt.Printf("%s\n\n", desc)
+	}
 
 	var benches []string
 	switch *benchFlag {
@@ -77,18 +87,19 @@ func main() {
 	for _, b := range benches {
 		b = strings.ToUpper(strings.TrimSpace(b))
 		if b == "MG-ARMCI" {
-			runMGARMCI(classes, parseProcs(*procsFlag, []int{2, 4, 8}), *iters)
+			runMGARMCI(classes, parseProcs(*procsFlag, []int{2, 4, 8}), *iters, faults)
 			continue
 		}
 		defProcs := []int{4, 8, 16}
 		if b == nas.BT || b == nas.SP {
 			defProcs = []int{4, 9, 16}
 		}
-		runBench(b, classes, parseProcs(*procsFlag, defProcs), *iters, *bins, *hw, *jsonDir)
+		runBench(b, classes, parseProcs(*procsFlag, defProcs), *iters, *bins, *hw, *jsonDir, faults)
 	}
 }
 
-func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw bool, jsonDir string) {
+func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw bool, jsonDir string, faults *fabric.FaultPlan) {
+	checkFaultNodes(faults, procs)
 	title := fmt.Sprintf("Overlap characterization — NAS %s (%s protocol)", name, paperProtocol[name])
 	if f, ok := paperFigure[name]; ok {
 		title = fmt.Sprintf("%s — paper %s", title, f)
@@ -106,6 +117,7 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 				Protocol:     paperProtocol[name],
 				MaxIters:     iters,
 				HWTimestamps: hw,
+				Faults:       faults,
 			})
 			rep := reports[0]
 			if jsonDir != "" {
@@ -189,14 +201,30 @@ func binLabel(bounds []int, i int) string {
 	}
 }
 
-func runMGARMCI(classes []nas.Class, procs []int, iters int) {
+// checkFaultNodes rejects a plan naming nodes beyond the smallest
+// processor count in the sweep, before any simulation starts.
+func checkFaultNodes(faults *fabric.FaultPlan, procs []int) {
+	min := procs[0]
+	for _, p := range procs[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	if err := faultflag.CheckNodes(faults, min); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runMGARMCI(classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan) {
+	checkFaultNodes(faults, procs)
 	t := report.NewTable("Overlap characterization — ARMCI MG, blocking vs non-blocking — paper Fig. 19",
 		"class", "procs", "blk min%", "blk max%", "nb min%", "nb max%")
 	start := time.Now()
 	for _, class := range classes {
 		for _, p := range procs {
-			b := nas.CharacterizeMGARMCI(class, p, nas.MGBlocking, iters)
-			n := nas.CharacterizeMGARMCI(class, p, nas.MGNonblocking, iters)
+			opt := nas.Options{MaxIters: iters, Faults: faults}
+			b := nas.CharacterizeMGARMCIOpts(class, p, nas.MGBlocking, opt)
+			n := nas.CharacterizeMGARMCIOpts(class, p, nas.MGNonblocking, opt)
 			t.AddRow(class, p, b.MinPct, b.MaxPct, n.MinPct, n.MaxPct)
 		}
 	}

@@ -7,9 +7,13 @@
 //
 // Usage:
 //
-//	overlapbench [-fig 0] [-reps 1000]
+//	overlapbench [-fig 0] [-reps 1000] [-fault-seed N -drop P -stall ...]
 //
-// -fig 0 (the default) runs every figure.
+// -fig 0 (the default) runs every figure. The fault flags (see
+// internal/faultflag) rerun the figures on a deterministically lossy
+// network: the library retransmits behind the instrumentation's back,
+// and the printed wait times and bounds show what the repair traffic
+// costs.
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"os"
 	"time"
 
+	"ovlp/internal/fabric"
+	"ovlp/internal/faultflag"
 	"ovlp/internal/micro"
 	"ovlp/internal/report"
 )
@@ -38,7 +44,18 @@ func main() {
 	log.SetPrefix("overlapbench: ")
 	fig := flag.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
 	reps := flag.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
+	buildFaults := faultflag.Register(nil)
 	flag.Parse()
+	faults, err := buildFaults()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := faultflag.CheckNodes(faults, 2); err != nil {
+		log.Fatal(err) // microbenchmarks always run 2 processes
+	}
+	if desc := faultflag.Describe(faults); desc != "" {
+		fmt.Printf("%s\n\n", desc)
+	}
 
 	figs := []int{3, 4, 5, 6, 7, 8, 9}
 	if *fig != 0 {
@@ -48,12 +65,13 @@ func main() {
 		figs = []int{*fig}
 	}
 	for _, f := range figs {
-		runFigure(f, *reps)
+		runFigure(f, *reps, faults)
 	}
 }
 
-func runFigure(fig, reps int) {
+func runFigure(fig, reps int, faults *fabric.FaultPlan) {
 	e := micro.PaperFigure(fig, reps)
+	e.Config.Faults = faults
 	start := time.Now()
 	points := e.Run()
 

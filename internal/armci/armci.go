@@ -17,6 +17,7 @@
 package armci
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +26,31 @@ import (
 	"ovlp/internal/overlap"
 	"ovlp/internal/vtime"
 )
+
+// Sentinel errors for communication failures under an active fault
+// plan, wrapped in a *CommError (match with errors.Is).
+var (
+	ErrTimeout         = errors.New("armci: communication timed out")
+	ErrPeerUnreachable = errors.New("armci: peer unreachable")
+)
+
+// CommError is the structured failure of a one-sided operation,
+// raised as a panic from the failing call and recovered into an
+// ordinary error by cluster.RunARMCIE.
+type CommError struct {
+	Proc     int
+	Peer     int
+	Op       string
+	Attempts int
+	err      error
+}
+
+func (e *CommError) Error() string {
+	return fmt.Sprintf("armci: proc %d: %s to proc %d failed after %d attempt(s): %v",
+		e.Proc, e.Op, e.Peer, e.Attempts, e.err)
+}
+
+func (e *CommError) Unwrap() error { return e.err }
 
 // InstrumentConfig enables the overlap instrumentation (see the mpi
 // package's equivalent).
@@ -40,6 +66,9 @@ type InstrumentConfig struct {
 type Config struct {
 	// Instrument enables instrumentation; nil runs uninstrumented.
 	Instrument *InstrumentConfig
+	// Reliable enables the software reliable-delivery layer (see the
+	// mpi package's equivalent). Required under an active fault plan.
+	Reliable *fabric.ReliableParams
 }
 
 // World is a set of ARMCI processes over one fabric.
@@ -89,6 +118,11 @@ type Handle struct {
 	done   bool
 	xferID uint64
 	size   int
+
+	// repost parameters, kept so a failed completion can reissue the op
+	dst, block, count int
+	get               bool
+	attempts          int
 }
 
 // Done reports completion without making progress.
@@ -105,6 +139,7 @@ type Proc struct {
 	id   int
 	proc *vtime.Proc
 	nic  *fabric.NIC
+	rel  *fabric.Reliable // reliable delivery, nil unless Config.Reliable
 	mon  *overlap.Monitor
 
 	wrMap       map[uint64]*Handle
@@ -126,6 +161,9 @@ func (p *Proc) attach(vp *vtime.Proc) {
 	p.proc = vp
 	p.tokens = make(map[barrierToken]int)
 	p.nic.SetNotify(func() { p.proc.Unpark() })
+	if rp := p.w.cfg.Reliable; rp != nil {
+		p.rel = fabric.NewReliable(p.nic, *rp, func() { p.proc.Unpark() })
+	}
 	if ic := p.w.cfg.Instrument; ic != nil {
 		mc := overlap.Config{
 			Clock:     procClock{vp},
@@ -146,6 +184,14 @@ func (p *Proc) attach(vp *vtime.Proc) {
 }
 
 func (p *Proc) finalizeReport() {
+	if p.rel != nil {
+		// Quiesce unacknowledged sequenced sends (barrier tokens) before
+		// exiting, so their retransmission timers are never stranded
+		// without a progress engine.
+		p.enter()
+		p.waitUntil(func() bool { return p.rel.Outstanding() == 0 })
+		p.exit()
+	}
 	if p.mon != nil {
 		rep := p.mon.Finalize()
 		rep.Rank = p.id
@@ -167,6 +213,15 @@ func (p *Proc) Compute(d time.Duration) { p.proc.Compute(d) }
 
 // LibTime returns the aggregate time spent inside library calls.
 func (p *Proc) LibTime() time.Duration { return p.libTime }
+
+// RelStats returns the proc's reliable-delivery counters (zero value
+// when the reliability layer is disabled).
+func (p *Proc) RelStats() fabric.RelStats {
+	if p.rel == nil {
+		return fabric.RelStats{}
+	}
+	return p.rel.Stats()
+}
 
 // PushRegion and PopRegion delimit a monitored section.
 func (p *Proc) PushRegion(name string) { p.mon.PushRegion(name) }
@@ -201,24 +256,91 @@ func (p *Proc) progress() bool {
 		if cqe == nil {
 			break
 		}
-		if h, ok := p.wrMap[cqe.WRID]; ok {
-			delete(p.wrMap, cqe.WRID)
-			p.mon.XferEnd(h.xferID, h.size)
-			h.done = true
-			p.outstanding--
-		}
 		did = true
+		if p.rel != nil && p.rel.TakeWR(cqe.WRID) {
+			continue // reliable token send; ack-driven
+		}
+		h, ok := p.wrMap[cqe.WRID]
+		if !ok {
+			continue
+		}
+		delete(p.wrMap, cqe.WRID)
+		if cqe.Status != fabric.StatusOK {
+			p.handleFailedCQE(h, cqe)
+			continue
+		}
+		p.mon.XferEnd(h.xferID, h.size)
+		h.done = true
+		p.outstanding--
 	}
 	for {
 		pkt := p.nic.PollInbox(p.proc)
 		if pkt == nil {
 			break
 		}
+		did = true
+		if p.rel != nil {
+			if a, ok := pkt.Payload.(fabric.Ack); ok {
+				p.rel.HandleAck(a)
+				continue
+			}
+			p.rel.NotePeerAlive(pkt.From)
+			if p.rel.Duplicate(pkt) {
+				continue
+			}
+		}
 		tok := pkt.Payload.(barrierToken)
 		p.tokens[tok]++
-		did = true
+	}
+	if p.rel != nil {
+		d, err := p.rel.RunDue(p.proc)
+		if err != nil {
+			p.commFail(err)
+		}
+		if d {
+			did = true
+		}
 	}
 	return did
+}
+
+// commFail converts a delivery failure into the library's structured
+// error and aborts the proc with it (recovered by cluster.RunARMCIE).
+func (p *Proc) commFail(err error) {
+	var de *fabric.DeliveryError
+	if errors.As(err, &de) {
+		base := ErrTimeout
+		if de.PeerSilent {
+			base = ErrPeerUnreachable
+		}
+		panic(&CommError{Proc: p.id, Peer: int(de.Dst), Op: de.Op, Attempts: de.Attempts, err: base})
+	}
+	panic(err)
+}
+
+// handleFailedCQE reposts a failed one-sided operation with backoff, or
+// fails the proc once the retry budget is spent.
+func (p *Proc) handleFailedCQE(h *Handle, cqe *fabric.CQE) {
+	attempts := h.attempts + 1
+	if p.rel == nil {
+		p.commFail(&fabric.DeliveryError{Dst: fabric.NodeID(h.dst), Op: cqe.Kind.String(), Attempts: attempts})
+	}
+	err := p.rel.Repost(fabric.NodeID(h.dst), cqe.Kind.String(), attempts, func(vp *vtime.Proc) {
+		h.attempts = attempts
+		var wr uint64
+		switch {
+		case h.get:
+			wr = p.nic.RDMARead(vp, fabric.NodeID(h.dst), h.size, h.xferID)
+		case h.count > 1:
+			wr = p.nic.RDMAWriteStrided(vp, fabric.NodeID(h.dst), h.count, h.block, h.xferID, nil)
+		default:
+			wr = p.nic.RDMAWrite(vp, fabric.NodeID(h.dst), h.size, h.xferID, nil)
+		}
+		p.wrMap[wr] = h
+	})
+	if err != nil {
+		p.commFail(err)
+	}
 }
 
 func (p *Proc) waitUntil(cond func() bool) {
@@ -226,7 +348,7 @@ func (p *Proc) waitUntil(cond func() bool) {
 		if p.progress() {
 			continue
 		}
-		if cond() || p.nic.Pending() {
+		if cond() || p.nic.Pending() || (p.rel != nil && p.rel.HasDue()) {
 			continue
 		}
 		p.waiting = true
@@ -242,7 +364,7 @@ func (p *Proc) post(dst, size, count int, get bool) *Handle {
 		panic("armci: strided operation needs at least one segment")
 	}
 	xid := p.w.fab.NewXferID()
-	h := &Handle{xferID: xid, size: size * count}
+	h := &Handle{xferID: xid, size: size * count, dst: dst, block: size, count: count, get: get}
 	p.mon.XferBegin(xid, size*count)
 	var wr uint64
 	switch {
@@ -335,7 +457,11 @@ func (p *Proc) Barrier() {
 	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
 		dst := (p.id + k) % n
 		tok := barrierToken{seq: seq, round: round}
-		p.nic.Send(p.proc, fabric.NodeID(dst), 0, 0, tok)
+		if p.rel != nil {
+			p.rel.Send(p.proc, fabric.NodeID(dst), 0, 0, tok, "barrier", nil)
+		} else {
+			p.nic.Send(p.proc, fabric.NodeID(dst), 0, 0, tok)
+		}
 		p.waitUntil(func() bool { return p.tokens[tok] > 0 })
 		p.tokens[tok]--
 		if p.tokens[tok] == 0 {

@@ -21,19 +21,38 @@ type ARMCIConfig struct {
 	ARMCI armci.Config
 	// RecordTruth retains the ground-truth transfer log.
 	RecordTruth bool
+	// Faults optionally injects deterministic fabric faults; an
+	// active plan fills a nil ARMCI.Reliable with defaults, as for
+	// MPI runs.
+	Faults *fabric.FaultPlan
+	// Deadline, when positive, bounds the virtual run time (see
+	// Config.Deadline).
+	Deadline time.Duration
 }
 
 // ARMCIResult collects the observations of an ARMCI run.
 type ARMCIResult struct {
-	Reports   []*overlap.Report
-	Duration  time.Duration
-	LibTimes  []time.Duration
-	Transfers []fabric.Transfer
+	Reports    []*overlap.Report
+	Duration   time.Duration
+	LibTimes   []time.Duration
+	Transfers  []fabric.Transfer
+	FaultStats fabric.FaultStats
+	RelStats   []fabric.RelStats
 }
 
 // RunARMCI executes main on every process of a fresh machine using the
-// one-sided library.
+// one-sided library. Errors panic; use RunARMCIE to receive them.
 func RunARMCI(cfg ARMCIConfig, main func(p *armci.Proc)) ARMCIResult {
+	res, err := RunARMCIE(cfg, main)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunARMCIE is RunARMCI returning simulation failures (retry
+// exhaustion, deadlock) as errors instead of panicking.
+func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 	if cfg.Procs <= 0 {
 		panic("cluster: Procs must be positive")
 	}
@@ -43,8 +62,19 @@ func RunARMCI(cfg ARMCIConfig, main func(p *armci.Proc)) ARMCIResult {
 	if ic := cfg.ARMCI.Instrument; ic != nil && ic.Table == nil {
 		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
 	}
+	if cfg.Faults.Active() && cfg.ARMCI.Reliable == nil {
+		cfg.ARMCI.Reliable = &fabric.ReliableParams{}
+	}
 	sim := vtime.NewSim()
 	fab := fabric.New(sim, cfg.Procs, cfg.Cost)
+	if cfg.Faults.Active() {
+		if err := fab.SetFaults(cfg.Faults); err != nil {
+			return ARMCIResult{}, err
+		}
+	}
+	if cfg.Deadline > 0 {
+		sim.SetDeadline(vtime.Time(cfg.Deadline))
+	}
 	world := armci.NewWorld(sim, fab, cfg.ARMCI)
 
 	procs := make([]*armci.Proc, 0, cfg.Procs)
@@ -52,18 +82,21 @@ func RunARMCI(cfg ARMCIConfig, main func(p *armci.Proc)) ARMCIResult {
 		procs = append(procs, p)
 		main(p)
 	})
-	end := sim.Run()
+	end, err := sim.RunE()
 
 	res := ARMCIResult{
-		Reports:  world.Reports(),
-		Duration: end.Duration(),
-		LibTimes: make([]time.Duration, cfg.Procs),
+		Reports:    world.Reports(),
+		Duration:   end.Duration(),
+		LibTimes:   make([]time.Duration, cfg.Procs),
+		FaultStats: fab.FaultStats(),
+		RelStats:   make([]fabric.RelStats, cfg.Procs),
 	}
 	for _, p := range procs {
 		res.LibTimes[p.ID()] = p.LibTime()
+		res.RelStats[p.ID()] = p.RelStats()
 	}
 	if cfg.RecordTruth {
 		res.Transfers = fab.Transfers()
 	}
-	return res
+	return res, err
 }

@@ -29,6 +29,17 @@ type Config struct {
 	// RecordTruth retains the fabric's ground-truth transfer log in
 	// the result (costs memory proportional to message count).
 	RecordTruth bool
+	// Faults, when non-nil and active, injects deterministic link and
+	// NIC faults (see fabric.FaultPlan). An active plan implies
+	// reliable delivery: if MPI.Reliable is nil it is filled with
+	// default fabric.ReliableParams so lost packets are retransmitted
+	// rather than deadlocking the run.
+	Faults *fabric.FaultPlan
+	// Deadline, when positive, bounds the virtual run time: if the
+	// simulation is still live at this virtual time, RunE returns a
+	// *vtime.DeadlockError describing every stuck process instead of
+	// simulating forever.
+	Deadline time.Duration
 }
 
 // Result collects everything observable after a run.
@@ -43,12 +54,33 @@ type Result struct {
 	// Transfers is the ground-truth transfer log (only when
 	// Config.RecordTruth).
 	Transfers []fabric.Transfer
+	// FaultStats counts the faults the fabric actually injected
+	// (zero value when Config.Faults is nil or inactive).
+	FaultStats fabric.FaultStats
+	// RelStats holds each rank's reliable-delivery counters (zero
+	// values when the run is not configured for reliable delivery).
+	RelStats []fabric.RelStats
 }
 
 // Run executes main on every rank of a freshly built machine and
 // returns the observations. It is deterministic: identical
-// configurations and programs produce identical results.
+// configurations and programs produce identical results. Errors
+// (deadlock, retry exhaustion) panic; use RunE to receive them as
+// values.
 func Run(cfg Config, main func(r *mpi.Rank)) Result {
+	res, err := RunE(cfg, main)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE is Run returning simulation failures — communication errors
+// after retry exhaustion (mpi.ErrTimeout, mpi.ErrPeerUnreachable) and
+// deadlocks (*vtime.DeadlockError) — as errors instead of panicking.
+// The returned Result carries whatever was observable up to the
+// failure (at minimum the virtual duration and fault counters).
+func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 	if cfg.Procs <= 0 {
 		panic("cluster: Procs must be positive")
 	}
@@ -58,8 +90,19 @@ func Run(cfg Config, main func(r *mpi.Rank)) Result {
 	if ic := cfg.MPI.Instrument; ic != nil && ic.Table == nil {
 		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
 	}
+	if cfg.Faults.Active() && cfg.MPI.Reliable == nil {
+		cfg.MPI.Reliable = &fabric.ReliableParams{}
+	}
 	sim := vtime.NewSim()
 	fab := fabric.New(sim, cfg.Procs, cfg.Cost)
+	if cfg.Faults.Active() {
+		if err := fab.SetFaults(cfg.Faults); err != nil {
+			return Result{}, err
+		}
+	}
+	if cfg.Deadline > 0 {
+		sim.SetDeadline(vtime.Time(cfg.Deadline))
+	}
 	world := mpi.NewWorld(sim, fab, cfg.MPI)
 
 	ranks := make([]*mpi.Rank, 0, cfg.Procs)
@@ -67,20 +110,23 @@ func Run(cfg Config, main func(r *mpi.Rank)) Result {
 		ranks = append(ranks, r)
 		main(r)
 	})
-	end := sim.Run()
+	end, err := sim.RunE()
 
 	res := Result{
-		Reports:  world.Reports(),
-		Duration: end.Duration(),
-		MPITimes: make([]time.Duration, cfg.Procs),
+		Reports:    world.Reports(),
+		Duration:   end.Duration(),
+		MPITimes:   make([]time.Duration, cfg.Procs),
+		FaultStats: fab.FaultStats(),
+		RelStats:   make([]fabric.RelStats, cfg.Procs),
 	}
 	for _, r := range ranks {
 		res.MPITimes[r.ID()] = r.MPITime()
+		res.RelStats[r.ID()] = r.RelStats()
 	}
 	if cfg.RecordTruth {
 		res.Transfers = fab.Transfers()
 	}
-	return res
+	return res, err
 }
 
 // Calibrate measures the fabric's transfer time for each message size

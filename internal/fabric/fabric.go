@@ -58,6 +58,28 @@ func (k OpKind) String() string {
 	return "invalid"
 }
 
+// CQStatus is the completion status of a work request.
+type CQStatus int
+
+const (
+	// StatusOK means the request completed successfully.
+	StatusOK CQStatus = iota
+	// StatusRetryExceeded means a reliable-transport operation (RDMA
+	// read/write) failed after the HCA's link-level retries; no data
+	// moved. Surfaced only under an active FaultPlan.
+	StatusRetryExceeded
+)
+
+func (s CQStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRetryExceeded:
+		return "retry-exceeded"
+	}
+	return "invalid"
+}
+
 // CQE is a completion-queue entry: the NIC's notification that a
 // locally posted work request has completed.
 //
@@ -70,6 +92,7 @@ func (k OpKind) String() string {
 type CQE struct {
 	WRID   uint64 // work-request id returned by the posting call
 	Kind   OpKind
+	Status CQStatus
 	XferID uint64 // transfer id given at post time (0 if none)
 	Size   int    // payload bytes
 	Start  vtime.Time
@@ -84,7 +107,8 @@ type Packet struct {
 	Kind    OpKind // OpSend or OpRDMAWrite (immediate)
 	Size    int    // payload bytes carried
 	XferID  uint64
-	Payload any // library-defined header or body descriptor
+	Seq     uint64 // reliable-delivery sequence number (0 = unsequenced)
+	Payload any    // library-defined header or body descriptor
 	Start   vtime.Time
 	End     vtime.Time
 }
@@ -181,11 +205,14 @@ type Fabric struct {
 	xseq  uint64
 	wrseq uint64
 	truth []Transfer
+
+	faults    *faultState      // nil on a perfect network
+	truthSeen map[seenKey]bool // sequenced deliveries already recorded
 }
 
 // New creates a fabric of n nodes.
 func New(sim *vtime.Sim, n int, cost CostModel) *Fabric {
-	f := &Fabric{sim: sim, cost: cost}
+	f := &Fabric{sim: sim, cost: cost, truthSeen: make(map[seenKey]bool)}
 	f.nics = make([]*NIC, n)
 	for i := range f.nics {
 		f.nics[i] = &NIC{fab: f, id: NodeID(i)}
@@ -196,13 +223,47 @@ func New(sim *vtime.Sim, n int, cost CostModel) *Fabric {
 // Cost returns the fabric's cost model.
 func (f *Fabric) Cost() CostModel { return f.cost }
 
+// SetFaults installs a fault plan; call before the simulation starts.
+// A nil or inactive plan leaves the fabric perfect (and on the exact
+// pre-fault code path). The plan is validated, including that every
+// configured link and stall names an existing node.
+func (f *Fabric) SetFaults(plan *FaultPlan) error {
+	if !plan.Active() {
+		return nil
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	for l := range plan.Links {
+		if int(l.Src) < 0 || int(l.Src) >= len(f.nics) || int(l.Dst) < 0 || int(l.Dst) >= len(f.nics) {
+			return fmt.Errorf("fabric: fault link %d->%d names a node outside [0, %d)", l.Src, l.Dst, len(f.nics))
+		}
+	}
+	for i, w := range plan.Stalls {
+		if int(w.Node) < 0 || int(w.Node) >= len(f.nics) {
+			return fmt.Errorf("fabric: stall window %d names node %d outside [0, %d)", i, w.Node, len(f.nics))
+		}
+	}
+	f.faults = newFaultState(*plan)
+	return nil
+}
+
+// FaultStats returns the injected-fault counters (zero value when no
+// plan is active).
+func (f *Fabric) FaultStats() FaultStats {
+	if f.faults == nil {
+		return FaultStats{}
+	}
+	return f.faults.stats
+}
+
 // Nodes returns the number of nodes.
 func (f *Fabric) Nodes() int { return len(f.nics) }
 
 // NIC returns node id's network interface.
 func (f *Fabric) NIC(id NodeID) *NIC {
 	if int(id) < 0 || int(id) >= len(f.nics) {
-		panic(fmt.Sprintf("fabric: no such node %d", id))
+		panic(fmt.Sprintf("fabric: no such node %d (valid nodes are 0..%d)", id, len(f.nics)-1))
 	}
 	return f.nics[id]
 }
@@ -336,25 +397,118 @@ func (n *NIC) RDMAWriteStrided(p *vtime.Proc, dst NodeID, count, block int, xfer
 }
 
 func (n *NIC) transmit(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire time.Duration, xferID uint64, payload any, deliver bool) uint64 {
+	return n.transmitSeq(p, dst, kind, size, wire, xferID, payload, deliver, 0)
+}
+
+// transmitSeq is transmit with a reliable-delivery sequence number
+// (0 = unsequenced). With no active fault plan it follows the exact
+// pre-fault code path. Under faults: the egress start honours stall
+// windows (a permanent stall swallows the request — no CQE, no
+// delivery); the wire time honours degraded bandwidth; a dropped
+// Send-class packet vanishes silently after an OK completion, while a
+// dropped RDMA op surfaces as a StatusRetryExceeded completion;
+// duplicates and jitter perturb delivery. Sequenced packets are
+// acknowledged by the destination NIC hardware on every delivery.
+func (n *NIC) transmitSeq(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire time.Duration, xferID uint64, payload any, deliver bool, seq uint64) uint64 {
 	f := n.fab
 	p.Compute(f.cost.PostOverhead)
 	f.wrseq++
 	wr := f.wrseq
 	target := f.NIC(dst)
-	start, end := n.reserveEgress(f.sim.Now().Add(f.cost.DMAStartup), wire)
-	arrive := end.Add(f.cost.LinkLatency)
+	earliest := f.sim.Now().Add(f.cost.DMAStartup)
+	var drop, dup bool
+	var jitter time.Duration
+	if fs := f.faults; fs != nil {
+		var blackhole bool
+		earliest, blackhole = fs.stallAdjust(n.id, earliest)
+		if blackhole {
+			return wr
+		}
+		drop, dup, jitter = fs.decide(n.id, dst, kind == OpSend)
+		wire = fs.scaleWire(n.id, dst, wire)
+	}
+	start, end := n.reserveEgress(earliest, wire)
+	arrive := end.Add(f.cost.LinkLatency + jitter)
 	src := n.id
+	if drop && kind != OpSend {
+		// Reliable-transport op: the HCA's retries are exhausted; the
+		// failure surfaces as an error completion when the transfer
+		// would have arrived. No data moved.
+		f.sim.After(arrive.Sub(f.sim.Now()), func() {
+			n.pushCQE(CQE{WRID: wr, Kind: kind, Status: StatusRetryExceeded,
+				XferID: xferID, Size: size, Start: start, End: arrive})
+		})
+		return wr
+	}
 	f.sim.After(end.Sub(f.sim.Now()), func() {
 		n.pushCQE(CQE{WRID: wr, Kind: kind, XferID: xferID, Size: size, Start: start, End: arrive})
 	})
+	if drop {
+		// Unreliable datagram loss: the data left the NIC (hence the OK
+		// completion above) and vanished in the network.
+		return wr
+	}
 	f.sim.After(arrive.Sub(f.sim.Now()), func() {
-		f.record(Transfer{XferID: xferID, Src: src, Dst: dst, Size: size, Start: start, End: arrive})
-		if deliver {
-			target.pushPacket(Packet{From: src, Kind: kind, Size: size, XferID: xferID,
-				Payload: payload, Start: start, End: arrive})
-		}
+		f.deliverAt(src, dst, target, kind, size, xferID, payload, deliver, seq, true, start, arrive)
 	})
+	if dup {
+		// The copy trails the original by one link latency.
+		dupArrive := arrive.Add(f.cost.LinkLatency)
+		f.sim.After(dupArrive.Sub(f.sim.Now()), func() {
+			f.deliverAt(src, dst, target, kind, size, xferID, payload, deliver, seq, false, start, dupArrive)
+		})
+	}
 	return wr
+}
+
+// deliverAt runs at a packet's arrival instant on the destination:
+// ground-truth recording (first delivery of a given (src, seq) only),
+// inbox delivery, and hardware acknowledgment of sequenced packets.
+func (f *Fabric) deliverAt(src, dst NodeID, target *NIC, kind OpKind, size int, xferID uint64, payload any, deliver bool, seq uint64, original bool, start, arrive vtime.Time) {
+	first := original
+	if seq != 0 {
+		k := seenKey{src, seq}
+		if f.truthSeen[k] {
+			first = false
+		} else {
+			f.truthSeen[k] = true
+		}
+	}
+	if first {
+		f.record(Transfer{XferID: xferID, Src: src, Dst: dst, Size: size, Start: start, End: arrive})
+	}
+	if deliver {
+		target.pushPacket(Packet{From: src, Kind: kind, Size: size, XferID: xferID, Seq: seq,
+			Payload: payload, Start: start, End: arrive})
+	}
+	if seq != 0 {
+		f.sendAck(dst, src, seq, start, arrive)
+	}
+}
+
+// sendAck transmits the destination NIC's hardware acknowledgment of a
+// sequenced packet back to the sender. Acks are tiny control frames:
+// they bypass egress serialization, but they do cross the reverse link
+// and are subject to its loss and jitter (an ack lost to the network is
+// what forces a spurious — duplicate-suppressed — retransmission).
+func (f *Fabric) sendAck(from, to NodeID, seq uint64, start, end vtime.Time) {
+	var jitter time.Duration
+	if fs := f.faults; fs != nil {
+		if _, blackhole := fs.stallAdjust(from, f.sim.Now()); blackhole {
+			return
+		}
+		var drop bool
+		drop, _, jitter = fs.decide(from, to, false)
+		if drop {
+			return
+		}
+	}
+	arrive := f.sim.Now().Add(f.cost.Wire(0) + f.cost.LinkLatency + jitter)
+	ackSrc := from
+	f.sim.After(arrive.Sub(f.sim.Now()), func() {
+		f.nics[to].pushPacket(Packet{From: ackSrc, Kind: OpSend,
+			Payload: Ack{Seq: seq, Start: start, End: end}})
+	})
 }
 
 // RDMARead posts a one-sided read of size bytes from src into local
@@ -371,10 +525,32 @@ func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint6
 	reqArrive := f.sim.Now().Add(f.cost.DMAStartup + f.cost.Wire(0) + f.cost.LinkLatency)
 	dst := n.id
 	f.sim.After(reqArrive.Sub(f.sim.Now()), func() {
-		// The remote NIC sources the data on its egress link.
-		start, end := remote.reserveEgress(f.sim.Now(), f.cost.Wire(size))
-		arrive := end.Add(f.cost.LinkLatency)
+		// The remote NIC sources the data on its egress link. Faults are
+		// modelled on this serve leg (the data direction src→dst): stall
+		// windows on the serving NIC, degraded bandwidth and jitter on
+		// the link, and loss as a reliable-transport failure —
+		// StatusRetryExceeded at the requester, no data movement.
+		serve := f.sim.Now()
+		wire := f.cost.Wire(size)
+		var drop bool
+		var jitter time.Duration
+		if fs := f.faults; fs != nil {
+			var blackhole bool
+			serve, blackhole = fs.stallAdjust(src, serve)
+			if blackhole {
+				return
+			}
+			drop, _, jitter = fs.decide(src, dst, false)
+			wire = fs.scaleWire(src, dst, wire)
+		}
+		start, end := remote.reserveEgress(serve, wire)
+		arrive := end.Add(f.cost.LinkLatency + jitter)
 		f.sim.After(arrive.Sub(f.sim.Now()), func() {
+			if drop {
+				n.pushCQE(CQE{WRID: wr, Kind: OpRDMARead, Status: StatusRetryExceeded,
+					XferID: xferID, Size: size, Start: start, End: arrive})
+				return
+			}
 			f.record(Transfer{XferID: xferID, Src: src, Dst: dst, Size: size, Start: start, End: arrive})
 			n.pushCQE(CQE{WRID: wr, Kind: OpRDMARead, XferID: xferID, Size: size, Start: start, End: arrive})
 		})

@@ -1,0 +1,255 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ovlp/internal/vtime"
+)
+
+// This file implements deterministic fault injection. A FaultPlan
+// describes, per directed link and per NIC, how the fabric misbehaves:
+// packet loss, duplication, delivery jitter, degraded bandwidth, and
+// DMA-engine stall windows. All randomness comes from one PRNG seeded
+// by the plan, consumed in simulation event order, so a given (plan,
+// program) pair reproduces the same run bit-for-bit.
+//
+// Faults manifest according to the op class:
+//
+//   - Send-class packets behave like unreliable datagrams: a dropped
+//     packet vanishes silently (the sender's CQE still reports OK — the
+//     data did leave the NIC), and a duplicated packet arrives twice.
+//     Recovering is the job of the software reliability layer
+//     (Reliable), exactly as on a lossy fabric.
+//   - RDMA data operations model a reliable-connected transport: the
+//     HCA's own link-level retries are outside the simulation, so a
+//     "dropped" RDMA op surfaces as a completion with
+//     StatusRetryExceeded and no data movement; the library reposts
+//     with backoff.
+//   - Stalls freeze a NIC's DMA egress engine for a window of virtual
+//     time: transfers posted during the window start late. A window
+//     ending at Forever blackholes the NIC — posted work requests
+//     never complete and nothing leaves the node.
+
+// Link identifies a directed src→dst link in the full crossbar.
+type Link struct {
+	Src, Dst NodeID
+}
+
+// Forever marks a stall window that never ends: the NIC is wedged from
+// the window's start for the rest of the run.
+const Forever = vtime.Time(math.MaxInt64)
+
+// LinkFaults configures misbehaviour of one directed link.
+type LinkFaults struct {
+	// DropRate is the probability in [0,1] that a packet is lost.
+	DropRate float64
+	// DupRate is the probability in [0,1] that a delivered packet
+	// arrives a second time (Send-class packets only).
+	DupRate float64
+	// DropEvery, when positive, overrides DropRate with a deterministic
+	// pattern: every DropEvery-th packet on the link is dropped
+	// (counting from 1, so DropEvery=2 drops packets 2, 4, 6, ...).
+	// Useful for tests that need an exact loss schedule.
+	DropEvery int
+	// JitterMax adds a uniform extra delivery delay in [0, JitterMax)
+	// to each packet.
+	JitterMax time.Duration
+	// BandwidthFactor scales the link's effective bandwidth: 0.5 halves
+	// it (doubling serialization time). Zero or 1 leaves it nominal.
+	BandwidthFactor float64
+}
+
+func (l LinkFaults) active() bool {
+	return l.DropRate > 0 || l.DupRate > 0 || l.DropEvery > 0 ||
+		l.JitterMax > 0 || (l.BandwidthFactor != 0 && l.BandwidthFactor != 1)
+}
+
+func (l LinkFaults) validate(what string) error {
+	if l.DropRate < 0 || l.DropRate > 1 {
+		return fmt.Errorf("fabric: %s: DropRate %v outside [0, 1]", what, l.DropRate)
+	}
+	if l.DupRate < 0 || l.DupRate > 1 {
+		return fmt.Errorf("fabric: %s: DupRate %v outside [0, 1]", what, l.DupRate)
+	}
+	if l.DropEvery < 0 {
+		return fmt.Errorf("fabric: %s: DropEvery %d is negative", what, l.DropEvery)
+	}
+	if l.JitterMax < 0 {
+		return fmt.Errorf("fabric: %s: JitterMax %v is negative", what, l.JitterMax)
+	}
+	if l.BandwidthFactor < 0 || l.BandwidthFactor > 1 {
+		return fmt.Errorf("fabric: %s: BandwidthFactor %v outside [0, 1] (0 means nominal)", what, l.BandwidthFactor)
+	}
+	return nil
+}
+
+// StallWindow freezes one NIC's DMA egress engine during [Start, End):
+// work posted inside the window begins transmitting only at End. An End
+// of Forever blackholes the NIC from Start on.
+type StallWindow struct {
+	Node       NodeID
+	Start, End vtime.Time
+}
+
+// FaultPlan is a complete, seeded description of fabric misbehaviour
+// for one run. The zero value (and nil) is a perfect network.
+type FaultPlan struct {
+	// Seed seeds the fault PRNG; runs with equal seeds and plans are
+	// bit-for-bit identical.
+	Seed int64
+	// Default applies to every link without a Links override.
+	Default LinkFaults
+	// Links overrides Default for specific directed links.
+	Links map[Link]LinkFaults
+	// Stalls lists DMA-engine stall windows.
+	Stalls []StallWindow
+}
+
+// Active reports whether the plan can perturb anything; an inactive
+// plan leaves the fabric on the exact pre-fault code path (no PRNG
+// draws, no acknowledgments, byte-identical results).
+func (p *FaultPlan) Active() bool {
+	if p == nil {
+		return false
+	}
+	if p.Default.active() || len(p.Stalls) > 0 {
+		return true
+	}
+	for _, lf := range p.Links {
+		if lf.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks rates, factors and windows, returning a descriptive
+// error for the first invalid parameter.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Default.validate("Default"); err != nil {
+		return err
+	}
+	for l, lf := range p.Links {
+		if err := lf.validate(fmt.Sprintf("link %d->%d", l.Src, l.Dst)); err != nil {
+			return err
+		}
+		if l.Src == l.Dst {
+			return fmt.Errorf("fabric: link %d->%d is a self-loop", l.Src, l.Dst)
+		}
+	}
+	for i, w := range p.Stalls {
+		if w.Start < 0 {
+			return fmt.Errorf("fabric: stall window %d: negative start %v", i, w.Start)
+		}
+		if w.End <= w.Start {
+			return fmt.Errorf("fabric: stall window %d: end %v not after start %v (use Forever for a permanent stall)", i, w.End, w.Start)
+		}
+	}
+	return nil
+}
+
+// FaultStats counts the faults actually injected during a run.
+type FaultStats struct {
+	Dropped    int // packets and RDMA ops lost
+	Duplicated int // extra deliveries injected
+	Jittered   int // packets delayed by jitter
+	Stalled    int // transfers delayed by a finite stall window
+	Blackholed int // work requests swallowed by a permanent stall
+}
+
+// faultState is the runtime form of a FaultPlan: the PRNG, per-link
+// packet counters and injection statistics.
+type faultState struct {
+	plan      FaultPlan
+	rng       *rand.Rand
+	linkCount map[Link]int
+	stats     FaultStats
+}
+
+func newFaultState(plan FaultPlan) *faultState {
+	return &faultState{
+		plan:      plan,
+		rng:       rand.New(rand.NewSource(plan.Seed)),
+		linkCount: make(map[Link]int),
+	}
+}
+
+func (fs *faultState) linkFaults(src, dst NodeID) LinkFaults {
+	if lf, ok := fs.plan.Links[Link{src, dst}]; ok {
+		return lf
+	}
+	return fs.plan.Default
+}
+
+// decide draws this packet's fate on the src→dst link. The draws
+// consumed depend only on the link's configuration — never on dupOK or
+// the packet's kind — and calls happen in simulation event order, so
+// the PRNG stream is reproducible. dupOK is false for reliable-
+// transport ops (RDMA, acks): their hardware dedups in the transport
+// layer, so an injected duplicate can never reach the application.
+func (fs *faultState) decide(src, dst NodeID, dupOK bool) (drop, dup bool, jitter time.Duration) {
+	lf := fs.linkFaults(src, dst)
+	l := Link{src, dst}
+	fs.linkCount[l]++
+	if lf.DropEvery > 0 {
+		drop = fs.linkCount[l]%lf.DropEvery == 0
+	} else if lf.DropRate > 0 {
+		drop = fs.rng.Float64() < lf.DropRate
+	}
+	if lf.DupRate > 0 {
+		dup = fs.rng.Float64() < lf.DupRate && dupOK
+	}
+	if lf.JitterMax > 0 {
+		jitter = time.Duration(fs.rng.Int63n(int64(lf.JitterMax)))
+	}
+	if drop {
+		fs.stats.Dropped++
+		dup = false
+	} else if dup {
+		fs.stats.Duplicated++
+	}
+	if jitter > 0 && !drop {
+		fs.stats.Jittered++
+	}
+	return drop, dup, jitter
+}
+
+// scaleWire stretches a serialization time by the link's degraded
+// bandwidth factor.
+func (fs *faultState) scaleWire(src, dst NodeID, wire time.Duration) time.Duration {
+	f := fs.linkFaults(src, dst).BandwidthFactor
+	if f == 0 || f == 1 {
+		return wire
+	}
+	return time.Duration(float64(wire) / f)
+}
+
+// stallAdjust returns the earliest time node's egress engine can start
+// a transfer wanted at time t, and whether the engine is permanently
+// wedged at t (blackholed).
+func (fs *faultState) stallAdjust(node NodeID, t vtime.Time) (vtime.Time, bool) {
+	// A finite window can push the start time into a later window, so
+	// iterate to a fixpoint; windows are finitely many.
+	for moved := true; moved; {
+		moved = false
+		for _, w := range fs.plan.Stalls {
+			if w.Node != node || t < w.Start || t >= w.End {
+				continue
+			}
+			if w.End == Forever {
+				fs.stats.Blackholed++
+				return t, true
+			}
+			t = w.End
+			fs.stats.Stalled++
+			moved = true
+		}
+	}
+	return t, false
+}

@@ -1,0 +1,165 @@
+// Package faultflag gives the experiment binaries a shared
+// command-line vocabulary for fault injection: a handful of flags that
+// assemble into a fabric.FaultPlan, so every benchmark can be rerun on
+// a deterministically misbehaving network without per-binary plumbing.
+package faultflag
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/vtime"
+)
+
+// values holds the raw flag state between Register and Plan.
+type values struct {
+	seed   int64
+	drop   float64
+	dup    float64
+	jitter time.Duration
+	stall  string
+}
+
+// Register installs the fault-injection flags on fs (the default
+// command-line set when fs is nil) and returns a builder that turns
+// the parsed values into a plan. The builder returns a nil plan when
+// no fault option was used, so callers can hand its result straight to
+// cluster.Config.Faults without changing fault-free behaviour.
+func Register(fs *flag.FlagSet) func() (*fabric.FaultPlan, error) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	v := &values{}
+	fs.Int64Var(&v.seed, "fault-seed", 1, "seed for the fault-injection PRNG (same seed, same run)")
+	fs.Float64Var(&v.drop, "drop", 0, "per-packet drop probability on every link [0,1]")
+	fs.Float64Var(&v.dup, "dup", 0, "per-packet duplication probability on every link [0,1]")
+	fs.DurationVar(&v.jitter, "jitter", 0, "maximum extra per-packet delivery delay (uniform in [0,jitter))")
+	fs.StringVar(&v.stall, "stall", "", `DMA stall windows, comma-separated "node@start+dur" (dur may be "forever"), e.g. "1@2ms+500us"`)
+	return v.plan
+}
+
+// plan assembles the FaultPlan, or nil when every knob is at rest.
+func (v *values) plan() (*fabric.FaultPlan, error) {
+	p := &fabric.FaultPlan{
+		Seed: v.seed,
+		Default: fabric.LinkFaults{
+			DropRate:  v.drop,
+			DupRate:   v.dup,
+			JitterMax: v.jitter,
+		},
+	}
+	if v.stall != "" {
+		stalls, err := ParseStalls(v.stall)
+		if err != nil {
+			return nil, err
+		}
+		p.Stalls = stalls
+	}
+	if !p.Active() {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseStalls parses a comma-separated list of "node@start+dur" stall
+// windows; dur may be "forever" for a permanent blackhole.
+func ParseStalls(s string) ([]fabric.StallWindow, error) {
+	var out []fabric.StallWindow
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := parseStall(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func parseStall(s string) (fabric.StallWindow, error) {
+	bad := func() (fabric.StallWindow, error) {
+		return fabric.StallWindow{}, fmt.Errorf(
+			`faultflag: bad stall %q (want "node@start+dur", e.g. "1@2ms+500us" or "0@1ms+forever")`, s)
+	}
+	nodeStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return bad()
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil || node < 0 {
+		return bad()
+	}
+	startStr, durStr, ok := strings.Cut(rest, "+")
+	if !ok {
+		return bad()
+	}
+	start, err := time.ParseDuration(startStr)
+	if err != nil || start < 0 {
+		return bad()
+	}
+	w := fabric.StallWindow{Node: fabric.NodeID(node), Start: vtime.Time(start)}
+	if durStr == "forever" {
+		w.End = fabric.Forever
+		return w, nil
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil || dur <= 0 {
+		return bad()
+	}
+	w.End = w.Start + vtime.Time(dur)
+	return w, nil
+}
+
+// CheckNodes verifies that every node a plan names exists on a
+// machine of the given size, so a binary can reject a bad -stall
+// before the run harness panics mid-sweep.
+func CheckNodes(p *fabric.FaultPlan, procs int) error {
+	if !p.Active() {
+		return nil
+	}
+	for _, w := range p.Stalls {
+		if int(w.Node) >= procs {
+			return fmt.Errorf("faultflag: -stall names node %d but the run uses %d process(es) (nodes 0-%d)",
+				w.Node, procs, procs-1)
+		}
+	}
+	for l := range p.Links {
+		if int(l.Src) >= procs || int(l.Dst) >= procs {
+			return fmt.Errorf("faultflag: fault plan names link %d->%d but the run uses %d process(es)",
+				l.Src, l.Dst, procs)
+		}
+	}
+	return nil
+}
+
+// Describe renders a plan for a benchmark header line; it returns ""
+// for a nil plan so fault-free output stays untouched.
+func Describe(p *fabric.FaultPlan) string {
+	if !p.Active() {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed %d", p.Seed)}
+	if p.Default.DropRate > 0 {
+		parts = append(parts, fmt.Sprintf("drop %.2g", p.Default.DropRate))
+	}
+	if p.Default.DupRate > 0 {
+		parts = append(parts, fmt.Sprintf("dup %.2g", p.Default.DupRate))
+	}
+	if p.Default.JitterMax > 0 {
+		parts = append(parts, fmt.Sprintf("jitter %v", p.Default.JitterMax))
+	}
+	if n := len(p.Stalls); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d stall window(s)", n))
+	}
+	return "faults: " + strings.Join(parts, ", ")
+}

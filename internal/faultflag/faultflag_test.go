@@ -1,0 +1,64 @@
+package faultflag
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/vtime"
+)
+
+func parse(t *testing.T, args ...string) (*fabric.FaultPlan, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	build := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("flag parse: %v", err)
+	}
+	return build()
+}
+
+func TestNoFlagsMeansNoPlan(t *testing.T) {
+	p, err := parse(t)
+	if err != nil || p != nil {
+		t.Fatalf("want nil plan without fault flags, got %v, %v", p, err)
+	}
+	// A bare seed still means "no faults": nothing to reproduce.
+	p, err = parse(t, "-fault-seed", "7")
+	if err != nil || p != nil {
+		t.Fatalf("seed alone should not activate faults, got %v, %v", p, err)
+	}
+}
+
+func TestDropAndStallParse(t *testing.T) {
+	p, err := parse(t, "-fault-seed", "3", "-drop", "0.1", "-jitter", "2us",
+		"-stall", "1@2ms+500us, 0@1ms+forever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 3 || p.Default.DropRate != 0.1 || p.Default.JitterMax != 2*time.Microsecond {
+		t.Fatalf("bad plan: %+v", p)
+	}
+	want := []fabric.StallWindow{
+		{Node: 1, Start: vtime.Time(2 * time.Millisecond), End: vtime.Time(2*time.Millisecond + 500*time.Microsecond)},
+		{Node: 0, Start: vtime.Time(time.Millisecond), End: fabric.Forever},
+	}
+	if len(p.Stalls) != 2 || p.Stalls[0] != want[0] || p.Stalls[1] != want[1] {
+		t.Fatalf("stalls = %+v, want %+v", p.Stalls, want)
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-drop", "1.5"},                  // rate out of range -> plan validation
+		{"-stall", "zero@1ms+1ms"},        // unparsable node
+		{"-stall", "0@1ms"},               // missing duration
+		{"-stall", "0@1ms+never"},         // bad duration word
+		{"-drop", "0.1", "-stall", "0@-1ms+1ms"}, // negative start
+	} {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("args %v: want error, got none", args)
+		}
+	}
+}

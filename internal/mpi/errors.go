@@ -1,0 +1,55 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"ovlp/internal/fabric"
+)
+
+// Sentinel errors for communication failures under an active fault
+// plan. They are wrapped in a *CommError, so match with errors.Is.
+var (
+	// ErrTimeout means a message exhausted its retransmission budget
+	// against a peer that has otherwise been responsive.
+	ErrTimeout = errors.New("mpi: communication timed out")
+	// ErrPeerUnreachable means a peer never acknowledged anything — it
+	// looks dead, not just lossy.
+	ErrPeerUnreachable = errors.New("mpi: peer unreachable")
+)
+
+// CommError is the structured failure of a communication operation:
+// which rank failed talking to which peer, doing what, after how many
+// attempts. It wraps ErrTimeout or ErrPeerUnreachable and is raised as
+// a panic from the failing library call; cluster.RunE recovers it into
+// an ordinary returned error.
+type CommError struct {
+	Rank     int
+	Peer     int
+	Op       string
+	Attempts int
+	err      error
+}
+
+func (e *CommError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s to rank %d failed after %d attempt(s): %v",
+		e.Rank, e.Op, e.Peer, e.Attempts, e.err)
+}
+
+func (e *CommError) Unwrap() error { return e.err }
+
+// commFail converts a reliability-layer delivery failure into the
+// library's structured error and aborts the rank with it. The panic
+// unwinds through vtime (which wraps it, preserving errors.Is/As) and
+// is surfaced as a returned error by cluster.RunE.
+func (r *Rank) commFail(err error) {
+	var de *fabric.DeliveryError
+	if errors.As(err, &de) {
+		base := ErrTimeout
+		if de.PeerSilent {
+			base = ErrPeerUnreachable
+		}
+		panic(&CommError{Rank: r.id, Peer: int(de.Dst), Op: de.Op, Attempts: de.Attempts, err: base})
+	}
+	panic(err)
+}

@@ -114,6 +114,13 @@ type Config struct {
 	// ReduceBandwidth models the reduction-operator cost in bytes per
 	// second (default 2 GB/s).
 	ReduceBandwidth float64
+	// Reliable enables the software reliable-delivery layer: sequence
+	// numbers, hardware acks, retransmission with exponential backoff
+	// and duplicate suppression. Required when the fabric runs with an
+	// active fault plan; nil keeps the pre-fault fast path. On retry
+	// exhaustion library calls fail with a *CommError wrapping
+	// ErrTimeout or ErrPeerUnreachable.
+	Reliable *fabric.ReliableParams
 	// HWTimestamps makes the library consume the NIC's hardware
 	// transfer time-stamps, feeding the instrumentation's precise
 	// XferExact path instead of the XFER_BEGIN/XFER_END bounds — the
@@ -222,6 +229,7 @@ type Rank struct {
 	id   int
 	proc *vtime.Proc
 	nic  *fabric.NIC
+	rel  *fabric.Reliable // reliable delivery, nil unless Config.Reliable
 	mon  *overlap.Monitor
 
 	recvQ  []*Request // posted, unmatched receives, in post order
@@ -271,6 +279,9 @@ func (r *Rank) attach(p *vtime.Proc) {
 	// and the permit semantics turn the early notification into an
 	// immediate wake instead of a lost one.
 	r.nic.SetNotify(func() { r.proc.Unpark() })
+	if rp := r.w.cfg.Reliable; rp != nil {
+		r.rel = fabric.NewReliable(r.nic, *rp, func() { r.proc.Unpark() })
+	}
 	if ic := r.w.cfg.Instrument; ic != nil {
 		mc := overlap.Config{
 			Clock:     procClock{p},
@@ -292,6 +303,18 @@ func (r *Rank) attach(p *vtime.Proc) {
 
 // finalize produces the rank's report at the end of main.
 func (r *Rank) finalize() {
+	if r.rel != nil {
+		// Quiesce the reliability layer first: a blocking eager send's
+		// buffered fast path can return before the acknowledgment, and
+		// exiting with messages outstanding would strand their
+		// retransmission timers with no progress engine to serve them.
+		// Like MPI_Finalize, this blocks until delivery is settled — or
+		// panics with the rank's structured error when a retry budget
+		// runs out.
+		r.enterOp("Finalize")
+		r.waitUntil(func() bool { return r.rel.Outstanding() == 0 })
+		r.exit()
+	}
 	if r.mon != nil {
 		rep := r.mon.Finalize()
 		rep.Rank = r.id
@@ -363,6 +386,15 @@ func (r *Rank) exit() {
 		r.mpiTime += d
 		r.callTimes[r.curOp] += d
 	}
+}
+
+// RelStats returns the rank's reliable-delivery counters (zero value
+// when the reliability layer is disabled).
+func (r *Rank) RelStats() fabric.RelStats {
+	if r.rel == nil {
+		return fabric.RelStats{}
+	}
+	return r.rel.Stats()
 }
 
 // cost returns the fabric cost model.

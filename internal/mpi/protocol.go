@@ -105,10 +105,11 @@ const (
 
 // pendingWR remembers what a posted work request was for.
 type pendingWR struct {
-	kind   wrKind
-	req    *Request
-	xferID uint64
-	size   int
+	kind     wrKind
+	req      *Request
+	xferID   uint64
+	size     int
+	attempts int // failed completions so far (RDMA repost accounting)
 }
 
 // progress is the library's polling progress engine: drain arrived
@@ -123,16 +124,39 @@ func (r *Rank) progress() bool {
 		if pkt == nil {
 			break
 		}
-		r.handlePacket(pkt)
 		did = true
+		if r.rel != nil {
+			if a, ok := pkt.Payload.(fabric.Ack); ok {
+				r.rel.HandleAck(a)
+				continue
+			}
+			r.rel.NotePeerAlive(pkt.From)
+			if r.rel.Duplicate(pkt) {
+				continue
+			}
+		}
+		r.handlePacket(pkt)
 	}
 	for {
 		cqe := r.nic.PollCQ(r.proc)
 		if cqe == nil {
 			break
 		}
-		r.handleCQE(cqe)
 		did = true
+		if r.rel != nil && r.rel.TakeWR(cqe.WRID) {
+			// Tracked reliable send: completion is acknowledgment-driven.
+			continue
+		}
+		r.handleCQE(cqe)
+	}
+	if r.rel != nil {
+		d, err := r.rel.RunDue(r.proc)
+		if err != nil {
+			r.commFail(err)
+		}
+		if d {
+			did = true
+		}
 	}
 	if r.pumpPipelines() {
 		did = true
@@ -149,13 +173,25 @@ func (r *Rank) waitUntil(cond func() bool) {
 		if r.progress() {
 			continue
 		}
-		if cond() || r.nic.Pending() {
+		if cond() || r.nic.Pending() || (r.rel != nil && r.rel.HasDue()) {
 			continue
 		}
 		r.waiting = true
 		r.proc.Park("mpi.waitUntil")
 		r.waiting = false
 	}
+}
+
+// sendCtl posts a control packet to dst — reliably (sequenced and
+// acknowledged) when the reliability layer is on, as a bare send
+// otherwise.
+func (r *Rank) sendCtl(dst fabric.NodeID, payload any) {
+	if r.rel != nil {
+		r.rel.Send(r.proc, dst, 0, 0, payload, "send", nil)
+		return
+	}
+	wr := r.nic.Send(r.proc, dst, 0, 0, payload)
+	r.wrMap[wr] = pendingWR{kind: wrControl}
 }
 
 // startSend launches the protocol for a send request. Caller must be
@@ -180,9 +216,23 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		r.proc.Compute(c.Copy(req.size))
 		xid := r.w.fab.NewXferID()
 		r.xferBegin(xid, req.size)
-		wr := r.nic.Send(r.proc, dst, req.size, xid,
-			eagerMsg{src: r.id, tag: req.tag, ctx: ctx, size: req.size, xferID: xid})
-		r.wrMap[wr] = pendingWR{kind: wrEager, req: req, xferID: xid, size: req.size}
+		msg := eagerMsg{src: r.id, tag: req.tag, ctx: ctx, size: req.size, xferID: xid}
+		if r.rel != nil {
+			// Reliable: completion and the transfer-end observation are
+			// driven by the delivering attempt's acknowledgment, so
+			// retransmissions attribute to library time and never count
+			// as extra transfers.
+			r.rel.Send(r.proc, dst, req.size, xid, msg, "send", func(start, end vtime.Time) {
+				r.xferEnd(xid, req.size)
+				r.xferExact(xid, req.size, start, end)
+				if !req.done {
+					req.complete()
+				}
+			})
+		} else {
+			wr := r.nic.Send(r.proc, dst, req.size, xid, msg)
+			r.wrMap[wr] = pendingWR{kind: wrEager, req: req, xferID: xid, size: req.size}
+		}
 		if buffered {
 			req.complete()
 		}
@@ -202,11 +252,19 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		r.proc.Compute(c.Copy(frag0))
 		xid := r.w.fab.NewXferID()
 		r.xferBegin(xid, frag0)
-		wr := r.nic.Send(r.proc, dst, frag0, xid, rtsMsg{
+		msg := rtsMsg{
 			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
 			sendReq: req.id, frag0: frag0, frag0Xfer: xid,
-		})
-		r.wrMap[wr] = pendingWR{kind: wrFrag0, req: req, xferID: xid, size: frag0}
+		}
+		if r.rel != nil {
+			r.rel.Send(r.proc, dst, frag0, xid, msg, "send", func(start, end vtime.Time) {
+				r.xferEnd(xid, frag0)
+				r.xferExact(xid, frag0, start, end)
+			})
+		} else {
+			wr := r.nic.Send(r.proc, dst, frag0, xid, msg)
+			r.wrMap[wr] = pendingWR{kind: wrFrag0, req: req, xferID: xid, size: frag0}
+		}
 		req.nextOffset = frag0
 		req.phase = sendRTSPosted
 		r.ctsWaiters[req.id] = req
@@ -216,11 +274,10 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		xid := r.w.fab.NewXferID()
 		req.dataXfer = xid
 		r.xferBegin(xid, req.size)
-		wr := r.nic.Send(r.proc, dst, 0, 0, rtsMsg{
+		r.sendCtl(dst, rtsMsg{
 			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
 			sendReq: req.id, readXfer: xid,
 		})
-		r.wrMap[wr] = pendingWR{kind: wrControl}
 		req.phase = sendRTSPosted
 		r.ctsWaiters[req.id] = req
 	default:
@@ -384,9 +441,7 @@ func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, p
 			req.bulkXfer = r.w.fab.NewXferID()
 			r.xferBegin(req.bulkXfer, req.bulkSize)
 		}
-		wr := r.nic.Send(r.proc, fabric.NodeID(rts.src), 0, 0,
-			ctsMsg{sendReq: rts.sendReq, recvReq: req.id})
-		r.wrMap[wr] = pendingWR{kind: wrControl}
+		r.sendCtl(fabric.NodeID(rts.src), ctsMsg{sendReq: rts.sendReq, recvReq: req.id})
 		if req.arrivedBytes >= req.size {
 			delete(r.rxActive, req.id)
 			req.complete()
@@ -406,6 +461,10 @@ func (r *Rank) handleCQE(cqe *fabric.CQE) {
 		panic("mpi: completion for unknown work request")
 	}
 	delete(r.wrMap, cqe.WRID)
+	if cqe.Status != fabric.StatusOK {
+		r.handleFailedCQE(pw, cqe)
+		return
+	}
 	switch pw.kind {
 	case wrControl:
 		// Control packet left the NIC; nothing to do.
@@ -429,10 +488,53 @@ func (r *Rank) handleCQE(cqe *fabric.CQE) {
 		// FIN echoes the hardware stamps for the sender's accounting.
 		r.xferEnd(pw.xferID, pw.size)
 		r.xferExact(pw.xferID, pw.size, cqe.Start, cqe.End)
-		wr := r.nic.Send(r.proc, fabric.NodeID(pw.req.peer), 0, 0,
+		r.sendCtl(fabric.NodeID(pw.req.peer),
 			finMsg{sendReq: pw.req.rxPeerReq, start: cqe.Start, end: cqe.End})
-		r.wrMap[wr] = pendingWR{kind: wrControl}
 		pw.req.complete()
+	}
+}
+
+// handleFailedCQE reposts a failed RDMA data operation with backoff,
+// or fails the rank with a structured error once the retry budget is
+// spent (or when no reliability layer is configured to spend one).
+func (r *Rank) handleFailedCQE(pw pendingWR, cqe *fabric.CQE) {
+	attempts := pw.attempts + 1 // this completion was attempt #attempts
+	fail := func(dst fabric.NodeID, op string) {
+		r.commFail(&fabric.DeliveryError{Dst: dst, Op: op, Attempts: attempts})
+	}
+	switch pw.kind {
+	case wrFrag:
+		dst := fabric.NodeID(pw.req.peer)
+		if r.rel == nil {
+			fail(dst, cqe.Kind.String())
+			return
+		}
+		req, xid, size := pw.req, pw.xferID, pw.size
+		err := r.rel.Repost(dst, cqe.Kind.String(), attempts, func(p *vtime.Proc) {
+			wr := r.nic.RDMAWrite(p, dst, size, xid, fragMsg{recvReq: req.ctsRecvReq, size: size})
+			r.wrMap[wr] = pendingWR{kind: wrFrag, req: req, xferID: xid, size: size, attempts: attempts}
+		})
+		if err != nil {
+			r.commFail(err)
+		}
+	case wrRead:
+		src := fabric.NodeID(pw.req.peer)
+		if r.rel == nil {
+			fail(src, cqe.Kind.String())
+			return
+		}
+		req, xid, size := pw.req, pw.xferID, pw.size
+		err := r.rel.Repost(src, cqe.Kind.String(), attempts, func(p *vtime.Proc) {
+			wr := r.nic.RDMARead(p, src, size, xid)
+			r.wrMap[wr] = pendingWR{kind: wrRead, req: req, xferID: xid, size: size, attempts: attempts}
+		})
+		if err != nil {
+			r.commFail(err)
+		}
+	default:
+		// Send-class losses are silent (handled by retransmission); an
+		// error completion here means a misconfigured fabric.
+		panic(fmt.Sprintf("mpi: unexpected %v completion for %v work request", cqe.Status, pw.kind))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"ovlp/internal/armci"
 	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
 )
@@ -41,6 +42,10 @@ type Options struct {
 	MaxIters int
 	// HWTimestamps enables the precise NIC-time-stamp mode.
 	HWTimestamps bool
+	// Faults, when non-nil and active, injects deterministic fabric
+	// faults; the run then uses reliable delivery (see
+	// cluster.Config.Faults).
+	Faults *fabric.FaultPlan
 }
 
 // Characterize runs one MPI benchmark instrumented and returns process
@@ -67,6 +72,7 @@ func CharacterizeAllReports(name string, class Class, procs int, opt Options) ([
 			HWTimestamps: opt.HWTimestamps,
 			Instrument:   &mpi.InstrumentConfig{},
 		},
+		Faults: opt.Faults,
 	}, func(r *mpi.Rank) {
 		Run(name, r, Params{Class: class, MaxIters: opt.MaxIters})
 	})
@@ -141,11 +147,18 @@ func CharacterizeSP(class Class, procs int, modified bool, maxIters int) SPResul
 // CharacterizeMGARMCI runs the one-sided MG variant and reports
 // process 0's overlap measures (Fig. 19).
 func CharacterizeMGARMCI(class Class, procs int, variant MGVariant, maxIters int) OverlapResult {
+	return CharacterizeMGARMCIOpts(class, procs, variant, Options{MaxIters: maxIters})
+}
+
+// CharacterizeMGARMCIOpts is CharacterizeMGARMCI with full Options
+// (only MaxIters and Faults apply to the one-sided library).
+func CharacterizeMGARMCIOpts(class Class, procs int, variant MGVariant, opt Options) OverlapResult {
 	res := cluster.RunARMCI(cluster.ARMCIConfig{
-		Procs: procs,
-		ARMCI: armci.Config{Instrument: &armci.InstrumentConfig{}},
+		Procs:  procs,
+		ARMCI:  armci.Config{Instrument: &armci.InstrumentConfig{}},
+		Faults: opt.Faults,
 	}, func(pr *armci.Proc) {
-		RunMGARMCI(pr, Params{Class: class, MaxIters: maxIters}, variant)
+		RunMGARMCI(pr, Params{Class: class, MaxIters: opt.MaxIters}, variant)
 	})
 	out := summarize("MG/"+variant.String(), class, procs, res.Reports[0], res.Duration, res.LibTimes[0])
 	return out

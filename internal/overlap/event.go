@@ -116,14 +116,19 @@ func newRing(capacity int) *ring {
 	return &ring{buf: make([]Event, capacity)}
 }
 
-// push appends an event and reports whether the queue is now full.
+// full reports whether the queue has no room for another event.
+func (r *ring) full() bool { return r.n == len(r.buf) }
+
+// push appends an event and reports whether the queue is now full. The
+// caller must drain a full queue before pushing again (Monitor.log
+// does so automatically).
 func (r *ring) push(e Event) bool {
-	if r.n == len(r.buf) {
+	if r.full() {
 		panic("overlap: event queue overflow (drain before pushing)")
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = e
 	r.n++
-	return r.n == len(r.buf)
+	return r.full()
 }
 
 // drain invokes fn on every queued event in order and resets the

@@ -50,6 +50,11 @@ type Config struct {
 	// is logged. It exists for validation against ground truth in
 	// tests; production configurations leave it nil (no tracing).
 	TraceSink func(Event)
+	// StrictQueue restores the historical behaviour of panicking when
+	// an event arrives at a full queue. By default the monitor drains
+	// the queue through the processing module and keeps going —
+	// profiling degrades gracefully instead of killing the run.
+	StrictQueue bool
 }
 
 // Monitor is the per-process instrumentation instance: the data
@@ -124,6 +129,17 @@ func (m *Monitor) log(e Event) {
 	}
 	if m.cfg.TraceSink != nil {
 		m.cfg.TraceSink(e)
+	}
+	if m.q.full() {
+		// Normally drained at the push that fills the queue; re-entrant
+		// logging (e.g. a Charge callback that triggers events) can
+		// still find it full. Fold the backlog into the running
+		// measures and continue, unless the caller opted into the
+		// historical hard failure.
+		if m.cfg.StrictQueue {
+			panic("overlap: event queue overflow (drain before pushing)")
+		}
+		m.process()
 	}
 	if m.q.push(e) {
 		m.process()

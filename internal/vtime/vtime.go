@@ -23,7 +23,6 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 )
 
@@ -43,11 +42,15 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a scheduled callback. Events are ordered by (at, seq) so
-// that simultaneous events run in scheduling order.
+// that simultaneous events run in scheduling order. A cancelled event
+// is skipped without advancing the clock, so stale timers (e.g. a
+// retransmission timeout whose acknowledgment arrived) never stretch
+// the simulated duration.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
 }
 
 type eventHeap []*event
@@ -101,11 +104,12 @@ func (s procState) String() string {
 // Sim is a deterministic virtual-time simulator. The zero value is not
 // usable; create one with NewSim.
 type Sim struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	procs  []*Proc
-	live   int // procs not yet done
+	now      Time
+	seq      uint64
+	events   eventHeap
+	procs    []*Proc
+	live     int  // procs not yet done
+	deadline Time // 0 = no watchdog
 
 	yield   chan struct{} // proc -> scheduler: I blocked or finished
 	current *Proc         // proc currently executing, nil in scheduler context
@@ -176,7 +180,13 @@ func (s *Sim) startProc(p *Proc, fn func(p *Proc)) {
 		<-p.resume // wait for first dispatch
 		defer func() {
 			if r := recover(); r != nil {
-				s.panicked = fmt.Errorf("proc %q panicked: %v", p.name, r)
+				// Preserve typed panic values (library CommErrors and
+				// friends) so errors.Is/As work on what Run surfaces.
+				if err, ok := r.(error); ok {
+					s.panicked = fmt.Errorf("proc %q panicked: %w", p.name, err)
+				} else {
+					s.panicked = fmt.Errorf("proc %q panicked: %v", p.name, r)
+				}
 			}
 			p.state = stateDone
 			s.live--
@@ -196,18 +206,21 @@ func (s *Sim) dispatch(p *Proc) {
 	p.resume <- struct{}{}
 	<-s.yield
 	s.current = prev
-	if s.panicked != nil {
-		panic(s.panicked)
+	if pv := s.panicked; pv != nil {
+		s.panicked = nil
+		panic(pv)
 	}
 }
 
 // schedule enqueues fn to run at time at in scheduler context.
-func (s *Sim) schedule(at Time, fn func()) {
+func (s *Sim) schedule(at Time, fn func()) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("vtime: scheduling event in the past: %v < %v", at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	e := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
 }
 
 // After schedules fn to run in scheduler context d from now. It may be
@@ -218,6 +231,19 @@ func (s *Sim) After(d time.Duration, fn func()) {
 		panic("vtime: negative delay")
 	}
 	s.schedule(s.now.Add(d), fn)
+}
+
+// AfterCancel is After returning a cancel function. A cancelled event
+// is discarded without running and — unlike an event that fires as a
+// no-op — without advancing the virtual clock, so speculative timers
+// (retransmission timeouts, watchdogs) do not distort the measured run
+// duration. Cancelling twice, or after the event fired, is a no-op.
+func (s *Sim) AfterCancel(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		panic("vtime: negative delay")
+	}
+	e := s.schedule(s.now.Add(d), fn)
+	return func() { e.cancelled = true }
 }
 
 // block yields from the current proc to the scheduler and waits to be
@@ -284,42 +310,114 @@ func (p *Proc) Unpark() {
 	p.permit = true
 }
 
-// Run executes the simulation until no events remain. It returns the
-// final virtual time. If events are exhausted while procs are still
-// blocked, Run panics with a deadlock report; if a proc panics, Run
-// re-panics with the proc's panic value.
-func (s *Sim) Run() Time {
-	if s.running {
-		panic("vtime: Run called reentrantly")
-	}
-	s.running = true
-	defer func() { s.running = false }()
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.at < s.now {
-			panic("vtime: time went backwards")
-		}
-		s.now = e.at
-		e.fn()
-	}
-	if s.live > 0 {
-		panic("vtime: deadlock: " + s.deadlockReport())
-	}
-	return s.now
+// SetDeadline arms a watchdog: if the simulation reaches virtual time d
+// with procs still live, RunE stops and returns a *DeadlockError whose
+// Reason says the deadline expired. A zero deadline disables the
+// watchdog. The watchdog catches livelock (e.g. a retransmission loop
+// that schedules events forever without making progress), which the
+// event-exhaustion check alone cannot detect.
+func (s *Sim) SetDeadline(d Time) { s.deadline = d }
+
+// ProcDump is the state of one unfinished proc at the moment a
+// deadlock was diagnosed.
+type ProcDump struct {
+	ID    int
+	Name  string
+	State string // "parked", "computing", "new", "running"
+	Where string // label of the blocking call site
+	Since Time   // virtual time the proc blocked
 }
 
-// deadlockReport describes every non-finished proc.
-func (s *Sim) deadlockReport() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d proc(s) blocked at t=%v with no pending events\n", s.live, s.now)
+// DeadlockError reports that the simulation could not run to
+// completion: events were exhausted (or the deadline expired) while
+// procs were still blocked. Procs lists every unfinished proc in spawn
+// order with what it was waiting on.
+type DeadlockError struct {
+	Now    Time
+	Reason string
+	Procs  []ProcDump
+}
+
+func (e *DeadlockError) Error() string {
+	s := fmt.Sprintf("vtime: deadlock: %s: %d proc(s) blocked at t=%v",
+		e.Reason, len(e.Procs), e.Now)
+	for _, p := range e.Procs {
+		s += fmt.Sprintf("\n  proc %d %q: %s in %s since t=%v",
+			p.ID, p.Name, p.State, p.Where, p.Since)
+	}
+	return s
+}
+
+// deadlockError builds the structured dump of every non-finished proc.
+func (s *Sim) deadlockError(reason string) *DeadlockError {
+	e := &DeadlockError{Now: s.now, Reason: reason}
 	procs := append([]*Proc(nil), s.procs...)
 	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
 	for _, p := range procs {
 		if p.state == stateDone {
 			continue
 		}
-		fmt.Fprintf(&b, "  proc %d %q: %v in %s since t=%v\n",
-			p.id, p.name, p.state, p.blockedAt, p.blockedSince)
+		e.Procs = append(e.Procs, ProcDump{
+			ID:    p.id,
+			Name:  p.name,
+			State: p.state.String(),
+			Where: p.blockedAt,
+			Since: p.blockedSince,
+		})
 	}
-	return b.String()
+	return e
+}
+
+// RunE executes the simulation until no events remain and returns the
+// final virtual time. If events are exhausted (or the deadline set with
+// SetDeadline expires) while procs are still blocked, it returns a
+// *DeadlockError describing every stuck proc. A panic from a proc is
+// recovered and returned as an error, wrapped so errors.Is/As see the
+// original value when it was itself an error.
+func (s *Sim) RunE() (t Time, err error) {
+	if s.running {
+		panic("vtime: Run called reentrantly")
+	}
+	s.running = true
+	defer func() {
+		s.running = false
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("vtime: %v", r)
+			}
+			t = s.now
+		}
+	}()
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled {
+			continue // skipped without advancing the clock
+		}
+		if e.at < s.now {
+			panic("vtime: time went backwards")
+		}
+		if s.deadline > 0 && e.at >= s.deadline && s.live > 0 {
+			s.now = s.deadline
+			return s.now, s.deadlockError(fmt.Sprintf("deadline %v expired", s.deadline))
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.live > 0 {
+		return s.now, s.deadlockError("no pending events")
+	}
+	return s.now, nil
+}
+
+// Run is RunE for callers that treat failure as fatal: it panics with
+// the error (a *DeadlockError when the simulation wedged, or the
+// proc's wrapped panic value) instead of returning it.
+func (s *Sim) Run() Time {
+	t, err := s.RunE()
+	if err != nil {
+		panic(err)
+	}
+	return t
 }

@@ -1,6 +1,7 @@
 package vtime
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -92,13 +93,89 @@ func TestDeadlockPanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected deadlock panic")
 		}
-		if !strings.Contains(r.(string), "stuck") {
-			t.Fatalf("deadlock report should name the blocked proc; got %v", r)
+		err, ok := r.(*DeadlockError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *DeadlockError", r)
+		}
+		if !strings.Contains(err.Error(), "stuck") {
+			t.Fatalf("deadlock report should name the blocked proc; got %v", err)
 		}
 	}()
 	s := NewSim()
 	s.Spawn("stuck", func(p *Proc) { p.Park("forever") })
 	s.Run()
+}
+
+func TestRunEReturnsDeadlockError(t *testing.T) {
+	s := NewSim()
+	s.Spawn("stuck", func(p *Proc) {
+		p.Compute(3 * time.Millisecond)
+		p.Park("wait-for-msg")
+	})
+	_, err := s.RunE()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v (%T), want *DeadlockError", err, err)
+	}
+	if len(dl.Procs) != 1 {
+		t.Fatalf("dump has %d procs, want 1", len(dl.Procs))
+	}
+	d := dl.Procs[0]
+	if d.Name != "stuck" || d.State != "parked" || d.Where != "wait-for-msg" {
+		t.Fatalf("bad proc dump: %+v", d)
+	}
+	if d.Since != Time(3*time.Millisecond) {
+		t.Fatalf("blocked since %v, want 3ms", d.Since)
+	}
+}
+
+func TestRunERecoversProcError(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	s := NewSim()
+	s.Spawn("bomb", func(p *Proc) { panic(sentinel) })
+	_, err := s.RunE()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	s := NewSim()
+	p := s.Spawn("waiter", func(p *Proc) { p.Park("never") })
+	// A self-rescheduling timer keeps the event heap busy forever;
+	// only the deadline can stop the run.
+	var tick func()
+	tick = func() {
+		s.After(time.Millisecond, tick)
+		_ = p
+	}
+	s.After(time.Millisecond, tick)
+	s.SetDeadline(Time(10 * time.Millisecond))
+	end, err := s.RunE()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if !strings.Contains(dl.Reason, "deadline") {
+		t.Fatalf("reason = %q, want deadline expiry", dl.Reason)
+	}
+	if end != Time(10*time.Millisecond) {
+		t.Fatalf("end = %v, want 10ms", end)
+	}
+}
+
+func TestAfterCancelSkipsWithoutAdvancingClock(t *testing.T) {
+	s := NewSim()
+	fired := false
+	cancel := s.AfterCancel(50*time.Millisecond, func() { fired = true })
+	s.After(time.Millisecond, func() { cancel() })
+	end := s.Run()
+	if fired {
+		t.Fatal("cancelled event still fired")
+	}
+	if want := Time(time.Millisecond); end != want {
+		t.Fatalf("end = %v, want %v (cancelled timer advanced the clock)", end, want)
+	}
 }
 
 func TestProcPanicPropagates(t *testing.T) {
