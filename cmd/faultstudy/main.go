@@ -14,9 +14,15 @@
 // Usage:
 //
 //	faultstudy [-rates 0,0.01,0.05,0.1,0.2] [-fault-seed 1] [-reps 200]
+//	           [-csv] [-trace out.json] [-metrics]
+//
+// -csv replaces the table with machine-readable CSV on stdout (times
+// in nanoseconds), for plotting the sweep. -trace exports the final
+// rate point as Chrome trace-event JSON; -metrics prints its counters.
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
@@ -26,9 +32,11 @@ import (
 	"time"
 
 	"ovlp/internal/cluster"
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/report"
+	"ovlp/internal/trace"
 )
 
 const (
@@ -42,6 +50,8 @@ func main() {
 	ratesFlag := flag.String("rates", "0,0.01,0.05,0.1,0.2", "comma-separated drop rates to sweep")
 	seed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
 	reps := flag.Int("reps", 200, "exchanges per drop rate")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the table (times in ns)")
+	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
 
 	rates, err := parseRates(*ratesFlag)
@@ -49,22 +59,68 @@ func main() {
 		log.Fatal(err)
 	}
 
-	t := report.NewTable(
-		fmt.Sprintf("Overlap bounds vs drop rate — 2 procs, Isend/Irecv %d KiB x %d, %v compute (seed %d)",
-			msgSize>>10, *reps, compute, *seed),
-		"drop", "min%", "max%", "avg wait", "dropped", "retransmits", "run time")
-	for _, rate := range rates {
-		row, err := runPoint(rate, *seed, *reps)
+	var rows []point
+	for i, rate := range rates {
+		// Only the final rate point is traced: one trace file holds one
+		// run, and the last point is the sweep's most faulted.
+		var tr *trace.Tracer
+		if i == len(rates)-1 {
+			tr = obs.Tracer()
+		}
+		row, err := runPoint(rate, *seed, *reps, tr)
 		if err != nil {
 			log.Fatalf("drop rate %g: %v", rate, err)
 		}
-		t.AddRow(fmt.Sprintf("%.2f", rate), row.minPct, row.maxPct,
+		rows = append(rows, row)
+	}
+
+	if *csvOut {
+		writeCSV(os.Stdout, rates, rows)
+	} else {
+		writeTable(os.Stdout, rates, rows, *seed, *reps)
+	}
+	if obs.Enabled() {
+		if err := obs.Finish(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeTable(w *os.File, rates []float64, rows []point, seed int64, reps int) {
+	t := report.NewTable(
+		fmt.Sprintf("Overlap bounds vs drop rate — 2 procs, Isend/Irecv %d KiB x %d, %v compute (seed %d)",
+			msgSize>>10, reps, compute, seed),
+		"drop", "min%", "max%", "avg wait", "dropped", "retransmits", "run time")
+	for i, row := range rows {
+		t.AddRow(fmt.Sprintf("%.2f", rates[i]), row.minPct, row.maxPct,
 			row.wait.Round(time.Microsecond), row.dropped, row.retransmits,
 			row.duration.Round(time.Microsecond))
 	}
-	t.Render(os.Stdout)
-	fmt.Println("\n  retransmitted attempts count as library time, never as extra transfers,")
-	fmt.Println("  so rising loss squeezes the achievable overlap instead of inflating it.")
+	t.Render(w)
+	fmt.Fprintln(w, "\n  retransmitted attempts count as library time, never as extra transfers,")
+	fmt.Fprintln(w, "  so rising loss squeezes the achievable overlap instead of inflating it.")
+}
+
+// writeCSV emits one row per rate point with durations as integer
+// nanoseconds, the plotting-friendly twin of the table.
+func writeCSV(w *os.File, rates []float64, rows []point) {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"drop_rate", "min_pct", "max_pct", "avg_wait_ns", "dropped", "retransmits", "run_ns"})
+	for i, row := range rows {
+		cw.Write([]string{
+			strconv.FormatFloat(rates[i], 'g', -1, 64),
+			strconv.FormatFloat(row.minPct, 'f', 2, 64),
+			strconv.FormatFloat(row.maxPct, 'f', 2, 64),
+			strconv.FormatInt(int64(row.wait), 10),
+			strconv.Itoa(row.dropped),
+			strconv.Itoa(row.retransmits),
+			strconv.FormatInt(int64(row.duration), 10),
+		})
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 type point struct {
@@ -75,13 +131,14 @@ type point struct {
 	duration       time.Duration
 }
 
-func runPoint(rate float64, seed int64, reps int) (point, error) {
+func runPoint(rate float64, seed int64, reps int, tr *trace.Tracer) (point, error) {
 	cfg := cluster.Config{
 		Procs: 2,
 		MPI: mpi.Config{
 			Protocol:   mpi.DirectRDMARead,
 			Instrument: &mpi.InstrumentConfig{},
 		},
+		Trace: tr,
 	}
 	if rate > 0 {
 		cfg.Faults = &fabric.FaultPlan{

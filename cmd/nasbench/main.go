@@ -8,10 +8,13 @@
 // Usage:
 //
 //	nasbench [-bench all] [-classes S,W,A,B] [-procs ...] [-iters 10]
+//	         [-trace out.json] [-metrics]
 //
 // -iters truncates each benchmark's time-stepping loop; overlap
 // percentages converge within a few iterations, so the default keeps
 // runs quick. Pass -iters 0 for the full NPB iteration counts.
+// -trace/-metrics (which need a single bench/class/procs selection)
+// export the run as Chrome trace-event JSON and print its counters.
 package main
 
 import (
@@ -20,10 +23,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/fabric"
 	"ovlp/internal/faultflag"
 	"ovlp/internal/mpi"
@@ -64,6 +67,7 @@ func main() {
 	hw := flag.Bool("hw", false, "use NIC hardware time-stamps (precise mode: min == max)")
 	jsonDir := flag.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
 	buildFaults := faultflag.Register(nil)
+	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
 	faults, err := buildFaults()
 	if err != nil {
@@ -83,23 +87,49 @@ func main() {
 		benches = strings.Split(*benchFlag, ",")
 	}
 	classes := parseClasses(*classFlag)
+	if obs.Enabled() && (len(benches) != 1 || len(classes) != 1) {
+		log.Fatal("-trace/-metrics need a single run: pass one -bench, one -classes and one -procs value")
+	}
 
 	for _, b := range benches {
 		b = strings.ToUpper(strings.TrimSpace(b))
 		if b == "MG-ARMCI" {
-			runMGARMCI(classes, parseProcs(*procsFlag, []int{2, 4, 8}), *iters, faults)
+			runMGARMCI(classes, mustProcs(*procsFlag, []int{2, 4, 8}), *iters, faults, obs)
 			continue
 		}
 		defProcs := []int{4, 8, 16}
 		if b == nas.BT || b == nas.SP {
 			defProcs = []int{4, 9, 16}
 		}
-		runBench(b, classes, parseProcs(*procsFlag, defProcs), *iters, *bins, *hw, *jsonDir, faults)
+		runBench(b, classes, mustProcs(*procsFlag, defProcs), *iters, *bins, *hw, *jsonDir, faults, obs)
+	}
+	if obs.Enabled() {
+		if err := obs.Finish(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
-func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw bool, jsonDir string, faults *fabric.FaultPlan) {
+// mustProcs parses the -procs flag, defaulting per benchmark.
+func mustProcs(s string, def []int) []int {
+	procs, err := cmdutil.ParseProcs(s, def)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return procs
+}
+
+// checkTraceable rejects -trace/-metrics on a processor-count sweep:
+// one trace file holds one run.
+func checkTraceable(obs *cmdutil.Obs, procs []int) {
+	if obs.Enabled() && len(procs) != 1 {
+		log.Fatal("-trace/-metrics need a single run: pass one -bench, one -classes and one -procs value")
+	}
+}
+
+func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw bool, jsonDir string, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
 	checkFaultNodes(faults, procs)
+	checkTraceable(obs, procs)
 	title := fmt.Sprintf("Overlap characterization — NAS %s (%s protocol)", name, paperProtocol[name])
 	if f, ok := paperFigure[name]; ok {
 		title = fmt.Sprintf("%s — paper %s", title, f)
@@ -118,6 +148,7 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 				MaxIters:     iters,
 				HWTimestamps: hw,
 				Faults:       faults,
+				Trace:        obs.Tracer(),
 			})
 			rep := reports[0]
 			if jsonDir != "" {
@@ -171,7 +202,7 @@ func binTable(name string, class nas.Class, procs int, rep *overlap.Report) *rep
 		if b.Count == 0 {
 			continue
 		}
-		t.AddRow(binLabel(rep.BinBounds, i), b.Count,
+		t.AddRow(overlap.BinLabel(rep.BinBounds, i), b.Count,
 			b.DataTransferTime.Round(time.Microsecond),
 			b.MinPercent(), b.MaxPercent(),
 			b.NonOverlapped().Round(time.Microsecond))
@@ -179,44 +210,17 @@ func binTable(name string, class nas.Class, procs int, rep *overlap.Report) *rep
 	return t
 }
 
-// binLabel mirrors the overlap package's bin naming.
-func binLabel(bounds []int, i int) string {
-	sz := func(n int) string {
-		switch {
-		case n >= 1<<20 && n%(1<<20) == 0:
-			return fmt.Sprintf("%dM", n>>20)
-		case n >= 1<<10 && n%(1<<10) == 0:
-			return fmt.Sprintf("%dK", n>>10)
-		default:
-			return fmt.Sprintf("%dB", n)
-		}
-	}
-	switch {
-	case i == 0:
-		return "<=" + sz(bounds[0])
-	case i < len(bounds):
-		return sz(bounds[i-1]) + "-" + sz(bounds[i])
-	default:
-		return ">" + sz(bounds[len(bounds)-1])
-	}
-}
-
 // checkFaultNodes rejects a plan naming nodes beyond the smallest
 // processor count in the sweep, before any simulation starts.
 func checkFaultNodes(faults *fabric.FaultPlan, procs []int) {
-	min := procs[0]
-	for _, p := range procs[1:] {
-		if p < min {
-			min = p
-		}
-	}
-	if err := faultflag.CheckNodes(faults, min); err != nil {
+	if err := cmdutil.CheckFaultNodes(faults, procs); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runMGARMCI(classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan) {
+func runMGARMCI(classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
 	checkFaultNodes(faults, procs)
+	checkTraceable(obs, procs)
 	t := report.NewTable("Overlap characterization — ARMCI MG, blocking vs non-blocking — paper Fig. 19",
 		"class", "procs", "blk min%", "blk max%", "nb min%", "nb max%")
 	start := time.Now()
@@ -224,6 +228,10 @@ func runMGARMCI(classes []nas.Class, procs []int, iters int, faults *fabric.Faul
 		for _, p := range procs {
 			opt := nas.Options{MaxIters: iters, Faults: faults}
 			b := nas.CharacterizeMGARMCIOpts(class, p, nas.MGBlocking, opt)
+			// Only the non-blocking variant is traced: one trace file
+			// holds one run, and that variant is the one whose overlap
+			// the figure is about.
+			opt.Trace = obs.Tracer()
 			n := nas.CharacterizeMGARMCIOpts(class, p, nas.MGNonblocking, opt)
 			t.AddRow(class, p, b.MinPct, b.MaxPct, n.MinPct, n.MaxPct)
 		}
@@ -240,21 +248,6 @@ func parseClasses(s string) []nas.Class {
 			log.Fatalf("bad class %q", part)
 		}
 		out = append(out, nas.Class(part[0]))
-	}
-	return out
-}
-
-func parseProcs(s string, def []int) []int {
-	if s == "" {
-		return def
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			log.Fatalf("bad processor count %q", part)
-		}
-		out = append(out, n)
 	}
 	return out
 }

@@ -8,12 +8,15 @@
 // Usage:
 //
 //	overlapbench [-fig 0] [-reps 1000] [-fault-seed N -drop P -stall ...]
+//	            [-trace out.json] [-metrics]
 //
 // -fig 0 (the default) runs every figure. The fault flags (see
 // internal/faultflag) rerun the figures on a deterministically lossy
 // network: the library retransmits behind the instrumentation's back,
 // and the printed wait times and bounds show what the repair traffic
-// costs.
+// costs. With -trace (which needs a single -fig), the figure's final
+// computation point is rerun once more under the tracer and exported
+// as Chrome trace-event JSON; -metrics prints the run's counters.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/fabric"
 	"ovlp/internal/faultflag"
 	"ovlp/internal/micro"
@@ -45,12 +49,13 @@ func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
 	reps := flag.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
 	buildFaults := faultflag.Register(nil)
+	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
 	faults, err := buildFaults()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := faultflag.CheckNodes(faults, 2); err != nil {
+	if err := cmdutil.CheckFaultNodes(faults, []int{2}); err != nil {
 		log.Fatal(err) // microbenchmarks always run 2 processes
 	}
 	if desc := faultflag.Describe(faults); desc != "" {
@@ -64,8 +69,29 @@ func main() {
 		}
 		figs = []int{*fig}
 	}
+	if obs.Enabled() && *fig == 0 {
+		log.Fatal("-trace/-metrics need a single figure: pass -fig 3..9")
+	}
 	for _, f := range figs {
 		runFigure(f, *reps, faults)
+	}
+	if obs.Enabled() {
+		runTraced(*fig, *reps, faults, obs)
+	}
+}
+
+// runTraced reruns the selected figure's final computation point once
+// more with the tracer attached, so the exported timeline shows one
+// fully-overlapping exchange pattern rather than the whole sweep.
+func runTraced(fig, reps int, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
+	e := micro.PaperFigure(fig, reps)
+	e.Config.Faults = faults
+	e.Config.Trace = obs.Tracer()
+	e.ComputePoints = e.ComputePoints[len(e.ComputePoints)-1:]
+	e.Run()
+	fmt.Printf("traced figure %d at compute %v, %d reps\n", fig, e.ComputePoints[0], e.Reps)
+	if err := obs.Finish(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

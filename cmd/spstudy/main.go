@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	spstudy [-classes A,B] [-procs 4,9,16] [-iters 10] [-iprobes 4]
+//	spstudy [-classes A,B] [-procs 4,9,16] [-iters 10]
+//	        [-trace out.json] [-metrics]
+//
+// -trace/-metrics (which need a single class and processor count)
+// export the modified run — the one whose Iprobe calls create the
+// overlap the case study is about — as Chrome trace-event JSON and
+// print its counters.
 package main
 
 import (
@@ -14,10 +20,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/nas"
 	"ovlp/internal/report"
 )
@@ -28,6 +34,7 @@ func main() {
 	classFlag := flag.String("classes", "A,B", "comma-separated problem classes")
 	procsFlag := flag.String("procs", "4,9,16", "comma-separated processor counts (squares)")
 	iters := flag.Int("iters", 10, "iteration cap (0 = full NPB count)")
+	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
 
 	var classes []nas.Class
@@ -35,13 +42,12 @@ func main() {
 		part = strings.ToUpper(strings.TrimSpace(part))
 		classes = append(classes, nas.Class(part[0]))
 	}
-	var procs []int
-	for _, part := range strings.Split(*procsFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			log.Fatalf("bad proc count %q", part)
-		}
-		procs = append(procs, n)
+	procs, err := cmdutil.ParseProcs(*procsFlag, []int{4, 9, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if obs.Enabled() && (len(classes) != 1 || len(procs) != 1) {
+		log.Fatal("-trace/-metrics need a single run: pass one -classes and one -procs value")
 	}
 
 	for _, class := range classes {
@@ -56,7 +62,10 @@ func main() {
 			"procs", "orig", "modified", "change%")
 		for _, p := range procs {
 			orig := nas.CharacterizeSP(class, p, false, *iters)
-			mod := nas.CharacterizeSP(class, p, true, *iters)
+			mod := nas.CharacterizeSPOpts(class, p, true, nas.Options{
+				MaxIters: *iters,
+				Trace:    obs.Tracer(),
+			})
 			section.AddRow(p, orig.SectionMinPct, orig.SectionMaxPct,
 				mod.SectionMinPct, mod.SectionMaxPct)
 			whole.AddRow(p, orig.TotalMinPct, orig.TotalMaxPct,
@@ -71,5 +80,10 @@ func main() {
 		fmt.Println()
 		mpiT.Render(os.Stdout)
 		fmt.Println()
+	}
+	if obs.Enabled() {
+		if err := obs.Finish(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

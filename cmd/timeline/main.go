@@ -7,6 +7,10 @@
 // Usage:
 //
 //	timeline [-scenario ring|ring-probe|sp] [-procs 4] [-width 100]
+//	         [-trace out.json] [-metrics]
+//
+// -trace exports the same run as Chrome trace-event JSON — the
+// zoomable twin of the ASCII chart — and -metrics prints its counters.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"ovlp/internal/cluster"
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
 	"ovlp/internal/overlap"
@@ -28,6 +33,7 @@ func main() {
 	scenario := flag.String("scenario", "ring", "ring, ring-probe, or sp")
 	procs := flag.Int("procs", 4, "number of ranks")
 	width := flag.Int("width", 100, "chart width in columns")
+	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
 
 	traces := make([][]overlap.Event, *procs)
@@ -42,6 +48,7 @@ func main() {
 			},
 		},
 		RecordTruth: true,
+		Trace:       obs.Tracer(),
 	}
 
 	var main func(r *mpi.Rank)
@@ -76,6 +83,9 @@ func main() {
 	res := cluster.Run(cfg, main)
 	if err := report.RenderTimeline(os.Stdout, traces, res.Transfers,
 		report.TimelineConfig{Width: *width, Duration: res.Duration}); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.Finish(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,473 @@
+// Tracecat merges, filters and summarizes the Chrome trace-event JSON
+// files the benchmarks write with -trace. Merging offsets each file's
+// process ids so two runs land side by side in one Perfetto view;
+// filtering cuts a big trace down to the categories, names or span
+// lengths of interest; -summary prints per-category event counts and
+// durations plus the embedded metrics without opening a UI at all.
+//
+// Usage:
+//
+//	tracecat [-o merged.json] [-cat mpi,overlap] [-name Wait] \
+//	         [-min-dur 10us] [-summary] trace.json...
+//
+// Filters compose: an event survives if its category is in -cat (when
+// set), its name contains -name (when set), and — for spans — its
+// duration is at least -min-dur. Metadata events for surviving tracks
+// are always kept. With -min-dur set, instants are dropped (they have
+// no duration to clear the bar).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ovlp/internal/report"
+	"ovlp/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecat: ")
+	out := flag.String("o", "", "write the merged/filtered trace to this file (default stdout unless -summary)")
+	cats := flag.String("cat", "", "keep only these comma-separated categories (e.g. mpi,overlap,wire)")
+	name := flag.String("name", "", "keep only events whose name contains this substring")
+	minDur := flag.Duration("min-dur", 0, "keep only spans at least this long (drops instants)")
+	summary := flag.Bool("summary", false, "print per-category counts/durations and the embedded metrics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("no input files (want: tracecat [flags] trace.json...)")
+	}
+
+	keep := filter{name: *name, minDur: *minDur}
+	if *cats != "" {
+		keep.cats = make(map[string]bool)
+		for _, c := range strings.Split(*cats, ",") {
+			keep.cats[strings.TrimSpace(c)] = true
+		}
+	}
+
+	var files []*traceFile
+	for _, path := range flag.Args() {
+		f, err := readTrace(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		f.apply(keep)
+		files = append(files, f)
+	}
+	merged := merge(files)
+
+	if *summary {
+		for _, f := range files {
+			f.summarize(os.Stdout)
+		}
+	}
+	if *out != "" {
+		w, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := merged.write(w); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events from %d file(s))\n", *out, len(merged.Events), len(files))
+	} else if !*summary {
+		if err := merged.write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// event is one trace-event record; ts/dur stay json.Number so the
+// exporter's exact decimal microseconds survive a round trip, and args
+// pass through untouched as raw JSON.
+type event struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	S    string          `json:"s"`
+	Ts   json.Number     `json:"ts"`
+	Dur  json.Number     `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	Path    string
+	Events  []event
+	Metrics *trace.Snapshot
+}
+
+func readTrace(path string) (*traceFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw struct {
+		TraceEvents []event         `json:"traceEvents"`
+		Metrics     json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("not a trace-event file: %v", err)
+	}
+	f := &traceFile{Path: path, Events: raw.TraceEvents}
+	if len(raw.Metrics) > 0 {
+		f.Metrics = &trace.Snapshot{}
+		if err := json.Unmarshal(raw.Metrics, f.Metrics); err != nil {
+			return nil, fmt.Errorf("bad metrics block: %v", err)
+		}
+	}
+	return f, nil
+}
+
+type filter struct {
+	cats   map[string]bool
+	name   string
+	minDur time.Duration
+}
+
+func (fl filter) empty() bool {
+	return fl.cats == nil && fl.name == "" && fl.minDur == 0
+}
+
+// keeps decides one non-metadata event's fate.
+func (fl filter) keeps(e event) bool {
+	if fl.cats != nil && !fl.cats[e.Cat] {
+		return false
+	}
+	if fl.name != "" && !strings.Contains(e.Name, fl.name) {
+		return false
+	}
+	if fl.minDur > 0 {
+		if e.Ph != "X" {
+			return false
+		}
+		if parseUsec(e.Dur) < int64(fl.minDur) {
+			return false
+		}
+	}
+	return true
+}
+
+// apply filters the file's events, keeping metadata ("M") rows only
+// for tracks that still have at least one surviving event.
+func (f *traceFile) apply(fl filter) {
+	if fl.empty() {
+		return
+	}
+	type track struct{ pid, tid int }
+	alive := make(map[track]bool)
+	var kept []event
+	for _, e := range f.Events {
+		if e.Ph == "M" {
+			continue
+		}
+		if fl.keeps(e) {
+			kept = append(kept, e)
+			alive[track{e.Pid, e.Tid}] = true
+		}
+	}
+	var out []event
+	for _, e := range f.Events {
+		if e.Ph != "M" {
+			break // exporter writes all metadata first
+		}
+		// process-level metadata has tid 0; keep it if any of the
+		// process's tracks survived.
+		ok := alive[track{e.Pid, e.Tid}]
+		if !ok && (e.Name == "process_name" || e.Name == "process_sort_index") {
+			for t := range alive {
+				if t.pid == e.Pid {
+					ok = true
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	f.Events = append(out, kept...)
+}
+
+// merged is the output document: events from every file with per-file
+// pid offsets, plus the summed metrics.
+type merged struct {
+	Events  []event
+	Metrics *trace.Snapshot
+}
+
+// merge concatenates the files in argument order. Each file's process
+// ids are offset past the previous files' so same-numbered ranks from
+// different runs stay distinct tracks; metrics counters sum, gauges
+// keep the maximum, and histograms with matching bounds add up.
+func merge(files []*traceFile) *merged {
+	m := &merged{}
+	offset := 0
+	for _, f := range files {
+		maxPid := 0
+		for _, e := range f.Events {
+			e.Pid += offset
+			if e.Pid > maxPid {
+				maxPid = e.Pid
+			}
+			m.Events = append(m.Events, e)
+		}
+		if maxPid >= offset {
+			offset = maxPid + 1
+		}
+		m.Metrics = mergeMetrics(m.Metrics, f.Metrics)
+	}
+	return m
+}
+
+func mergeMetrics(a, b *trace.Snapshot) *trace.Snapshot {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	out := &trace.Snapshot{}
+	cs := make(map[string]int64)
+	for _, c := range append(append([]trace.CounterSnap{}, a.Counters...), b.Counters...) {
+		cs[c.Name] += c.Value
+	}
+	for _, name := range sortedKeys(cs) {
+		out.Counters = append(out.Counters, trace.CounterSnap{Name: name, Value: cs[name]})
+	}
+	gs := make(map[string]trace.GaugeSnap)
+	for _, g := range append(append([]trace.GaugeSnap{}, a.Gauges...), b.Gauges...) {
+		cur, ok := gs[g.Name]
+		if !ok || g.Max > cur.Max {
+			cur.Max = g.Max
+		}
+		cur.Name, cur.Value = g.Name, g.Value // last writer wins on level
+		gs[g.Name] = cur
+	}
+	for _, name := range sortedGaugeKeys(gs) {
+		out.Gauges = append(out.Gauges, gs[name])
+	}
+	hs := make(map[string]trace.HistogramSnap)
+	for _, h := range append(append([]trace.HistogramSnap{}, a.Histograms...), b.Histograms...) {
+		cur, ok := hs[h.Name]
+		if !ok {
+			hs[h.Name] = h
+			continue
+		}
+		if !equalInts(cur.Bounds, h.Bounds) {
+			continue // incompatible shapes: keep the first
+		}
+		for i := range cur.Buckets {
+			cur.Buckets[i] += h.Buckets[i]
+		}
+		cur.Sum += h.Sum
+		if h.Count > 0 && (cur.Count == 0 || h.Min < cur.Min) {
+			cur.Min = h.Min
+		}
+		if h.Count > 0 && (cur.Count == 0 || h.Max > cur.Max) {
+			cur.Max = h.Max
+		}
+		cur.Count += h.Count
+		hs[h.Name] = cur
+	}
+	for _, name := range sortedHistKeys(hs) {
+		out.Histograms = append(out.Histograms, hs[name])
+	}
+	return out
+}
+
+// write re-encodes the merged document with the exporter's fixed field
+// order, so tracecat output is deterministic too.
+func (m *merged) write(w *os.File) error {
+	var b bytes.Buffer
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	for i, e := range m.Events {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, `{"name":%s`, quote(e.Name))
+		if e.Cat != "" {
+			fmt.Fprintf(&b, `,"cat":%s`, quote(e.Cat))
+		}
+		fmt.Fprintf(&b, `,"ph":%s`, quote(e.Ph))
+		if e.S != "" {
+			fmt.Fprintf(&b, `,"s":%s`, quote(e.S))
+		}
+		if e.Ts != "" {
+			fmt.Fprintf(&b, `,"ts":%s`, e.Ts)
+		}
+		if e.Dur != "" {
+			fmt.Fprintf(&b, `,"dur":%s`, e.Dur)
+		}
+		fmt.Fprintf(&b, `,"pid":%d,"tid":%d`, e.Pid, e.Tid)
+		if len(e.Args) > 0 {
+			fmt.Fprintf(&b, `,"args":%s`, e.Args)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("\n]")
+	if m.Metrics != nil && !m.Metrics.Empty() {
+		b.WriteString(`,"metrics":`)
+		if err := m.Metrics.WriteJSON(&b); err != nil {
+			return err
+		}
+	}
+	b.WriteString("}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// summarize prints one file's shape: track and event counts, the time
+// span covered, a per-category/name table, and the metrics block.
+func (f *traceFile) summarize(w *os.File) {
+	type key struct{ cat, name string }
+	type stat struct {
+		count int
+		total int64 // summed span durations, ns
+	}
+	stats := make(map[key]stat)
+	tracks := make(map[[2]int]bool)
+	var spans, instants int
+	var end int64
+	for _, e := range f.Events {
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+		tracks[[2]int{e.Pid, e.Tid}] = true
+		s := stats[key{e.Cat, e.Name}]
+		s.count++
+		at := parseUsec(e.Ts)
+		if e.Ph == "X" {
+			d := parseUsec(e.Dur)
+			s.total += d
+			at += d
+		}
+		if at > end {
+			end = at
+		}
+		stats[key{e.Cat, e.Name}] = s
+	}
+
+	fmt.Fprintf(w, "%s: %d track(s), %d span(s), %d instant(s), %v covered\n",
+		f.Path, len(tracks), spans, instants, time.Duration(end))
+	keys := make([]key, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].cat != keys[j].cat {
+			return keys[i].cat < keys[j].cat
+		}
+		return keys[i].name < keys[j].name
+	})
+	t := report.NewTable("  events by category", "cat", "name", "count", "total dur")
+	for _, k := range keys {
+		s := stats[k]
+		t.AddRow(k.cat, k.name, s.count, time.Duration(s.total).Round(time.Microsecond))
+	}
+	t.Render(w)
+	if f.Metrics != nil && !f.Metrics.Empty() {
+		fmt.Fprintln(w, "metrics:")
+		if err := f.Metrics.WriteText(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// parseUsec converts the spec's decimal-microsecond timestamp to
+// integer nanoseconds without a float round trip, truncating past the
+// third fractional digit (the exporter never emits more).
+func parseUsec(n json.Number) int64 {
+	s := string(n)
+	if s == "" {
+		return 0
+	}
+	neg := false
+	if s[0] == '-' {
+		neg, s = true, s[1:]
+	}
+	whole, frac, _ := strings.Cut(s, ".")
+	var ns int64
+	for i := 0; i < len(whole); i++ {
+		if whole[i] < '0' || whole[i] > '9' {
+			return 0
+		}
+		ns = ns*10 + int64(whole[i]-'0')
+	}
+	ns *= 1000
+	scale := int64(100)
+	for i := 0; i < len(frac) && i < 3; i++ {
+		if frac[i] < '0' || frac[i] > '9' {
+			return 0
+		}
+		ns += int64(frac[i]-'0') * scale
+		scale /= 10
+	}
+	if neg {
+		return -ns
+	}
+	return ns
+}
+
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func equalInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedGaugeKeys(m map[string]trace.GaugeSnap) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedHistKeys(m map[string]trace.HistogramSnap) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

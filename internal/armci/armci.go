@@ -24,6 +24,7 @@ import (
 	"ovlp/internal/calib"
 	"ovlp/internal/fabric"
 	"ovlp/internal/overlap"
+	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
 )
 
@@ -69,6 +70,10 @@ type Config struct {
 	// Reliable enables the software reliable-delivery layer (see the
 	// mpi package's equivalent). Required under an active fault plan.
 	Reliable *fabric.ReliableParams
+	// Tracer, if non-nil, receives structured trace records (see the
+	// mpi package's equivalent): one span per outermost library call
+	// plus the overlap monitor's event stream.
+	Tracer *trace.Tracer
 }
 
 // World is a set of ARMCI processes over one fabric.
@@ -149,8 +154,14 @@ type Proc struct {
 
 	depth   int
 	enterAt vtime.Time
+	curOp   string
+	curPeer int
+	curSize int64
 	libTime time.Duration
 	waiting bool
+
+	trk       *trace.Track  // nil when untraced
+	traceCost time.Duration // modelled cost per call-span emission
 }
 
 type procClock struct{ p *vtime.Proc }
@@ -164,6 +175,10 @@ func (p *Proc) attach(vp *vtime.Proc) {
 	if rp := p.w.cfg.Reliable; rp != nil {
 		p.rel = fabric.NewReliable(p.nic, *rp, func() { p.proc.Unpark() })
 	}
+	if tr := p.w.cfg.Tracer; tr != nil {
+		p.trk = tr.Track(trace.GroupHost, vp.ID(), vp.Name())
+		p.trk.Instant("armci", "attach", vp.Now(), trace.None)
+	}
 	if ic := p.w.cfg.Instrument; ic != nil {
 		mc := overlap.Config{
 			Clock:     procClock{vp},
@@ -175,9 +190,26 @@ func (p *Proc) attach(vp *vtime.Proc) {
 			mc.Charge = func(d time.Duration) { vp.Compute(d) }
 			mc.EventCost = 40 * time.Nanosecond
 			mc.DrainCostPerEvent = 25 * time.Nanosecond
+			if p.trk != nil {
+				p.traceCost = mc.EventCost
+			}
 		}
 		if ic.TraceSinkFor != nil {
 			mc.TraceSink = ic.TraceSinkFor(p.id)
+		}
+		if p.trk != nil {
+			mc.Sink = trace.OverlapSink(p.trk, 0)
+			m := p.w.cfg.Tracer.Metrics()
+			drains := m.Counter("overlap.drains")
+			drained := m.Counter("overlap.drained_events")
+			batch := m.Gauge("overlap.drain_batch")
+			trk := p.trk
+			mc.OnDrain = func(n int) {
+				drains.Inc()
+				drained.Add(int64(n))
+				batch.Set(int64(n))
+				trk.Instant("overlap", "queue-drain", vp.Now(), trace.Args{Peer: trace.NoPeer, Size: int64(n)})
+			}
 		}
 		p.mon = overlap.NewMonitor(mc)
 	}
@@ -188,7 +220,7 @@ func (p *Proc) finalizeReport() {
 		// Quiesce unacknowledged sequenced sends (barrier tokens) before
 		// exiting, so their retransmission timers are never stranded
 		// without a progress engine.
-		p.enter()
+		p.enter("Finalize")
 		p.waitUntil(func() bool { return p.rel.Outstanding() == 0 })
 		p.exit()
 	}
@@ -229,10 +261,19 @@ func (p *Proc) PushRegion(name string) { p.mon.PushRegion(name) }
 // PopRegion closes the innermost monitored section.
 func (p *Proc) PopRegion() { p.mon.PopRegion() }
 
-func (p *Proc) enter() {
+func (p *Proc) enter(op string) {
+	p.enterPS(op, -1, -1)
+}
+
+// enterPS is enter carrying the call's peer and transfer size for the
+// trace span; calls without them pass -1.
+func (p *Proc) enterPS(op string, peer int, size int64) {
 	p.depth++
 	if p.depth == 1 {
 		p.enterAt = p.proc.Now()
+		p.curOp = op
+		p.curPeer = peer
+		p.curSize = size
 	}
 	p.mon.CallEnter()
 }
@@ -241,6 +282,15 @@ func (p *Proc) exit() {
 	p.mon.CallExit()
 	p.depth--
 	if p.depth == 0 {
+		if p.trk != nil {
+			// Charge the span's modelled emission cost before reading the
+			// clock, so the span includes its own overhead (as in mpi).
+			if p.traceCost > 0 {
+				p.proc.Compute(p.traceCost)
+			}
+			p.trk.Span("armci", p.curOp, p.enterAt, p.proc.Now(),
+				trace.Args{Peer: p.curPeer, Size: p.curSize})
+		}
 		p.libTime += p.proc.Now().Sub(p.enterAt)
 	}
 }
@@ -382,7 +432,7 @@ func (p *Proc) post(dst, size, count int, get bool) *Handle {
 
 // NbPut starts a non-blocking contiguous put of size bytes to dst.
 func (p *Proc) NbPut(dst, size int) *Handle {
-	p.enter()
+	p.enterPS("NbPut", dst, int64(size))
 	defer p.exit()
 	return p.post(dst, size, 1, false)
 }
@@ -391,21 +441,21 @@ func (p *Proc) NbPut(dst, size int) *Handle {
 // block bytes each — ARMCI's vectored remote update (ARMCI_NbPutS).
 // Each segment pays its own per-packet wire cost.
 func (p *Proc) NbPutStrided(dst, count, block int) *Handle {
-	p.enter()
+	p.enterPS("NbPutStrided", dst, int64(count)*int64(block))
 	defer p.exit()
 	return p.post(dst, block, count, false)
 }
 
 // NbGet starts a non-blocking contiguous get of size bytes from dst.
 func (p *Proc) NbGet(dst, size int) *Handle {
-	p.enter()
+	p.enterPS("NbGet", dst, int64(size))
 	defer p.exit()
 	return p.post(dst, size, 1, true)
 }
 
 // WaitHandle blocks until the operation completes.
 func (p *Proc) WaitHandle(h *Handle) {
-	p.enter()
+	p.enter("WaitHandle")
 	defer p.exit()
 	p.waitUntil(func() bool { return h.done })
 }
@@ -413,7 +463,7 @@ func (p *Proc) WaitHandle(h *Handle) {
 // Put is the blocking put: initiation and completion inside one
 // library call, so the instrumentation correctly reports zero overlap.
 func (p *Proc) Put(dst, size int) {
-	p.enter()
+	p.enterPS("Put", dst, int64(size))
 	defer p.exit()
 	h := p.post(dst, size, 1, false)
 	p.waitUntil(func() bool { return h.done })
@@ -421,7 +471,7 @@ func (p *Proc) Put(dst, size int) {
 
 // PutStrided is the blocking strided put (ARMCI_PutS).
 func (p *Proc) PutStrided(dst, count, block int) {
-	p.enter()
+	p.enterPS("PutStrided", dst, int64(count)*int64(block))
 	defer p.exit()
 	h := p.post(dst, block, count, false)
 	p.waitUntil(func() bool { return h.done })
@@ -429,7 +479,7 @@ func (p *Proc) PutStrided(dst, count, block int) {
 
 // Get is the blocking get.
 func (p *Proc) Get(dst, size int) {
-	p.enter()
+	p.enterPS("Get", dst, int64(size))
 	defer p.exit()
 	h := p.post(dst, size, 1, true)
 	p.waitUntil(func() bool { return h.done })
@@ -438,7 +488,7 @@ func (p *Proc) Get(dst, size int) {
 // FenceAll blocks until every outstanding one-sided operation issued
 // by this process has completed.
 func (p *Proc) FenceAll() {
-	p.enter()
+	p.enter("FenceAll")
 	defer p.exit()
 	p.waitUntil(func() bool { return p.outstanding == 0 })
 }
@@ -448,7 +498,7 @@ func (p *Proc) FenceAll() {
 // transfers in the instrumentation). It implies FenceAll, like
 // ARMCI_Barrier.
 func (p *Proc) Barrier() {
-	p.enter()
+	p.enter("Barrier")
 	defer p.exit()
 	p.waitUntil(func() bool { return p.outstanding == 0 })
 	seq := p.barrierSeq

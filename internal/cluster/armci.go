@@ -7,6 +7,7 @@ import (
 	"ovlp/internal/calib"
 	"ovlp/internal/fabric"
 	"ovlp/internal/overlap"
+	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
 )
 
@@ -28,6 +29,8 @@ type ARMCIConfig struct {
 	// Deadline, when positive, bounds the virtual run time (see
 	// Config.Deadline).
 	Deadline time.Duration
+	// Trace, when non-nil, traces the whole run (see Config.Trace).
+	Trace *trace.Tracer
 }
 
 // ARMCIResult collects the observations of an ARMCI run.
@@ -38,6 +41,8 @@ type ARMCIResult struct {
 	Transfers  []fabric.Transfer
 	FaultStats fabric.FaultStats
 	RelStats   []fabric.RelStats
+	// Metrics is the end-of-run metrics snapshot (nil when untraced).
+	Metrics *trace.Snapshot
 }
 
 // RunARMCI executes main on every process of a fresh machine using the
@@ -75,6 +80,11 @@ func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 	if cfg.Deadline > 0 {
 		sim.SetDeadline(vtime.Time(cfg.Deadline))
 	}
+	if cfg.Trace != nil {
+		sim.SetObserver(cfg.Trace.KernelObserver())
+		fab.SetTrace(cfg.Trace)
+		cfg.ARMCI.Tracer = cfg.Trace
+	}
 	world := armci.NewWorld(sim, fab, cfg.ARMCI)
 
 	procs := make([]*armci.Proc, 0, cfg.Procs)
@@ -98,5 +108,6 @@ func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 	if cfg.RecordTruth {
 		res.Transfers = fab.Transfers()
 	}
+	res.Metrics = foldMetrics(cfg.Trace, res.Duration, res.FaultStats, res.RelStats, res.Reports)
 	return res, err
 }

@@ -11,6 +11,7 @@ import (
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
+	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
 )
 
@@ -40,6 +41,13 @@ type Config struct {
 	// *vtime.DeadlockError describing every stuck process instead of
 	// simulating forever.
 	Deadline time.Duration
+	// Trace, when non-nil, traces the whole run into the given tracer:
+	// kernel scheduling spans, library call spans, overlap events,
+	// ground-truth wire spans and fault/retransmit instants, plus the
+	// metrics registry snapshotted into Result.Metrics. The tracer is
+	// wired through every layer (sim observer, fabric, mpi.Config), so
+	// callers set only this field.
+	Trace *trace.Tracer
 }
 
 // Result collects everything observable after a run.
@@ -60,6 +68,9 @@ type Result struct {
 	// RelStats holds each rank's reliable-delivery counters (zero
 	// values when the run is not configured for reliable delivery).
 	RelStats []fabric.RelStats
+	// Metrics is the end-of-run metrics snapshot (nil when the run is
+	// untraced).
+	Metrics *trace.Snapshot
 }
 
 // Run executes main on every rank of a freshly built machine and
@@ -103,6 +114,11 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 	if cfg.Deadline > 0 {
 		sim.SetDeadline(vtime.Time(cfg.Deadline))
 	}
+	if cfg.Trace != nil {
+		sim.SetObserver(cfg.Trace.KernelObserver())
+		fab.SetTrace(cfg.Trace)
+		cfg.MPI.Tracer = cfg.Trace
+	}
 	world := mpi.NewWorld(sim, fab, cfg.MPI)
 
 	ranks := make([]*mpi.Rank, 0, cfg.Procs)
@@ -126,6 +142,7 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 	if cfg.RecordTruth {
 		res.Transfers = fab.Transfers()
 	}
+	res.Metrics = foldMetrics(cfg.Trace, res.Duration, res.FaultStats, res.RelStats, res.Reports)
 	return res, err
 }
 

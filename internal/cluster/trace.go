@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"time"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/overlap"
+	"ovlp/internal/trace"
+)
+
+// foldMetrics folds a finished run's end-of-run observations into the
+// tracer's registry — run duration, injected-fault counters, summed
+// reliable-delivery counters, and the per-message-size-bin overlap
+// measures — and returns the resulting snapshot. The fabric and
+// libraries have already maintained their live counters (wire bytes,
+// transfer counts, queue drains) during the run; this adds the
+// quantities only known at the end. Returns nil for a nil tracer.
+func foldMetrics(tr *trace.Tracer, dur time.Duration, fs fabric.FaultStats,
+	rel []fabric.RelStats, reports []*overlap.Report) *trace.Snapshot {
+	if tr == nil {
+		return nil
+	}
+	m := tr.Metrics()
+	m.Gauge("run.duration_ns").Set(int64(dur))
+
+	if fs != (fabric.FaultStats{}) {
+		m.Counter("fault.dropped").Add(int64(fs.Dropped))
+		m.Counter("fault.duplicated").Add(int64(fs.Duplicated))
+		m.Counter("fault.jittered").Add(int64(fs.Jittered))
+		m.Counter("fault.stalled").Add(int64(fs.Stalled))
+		m.Counter("fault.blackholed").Add(int64(fs.Blackholed))
+	}
+
+	var rs fabric.RelStats
+	for _, r := range rel {
+		rs.Sent += r.Sent
+		rs.Retransmits += r.Retransmits
+		rs.Reposts += r.Reposts
+		rs.AcksReceived += r.AcksReceived
+		rs.DupSuppressed += r.DupSuppressed
+	}
+	if rs != (fabric.RelStats{}) {
+		m.Counter("rel.sent").Add(int64(rs.Sent))
+		m.Counter("rel.retransmits").Add(int64(rs.Retransmits))
+		m.Counter("rel.reposts").Add(int64(rs.Reposts))
+		m.Counter("rel.acks_received").Add(int64(rs.AcksReceived))
+		m.Counter("rel.dup_suppressed").Add(int64(rs.DupSuppressed))
+	}
+
+	var inst []*overlap.Report
+	for _, r := range reports {
+		if r != nil {
+			inst = append(inst, r)
+		}
+	}
+	if len(inst) > 0 {
+		agg := overlap.Aggregate(inst)
+		total := agg.Total()
+		m.Counter("overlap.transfers").Add(int64(total.Count))
+		m.Counter("overlap.xfer_ns").Add(int64(total.DataTransferTime))
+		m.Counter("overlap.min_overlapped_ns").Add(int64(total.MinOverlapped))
+		m.Counter("overlap.max_overlapped_ns").Add(int64(total.MaxOverlapped))
+		binned := make([]overlap.Measures, len(agg.BinBounds)+1)
+		for _, reg := range agg.Regions {
+			for i, b := range reg.Bins {
+				binned[i].Add(b)
+			}
+		}
+		for i, b := range binned {
+			if b.Count == 0 {
+				continue
+			}
+			label := overlap.BinLabel(agg.BinBounds, i)
+			m.Counter("overlap.bin." + label + ".count").Add(int64(b.Count))
+			m.Counter("overlap.bin." + label + ".xfer_ns").Add(int64(b.DataTransferTime))
+			m.Counter("overlap.bin." + label + ".min_ns").Add(int64(b.MinOverlapped))
+			m.Counter("overlap.bin." + label + ".max_ns").Add(int64(b.MaxOverlapped))
+		}
+	}
+	return m.Snapshot()
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
+)
+
+// tracedConfig is the acceptance workload: a two-process non-blocking
+// exchange loop on a lossy link, so the trace carries call spans, wire
+// spans, fault instants and retransmit instants all at once.
+func tracedConfig(tr *trace.Tracer) Config {
+	return Config{
+		Procs: 2,
+		MPI: mpi.Config{
+			Protocol:   mpi.DirectRDMARead,
+			Instrument: &mpi.InstrumentConfig{},
+		},
+		Faults: &fabric.FaultPlan{
+			Seed:    7,
+			Default: fabric.LinkFaults{DropRate: 0.1},
+		},
+		RecordTruth: true,
+		Trace:       tr,
+	}
+}
+
+func exchangeLoop(reps int) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		peer := 1 - r.ID()
+		for i := 0; i < reps; i++ {
+			s := r.Isend(peer, 0, 64<<10)
+			q := r.Irecv(peer, 0)
+			r.Compute(100 * time.Microsecond)
+			r.Waitall(s, q)
+		}
+	}
+}
+
+func export(t *testing.T, tr *trace.Tracer) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestTraceByteIdentical is the determinism acceptance criterion: two
+// runs of the same fixed-seed faulted workload export byte-identical
+// trace files, and the bytes are valid JSON per the trace-event spec.
+func TestTraceByteIdentical(t *testing.T) {
+	var files [2][]byte
+	for i := range files {
+		tr := trace.New(trace.Options{})
+		Run(tracedConfig(tr), exchangeLoop(20))
+		files[i] = export(t, tr)
+	}
+	if !bytes.Equal(files[0], files[1]) {
+		t.Fatal("fixed-seed runs exported different trace bytes")
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		Metrics     json.RawMessage   `json:"metrics"`
+	}
+	if err := json.Unmarshal(files[0], &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 || len(doc.Metrics) == 0 {
+		t.Fatalf("trace file empty: %d events, %d metric bytes",
+			len(doc.TraceEvents), len(doc.Metrics))
+	}
+}
+
+// TestWireSpansEqualOracle asserts the ground-truth criterion: the
+// trace's NIC wire spans are exactly the fabric oracle's transfer
+// intervals — same ids, endpoints, sizes and times, nothing extra.
+func TestWireSpansEqualOracle(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	res := Run(tracedConfig(tr), exchangeLoop(20))
+	if len(res.Transfers) == 0 {
+		t.Fatal("workload recorded no transfers")
+	}
+
+	type wire struct {
+		src, dst   int
+		size       int64
+		start, end vtime.Time
+	}
+	got := make(map[uint64]wire)
+	for _, tk := range tr.Tracks() {
+		if tk.Group() != trace.GroupNIC {
+			continue
+		}
+		for _, r := range tk.Recs() {
+			if r.Cat != "wire" {
+				continue
+			}
+			if r.Name != "xfer" {
+				t.Fatalf("unexpected wire record %q", r.Name)
+			}
+			if _, dup := got[r.Args.ID]; dup {
+				t.Fatalf("transfer %d has two wire spans", r.Args.ID)
+			}
+			got[r.Args.ID] = wire{
+				src: tk.ID(), dst: r.Args.Peer, size: r.Args.Size,
+				start: r.Start, end: r.End(),
+			}
+		}
+	}
+	if len(got) != len(res.Transfers) {
+		t.Fatalf("%d wire spans for %d oracle transfers", len(got), len(res.Transfers))
+	}
+	for _, want := range res.Transfers {
+		w, ok := got[want.XferID]
+		if !ok {
+			t.Fatalf("oracle transfer %d has no wire span", want.XferID)
+		}
+		if w.src != int(want.Src) || w.dst != int(want.Dst) ||
+			w.size != int64(want.Size) || w.start != want.Start || w.end != want.End {
+			t.Errorf("transfer %d: wire span %+v != oracle %+v", want.XferID, w, want)
+		}
+	}
+}
+
+// TestMetricsMatchResult cross-checks the live counters against the
+// result structures the run already reports.
+func TestMetricsMatchResult(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	res := Run(tracedConfig(tr), exchangeLoop(20))
+	if res.Metrics == nil {
+		t.Fatal("traced run returned no metrics snapshot")
+	}
+	counters := make(map[string]int64)
+	for _, c := range res.Metrics.Counters {
+		counters[c.Name] = c.Value
+	}
+	if got := counters["fabric.transfers"]; got != int64(len(res.Transfers)) {
+		t.Errorf("fabric.transfers = %d, oracle recorded %d", got, len(res.Transfers))
+	}
+	var bytesOnWire int64
+	for _, x := range res.Transfers {
+		bytesOnWire += int64(x.Size)
+	}
+	if got := counters["fabric.wire_bytes"]; got != bytesOnWire {
+		t.Errorf("fabric.wire_bytes = %d, oracle says %d", got, bytesOnWire)
+	}
+	var rel fabric.RelStats
+	for _, rs := range res.RelStats {
+		rel.Sent += rs.Sent
+		rel.Retransmits += rs.Retransmits
+		rel.AcksReceived += rs.AcksReceived
+	}
+	if got := counters["rel.sent"]; got != int64(rel.Sent) {
+		t.Errorf("rel.sent = %d, RelStats say %d", got, rel.Sent)
+	}
+	if got := counters["rel.retransmits"]; got != int64(rel.Retransmits) {
+		t.Errorf("rel.retransmits = %d, RelStats say %d", got, rel.Retransmits)
+	}
+	if got := counters["fault.dropped"]; got != int64(res.FaultStats.Dropped) {
+		t.Errorf("fault.dropped = %d, FaultStats say %d", got, res.FaultStats.Dropped)
+	}
+	var transfers int
+	for _, rep := range res.Reports {
+		transfers += rep.Total().Count
+	}
+	if got := counters["overlap.transfers"]; got != int64(transfers) {
+		t.Errorf("overlap.transfers = %d, reports say %d", got, transfers)
+	}
+	var dur int64 = -1
+	for _, g := range res.Metrics.Gauges {
+		if g.Name == "run.duration_ns" {
+			dur = g.Value
+		}
+	}
+	if dur != int64(res.Duration) {
+		t.Errorf("run.duration_ns = %d, result says %d", dur, int64(res.Duration))
+	}
+}
+
+// TestTraceDeadlock asserts a wedged run still yields a usable trace:
+// the deadlock instant lands on the stuck rank's track and the
+// kernel.deadlocks counter records the diagnosis.
+func TestTraceDeadlock(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	cfg := Config{
+		Procs:    2,
+		MPI:      mpi.Config{Protocol: mpi.DirectRDMARead},
+		Deadline: 10 * time.Millisecond,
+		Trace:    tr,
+	}
+	_, err := RunE(cfg, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 0) // rank 1 never sends
+		}
+	})
+	var de *vtime.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	found := 0
+	for _, tk := range tr.Tracks() {
+		for _, r := range tk.Recs() {
+			if r.Cat == "kernel" && r.Name == "deadlock" {
+				found++
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no deadlock instants in the trace")
+	}
+	var deadlocks int64 = -1
+	for _, c := range tr.Metrics().Snapshot().Counters {
+		if c.Name == "kernel.deadlocks" {
+			deadlocks = c.Value
+		}
+	}
+	if deadlocks != 1 {
+		t.Errorf("kernel.deadlocks = %d, want 1", deadlocks)
+	}
+}
+
+// TestUntracedRunHasNoMetrics pins the zero-cost default: without a
+// tracer the result carries no snapshot.
+func TestUntracedRunHasNoMetrics(t *testing.T) {
+	res := Run(Config{Procs: 2, MPI: mpi.Config{}}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 1024)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if res.Metrics != nil {
+		t.Error("untraced run must not produce a metrics snapshot")
+	}
+}

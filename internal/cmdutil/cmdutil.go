@@ -1,0 +1,127 @@
+// Package cmdutil collects the flag-handling chores the experiment
+// binaries used to duplicate: parsing processor-count sweeps,
+// validating a fault plan against the smallest machine in a sweep, and
+// the shared -trace/-metrics observability flags that hand every
+// driver the same trace.Tracer plumbing.
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/faultflag"
+	"ovlp/internal/trace"
+)
+
+// ParseProcs parses a comma-separated list of processor counts,
+// falling back to def when the flag was left empty.
+func ParseProcs(s string, def []int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// CheckFaultNodes rejects a fault plan naming nodes beyond the
+// smallest processor count in a sweep, before any simulation starts —
+// every run in the sweep has at least that many nodes, so the smallest
+// is the binding constraint.
+func CheckFaultNodes(plan *fabric.FaultPlan, procs []int) error {
+	if len(procs) == 0 {
+		return nil
+	}
+	min := procs[0]
+	for _, p := range procs[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	return faultflag.CheckNodes(plan, min)
+}
+
+// Obs holds the observability flag state: -trace enables full
+// span/instant collection and writes a Chrome trace-event file,
+// -metrics prints the registry snapshot as text. Either alone works;
+// -metrics without -trace runs the tracer in metrics-only mode so no
+// ring memory is spent on events nobody will export.
+type Obs struct {
+	// TracePath is the -trace output file ("" = tracing off).
+	TracePath string
+	// Metrics is the -metrics switch.
+	Metrics bool
+
+	tr *trace.Tracer
+}
+
+// RegisterObs installs the -trace and -metrics flags on fs (the
+// default command-line set when fs is nil).
+func RegisterObs(fs *flag.FlagSet) *Obs {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	o := &Obs{}
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto) to this path")
+	fs.BoolVar(&o.Metrics, "metrics", false, "print the run's metrics registry after the sweep")
+	return o
+}
+
+// Enabled reports whether any observability output was requested.
+func (o *Obs) Enabled() bool {
+	return o != nil && (o.TracePath != "" || o.Metrics)
+}
+
+// Tracer returns the tracer to hand to cluster.Config.Trace, creating
+// it on first call, or nil when no observability flag was set (a nil
+// tracer disables instrumentation everywhere).
+func (o *Obs) Tracer() *trace.Tracer {
+	if !o.Enabled() {
+		return nil
+	}
+	if o.tr == nil {
+		o.tr = trace.New(trace.Options{MetricsOnly: o.TracePath == ""})
+	}
+	return o.tr
+}
+
+// Finish writes the requested outputs: the trace file (if -trace) and
+// the metrics table on w (if -metrics). Call it once, after the
+// traced run completes.
+func (o *Obs) Finish(w io.Writer) error {
+	if !o.Enabled() || o.tr == nil {
+		return nil
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote trace to %s (%d tracks)\n", o.TracePath, len(o.tr.Tracks()))
+	}
+	if o.Metrics {
+		fmt.Fprintln(w, "metrics:")
+		if err := o.tr.Metrics().Snapshot().WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package cmdutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
+)
+
+func TestParseProcs(t *testing.T) {
+	def := []int{4, 8}
+	if got, err := ParseProcs("", def); err != nil || !reflect.DeepEqual(got, def) {
+		t.Errorf("empty flag: got %v, %v", got, err)
+	}
+	if got, err := ParseProcs(" 2, 9 ,16", nil); err != nil || !reflect.DeepEqual(got, []int{2, 9, 16}) {
+		t.Errorf("list: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-1", "2,,4"} {
+		if _, err := ParseProcs(bad, def); err == nil {
+			t.Errorf("ParseProcs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckFaultNodes(t *testing.T) {
+	plan := &fabric.FaultPlan{
+		Seed:   1,
+		Stalls: []fabric.StallWindow{{Node: 3, Start: 0, End: vtime.Time(1)}},
+	}
+	// Node 3 exists only on machines with >= 4 nodes; the smallest
+	// count in the sweep is what binds.
+	if err := CheckFaultNodes(plan, []int{8, 4}); err != nil {
+		t.Errorf("valid sweep rejected: %v", err)
+	}
+	if err := CheckFaultNodes(plan, []int{8, 2}); err == nil {
+		t.Error("sweep including a 2-node run must be rejected")
+	}
+	if err := CheckFaultNodes(nil, []int{1}); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	if err := CheckFaultNodes(plan, nil); err != nil {
+		t.Errorf("empty sweep rejected: %v", err)
+	}
+}
+
+func TestObsDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := RegisterObs(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Enabled() || o.Tracer() != nil {
+		t.Error("no flags must mean no tracer")
+	}
+	if err := o.Finish(os.Stdout); err != nil {
+		t.Errorf("Finish on disabled obs: %v", err)
+	}
+}
+
+func TestObsTraceAndMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := RegisterObs(fs)
+	if err := fs.Parse([]string{"-trace", path, "-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := o.Tracer()
+	if tr == nil {
+		t.Fatal("tracer must exist with -trace set")
+	}
+	if o.Tracer() != tr {
+		t.Error("Tracer must be created once")
+	}
+	tr.Track(trace.GroupHost, 0, "rank0").Instant("c", "e", 0, trace.None)
+	tr.Metrics().Counter("runs").Inc()
+
+	var out bytes.Buffer
+	if err := o.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file invalid JSON: %v", err)
+	}
+	if !strings.Contains(out.String(), "runs") {
+		t.Errorf("-metrics output missing counter:\n%s", out.String())
+	}
+}
+
+func TestObsMetricsOnly(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := RegisterObs(fs)
+	if err := fs.Parse([]string{"-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := o.Tracer()
+	tk := tr.Track(trace.GroupHost, 0, "r")
+	tk.Instant("c", "e", 0, trace.None)
+	if len(tk.Recs()) != 0 {
+		t.Error("bare -metrics must run the tracer in metrics-only mode")
+	}
+	tr.Metrics().Counter("n").Add(3)
+	var out bytes.Buffer
+	if err := o.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n") || !strings.Contains(out.String(), "3") {
+		t.Errorf("metrics table missing:\n%s", out.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
 )
 
@@ -208,6 +209,8 @@ type Fabric struct {
 
 	faults    *faultState      // nil on a perfect network
 	truthSeen map[seenKey]bool // sequenced deliveries already recorded
+
+	tr *trace.Tracer // nil = untraced
 }
 
 // New creates a fabric of n nodes.
@@ -257,6 +260,22 @@ func (f *Fabric) FaultStats() FaultStats {
 	return f.faults.stats
 }
 
+// SetTrace attaches a tracer (nil to detach). Every ground-truth
+// transfer then emits a wire span on the source NIC's track — exactly
+// the oracle intervals, so a trace shows true wire activity against
+// host-observed call time — and fault injections and reliable-delivery
+// activity emit instants. NIC-side emissions cost nothing in virtual
+// time: they model the free visibility only the simulator has.
+func (f *Fabric) SetTrace(t *trace.Tracer) { f.tr = t }
+
+// nicTrack returns node id's trace track (nil when untraced).
+func (f *Fabric) nicTrack(id NodeID) *trace.Track {
+	if f.tr == nil {
+		return nil
+	}
+	return f.tr.Track(trace.GroupNIC, int(id), fmt.Sprintf("nic%d", id))
+}
+
 // Nodes returns the number of nodes.
 func (f *Fabric) Nodes() int { return len(f.nics) }
 
@@ -282,7 +301,23 @@ func (f *Fabric) Transfers() []Transfer { return f.truth }
 func (f *Fabric) record(t Transfer) {
 	if t.XferID != 0 {
 		f.truth = append(f.truth, t)
+		if f.tr != nil {
+			// The wire span is the oracle interval verbatim; tests assert
+			// the trace's NIC spans equal Transfers() exactly.
+			f.nicTrack(t.Src).Span("wire", "xfer", t.Start, t.End,
+				trace.Args{Peer: int(t.Dst), Size: int64(t.Size), ID: t.XferID})
+			m := f.tr.Metrics()
+			m.Counter("fabric.transfers").Inc()
+			m.Counter("fabric.wire_bytes").Add(int64(t.Size))
+			m.Histogram("fabric.xfer_size", xferSizeBounds()).Observe(int64(t.Size))
+		}
 	}
+}
+
+// xferSizeBounds are the transfer-size histogram buckets, matching the
+// default overlap bin bounds so the two views line up.
+func xferSizeBounds() []int64 {
+	return []int64{1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20}
 }
 
 // NIC is one node's network interface: a DMA engine plus completion
@@ -422,10 +457,26 @@ func (n *NIC) transmitSeq(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire
 		var blackhole bool
 		earliest, blackhole = fs.stallAdjust(n.id, earliest)
 		if blackhole {
+			f.nicTrack(n.id).Instant("fault", "blackhole", f.sim.Now(),
+				trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
 			return wr
 		}
 		drop, dup, jitter = fs.decide(n.id, dst, kind == OpSend)
 		wire = fs.scaleWire(n.id, dst, wire)
+		if f.tr != nil {
+			if drop {
+				f.nicTrack(n.id).Instant("fault", "drop", f.sim.Now(),
+					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
+			}
+			if dup {
+				f.nicTrack(n.id).Instant("fault", "dup", f.sim.Now(),
+					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
+			}
+			if jitter > 0 {
+				f.nicTrack(n.id).Instant("fault", "jitter", f.sim.Now(),
+					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID, Detail: jitter.String()})
+			}
+		}
 	}
 	start, end := n.reserveEgress(earliest, wire)
 	arrive := end.Add(f.cost.LinkLatency + jitter)
@@ -500,6 +551,8 @@ func (f *Fabric) sendAck(from, to NodeID, seq uint64, start, end vtime.Time) {
 		var drop bool
 		drop, _, jitter = fs.decide(from, to, false)
 		if drop {
+			f.nicTrack(from).Instant("fault", "ack-drop", f.sim.Now(),
+				trace.Args{Peer: int(to), ID: seq})
 			return
 		}
 	}
@@ -538,10 +591,16 @@ func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint6
 			var blackhole bool
 			serve, blackhole = fs.stallAdjust(src, serve)
 			if blackhole {
+				f.nicTrack(src).Instant("fault", "blackhole", f.sim.Now(),
+					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
 				return
 			}
 			drop, _, jitter = fs.decide(src, dst, false)
 			wire = fs.scaleWire(src, dst, wire)
+			if drop {
+				f.nicTrack(src).Instant("fault", "drop", f.sim.Now(),
+					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
+			}
 		}
 		start, end := remote.reserveEgress(serve, wire)
 		arrive := end.Add(f.cost.LinkLatency + jitter)

@@ -51,10 +51,10 @@ func TestDropAndStallParse(t *testing.T) {
 
 func TestBadInputsRejected(t *testing.T) {
 	for _, args := range [][]string{
-		{"-drop", "1.5"},                  // rate out of range -> plan validation
-		{"-stall", "zero@1ms+1ms"},        // unparsable node
-		{"-stall", "0@1ms"},               // missing duration
-		{"-stall", "0@1ms+never"},         // bad duration word
+		{"-drop", "1.5"},                         // rate out of range -> plan validation
+		{"-stall", "zero@1ms+1ms"},               // unparsable node
+		{"-stall", "0@1ms"},                      // missing duration
+		{"-stall", "0@1ms+never"},                // bad duration word
 		{"-drop", "0.1", "-stall", "0@-1ms+1ms"}, // negative start
 	} {
 		if _, err := parse(t, args...); err == nil {

@@ -35,6 +35,7 @@ import (
 	"ovlp/internal/calib"
 	"ovlp/internal/fabric"
 	"ovlp/internal/overlap"
+	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
 )
 
@@ -130,6 +131,13 @@ type Config struct {
 	// Instrument enables the overlap instrumentation; nil runs the
 	// library uninstrumented.
 	Instrument *InstrumentConfig
+	// Tracer, if non-nil, receives structured trace records: one call
+	// span per outermost library call (tagged with peer and message
+	// size where the call has them) plus the overlap monitor's event
+	// stream, all on the rank's host track. When Instrument.ModelCost
+	// is also set, each call-span emission charges one EventCost to the
+	// rank, so the tracer's overhead is modelled like the monitor's.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -248,9 +256,14 @@ type Rank struct {
 	depth     int
 	enterAt   vtime.Time
 	curOp     string
+	curPeer   int   // peer of the outermost call, -1 when none
+	curSize   int64 // message size of the outermost call, -1 when none
 	mpiTime   time.Duration
 	callTimes map[string]time.Duration
 	waiting   bool
+
+	trk       *trace.Track  // nil when untraced
+	traceCost time.Duration // modelled cost per call-span emission
 }
 
 type regKey struct {
@@ -282,6 +295,11 @@ func (r *Rank) attach(p *vtime.Proc) {
 	if rp := r.w.cfg.Reliable; rp != nil {
 		r.rel = fabric.NewReliable(r.nic, *rp, func() { r.proc.Unpark() })
 	}
+	if tr := r.w.cfg.Tracer; tr != nil {
+		r.trk = tr.Track(trace.GroupHost, p.ID(), p.Name())
+		r.trk.Instant("mpi", "attach", p.Now(),
+			trace.Args{Peer: trace.NoPeer, Detail: r.w.cfg.Protocol.String()})
+	}
 	if ic := r.w.cfg.Instrument; ic != nil {
 		mc := overlap.Config{
 			Clock:     procClock{p},
@@ -293,9 +311,30 @@ func (r *Rank) attach(p *vtime.Proc) {
 			mc.Charge = func(d time.Duration) { p.Compute(d) }
 			mc.EventCost = ic.EventCost
 			mc.DrainCostPerEvent = ic.DrainCostPerEvent
+			if r.trk != nil {
+				r.traceCost = ic.EventCost
+			}
 		}
 		if ic.TraceSinkFor != nil {
 			mc.TraceSink = ic.TraceSinkFor(r.id)
+		}
+		if r.trk != nil {
+			// Overlap events ride on the same host track; the monitor's
+			// Charge path already models their logging cost.
+			mc.Sink = trace.OverlapSink(r.trk, 0)
+			m := r.w.cfg.Tracer.Metrics()
+			drains := m.Counter("overlap.drains")
+			drained := m.Counter("overlap.drained_events")
+			batch := m.Gauge("overlap.drain_batch")
+			trk := r.trk
+			mc.OnDrain = func(n int) {
+				drains.Inc()
+				drained.Add(int64(n))
+				batch.Set(int64(n))
+				// Size carries the batch size: how many queued events the
+				// processing module just folded.
+				trk.Instant("overlap", "queue-drain", p.Now(), trace.Args{Peer: trace.NoPeer, Size: int64(n)})
+			}
 		}
 		r.mon = overlap.NewMonitor(mc)
 	}
@@ -370,10 +409,19 @@ func (r *Rank) CallTimes() map[string]time.Duration {
 // total and per call type — and nest so collectives built on
 // point-to-point register once, under the outermost call's name.
 func (r *Rank) enterOp(name string) {
+	r.enterOpPS(name, -1, -1)
+}
+
+// enterOpPS is enterOp carrying the call's peer and message size for
+// the trace span (point-to-point calls know both; collectives and
+// completion calls pass -1).
+func (r *Rank) enterOpPS(name string, peer int, size int64) {
 	r.depth++
 	if r.depth == 1 {
 		r.enterAt = r.proc.Now()
 		r.curOp = name
+		r.curPeer = peer
+		r.curSize = size
 	}
 	r.mon.CallEnter()
 }
@@ -382,6 +430,16 @@ func (r *Rank) exit() {
 	r.mon.CallExit()
 	r.depth--
 	if r.depth == 0 {
+		if r.trk != nil {
+			// Charge the span's modelled emission cost before reading the
+			// clock, so the span — like the monitor's events — includes
+			// its own instrumentation overhead.
+			if r.traceCost > 0 {
+				r.proc.Compute(r.traceCost)
+			}
+			r.trk.Span("mpi", r.curOp, r.enterAt, r.proc.Now(),
+				trace.Args{Peer: r.curPeer, Size: r.curSize})
+		}
 		d := r.proc.Now().Sub(r.enterAt)
 		r.mpiTime += d
 		r.callTimes[r.curOp] += d

@@ -8,7 +8,7 @@ package mpi
 // the library no longer needs the send buffer (eager: data copied out
 // and on the wire; rendezvous: protocol complete).
 func (r *Rank) Send(dst, tag, size int) {
-	r.enterOp("Send")
+	r.enterOpPS("Send", dst, int64(size))
 	defer r.exit()
 	req := r.newReq(reqSend, dst, tag, size)
 	r.startSend(req, ctxUser, true)
@@ -17,7 +17,7 @@ func (r *Rank) Send(dst, tag, size int) {
 
 // Isend starts a non-blocking send and returns its request handle.
 func (r *Rank) Isend(dst, tag, size int) *Request {
-	r.enterOp("Isend")
+	r.enterOpPS("Isend", dst, int64(size))
 	defer r.exit()
 	req := r.newReq(reqSend, dst, tag, size)
 	r.startSend(req, ctxUser, false)
@@ -27,7 +27,7 @@ func (r *Rank) Isend(dst, tag, size int) *Request {
 // Recv blocks until a message matching (src, tag) — either may be a
 // wildcard — has been received, and returns its status.
 func (r *Rank) Recv(src, tag int) Status {
-	r.enterOp("Recv")
+	r.enterOpPS("Recv", src, -1)
 	defer r.exit()
 	req := r.postRecv(src, tag, ctxUser)
 	r.waitUntil(func() bool { return req.done })
@@ -36,7 +36,7 @@ func (r *Rank) Recv(src, tag int) Status {
 
 // Irecv posts a non-blocking receive and returns its request handle.
 func (r *Rank) Irecv(src, tag int) *Request {
-	r.enterOp("Irecv")
+	r.enterOpPS("Irecv", src, -1)
 	defer r.exit()
 	return r.postRecv(src, tag, ctxUser)
 }
@@ -101,7 +101,7 @@ func (r *Rank) Probe(src, tag int) Status {
 // Sendrecv performs a simultaneous send to dst and receive from src,
 // blocking until both complete; it returns the receive status.
 func (r *Rank) Sendrecv(dst, sendTag, sendSize, src, recvTag int) Status {
-	r.enterOp("Sendrecv")
+	r.enterOpPS("Sendrecv", dst, int64(sendSize))
 	defer r.exit()
 	sreq := r.newReq(reqSend, dst, sendTag, sendSize)
 	r.startSend(sreq, ctxUser, true)

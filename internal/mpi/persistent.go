@@ -7,7 +7,7 @@ package mpi
 // the message size. (MPI_Ssend; useful to benchmark pure rendezvous
 // behaviour below the eager threshold.)
 func (r *Rank) Ssend(dst, tag, size int) {
-	r.enterOp("Ssend")
+	r.enterOpPS("Ssend", dst, int64(size))
 	defer r.exit()
 	req := r.newReq(reqSend, dst, tag, size)
 	r.startSendSync(req, ctxUser)
@@ -16,7 +16,7 @@ func (r *Rank) Ssend(dst, tag, size int) {
 
 // Issend starts a non-blocking synchronous send.
 func (r *Rank) Issend(dst, tag, size int) *Request {
-	r.enterOp("Issend")
+	r.enterOpPS("Issend", dst, int64(size))
 	defer r.exit()
 	req := r.newReq(reqSend, dst, tag, size)
 	r.startSendSync(req, ctxUser)

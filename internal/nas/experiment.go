@@ -8,6 +8,7 @@ import (
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
+	"ovlp/internal/trace"
 )
 
 // This file is the experiment harness behind the paper's Sec. 4
@@ -46,6 +47,8 @@ type Options struct {
 	// faults; the run then uses reliable delivery (see
 	// cluster.Config.Faults).
 	Faults *fabric.FaultPlan
+	// Trace, when non-nil, traces the run (see cluster.Config.Trace).
+	Trace *trace.Tracer
 }
 
 // Characterize runs one MPI benchmark instrumented and returns process
@@ -73,6 +76,7 @@ func CharacterizeAllReports(name string, class Class, procs int, opt Options) ([
 			Instrument:   &mpi.InstrumentConfig{},
 		},
 		Faults: opt.Faults,
+		Trace:  opt.Trace,
 	}, func(r *mpi.Rank) {
 		Run(name, r, Params{Class: class, MaxIters: opt.MaxIters})
 	})
@@ -114,15 +118,23 @@ type SPResult struct {
 // direct-RDMA-read library (MVAPICH2, as in the paper) and reports the
 // case-study measures.
 func CharacterizeSP(class Class, procs int, modified bool, maxIters int) SPResult {
+	return CharacterizeSPOpts(class, procs, modified, Options{MaxIters: maxIters})
+}
+
+// CharacterizeSPOpts is CharacterizeSP with full Options (Protocol is
+// fixed to direct RDMA read, as the case study prescribes).
+func CharacterizeSPOpts(class Class, procs int, modified bool, opt Options) SPResult {
 	res := cluster.Run(cluster.Config{
 		Procs: procs,
 		MPI: mpi.Config{
 			Protocol:   mpi.DirectRDMARead,
 			Instrument: &mpi.InstrumentConfig{},
 		},
+		Faults: opt.Faults,
+		Trace:  opt.Trace,
 	}, func(r *mpi.Rank) {
 		RunSP(r, SPParams{
-			Params:   Params{Class: class, MaxIters: maxIters},
+			Params:   Params{Class: class, MaxIters: opt.MaxIters},
 			Modified: modified,
 		})
 	})
@@ -157,6 +169,7 @@ func CharacterizeMGARMCIOpts(class Class, procs int, variant MGVariant, opt Opti
 		Procs:  procs,
 		ARMCI:  armci.Config{Instrument: &armci.InstrumentConfig{}},
 		Faults: opt.Faults,
+		Trace:  opt.Trace,
 	}, func(pr *armci.Proc) {
 		RunMGARMCI(pr, Params{Class: class, MaxIters: opt.MaxIters}, variant)
 	})

@@ -19,6 +19,14 @@ func DefaultBinBounds() []int {
 	return []int{1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20}
 }
 
+// Sink receives a copy of every instrumentation event as it is
+// logged, before it enters the circular queue. Implementations must
+// not call back into the Monitor. The trace package's OverlapSink
+// satisfies this interface.
+type Sink interface {
+	OverlapEvent(e Event)
+}
+
 // Config parameterizes a Monitor.
 type Config struct {
 	// Clock supplies time-stamps. Required.
@@ -46,10 +54,20 @@ type Config struct {
 	// DefaultUserIntervalWindow. Irrelevant unless the substrate
 	// supplies hardware time-stamps.
 	UserIntervalWindow int
-	// TraceSink, if non-nil, additionally receives every event as it
-	// is logged. It exists for validation against ground truth in
-	// tests; production configurations leave it nil (no tracing).
+	// Sink, if non-nil, additionally receives every event as it is
+	// logged — the production tracing path (the trace package's
+	// OverlapSink adapter turns events into timeline records). Sink
+	// invocations are not charged by the monitor; a simulation that
+	// models tracing cost charges it at the emission layer instead.
+	Sink Sink
+	// TraceSink is the legacy per-event callback, kept as an adapter
+	// over the same stream Sink sees; both may be set. New code should
+	// prefer Sink.
 	TraceSink func(Event)
+	// OnDrain, if non-nil, is invoked after the processing module
+	// folds n queued events into the running measures (n > 0 only), so
+	// an observer can record queue-drain activity.
+	OnDrain func(n int)
 	// StrictQueue restores the historical behaviour of panicking when
 	// an event arrives at a full queue. By default the monitor drains
 	// the queue through the processing module and keeps going —
@@ -130,6 +148,9 @@ func (m *Monitor) log(e Event) {
 	if m.cfg.TraceSink != nil {
 		m.cfg.TraceSink(e)
 	}
+	if m.cfg.Sink != nil {
+		m.cfg.Sink.OverlapEvent(e)
+	}
 	if m.q.full() {
 		// Normally drained at the push that fills the queue; re-entrant
 		// logging (e.g. a Charge callback that triggers events) can
@@ -151,6 +172,9 @@ func (m *Monitor) process() {
 	n := m.q.drain(m.st.apply)
 	if m.cfg.Charge != nil && m.cfg.DrainCostPerEvent > 0 {
 		m.cfg.Charge(time.Duration(n) * m.cfg.DrainCostPerEvent)
+	}
+	if n > 0 && m.cfg.OnDrain != nil {
+		m.cfg.OnDrain(n)
 	}
 }
 

@@ -125,8 +125,10 @@ func (r *Report) CommCallTime() time.Duration {
 	return t
 }
 
-// binLabel renders the half-open size interval of bin i.
-func binLabel(bounds []int, i int) string {
+// BinLabel renders the half-open size interval of bin i for the given
+// bounds — the canonical bin naming shared by reports, benchmark
+// tables and metrics.
+func BinLabel(bounds []int, i int) string {
 	switch {
 	case i == 0:
 		return fmt.Sprintf("<=%s", sizeLabel(bounds[0]))
@@ -177,7 +179,7 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 				continue
 			}
 			fmt.Fprintf(cw, "    %-12s xfers %6d  data %12v  min %6.1f%%  max %6.1f%%\n",
-				binLabel(r.BinBounds, i), b.Count, b.DataTransferTime,
+				BinLabel(r.BinBounds, i), b.Count, b.DataTransferTime,
 				b.MinPercent(), b.MaxPercent())
 		}
 	}

@@ -1,0 +1,83 @@
+package overlap
+
+import (
+	"testing"
+	"time"
+)
+
+// collectSink records every event it is handed, asserting the Sink
+// interface contract.
+type collectSink struct{ events []Event }
+
+func (s *collectSink) OverlapEvent(e Event) { s.events = append(s.events, e) }
+
+func TestSinkReceivesEveryEvent(t *testing.T) {
+	sink := &collectSink{}
+	var legacy []Event
+	c := &fakeClock{}
+	m := NewMonitor(Config{
+		Clock:     c,
+		Table:     flatTable(t, 10*us),
+		QueueSize: 16,
+		Sink:      sink,
+		TraceSink: CollectTrace(&legacy), // both paths may be set
+	})
+	c.at(0)
+	m.CallEnter()
+	m.XferBegin(1, 1024)
+	c.at(5 * us)
+	m.XferEnd(1, 0)
+	m.CallExit()
+	m.Finalize()
+
+	if len(sink.events) != 4 {
+		t.Fatalf("sink got %d events, want 4", len(sink.events))
+	}
+	want := []Kind{KindCallEnter, KindXferBegin, KindXferEnd, KindCallExit}
+	for i, e := range sink.events {
+		if e.Kind != want[i] {
+			t.Fatalf("event %d kind %v, want %v", i, e.Kind, want[i])
+		}
+	}
+	// The legacy TraceSink sees the identical stream.
+	if len(legacy) != len(sink.events) {
+		t.Fatalf("legacy sink got %d events, sink got %d", len(legacy), len(sink.events))
+	}
+	for i := range legacy {
+		if legacy[i] != sink.events[i] {
+			t.Fatalf("event %d differs between sinks: %+v vs %+v", i, legacy[i], sink.events[i])
+		}
+	}
+}
+
+func TestOnDrainBatches(t *testing.T) {
+	var drains []int
+	c := &fakeClock{}
+	m := NewMonitor(Config{
+		Clock:     c,
+		Table:     flatTable(t, 10*us),
+		QueueSize: 4,
+		OnDrain:   func(n int) { drains = append(drains, n) },
+	})
+	// Each exchange logs 4 events; the queue drains when it fills.
+	for i := 0; i < 3; i++ {
+		c.at(time.Duration(i) * 20 * us)
+		m.CallEnter()
+		m.XferBegin(uint64(i+1), 64)
+		c.at(time.Duration(i)*20*us + 5*us)
+		m.XferEnd(uint64(i+1), 0)
+		m.CallExit()
+	}
+	m.Finalize()
+
+	total := 0
+	for _, n := range drains {
+		if n <= 0 {
+			t.Fatalf("OnDrain called with non-positive batch %d", n)
+		}
+		total += n
+	}
+	if total != 12 {
+		t.Errorf("drained %d events in total, want 12 (batches %v)", total, drains)
+	}
+}

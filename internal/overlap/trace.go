@@ -10,7 +10,9 @@ import (
 // Trace formatting: a human-readable rendering of an event stream
 // captured through Config.TraceSink, for debugging instrumented
 // libraries and inspecting how the bounds algorithm will see a run.
-// This is a development aid — production monitoring never traces.
+// Production tracing goes through Config.Sink into the trace
+// package's per-rank rings and Chrome export; this text rendering
+// remains the quick single-stream view.
 
 // FormatTrace writes one line per event, with a gutter marking
 // library (|) versus computation (.) periods and transfer intervals.

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+
+	"ovlp/internal/overlap"
+	"ovlp/internal/vtime"
+)
+
+// KernelObserver returns a vtime.Observer that renders the kernel's
+// scheduling activity onto each proc's host track. Because execution
+// between blocking points consumes no virtual time, "running" spans
+// would all be zero-width; what carries duration — and what the
+// observer draws — are the blocked intervals: "compute" spans while a
+// proc sits in Compute and "park" spans (tagged with the blocking call
+// site) while it waits to be unparked. Deadlock diagnoses become one
+// instant per stuck proc plus a kernel.deadlocks counter.
+//
+// Observer emissions are never charged to the simulated hosts: the
+// kernel's own bookkeeping is outside the instrumented libraries,
+// whose tracing cost is modelled at their emission sites instead.
+// Returns nil for a nil tracer (and vtime ignores a nil observer).
+func (t *Tracer) KernelObserver() vtime.Observer {
+	if t == nil {
+		return nil
+	}
+	return &kernelObserver{t: t, open: make(map[int]openBlock)}
+}
+
+type openBlock struct {
+	since vtime.Time
+	state string
+	where string
+}
+
+type kernelObserver struct {
+	t    *Tracer
+	open map[int]openBlock // proc id -> block in progress
+}
+
+func (o *kernelObserver) track(p *vtime.Proc) *Track {
+	return o.t.Track(GroupHost, p.ID(), p.Name())
+}
+
+func (o *kernelObserver) ProcBlocked(p *vtime.Proc, state, where string) {
+	o.track(p) // ensure the track exists even if the span ends up zero-width
+	o.open[p.ID()] = openBlock{since: p.Now(), state: state, where: where}
+}
+
+func (o *kernelObserver) ProcResumed(p *vtime.Proc) {
+	b, ok := o.open[p.ID()]
+	if !ok {
+		// First dispatch after Spawn: mark the birth so an otherwise
+		// empty track still shows when the proc existed.
+		o.track(p).Instant("kernel", "spawn", p.Now(), None)
+		return
+	}
+	delete(o.open, p.ID())
+	if p.Now() == b.since {
+		return // zero-width block (e.g. Yield): noise, not signal
+	}
+	name := "compute"
+	a := None
+	if b.state == "parked" {
+		name = "park"
+		a.Detail = b.where
+	}
+	o.track(p).Span("kernel", name, b.since, p.Now(), a)
+}
+
+func (o *kernelObserver) ProcDone(p *vtime.Proc) {
+	o.track(p).Instant("kernel", "done", p.Now(), None)
+}
+
+func (o *kernelObserver) Deadlock(e *vtime.DeadlockError) {
+	o.t.Metrics().Counter("kernel.deadlocks").Inc()
+	for _, d := range e.Procs {
+		tk := o.t.Track(GroupHost, d.ID, d.Name)
+		tk.Instant("kernel", "deadlock", e.Now, Args{
+			Peer:   NoPeer,
+			Detail: fmt.Sprintf("%s: %s in %s since %v", e.Reason, d.State, d.Where, d.Since),
+		})
+	}
+}
+
+// OverlapSink adapts a host track to the overlap monitor's Sink
+// interface: transfer begin/end approximations become instants,
+// hardware-stamped exact transfers become spans over their physical
+// interval, and region transitions become instants — all in category
+// "overlap". Call enter/exit events are skipped: the communication
+// libraries emit richer named call spans for the same intervals.
+//
+// The origin is the virtual time of the monitor clock's zero, so
+// event stamps (durations since process origin) land on the shared
+// timeline.
+func OverlapSink(tk *Track, origin vtime.Time) overlap.Sink {
+	if tk == nil {
+		return nil
+	}
+	return &overlapSink{tk: tk, origin: origin}
+}
+
+type overlapSink struct {
+	tk     *Track
+	origin vtime.Time
+}
+
+func (s *overlapSink) OverlapEvent(e overlap.Event) {
+	at := s.origin.Add(e.Stamp)
+	switch e.Kind {
+	case overlap.KindXferBegin:
+		s.tk.Instant("overlap", "xfer-begin", at, Args{Peer: NoPeer, ID: e.ID, Size: e.Size})
+	case overlap.KindXferEnd:
+		s.tk.Instant("overlap", "xfer-end", at, Args{Peer: NoPeer, ID: e.ID, Size: e.Size})
+	case overlap.KindXferExact:
+		s.tk.Span("overlap", "xfer-exact", s.origin.Add(e.Start), s.origin.Add(e.End),
+			Args{Peer: NoPeer, ID: e.ID, Size: e.Size})
+	case overlap.KindRegionPush:
+		s.tk.Instant("overlap", "region-push", at, Args{Peer: NoPeer, ID: uint64(e.Region)})
+	case overlap.KindRegionPop:
+		s.tk.Instant("overlap", "region-pop", at, Args{Peer: NoPeer, ID: uint64(e.Region)})
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ovlp/internal/overlap"
+	"ovlp/internal/vtime"
+)
+
+func TestKernelObserverSpans(t *testing.T) {
+	tr := New(Options{})
+	sim := vtime.NewSim()
+	sim.SetObserver(tr.KernelObserver())
+	var p *vtime.Proc
+	p = sim.Spawn("worker", func(p *vtime.Proc) {
+		p.Compute(10 * time.Microsecond)
+		p.Park("test.park")
+	})
+	sim.After(30*time.Microsecond, func() { p.Unpark() })
+	sim.Run()
+
+	tracks := tr.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("want one host track, got %d", len(tracks))
+	}
+	tk := tracks[0]
+	if tk.Group() != GroupHost || tk.Name() != "worker" {
+		t.Errorf("track identity wrong: %v %q", tk.Group(), tk.Name())
+	}
+	recs := tk.Recs()
+	var names []string
+	for _, r := range recs {
+		names = append(names, r.Name)
+	}
+	want := []string{"spawn", "compute", "park", "done"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("record sequence %v, want %v", names, want)
+	}
+	comp, park := recs[1], recs[2]
+	if comp.Start != us(0) || comp.End() != us(10) {
+		t.Errorf("compute span [%v,%v), want [0,10µs)", comp.Start, comp.End())
+	}
+	if park.Start != us(10) || park.End() != us(30) || park.Args.Detail != "test.park" {
+		t.Errorf("park span wrong: %+v", park)
+	}
+}
+
+func TestKernelObserverSkipsZeroWidthBlocks(t *testing.T) {
+	tr := New(Options{})
+	sim := vtime.NewSim()
+	sim.SetObserver(tr.KernelObserver())
+	sim.Spawn("y", func(p *vtime.Proc) {
+		p.Yield() // zero-duration block: noise, not signal
+		p.Compute(time.Microsecond)
+	})
+	sim.Run()
+	for _, r := range tr.Tracks()[0].Recs() {
+		if r.Name == "compute" && r.Dur == 0 {
+			t.Errorf("zero-width block emitted: %+v", r)
+		}
+	}
+}
+
+func TestKernelObserverDeadlock(t *testing.T) {
+	tr := New(Options{})
+	sim := vtime.NewSim()
+	sim.SetObserver(tr.KernelObserver())
+	sim.Spawn("stuck", func(p *vtime.Proc) {
+		p.Park("never.unparked")
+	})
+	_, err := sim.RunE()
+	var de *vtime.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if got := tr.Metrics().Counter("kernel.deadlocks").Value(); got != 1 {
+		t.Errorf("kernel.deadlocks = %d, want 1", got)
+	}
+	var found bool
+	for _, r := range tr.Tracks()[0].Recs() {
+		if r.Name == "deadlock" && strings.Contains(r.Args.Detail, "never.unparked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no deadlock instant naming the blocking site")
+	}
+}
+
+func TestOverlapSinkMapping(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track(GroupHost, 0, "rank0")
+	s := OverlapSink(tk, us(100)) // origin: monitor clock zero at t=100µs
+	s.OverlapEvent(overlap.Event{Kind: overlap.KindRegionPush, Region: 3, Stamp: 0})
+	s.OverlapEvent(overlap.Event{Kind: overlap.KindXferBegin, ID: 9, Size: 4096, Stamp: time.Microsecond})
+	s.OverlapEvent(overlap.Event{Kind: overlap.KindXferEnd, ID: 9, Stamp: 5 * time.Microsecond})
+	s.OverlapEvent(overlap.Event{Kind: overlap.KindXferExact, ID: 10, Size: 64,
+		Start: 2 * time.Microsecond, End: 4 * time.Microsecond})
+	s.OverlapEvent(overlap.Event{Kind: overlap.KindCallEnter, Stamp: 6 * time.Microsecond})
+
+	recs := tk.Recs()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 (call events skipped)", len(recs))
+	}
+	if recs[0].Name != "region-push" || recs[0].Args.ID != 3 || recs[0].Start != us(100) {
+		t.Errorf("region-push wrong: %+v", recs[0])
+	}
+	if recs[1].Name != "xfer-begin" || recs[1].Args.Size != 4096 || recs[1].Start != us(101) {
+		t.Errorf("xfer-begin wrong: %+v", recs[1])
+	}
+	exact := recs[3]
+	if exact.Name != "xfer-exact" || exact.Start != us(102) || exact.End() != us(104) {
+		t.Errorf("xfer-exact must span the physical interval offset by origin: %+v", exact)
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ovlp/internal/vtime"
+)
+
+// WriteChrome exports the tracer as Chrome trace-event JSON (the
+// "JSON Object Format" of the trace-event spec), loadable in Perfetto
+// and chrome://tracing. Each Group becomes a process, each Track a
+// thread; spans are "X" complete events, instants "i" events, and the
+// metrics snapshot rides along as a top-level "metrics" object (extra
+// top-level keys are explicitly legal per the spec).
+//
+// The encoder is hand-written rather than encoding/json because
+// byte-identical output is a contract here: field order is fixed,
+// nothing iterates a map, and microsecond timestamps are formatted
+// from integer nanoseconds (never through a float), so a fixed-seed
+// run re-exports to the same bytes.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteByte('\n')
+	}
+
+	// Metadata: name each process once, then each thread, with a sort
+	// index so Perfetto orders tracks by id rather than by first event.
+	seenGroup := make(map[Group]bool)
+	for _, tk := range t.Tracks() {
+		if !seenGroup[tk.group] {
+			seenGroup[tk.group] = true
+			sep()
+			fmt.Fprintf(&b, `{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`,
+				int(tk.group), quote(tk.group.String()))
+			sep()
+			fmt.Fprintf(&b, `{"name":"process_sort_index","ph":"M","pid":%d,"args":{"sort_index":%d}}`,
+				int(tk.group), int(tk.group))
+		}
+		sep()
+		fmt.Fprintf(&b, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			int(tk.group), tk.id+1, quote(tk.name))
+		sep()
+		fmt.Fprintf(&b, `{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+			int(tk.group), tk.id+1, tk.id)
+	}
+
+	for _, tk := range t.Tracks() {
+		for _, r := range tk.Recs() {
+			sep()
+			if r.Instant() {
+				fmt.Fprintf(&b, `{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d`,
+					quote(r.Name), quote(r.Cat), usec(r.Start), int(tk.group), tk.id+1)
+			} else {
+				fmt.Fprintf(&b, `{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d`,
+					quote(r.Name), quote(r.Cat), usec(r.Start), usec(vtime.Time(r.Dur)), int(tk.group), tk.id+1)
+			}
+			writeArgs(&b, r.Args)
+			b.WriteByte('}')
+		}
+	}
+
+	b.WriteString("\n]")
+	if snap := t.Metrics().Snapshot(); !snap.Empty() {
+		b.WriteString(`,"metrics":`)
+		snap.writeJSON(&b)
+	}
+	b.WriteString("}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// usec renders a nanosecond virtual time as the spec's microsecond
+// timestamp, as an exact decimal JSON number (never a float round-trip).
+func usec(t vtime.Time) string {
+	ns := int64(t)
+	if ns < 0 {
+		// Spans never start before t=0 in virtual time; guard anyway so a
+		// bug yields a readable (still valid JSON) value.
+		return fmt.Sprintf("-%d.%03d", -ns/1000, (-ns)%1000)
+	}
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// writeArgs appends the record's non-absent args as `,"args":{...}`,
+// in fixed field order; it writes nothing when every field is absent.
+func writeArgs(b *bytes.Buffer, a Args) {
+	any := false
+	field := func(k, v string) {
+		if any {
+			b.WriteByte(',')
+		} else {
+			b.WriteString(`,"args":{`)
+			any = true
+		}
+		b.WriteByte('"')
+		b.WriteString(k)
+		b.WriteString(`":`)
+		b.WriteString(v)
+	}
+	if a.Peer >= 0 {
+		field("peer", strconv.Itoa(a.Peer))
+	}
+	if a.Size > 0 {
+		field("size", strconv.FormatInt(a.Size, 10))
+	}
+	if a.ID != 0 {
+		field("id", strconv.FormatUint(a.ID, 10))
+	}
+	if a.Detail != "" {
+		field("detail", quote(a.Detail))
+	}
+	if any {
+		b.WriteByte('}')
+	}
+}
+
+// WriteJSON encodes the snapshot as the trace file's "metrics" block —
+// exported so tools that merge trace files (cmd/tracecat) can re-emit
+// a combined snapshot in the same deterministic encoding.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	s.writeJSON(&b)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writeJSON encodes the snapshot with fixed field order.
+func (s *Snapshot) writeJSON(b *bytes.Buffer) {
+	b.WriteString(`{"counters":[`)
+	for i, c := range s.Counters {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `{"name":%s,"value":%d}`, quote(c.Name), c.Value)
+	}
+	b.WriteString(`],"gauges":[`)
+	for i, g := range s.Gauges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `{"name":%s,"value":%d,"max":%d}`, quote(g.Name), g.Value, g.Max)
+	}
+	b.WriteString(`],"histograms":[`)
+	for i, h := range s.Histograms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `{"name":%s,"bounds":`, quote(h.Name))
+		writeInts(b, h.Bounds)
+		b.WriteString(`,"buckets":`)
+		writeInts(b, h.Buckets)
+		fmt.Fprintf(b, `,"count":%d,"sum":%d,"min":%d,"max":%d}`, h.Count, h.Sum, h.Min, h.Max)
+	}
+	b.WriteString(`]}`)
+}
+
+func writeInts(b *bytes.Buffer, vs []int64) {
+	b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d", v)
+	}
+	b.WriteByte(']')
+}
+
+// quote JSON-escapes a string. Trace names are ASCII identifiers in
+// practice, but the exporter must never emit invalid JSON; Go string
+// marshalling is deterministic for a given input.
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

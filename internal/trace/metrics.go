@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Registry is a virtual-time metrics registry: counters, gauges and
+// histograms keyed by name. Like the tracer it is single-writer under
+// the simulator's coroutine discipline, and a nil *Registry ignores
+// all calls so uninstrumented runs pay only a nil check.
+//
+// Snapshots are deterministic: instruments are reported sorted by
+// name, with fixed-order fields, so a metrics block embedded in a
+// trace file does not perturb byte-identical output.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending) on first use. Later calls may pass
+// nil bounds to reuse the existing instrument.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing total.
+type Counter struct{ v int64 }
+
+// Add increases the counter; negative deltas panic.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	if d < 0 {
+		panic("trace: counter decreased")
+	}
+	c.v += d
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a sampled level that also tracks its high-water mark —
+// the queue-depth instrument the paper's circular event queue needs.
+type Gauge struct {
+	v, max int64
+	set    bool
+}
+
+// Set records the current level and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+	g.v = v
+}
+
+// Value returns the last recorded level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram counts observations into buckets by upper bound, tracking
+// count, sum, min and max exactly.
+type Histogram struct {
+	bounds  []int64
+	buckets []int64 // len(bounds)+1; last is overflow
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Snapshot is a point-in-time copy of every instrument, ordered by
+// name, ready for deterministic encoding.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Gauges     []GaugeSnap
+	Histograms []HistogramSnap
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string
+	Value int64
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string
+	Value int64
+	Max   int64
+}
+
+// HistogramSnap is one histogram in a snapshot.
+type HistogramSnap struct {
+	Name    string
+	Bounds  []int64
+	Buckets []int64
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+}
+
+// Snapshot copies every instrument, sorted by name. A nil registry
+// yields a nil snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.v})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.v, Max: g.max})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name:    name,
+			Bounds:  append([]int64(nil), h.bounds...),
+			Buckets: append([]int64(nil), h.buckets...),
+			Count:   h.count,
+			Sum:     h.sum,
+			Min:     h.min,
+			Max:     h.max,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Empty reports whether the snapshot has no instruments at all.
+func (s *Snapshot) Empty() bool {
+	return s == nil || len(s.Counters)+len(s.Gauges)+len(s.Histograms) == 0
+}
+
+// WriteText renders the snapshot as an aligned plain-text table, the
+// human side of the -metrics flag. Names ending in "_ns" render as
+// durations for readability.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if s.Empty() {
+		_, err := fmt.Fprintln(w, "metrics: (none)")
+		return err
+	}
+	wide := 0
+	for _, c := range s.Counters {
+		wide = maxInt(wide, len(c.Name))
+	}
+	for _, g := range s.Gauges {
+		wide = maxInt(wide, len(g.Name))
+	}
+	for _, h := range s.Histograms {
+		wide = maxInt(wide, len(h.Name))
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", wide, c.Name, fmtVal(c.Name, c.Value)); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%-*s  %s (max %s)\n", wide, g.Name,
+			fmtVal(g.Name, g.Value), fmtVal(g.Name, g.Max)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Count == 0 {
+			if _, err := fmt.Fprintf(w, "%-*s  (no observations)\n", wide, h.Name); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  count %d  sum %s  min %s  max %s\n", wide, h.Name,
+			h.Count, fmtVal(h.Name, h.Sum), fmtVal(h.Name, h.Min), fmtVal(h.Name, h.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtVal renders _ns-suffixed metrics as durations.
+func fmtVal(name string, v int64) string {
+	if len(name) > 3 && name[len(name)-3:] == "_ns" {
+		return time.Duration(v).String()
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

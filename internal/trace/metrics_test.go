@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Error("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add must panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	for _, v := range []int64{3, 9, 2} {
+		g.Set(v)
+	}
+	if g.Value() != 2 || g.Max() != 9 {
+		t.Errorf("gauge value=%d max=%d, want 2/9", g.Value(), g.Max())
+	}
+	// Max must track even when every sample is negative.
+	g2 := NewRegistry().Gauge("neg")
+	g2.Set(-5)
+	g2.Set(-7)
+	if g2.Max() != -5 {
+		t.Errorf("negative-only gauge max = %d, want -5", g2.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sz", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	if r.Histogram("sz", nil) != h {
+		t.Error("same name must return the same histogram")
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("want one histogram, got %d", len(s.Histograms))
+	}
+	snap := s.Histograms[0]
+	want := []int64{2, 2, 1} // <=10, <=100, overflow
+	for i, b := range snap.Buckets {
+		if b != want[i] {
+			t.Fatalf("buckets = %v, want %v", snap.Buckets, want)
+		}
+	}
+	if snap.Count != 5 || snap.Sum != 1126 || snap.Min != 5 || snap.Max != 1000 {
+		t.Errorf("histogram stats wrong: %+v", snap)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n).Inc()
+		r.Gauge(n + ".g").Set(1)
+	}
+	s := r.Snapshot()
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Fatalf("counters unsorted: %v", s.Counters)
+		}
+	}
+	for i := 1; i < len(s.Gauges); i++ {
+		if s.Gauges[i-1].Name >= s.Gauges[i].Name {
+			t.Fatalf("gauges unsorted: %v", s.Gauges)
+		}
+	}
+	if s.Empty() {
+		t.Error("populated snapshot must not be Empty")
+	}
+	if !NewRegistry().Snapshot().Empty() {
+		t.Error("fresh registry snapshot must be Empty")
+	}
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry must snapshot to nil")
+	}
+}
+
+func TestWriteTextDurations(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("run.xfer_ns").Add(1500)
+	r.Counter("plain").Add(7)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1.5µs") {
+		t.Errorf("_ns metric not rendered as duration:\n%s", out)
+	}
+	if !strings.Contains(out, "plain") || !strings.Contains(out, "7") {
+		t.Errorf("plain counter missing:\n%s", out)
+	}
+}

@@ -1,0 +1,253 @@
+// Package trace is the deterministic structured-tracing and metrics
+// subsystem spanning the whole simulated stack: every layer — kernel,
+// fabric, reliability, communication libraries, overlap
+// instrumentation — emits typed spans and instants into per-track
+// rings, and the result exports to Chrome trace-event JSON (loadable
+// in Perfetto) alongside a virtual-time metrics registry.
+//
+// Determinism is the design constraint everything else bends around:
+// all time-stamps come from the virtual clock, tracks are kept in
+// creation order, records in emission order, and the exporter encodes
+// with a fixed field order — so a fixed-seed run produces a
+// byte-identical trace file every time, and tests can assert on the
+// bytes.
+//
+// The per-track ring mirrors the overlap package's event queue: a
+// fixed-size hot buffer that spills in batches to a cold store when
+// full, so the steady-state emission path never allocates. Under the
+// simulator's coroutine discipline exactly one goroutine runs at a
+// time, so the ring needs no locks; the same single-writer-per-track
+// layout is what a lock-free ring gives an instrumented real system.
+//
+// Tracing overhead is itself measurable: emissions that originate
+// inside an instrumented library are charged to the owning rank
+// through the overlap monitor's existing Config.Charge path (see
+// mpi.InstrumentConfig.ModelCost), so the paper's overhead study
+// extends to the tracer.
+package trace
+
+import (
+	"time"
+
+	"ovlp/internal/vtime"
+)
+
+// Group is the top-level container a track belongs to; the Chrome
+// exporter renders each group as one "process".
+type Group int
+
+const (
+	// GroupHost holds one track per simulated proc (ranks, progress
+	// agents): kernel scheduling spans, library call spans, overlap
+	// instants.
+	GroupHost Group = 1
+	// GroupNIC holds one track per node's NIC: ground-truth wire spans,
+	// fault-injection instants, reliable-delivery instants.
+	GroupNIC Group = 2
+)
+
+func (g Group) String() string {
+	switch g {
+	case GroupHost:
+		return "hosts"
+	case GroupNIC:
+		return "nic"
+	}
+	return "invalid"
+}
+
+// Args are the optional typed tags of a record. Absent fields are not
+// exported: Peer is emitted when >= 0 (pass NoPeer for none — the zero
+// value would read as rank 0), Size when > 0, ID when != 0, Detail
+// when non-empty.
+type Args struct {
+	Peer   int
+	Size   int64
+	ID     uint64
+	Detail string
+}
+
+// NoPeer marks the Peer field absent.
+const NoPeer = -1
+
+// None is the empty argument set.
+var None = Args{Peer: NoPeer}
+
+// Rec is one trace record: a complete span when Dur > 0, an instant
+// otherwise. Records are fixed size so the ring never allocates after
+// construction.
+type Rec struct {
+	Cat   string
+	Name  string
+	Start vtime.Time
+	Dur   time.Duration
+	Args  Args
+}
+
+// Instant reports whether the record is an instant rather than a span.
+func (r Rec) Instant() bool { return r.Dur == 0 }
+
+// End returns the record's end time (== Start for instants).
+func (r Rec) End() vtime.Time { return r.Start.Add(r.Dur) }
+
+// DefaultRingSize is the default per-track hot-buffer capacity.
+const DefaultRingSize = 1024
+
+// Options parameterizes a Tracer.
+type Options struct {
+	// RingSize is the per-track hot-buffer capacity; 0 means
+	// DefaultRingSize.
+	RingSize int
+	// MetricsOnly disables span/instant recording, leaving only the
+	// metrics registry active — the cheap mode behind a bare -metrics
+	// flag.
+	MetricsOnly bool
+}
+
+// Tracer owns the run's tracks and metrics registry. A nil *Tracer is
+// valid and ignores all calls, so layers can be built with tracing
+// unconditionally and run untraced at zero cost beyond a nil check.
+type Tracer struct {
+	opts   Options
+	tracks []*Track
+	index  map[trackKey]*Track
+	reg    *Registry
+}
+
+type trackKey struct {
+	group Group
+	id    int
+}
+
+// New creates an empty tracer.
+func New(opts Options) *Tracer {
+	if opts.RingSize == 0 {
+		opts.RingSize = DefaultRingSize
+	}
+	if opts.RingSize < 2 {
+		panic("trace: ring size must be at least 2")
+	}
+	return &Tracer{
+		opts:  opts,
+		index: make(map[trackKey]*Track),
+		reg:   NewRegistry(),
+	}
+}
+
+// Metrics returns the tracer's registry (nil for a nil tracer).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Track returns the track for (group, id), creating it with the given
+// name on first use. Creation order is preserved for export, so two
+// identical runs produce identically ordered files.
+func (t *Tracer) Track(group Group, id int, name string) *Track {
+	if t == nil {
+		return nil
+	}
+	k := trackKey{group, id}
+	if tk, ok := t.index[k]; ok {
+		return tk
+	}
+	tk := &Track{
+		t:     t,
+		group: group,
+		id:    id,
+		name:  name,
+		ring:  make([]Rec, t.opts.RingSize),
+	}
+	t.index[k] = tk
+	t.tracks = append(t.tracks, tk)
+	return tk
+}
+
+// Tracks returns every track in creation order.
+func (t *Tracer) Tracks() []*Track {
+	if t == nil {
+		return nil
+	}
+	return t.tracks
+}
+
+// Track is one timeline of records: a simulated proc (GroupHost) or a
+// NIC (GroupNIC). All emission methods must be called from simulation
+// context; the coroutine discipline makes them single-writer.
+type Track struct {
+	t     *Tracer
+	group Group
+	id    int
+	name  string
+
+	ring   []Rec // hot buffer
+	n      int   // ring occupancy
+	cold   []Rec // spilled records, in emission order
+	spills int
+}
+
+// Group returns the track's group.
+func (k *Track) Group() Group { return k.group }
+
+// ID returns the track's id within its group (proc id or node id).
+func (k *Track) ID() int { return k.id }
+
+// Name returns the track's display name.
+func (k *Track) Name() string { return k.name }
+
+// Spills returns how many times the hot ring overflowed into the cold
+// store — the tracer's own queue-pressure diagnostic.
+func (k *Track) Spills() int { return k.spills }
+
+// Span records a complete span [start, end). A nil track ignores the
+// call.
+func (k *Track) Span(cat, name string, start, end vtime.Time, a Args) {
+	if k == nil {
+		return
+	}
+	k.emit(Rec{Cat: cat, Name: name, Start: start, Dur: end.Sub(start), Args: a})
+}
+
+// Instant records a point event at ts. A nil track ignores the call.
+func (k *Track) Instant(cat, name string, ts vtime.Time, a Args) {
+	if k == nil {
+		return
+	}
+	k.emit(Rec{Cat: cat, Name: name, Start: ts, Args: a})
+}
+
+func (k *Track) emit(r Rec) {
+	if k.t.opts.MetricsOnly {
+		return
+	}
+	if r.Dur < 0 {
+		panic("trace: span ends before it starts")
+	}
+	if k.n == len(k.ring) {
+		k.spill()
+	}
+	k.ring[k.n] = r
+	k.n++
+}
+
+// spill drains the hot ring into the cold store.
+func (k *Track) spill() {
+	if k.n == 0 {
+		return
+	}
+	k.cold = append(k.cold, k.ring[:k.n]...)
+	k.n = 0
+	k.spills++
+}
+
+// Recs returns every record in emission order, draining the hot ring
+// first. Intended for export and tests after the run.
+func (k *Track) Recs() []Rec {
+	if k == nil {
+		return nil
+	}
+	k.spill()
+	return k.cold
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/vtime"
+)
+
+func us(n int) vtime.Time { return vtime.Time(time.Duration(n) * time.Microsecond) }
+
+func TestTrackIdentity(t *testing.T) {
+	tr := New(Options{})
+	a := tr.Track(GroupHost, 0, "rank0")
+	b := tr.Track(GroupHost, 1, "rank1")
+	n := tr.Track(GroupNIC, 0, "nic0")
+	if tr.Track(GroupHost, 0, "other") != a {
+		t.Error("same (group,id) must return the same track")
+	}
+	if a == n {
+		t.Error("same id in different groups must be distinct tracks")
+	}
+	got := tr.Tracks()
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != n {
+		t.Errorf("creation order not preserved: %v", got)
+	}
+	if a.Group() != GroupHost || a.ID() != 0 || a.Name() != "rank0" {
+		t.Errorf("track identity wrong: %v %d %q", a.Group(), a.ID(), a.Name())
+	}
+}
+
+func TestRingSpill(t *testing.T) {
+	tr := New(Options{RingSize: 4})
+	tk := tr.Track(GroupHost, 0, "r")
+	const n = 11
+	for i := 0; i < n; i++ {
+		tk.Instant("c", "e", us(i), Args{Peer: NoPeer, ID: uint64(i + 1)})
+	}
+	if tk.Spills() != 2 {
+		t.Errorf("spills = %d, want 2 (ring of 4, 11 emissions)", tk.Spills())
+	}
+	recs := tk.Recs()
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Start != us(i) || r.Args.ID != uint64(i+1) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+	// Recs drains; emitting again keeps appending in order.
+	tk.Instant("c", "e", us(n), Args{Peer: NoPeer, ID: n + 1})
+	if recs = tk.Recs(); len(recs) != n+1 || recs[n].Args.ID != n+1 {
+		t.Fatalf("post-drain emission lost: %d records", len(recs))
+	}
+}
+
+func TestSpanAndInstant(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track(GroupNIC, 2, "nic2")
+	tk.Span("wire", "xfer", us(10), us(30), Args{Peer: 1, Size: 4096, ID: 7})
+	tk.Instant("fault", "drop", us(40), None)
+	recs := tk.Recs()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	sp := recs[0]
+	if sp.Instant() || sp.Dur != 20*time.Microsecond || sp.End() != us(30) {
+		t.Errorf("span wrong: %+v", sp)
+	}
+	if !recs[1].Instant() || recs[1].End() != us(40) {
+		t.Errorf("instant wrong: %+v", recs[1])
+	}
+}
+
+func TestNegativeSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("span ending before start must panic")
+		}
+	}()
+	tr := New(Options{})
+	tr.Track(GroupHost, 0, "r").Span("c", "bad", us(5), us(1), None)
+}
+
+func TestTinyRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RingSize 1 must panic")
+		}
+	}()
+	New(Options{RingSize: 1})
+}
+
+func TestMetricsOnly(t *testing.T) {
+	tr := New(Options{MetricsOnly: true})
+	tk := tr.Track(GroupHost, 0, "r")
+	tk.Span("c", "s", us(0), us(5), None)
+	tk.Instant("c", "i", us(1), None)
+	if len(tk.Recs()) != 0 {
+		t.Error("MetricsOnly tracer must not retain records")
+	}
+	tr.Metrics().Counter("x").Inc()
+	if got := tr.Metrics().Counter("x").Value(); got != 1 {
+		t.Errorf("counter = %d, want 1", got)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Track(GroupHost, 0, "r") != nil {
+		t.Error("nil tracer must return nil track")
+	}
+	if tr.Tracks() != nil || tr.Metrics() != nil || tr.KernelObserver() != nil {
+		t.Error("nil tracer accessors must return nil")
+	}
+	var tk *Track
+	tk.Span("c", "s", us(0), us(1), None) // must not panic
+	tk.Instant("c", "i", us(0), None)
+	if tk.Recs() != nil {
+		t.Error("nil track must have no records")
+	}
+	tr.Metrics().Counter("x").Inc() // nil registry chain must not panic
+	tr.Metrics().Gauge("g").Set(3)
+	tr.Metrics().Histogram("h", nil).Observe(1)
+	if OverlapSink(nil, 0) != nil {
+		t.Error("OverlapSink of nil track must be nil")
+	}
+}

@@ -101,6 +101,27 @@ func (s procState) String() string {
 	return "invalid"
 }
 
+// Observer receives kernel scheduling callbacks: every proc
+// block/resume transition, proc completion, and deadlock diagnoses.
+// All callbacks run in simulation context under the coroutine
+// discipline (exactly one goroutine executing), so an observer needs
+// no locking; it must not call back into the kernel (no Compute, Park
+// or scheduling) — observation is free in virtual time.
+type Observer interface {
+	// ProcBlocked fires when p yields to the scheduler: state is the
+	// blocked state ("computing", "parked"), where the blocking call
+	// site label.
+	ProcBlocked(p *Proc, state, where string)
+	// ProcResumed fires when p regains control, including its first
+	// dispatch after Spawn.
+	ProcResumed(p *Proc)
+	// ProcDone fires when p's function returns (or panics).
+	ProcDone(p *Proc)
+	// Deadlock fires when RunE diagnoses a wedged simulation, with the
+	// same error it is about to return.
+	Deadlock(e *DeadlockError)
+}
+
 // Sim is a deterministic virtual-time simulator. The zero value is not
 // usable; create one with NewSim.
 type Sim struct {
@@ -110,6 +131,7 @@ type Sim struct {
 	procs    []*Proc
 	live     int  // procs not yet done
 	deadline Time // 0 = no watchdog
+	obs      Observer
 
 	yield   chan struct{} // proc -> scheduler: I blocked or finished
 	current *Proc         // proc currently executing, nil in scheduler context
@@ -117,6 +139,11 @@ type Sim struct {
 	panicked any // panic value captured from a proc
 	running  bool
 }
+
+// SetObserver installs the kernel observer (nil to remove). It must be
+// called before Run; observing a simulation mid-flight would see spans
+// with no start.
+func (s *Sim) SetObserver(o Observer) { s.obs = o }
 
 // NewSim returns an empty simulator at virtual time zero.
 func NewSim() *Sim {
@@ -190,8 +217,14 @@ func (s *Sim) startProc(p *Proc, fn func(p *Proc)) {
 			}
 			p.state = stateDone
 			s.live--
+			if s.obs != nil {
+				s.obs.ProcDone(p)
+			}
 			s.yield <- struct{}{}
 		}()
+		if s.obs != nil {
+			s.obs.ProcResumed(p)
+		}
 		fn(p)
 	}()
 	s.dispatch(p)
@@ -252,9 +285,15 @@ func (p *Proc) block(st procState, where string) {
 	p.state = st
 	p.blockedSince = p.sim.now
 	p.blockedAt = where
+	if p.sim.obs != nil {
+		p.sim.obs.ProcBlocked(p, st.String(), where)
+	}
 	p.sim.yield <- struct{}{}
 	<-p.resume
 	p.state = stateRunning
+	if p.sim.obs != nil {
+		p.sim.obs.ProcResumed(p)
+	}
 }
 
 // Compute advances the proc's view of time by d, modelling a stretch
@@ -400,13 +439,21 @@ func (s *Sim) RunE() (t Time, err error) {
 		}
 		if s.deadline > 0 && e.at >= s.deadline && s.live > 0 {
 			s.now = s.deadline
-			return s.now, s.deadlockError(fmt.Sprintf("deadline %v expired", s.deadline))
+			de := s.deadlockError(fmt.Sprintf("deadline %v expired", s.deadline))
+			if s.obs != nil {
+				s.obs.Deadlock(de)
+			}
+			return s.now, de
 		}
 		s.now = e.at
 		e.fn()
 	}
 	if s.live > 0 {
-		return s.now, s.deadlockError("no pending events")
+		de := s.deadlockError("no pending events")
+		if s.obs != nil {
+			s.obs.Deadlock(de)
+		}
+		return s.now, de
 	}
 	return s.now, nil
 }
