@@ -1,0 +1,85 @@
+// Benchgate is the benchmark-regression gate: it runs the fixed
+// measurement suites of internal/regress and either writes fresh
+// baseline files or compares against committed ones, exiting non-zero
+// on any violation — the CI hook that keeps wall time, overlap bounds
+// and critical-path length from drifting unnoticed.
+//
+// Usage:
+//
+//	benchgate [-dir results] [-suites overlap,nas] [-tol 2] [-write]
+//
+// Baselines live at <dir>/BENCH_<suite>.json. -write regenerates them
+// (commit the result); without it the gate compares and reports. The
+// workloads run on the virtual-time simulator, so an unchanged tree
+// reproduces its baselines byte for byte and the default tolerance
+// exists only to absorb deliberate small model adjustments.
+//
+// -inject-pct inflates the measured wall time and critical path by the
+// given percentage before comparing — a self-test hook proving the
+// gate trips (see the CI job and internal/regress tests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ovlp/internal/regress"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	dir := flag.String("dir", "results", "directory holding BENCH_<suite>.json baselines")
+	suitesFlag := flag.String("suites", "overlap,nas", "comma-separated suites to run")
+	tol := flag.Float64("tol", 2, "tolerance: percent for durations, percentage points for overlap bounds")
+	write := flag.Bool("write", false, "write fresh baselines instead of comparing")
+	inject := flag.Float64("inject-pct", 0, "inflate measured durations by this percent (gate self-test)")
+	flag.Parse()
+
+	runners := regress.Suites()
+	failed := false
+	for _, name := range strings.Split(*suitesFlag, ",") {
+		name = strings.TrimSpace(name)
+		run, ok := runners[name]
+		if !ok {
+			log.Fatalf("unknown suite %q (have: overlap, nas)", name)
+		}
+		path := filepath.Join(*dir, "BENCH_"+name+".json")
+		got := run()
+		if *inject != 0 {
+			for i := range got.Entries {
+				e := &got.Entries[i]
+				e.WallNS += int64(float64(e.WallNS) * *inject / 100)
+				e.CritPathNS += int64(float64(e.CritPathNS) * *inject / 100)
+			}
+		}
+		if *write {
+			if err := got.Save(path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d entries)\n", path, len(got.Entries))
+			continue
+		}
+		want, err := regress.Load(path)
+		if err != nil {
+			log.Fatalf("reading baseline: %v (run benchgate -write and commit)", err)
+		}
+		bad := regress.Compare(got, want, *tol)
+		if len(bad) == 0 {
+			fmt.Printf("%s: ok (%d entries within %g%%)\n", name, len(got.Entries), *tol)
+			continue
+		}
+		failed = true
+		fmt.Printf("%s: FAIL\n", name)
+		for _, m := range bad {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -14,11 +14,14 @@
 // Usage:
 //
 //	faultstudy [-rates 0,0.01,0.05,0.1,0.2] [-fault-seed 1] [-reps 200]
-//	           [-csv] [-trace out.json] [-metrics]
+//	           [-csv] [-trace out.json] [-metrics] [-profile out.txt]
 //
 // -csv replaces the table with machine-readable CSV on stdout (times
 // in nanoseconds), for plotting the sweep. -trace exports the final
-// rate point as Chrome trace-event JSON; -metrics prints its counters.
+// rate point as Chrome trace-event JSON; -metrics prints its counters,
+// and -profile runs the critical-path/blame profiler over it — on a
+// faulted sweep the fault-retransmit blame column shows what the
+// repair traffic cost.
 package main
 
 import (
@@ -67,7 +70,7 @@ func main() {
 		if i == len(rates)-1 {
 			tr = obs.Tracer()
 		}
-		row, err := runPoint(rate, *seed, *reps, tr)
+		row, err := runPoint(rate, *seed, *reps, tr, obs)
 		if err != nil {
 			log.Fatalf("drop rate %g: %v", rate, err)
 		}
@@ -131,7 +134,7 @@ type point struct {
 	duration       time.Duration
 }
 
-func runPoint(rate float64, seed int64, reps int, tr *trace.Tracer) (point, error) {
+func runPoint(rate float64, seed int64, reps int, tr *trace.Tracer, obs *cmdutil.Obs) (point, error) {
 	cfg := cluster.Config{
 		Procs: 2,
 		MPI: mpi.Config{
@@ -160,6 +163,9 @@ func runPoint(rate float64, seed int64, reps int, tr *trace.Tracer) (point, erro
 	})
 	if err != nil {
 		return point{}, err
+	}
+	if tr != nil {
+		obs.SetRun(res.Calib, res.Reports)
 	}
 	tot := res.Reports[0].Total()
 	out := point{

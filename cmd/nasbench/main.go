@@ -8,13 +8,14 @@
 // Usage:
 //
 //	nasbench [-bench all] [-classes S,W,A,B] [-procs ...] [-iters 10]
-//	         [-trace out.json] [-metrics]
+//	         [-trace out.json] [-metrics] [-profile out.txt]
 //
 // -iters truncates each benchmark's time-stepping loop; overlap
 // percentages converge within a few iterations, so the default keeps
 // runs quick. Pass -iters 0 for the full NPB iteration counts.
-// -trace/-metrics (which need a single bench/class/procs selection)
-// export the run as Chrome trace-event JSON and print its counters.
+// -trace/-metrics/-profile (which need a single bench/class/procs
+// selection) export the run as Chrome trace-event JSON, print its
+// counters, and run the critical-path/blame profiler over it.
 package main
 
 import (
@@ -150,6 +151,7 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 				Faults:       faults,
 				Trace:        obs.Tracer(),
 			})
+			obs.SetRun(nil, reports)
 			rep := reports[0]
 			if jsonDir != "" {
 				saveReports(jsonDir, name, class, reports)

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	overlapbench [-fig 0] [-reps 1000] [-fault-seed N -drop P -stall ...]
-//	            [-trace out.json] [-metrics]
+//	            [-trace out.json] [-metrics] [-profile out.txt]
 //
 // -fig 0 (the default) runs every figure. The fault flags (see
 // internal/faultflag) rerun the figures on a deterministically lossy
@@ -16,7 +16,9 @@
 // and the printed wait times and bounds show what the repair traffic
 // costs. With -trace (which needs a single -fig), the figure's final
 // computation point is rerun once more under the tracer and exported
-// as Chrome trace-event JSON; -metrics prints the run's counters.
+// as Chrome trace-event JSON; -metrics prints the run's counters, and
+// -profile runs the critical-path/blame profiler over it (see
+// internal/profile; "-profile -" prints the text report).
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"ovlp/internal/cluster"
 	"ovlp/internal/cmdutil"
 	"ovlp/internal/fabric"
 	"ovlp/internal/faultflag"
@@ -87,6 +90,7 @@ func runTraced(fig, reps int, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
 	e.Config.Trace = obs.Tracer()
+	e.Observe = func(res cluster.Result) { obs.SetRun(res.Calib, res.Reports) }
 	e.ComputePoints = e.ComputePoints[len(e.ComputePoints)-1:]
 	e.Run()
 	fmt.Printf("traced figure %d at compute %v, %d reps\n", fig, e.ComputePoints[0], e.Reps)

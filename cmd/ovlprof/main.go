@@ -1,0 +1,120 @@
+// Ovlprof analyzes an exported Chrome trace-event file offline: it
+// replays the overlap instrumentation's event stream, attributes every
+// non-overlapped microsecond of each call site to a blame category
+// (late initiation, early wait, protocol choice, progress starvation,
+// fault retransmits), and extracts the run's critical path through the
+// cross-rank happens-before graph. See internal/profile.
+//
+// Usage:
+//
+//	ovlprof [-calib table.txt] [-top 10] [-csv|-folded|-json] trace.json
+//
+// The trace file must come from this repo's exporter (cluster runs
+// with -trace, or cmd/tracecat merges). Transfer times are interpolated
+// from a calibration table: pass the run's own table with -calib
+// (cluster.Calibrate + calib.Table.Save), or omit it to calibrate one
+// on the default cost model — exact for every run that used the
+// default model, which all shipped drivers do.
+//
+// -csv emits one row per call site with the full blame breakdown;
+// -folded emits folded-stack lines for flamegraph.pl (blame stacks and
+// critical-path stacks); -json the full profile document. The default
+// is a human-readable text report; -top caps its call-site table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/profile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ovlprof: ")
+	calibPath := flag.String("calib", "", "calibration table file (default: calibrate on the default cost model)")
+	top := flag.Int("top", 10, "call sites to list in the text report (0 = all)")
+	csvOut := flag.Bool("csv", false, "emit per-site CSV instead of the text report")
+	folded := flag.Bool("folded", false, "emit folded-stack lines (flamegraph.pl input)")
+	jsonOut := flag.Bool("json", false, "emit the full profile as JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: ovlprof [flags] trace.json (\"-\" for stdin)")
+	}
+	if n := count(*csvOut, *folded, *jsonOut); n > 1 {
+		log.Fatal("pass at most one of -csv, -folded, -json")
+	}
+
+	table, err := loadTable(*calibPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := readInput(flag.Arg(0), table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := profile.Analyze(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *csvOut:
+		err = p.WriteCSV(os.Stdout)
+	case *folded:
+		err = p.WriteFolded(os.Stdout)
+	case *jsonOut:
+		err = p.EncodeJSON(os.Stdout)
+	default:
+		err = p.WriteText(os.Stdout, *top)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func count(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func loadTable(path string) (*calib.Table, error) {
+	if path == "" {
+		return cluster.Calibrate(fabric.CostModel{}, nil, 0), nil
+	}
+	t, err := calib.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading calibration table: %w", err)
+	}
+	return t, nil
+}
+
+func readInput(path string, table *calib.Table) (profile.Input, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return profile.Input{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	in, err := profile.FromChromeJSON(r, table)
+	if err != nil {
+		return profile.Input{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return in, nil
+}

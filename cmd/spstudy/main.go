@@ -7,12 +7,13 @@
 // Usage:
 //
 //	spstudy [-classes A,B] [-procs 4,9,16] [-iters 10]
-//	        [-trace out.json] [-metrics]
+//	        [-trace out.json] [-metrics] [-profile out.txt]
 //
-// -trace/-metrics (which need a single class and processor count)
-// export the modified run — the one whose Iprobe calls create the
-// overlap the case study is about — as Chrome trace-event JSON and
-// print its counters.
+// -trace/-metrics/-profile (which need a single class and processor
+// count) export the modified run — the one whose Iprobe calls create
+// the overlap the case study is about — as Chrome trace-event JSON,
+// print its counters, and run the critical-path/blame profiler over
+// it.
 package main
 
 import (
@@ -66,6 +67,7 @@ func main() {
 				MaxIters: *iters,
 				Trace:    obs.Tracer(),
 			})
+			obs.SetRun(nil, mod.Reports)
 			section.AddRow(p, orig.SectionMinPct, orig.SectionMaxPct,
 				mod.SectionMinPct, mod.SectionMaxPct)
 			whole.AddRow(p, orig.TotalMinPct, orig.TotalMaxPct,

@@ -121,6 +121,12 @@ func readTrace(path string) (*traceFile, error) {
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return nil, fmt.Errorf("not a trace-event file: %v", err)
 	}
+	// A truncated or unrelated JSON document unmarshals cleanly into
+	// nothing; treat the absence of the traceEvents array as the error
+	// it is rather than emitting a silently empty merge.
+	if raw.TraceEvents == nil {
+		return nil, fmt.Errorf("not a trace-event file: no traceEvents array")
+	}
 	f := &traceFile{Path: path, Events: raw.TraceEvents}
 	if len(raw.Metrics) > 0 {
 		f.Metrics = &trace.Snapshot{}

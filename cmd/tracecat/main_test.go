@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadTraceRejectsCorruptInput: malformed or truncated input must
+// surface a clear error (main turns it into a non-zero exit), never a
+// silently empty merge.
+func TestReadTraceRejectsCorruptInput(t *testing.T) {
+	valid := `{"traceEvents":[{"name":"x","cat":"mpi","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}],"metrics":{}}`
+	cases := []struct {
+		name, content string
+	}{
+		{"garbage", "not json at all"},
+		{"truncated", valid[:len(valid)/2]},
+		{"empty-file", ""},
+		{"no-trace-events", `{}`},
+		{"wrong-document", `{"metrics":{}}`},
+		{"events-not-array", `{"traceEvents":42}`},
+	}
+	dir := t.TempDir()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(path, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			f, err := readTrace(path)
+			if err == nil {
+				t.Fatalf("corrupt input accepted: %+v", f)
+			}
+			if !strings.Contains(err.Error(), "trace-event") {
+				t.Errorf("error %q does not say what was wrong with the file", err)
+			}
+		})
+	}
+}
+
+// TestReadTraceAcceptsValidInput: the fixed inputs still load,
+// including an empty-but-present traceEvents array.
+func TestReadTraceAcceptsValidInput(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"one-event": `{"traceEvents":[{"name":"x","cat":"mpi","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]}`,
+		"empty":     `{"traceEvents":[]}`,
+	} {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := readTrace(path)
+		if err != nil {
+			t.Errorf("%s: valid input rejected: %v", name, err)
+			continue
+		}
+		if name == "one-event" && len(f.Events) != 1 {
+			t.Errorf("%s: want 1 event, got %d", name, len(f.Events))
+		}
+	}
+}

@@ -198,7 +198,7 @@ func (p *Proc) attach(vp *vtime.Proc) {
 			mc.TraceSink = ic.TraceSinkFor(p.id)
 		}
 		if p.trk != nil {
-			mc.Sink = trace.OverlapSink(p.trk, 0)
+			mc.Sink = trace.OverlapSink(p.trk, 0, func(idx int32) string { return p.mon.RegionName(idx) })
 			m := p.w.cfg.Tracer.Metrics()
 			drains := m.Counter("overlap.drains")
 			drained := m.Counter("overlap.drained_events")
@@ -375,7 +375,7 @@ func (p *Proc) handleFailedCQE(h *Handle, cqe *fabric.CQE) {
 	if p.rel == nil {
 		p.commFail(&fabric.DeliveryError{Dst: fabric.NodeID(h.dst), Op: cqe.Kind.String(), Attempts: attempts})
 	}
-	err := p.rel.Repost(fabric.NodeID(h.dst), cqe.Kind.String(), attempts, func(vp *vtime.Proc) {
+	err := p.rel.Repost(fabric.NodeID(h.dst), cqe.Kind.String(), h.xferID, attempts, func(vp *vtime.Proc) {
 		h.attempts = attempts
 		var wr uint64
 		switch {
@@ -414,6 +414,14 @@ func (p *Proc) post(dst, size, count int, get bool) *Handle {
 		panic("armci: strided operation needs at least one segment")
 	}
 	xid := p.w.fab.NewXferID()
+	switch {
+	case get:
+		p.w.fab.TagXfer(xid, "get")
+	case count > 1:
+		p.w.fab.TagXfer(xid, "put-strided")
+	default:
+		p.w.fab.TagXfer(xid, "put")
+	}
 	h := &Handle{xferID: xid, size: size * count, dst: dst, block: size, count: count, get: get}
 	p.mon.XferBegin(xid, size*count)
 	var wr uint64

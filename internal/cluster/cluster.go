@@ -71,6 +71,11 @@ type Result struct {
 	// Metrics is the end-of-run metrics snapshot (nil when the run is
 	// untraced).
 	Metrics *trace.Snapshot
+	// Calib is the a-priori transfer-time table the instrumentation
+	// used (nil when the run was uninstrumented). Offline analysis
+	// (internal/profile) needs the same table to replay the bounds
+	// algorithm.
+	Calib *calib.Table
 }
 
 // Run executes main on every rank of a freshly built machine and
@@ -143,6 +148,9 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 		res.Transfers = fab.Transfers()
 	}
 	res.Metrics = foldMetrics(cfg.Trace, res.Duration, res.FaultStats, res.RelStats, res.Reports)
+	if ic := cfg.MPI.Instrument; ic != nil {
+		res.Calib = ic.Table
+	}
 	return res, err
 }
 

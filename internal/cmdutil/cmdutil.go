@@ -13,8 +13,12 @@ import (
 	"strconv"
 	"strings"
 
+	"ovlp/internal/calib"
+	"ovlp/internal/cluster"
 	"ovlp/internal/fabric"
 	"ovlp/internal/faultflag"
+	"ovlp/internal/overlap"
+	"ovlp/internal/profile"
 	"ovlp/internal/trace"
 )
 
@@ -54,16 +58,27 @@ func CheckFaultNodes(plan *fabric.FaultPlan, procs []int) error {
 
 // Obs holds the observability flag state: -trace enables full
 // span/instant collection and writes a Chrome trace-event file,
-// -metrics prints the registry snapshot as text. Either alone works;
-// -metrics without -trace runs the tracer in metrics-only mode so no
-// ring memory is spent on events nobody will export.
+// -metrics prints the registry snapshot as text, and -profile runs
+// the critical-path/blame profiler over the collected events. Any of
+// them alone works; -metrics without -trace or -profile runs the
+// tracer in metrics-only mode so no ring memory is spent on events
+// nobody will export.
 type Obs struct {
 	// TracePath is the -trace output file ("" = tracing off).
 	TracePath string
 	// Metrics is the -metrics switch.
 	Metrics bool
+	// ProfilePath is the -profile output ("" = profiling off). The
+	// extension selects the format: .json, .csv, .folded, anything
+	// else a text report; "-" prints the text report to the Finish
+	// writer.
+	ProfilePath string
+	// ProfileTop caps the text report's call-site table (-profile-top).
+	ProfileTop int
 
-	tr *trace.Tracer
+	tr      *trace.Tracer
+	table   *calib.Table
+	reports []*overlap.Report
 }
 
 // RegisterObs installs the -trace and -metrics flags on fs (the
@@ -75,12 +90,14 @@ func RegisterObs(fs *flag.FlagSet) *Obs {
 	o := &Obs{}
 	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto) to this path")
 	fs.BoolVar(&o.Metrics, "metrics", false, "print the run's metrics registry after the sweep")
+	fs.StringVar(&o.ProfilePath, "profile", "", "write a critical-path/blame profile to this path (.json/.csv/.folded by extension, text otherwise, \"-\" for stdout)")
+	fs.IntVar(&o.ProfileTop, "profile-top", 10, "call sites to list in the text profile (0 = all)")
 	return o
 }
 
 // Enabled reports whether any observability output was requested.
 func (o *Obs) Enabled() bool {
-	return o != nil && (o.TracePath != "" || o.Metrics)
+	return o != nil && (o.TracePath != "" || o.Metrics || o.ProfilePath != "")
 }
 
 // Tracer returns the tracer to hand to cluster.Config.Trace, creating
@@ -91,9 +108,26 @@ func (o *Obs) Tracer() *trace.Tracer {
 		return nil
 	}
 	if o.tr == nil {
-		o.tr = trace.New(trace.Options{MetricsOnly: o.TracePath == ""})
+		o.tr = trace.New(trace.Options{MetricsOnly: o.TracePath == "" && o.ProfilePath == ""})
 	}
 	return o.tr
+}
+
+// SetRun records the traced run's calibration table and reports, which
+// the profiler needs for transfer times and region names. Drivers that
+// cannot reach them may skip the call: Finish then calibrates a table
+// on the default cost model (exact for runs that used it) and falls
+// back to positional region labels.
+func (o *Obs) SetRun(table *calib.Table, reports []*overlap.Report) {
+	if o == nil {
+		return
+	}
+	if table != nil {
+		o.table = table
+	}
+	if reports != nil {
+		o.reports = reports
+	}
 }
 
 // Finish writes the requested outputs: the trace file (if -trace) and
@@ -123,5 +157,48 @@ func (o *Obs) Finish(w io.Writer) error {
 			return err
 		}
 	}
+	if o.ProfilePath != "" {
+		if err := o.writeProfile(w); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+	}
+	return nil
+}
+
+func (o *Obs) writeProfile(w io.Writer) error {
+	table := o.table
+	if table == nil {
+		table = cluster.Calibrate(fabric.CostModel{}, nil, 0)
+	}
+	p, err := profile.Analyze(profile.FromTracer(o.tr, table, o.reports))
+	if err != nil {
+		return err
+	}
+	if o.ProfilePath == "-" {
+		return p.WriteText(w, o.ProfileTop)
+	}
+	f, err := os.Create(o.ProfilePath)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(o.ProfilePath, ".json"):
+		err = p.EncodeJSON(f)
+	case strings.HasSuffix(o.ProfilePath, ".csv"):
+		err = p.WriteCSV(f)
+	case strings.HasSuffix(o.ProfilePath, ".folded"):
+		err = p.WriteFolded(f)
+	default:
+		err = p.WriteText(f, o.ProfileTop)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote profile to %s (%d sites, critical path %v)\n",
+		o.ProfilePath, len(p.Sites), p.Critical.Length)
 	return nil
 }

@@ -193,6 +193,9 @@ type Transfer struct {
 	Size   int
 	Start  vtime.Time // wire transfer begins
 	End    vtime.Time // last byte arrives at Dst
+	// Phase is the protocol-phase tag the communication library
+	// attached via TagXfer ("" when untagged).
+	Phase string
 }
 
 // Fabric is a set of NICs connected by a full-crossbar switch with
@@ -207,8 +210,9 @@ type Fabric struct {
 	wrseq uint64
 	truth []Transfer
 
-	faults    *faultState      // nil on a perfect network
-	truthSeen map[seenKey]bool // sequenced deliveries already recorded
+	faults    *faultState       // nil on a perfect network
+	truthSeen map[seenKey]bool  // sequenced deliveries already recorded
+	phases    map[uint64]string // xfer id -> protocol-phase tag
 
 	tr *trace.Tracer // nil = untraced
 }
@@ -294,18 +298,37 @@ func (f *Fabric) NewXferID() uint64 {
 	return f.xseq
 }
 
+// TagXfer labels transfer id with the protocol phase that produced it
+// ("eager", "pipelined-frag", "direct-read", ...). The tag rides on
+// the ground-truth log entries and the exported wire spans; tagging an
+// id that never reaches the wire (a receiver-side virtual transfer) is
+// harmless.
+func (f *Fabric) TagXfer(id uint64, phase string) {
+	if id == 0 || phase == "" {
+		return
+	}
+	if f.phases == nil {
+		f.phases = make(map[uint64]string)
+	}
+	f.phases[id] = phase
+}
+
+// XferPhase returns the phase tag for transfer id ("" when untagged).
+func (f *Fabric) XferPhase(id uint64) string { return f.phases[id] }
+
 // Transfers returns the ground-truth log of all user-data transfers
 // recorded so far, in completion order.
 func (f *Fabric) Transfers() []Transfer { return f.truth }
 
 func (f *Fabric) record(t Transfer) {
 	if t.XferID != 0 {
+		t.Phase = f.phases[t.XferID]
 		f.truth = append(f.truth, t)
 		if f.tr != nil {
 			// The wire span is the oracle interval verbatim; tests assert
 			// the trace's NIC spans equal Transfers() exactly.
 			f.nicTrack(t.Src).Span("wire", "xfer", t.Start, t.End,
-				trace.Args{Peer: int(t.Dst), Size: int64(t.Size), ID: t.XferID})
+				trace.Args{Peer: int(t.Dst), Size: int64(t.Size), ID: t.XferID, Phase: t.Phase})
 			m := f.tr.Metrics()
 			m.Counter("fabric.transfers").Inc()
 			m.Counter("fabric.wire_bytes").Add(int64(t.Size))

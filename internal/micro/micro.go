@@ -59,6 +59,10 @@ type Experiment struct {
 	ComputePoints []time.Duration
 	// Config overrides the machine configuration; zero uses defaults.
 	Config cluster.Config
+	// Observe, when non-nil, receives each sweep point's raw cluster
+	// result (reports, calibration table, fault statistics) after the
+	// run — the hook drivers use to feed the profiler.
+	Observe func(cluster.Result)
 }
 
 // Point is one measured sweep point.
@@ -132,6 +136,9 @@ func (e Experiment) runPoint(c time.Duration) Point {
 		}
 	})
 
+	if e.Observe != nil {
+		e.Observe(res)
+	}
 	p := Point{
 		Compute:      c,
 		SenderWait:   waits[0] / time.Duration(e.Reps),

@@ -320,8 +320,10 @@ func (r *Rank) attach(p *vtime.Proc) {
 		}
 		if r.trk != nil {
 			// Overlap events ride on the same host track; the monitor's
-			// Charge path already models their logging cost.
-			mc.Sink = trace.OverlapSink(r.trk, 0)
+			// Charge path already models their logging cost. The name
+			// resolver reads r.mon lazily: it is set below, before any
+			// region event can fire.
+			mc.Sink = trace.OverlapSink(r.trk, 0, func(idx int32) string { return r.mon.RegionName(idx) })
 			m := r.w.cfg.Tracer.Metrics()
 			drains := m.Counter("overlap.drains")
 			drained := m.Counter("overlap.drained_events")

@@ -215,6 +215,7 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		// Eager: copy into a pre-registered bounce buffer and ship it.
 		r.proc.Compute(c.Copy(req.size))
 		xid := r.w.fab.NewXferID()
+		r.w.fab.TagXfer(xid, "eager")
 		r.xferBegin(xid, req.size)
 		msg := eagerMsg{src: r.id, tag: req.tag, ctx: ctx, size: req.size, xferID: xid}
 		if r.rel != nil {
@@ -251,6 +252,7 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		}
 		r.proc.Compute(c.Copy(frag0))
 		xid := r.w.fab.NewXferID()
+		r.w.fab.TagXfer(xid, "pipelined-frag0")
 		r.xferBegin(xid, frag0)
 		msg := rtsMsg{
 			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
@@ -272,6 +274,7 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		// Pin the source buffer and advertise it; the receiver pulls.
 		r.registerBuffer(req.peer, req.tag, req.size)
 		xid := r.w.fab.NewXferID()
+		r.w.fab.TagXfer(xid, "direct-read")
 		req.dataXfer = xid
 		r.xferBegin(xid, req.size)
 		r.sendCtl(dst, rtsMsg{
@@ -439,6 +442,7 @@ func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, p
 		// and ending when the last fragment lands.
 		if req.bulkSize = rts.size - rts.frag0; req.bulkSize > 0 {
 			req.bulkXfer = r.w.fab.NewXferID()
+			r.w.fab.TagXfer(req.bulkXfer, "pipelined-bulk")
 			r.xferBegin(req.bulkXfer, req.bulkSize)
 		}
 		r.sendCtl(fabric.NodeID(rts.src), ctsMsg{sendReq: rts.sendReq, recvReq: req.id})
@@ -510,7 +514,7 @@ func (r *Rank) handleFailedCQE(pw pendingWR, cqe *fabric.CQE) {
 			return
 		}
 		req, xid, size := pw.req, pw.xferID, pw.size
-		err := r.rel.Repost(dst, cqe.Kind.String(), attempts, func(p *vtime.Proc) {
+		err := r.rel.Repost(dst, cqe.Kind.String(), xid, attempts, func(p *vtime.Proc) {
 			wr := r.nic.RDMAWrite(p, dst, size, xid, fragMsg{recvReq: req.ctsRecvReq, size: size})
 			r.wrMap[wr] = pendingWR{kind: wrFrag, req: req, xferID: xid, size: size, attempts: attempts}
 		})
@@ -524,7 +528,7 @@ func (r *Rank) handleFailedCQE(pw pendingWR, cqe *fabric.CQE) {
 			return
 		}
 		req, xid, size := pw.req, pw.xferID, pw.size
-		err := r.rel.Repost(src, cqe.Kind.String(), attempts, func(p *vtime.Proc) {
+		err := r.rel.Repost(src, cqe.Kind.String(), xid, attempts, func(p *vtime.Proc) {
 			wr := r.nic.RDMARead(p, src, size, xid)
 			r.wrMap[wr] = pendingWR{kind: wrRead, req: req, xferID: xid, size: size, attempts: attempts}
 		})
@@ -562,6 +566,7 @@ func (r *Rank) pumpPipelines() bool {
 				fsize = rem
 			}
 			xid := r.w.fab.NewXferID()
+			r.w.fab.TagXfer(xid, "pipelined-frag")
 			r.xferBegin(xid, fsize)
 			wr := r.nic.RDMAWrite(r.proc, fabric.NodeID(req.peer), fsize, xid,
 				fragMsg{recvReq: req.ctsRecvReq, size: fsize})

@@ -112,6 +112,9 @@ type SPResult struct {
 	// MPITime is process 0's aggregate library time (Fig. 18).
 	MPITime  time.Duration
 	Duration time.Duration
+	// Reports holds every rank's instrumentation report, for offline
+	// aggregation or profiling.
+	Reports []*overlap.Report
 }
 
 // CharacterizeSP runs SP (original or Iprobe-modified) under the
@@ -145,6 +148,7 @@ func CharacterizeSPOpts(class Class, procs int, modified bool, opt Options) SPRe
 		Modified: modified,
 		MPITime:  res.MPITimes[0],
 		Duration: res.Duration,
+		Reports:  res.Reports,
 	}
 	if sec := rep.Region(RegionSPOverlap); sec != nil {
 		out.SectionMinPct = sec.Total.MinPercent()

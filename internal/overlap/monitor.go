@@ -248,6 +248,16 @@ func (m *Monitor) PushRegion(name string) {
 	m.log(Event{Kind: KindRegionPush, Region: idx, Stamp: m.cfg.Clock.Now()})
 }
 
+// RegionName returns the registered name of a region index ("" for
+// the root region or an unknown index). Safe to call from a Sink: a
+// region's name is registered before its push event is logged.
+func (m *Monitor) RegionName(idx int32) string {
+	if m == nil || idx <= 0 || int(idx) >= len(m.regionNames) {
+		return ""
+	}
+	return m.regionNames[idx]
+}
+
 // PopRegion leaves the current monitored region.
 func (m *Monitor) PopRegion() {
 	if m == nil {

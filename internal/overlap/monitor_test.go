@@ -494,6 +494,46 @@ func TestAggregateAcrossRanks(t *testing.T) {
 	}
 }
 
+// TestAggregateHeterogeneous exercises the documented merge rule:
+// regions are unioned by name, nil reports are skipped, and a report
+// with different bin bounds contributes totals but no per-bin detail
+// (its bins measure different size intervals).
+func TestAggregateHeterogeneous(t *testing.T) {
+	mk := func(region string, bounds []int, bin0 Measures) *Report {
+		bins := make([]Measures, len(bounds)+1)
+		bins[0] = bin0
+		var tot Measures
+		tot.Add(bin0)
+		return &Report{
+			BinBounds: bounds,
+			Regions:   []RegionReport{{Name: region, Total: tot, Bins: bins}},
+		}
+	}
+	one := Measures{Count: 1, DataTransferTime: 100 * us, MinOverlapped: 10 * us, MaxOverlapped: 20 * us}
+	agg := Aggregate([]*Report{
+		nil, // dead rank: skipped, not dereferenced
+		mk("a", []int{1 << 10, 1 << 20}, one),
+		mk("a", []int{1 << 12}, one), // different bounds AND fewer bins than the aggregate
+		mk("b", []int{1 << 10, 1 << 20}, one),
+	})
+	if len(agg.Regions) != 2 {
+		t.Fatalf("want regions a and b, got %+v", agg.Regions)
+	}
+	if got := agg.BinBounds; len(got) != 2 || got[0] != 1<<10 {
+		t.Fatalf("aggregate bounds must come from the first non-nil report, got %v", got)
+	}
+	a := agg.Region("a")
+	if a.Total.Count != 2 || a.Total.DataTransferTime != 200*us {
+		t.Errorf("region a totals must include the mismatched-bounds report: %+v", a.Total)
+	}
+	if len(a.Bins) != 3 || a.Bins[0].Count != 1 {
+		t.Errorf("region a bin detail must count only matching-bounds reports: %+v", a.Bins)
+	}
+	if tot := agg.Total(); tot.Count != 3 {
+		t.Errorf("aggregate total count = %d, want 3", tot.Count)
+	}
+}
+
 func TestMeasuresHelpers(t *testing.T) {
 	m := Measures{DataTransferTime: 200 * us, MinOverlapped: 50 * us, MaxOverlapped: 150 * us}
 	if p := m.MinPercent(); p != 25 {

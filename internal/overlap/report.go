@@ -203,17 +203,31 @@ func (c *countWriter) Write(p []byte) (int, error) {
 }
 
 // Aggregate sums measures across per-rank reports: whole-job totals
-// for each region present in any report. Bin bounds must match.
+// for each region present in any report, with regions unioned by name
+// and nil reports skipped.
+//
+// Merge rule for heterogeneous inputs: the aggregate adopts the first
+// non-nil report's bin bounds. A report whose bounds differ still
+// contributes its region and whole-job totals — those are
+// bound-independent — but none of its per-bin detail, because its
+// bins measure different size intervals and summing them cell-wise
+// would mislabel every row.
 func Aggregate(reports []*Report) *Report {
-	if len(reports) == 0 {
-		return &Report{}
-	}
-	agg := &Report{BinBounds: append([]int(nil), reports[0].BinBounds...), Rank: -1}
+	agg := &Report{Rank: -1}
+	haveBounds := false
 	index := map[string]int{}
 	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		if !haveBounds {
+			agg.BinBounds = append([]int(nil), rep.BinBounds...)
+			haveBounds = true
+		}
 		if rep.Duration > agg.Duration {
 			agg.Duration = rep.Duration
 		}
+		binsMatch := equalBounds(rep.BinBounds, agg.BinBounds)
 		for _, reg := range rep.Regions {
 			i, ok := index[reg.Name]
 			if !ok {
@@ -221,17 +235,34 @@ func Aggregate(reports []*Report) *Report {
 				index[reg.Name] = i
 				agg.Regions = append(agg.Regions, RegionReport{
 					Name: reg.Name,
-					Bins: make([]Measures, len(reg.Bins)),
+					Bins: make([]Measures, len(agg.BinBounds)+1),
 				})
 			}
 			dst := &agg.Regions[i]
 			dst.UserComputeTime += reg.UserComputeTime
 			dst.CommCallTime += reg.CommCallTime
 			dst.Total.Add(reg.Total)
+			if !binsMatch {
+				continue
+			}
 			for b := range reg.Bins {
-				dst.Bins[b].Add(reg.Bins[b])
+				if b < len(dst.Bins) {
+					dst.Bins[b].Add(reg.Bins[b])
+				}
 			}
 		}
 	}
 	return agg
+}
+
+func equalBounds(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestProfileJSONRoundTrip locks the on-disk profile format: a decoded
+// profile re-encodes to the same bytes (field order is declaration
+// order, so this also guards against accidental field reshuffles), and
+// the decoder rejects documents with fields this version doesn't know.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	w := workloads()[0]
+	p, _, _ := runProfiled(t, w.cfg, w.body)
+
+	var a bytes.Buffer
+	if err := p.EncodeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DecodeJSON(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	var b bytes.Buffer
+	if err := p2.EncodeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("round trip changed the profile:\nbefore: %s\nafter:  %s", a.String(), b.String())
+	}
+	if p2.Schema != 1 {
+		t.Errorf("schema = %d, want 1", p2.Schema)
+	}
+
+	doc := strings.Replace(a.String(), `"schema"`, `"surprise": 1, "schema"`, 1)
+	if _, err := DecodeJSON(strings.NewReader(doc)); err == nil {
+		t.Error("DecodeJSON accepted a document with an unknown field")
+	}
+}
+
+// TestProfileTextGolden locks ovlprof's text table on a fixed workload:
+// the simulation is deterministic, so the rendered profile is a stable
+// artifact. Regenerate with:
+//
+//	go test ./internal/profile -run Golden -update
+func TestProfileTextGolden(t *testing.T) {
+	w := workloads()[0]
+	p, _, _ := runProfiled(t, w.cfg, w.body)
+
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "profile_eager.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("profile text output changed; run with -update if intentional.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

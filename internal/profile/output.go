@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ovlp/internal/report"
+)
+
+// WriteText renders the profile as human-readable tables: totals, the
+// top-N offender sites with their blame breakdown, the slack
+// distribution, and the critical-path composition. topN <= 0 prints
+// every site.
+func (p *Profile) WriteText(w io.Writer, topN int) error {
+	cw := &countWriter{w: w}
+	fmt.Fprintf(cw, "profile: %d rank(s), run time %v\n", p.Ranks, p.Duration)
+	t := p.Totals
+	fmt.Fprintf(cw, "  transfers %d  data %v  min %v  max %v  bound gap %v\n",
+		t.Transfers, t.DataTransferTime, t.MinOverlapped, t.MaxOverlapped, t.Gap)
+	names, vals := t.Blame.Columns()
+	fmt.Fprintf(cw, "  blame:")
+	for i, n := range names {
+		if vals[i] > 0 {
+			fmt.Fprintf(cw, " %s %v", n, vals[i])
+		}
+	}
+	fmt.Fprintln(cw)
+
+	sites := report.NewTable("top offender call sites (by bound gap)",
+		"region", "op", "xfers", "data", "gap", "worst xfer", "dominant blame")
+	for _, s := range p.TopSites(topN) {
+		sites.AddRow(s.Region, s.Op, s.Count,
+			s.DataTransferTime.Round(time.Microsecond),
+			s.Gap.Round(time.Microsecond),
+			s.MaxXferGap.Round(time.Microsecond),
+			dominantBlame(s.Blame))
+	}
+	sites.Render(cw)
+	fmt.Fprintln(cw)
+
+	slack := report.NewTable("slack distribution (per-transfer bound gap)", "bucket", "xfers")
+	for i := range p.Slack.Buckets {
+		slack.AddRow(slackLabel(p.Slack.Bounds, i), p.Slack.Buckets[i])
+	}
+	slack.Render(cw)
+	fmt.Fprintln(cw)
+
+	crit := report.NewTable(fmt.Sprintf("critical path (%v over %d segments)", p.Critical.Length, len(p.Critical.Segments)),
+		"kind", "time", "share%")
+	for _, k := range p.Critical.ByKind {
+		share := 0.0
+		if p.Critical.Length > 0 {
+			share = 100 * float64(k.Time) / float64(p.Critical.Length)
+		}
+		crit.AddRow(k.Kind, k.Time.Round(time.Microsecond), fmt.Sprintf("%.1f", share))
+	}
+	crit.Render(cw)
+	return cw.err
+}
+
+func dominantBlame(b Blame) string {
+	names, vals := b.Columns()
+	best, at := time.Duration(0), -1
+	for i, v := range vals {
+		if v > best {
+			best, at = v, i
+		}
+	}
+	if at < 0 {
+		return "-"
+	}
+	return names[at]
+}
+
+func slackLabel(bounds []time.Duration, i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<=%v", bounds[0])
+	case i < len(bounds):
+		return fmt.Sprintf("%v-%v", bounds[i-1], bounds[i])
+	default:
+		return fmt.Sprintf(">%v", bounds[len(bounds)-1])
+	}
+}
+
+// WriteCSV emits one row per site with the full blame breakdown, in
+// the profile's sort order. Durations are integer nanoseconds.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	cw := &countWriter{w: w}
+	names, _ := Blame{}.Columns()
+	fmt.Fprintf(cw, "region,op,xfers,data_ns,min_ns,max_ns,gap_ns,worst_xfer_ns")
+	for _, n := range names {
+		fmt.Fprintf(cw, ",%s_ns", n)
+	}
+	fmt.Fprintln(cw)
+	for _, s := range p.Sites {
+		fmt.Fprintf(cw, "%s,%s,%d,%d,%d,%d,%d,%d",
+			csvField(s.Region), csvField(s.Op), s.Count,
+			s.DataTransferTime.Nanoseconds(), s.MinOverlapped.Nanoseconds(),
+			s.MaxOverlapped.Nanoseconds(), s.Gap.Nanoseconds(), s.MaxXferGap.Nanoseconds())
+		_, vals := s.Blame.Columns()
+		for _, v := range vals {
+			fmt.Fprintf(cw, ",%d", v.Nanoseconds())
+		}
+		fmt.Fprintln(cw)
+	}
+	return cw.err
+}
+
+func csvField(s string) string {
+	for _, c := range s {
+		if c == ',' || c == '"' || c == '\n' {
+			return fmt.Sprintf("%q", s)
+		}
+	}
+	return s
+}
+
+// WriteFolded emits folded-stack lines (the flamegraph.pl input
+// format): semicolon-separated frames and a microsecond weight. Two
+// stack families are produced — "blame;<region>;<op>;<category>" from
+// the attribution and "critical;<kind>;<label>" from the path — so one
+// flame graph shows both where the bound gap lives and what the run's
+// wall time was made of.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	cw := &countWriter{w: w}
+	for _, s := range p.Sites {
+		names, vals := s.Blame.Columns()
+		for i, v := range vals {
+			if v > 0 {
+				fmt.Fprintf(cw, "blame;%s;%s;%s %d\n",
+					foldedFrame(s.Region), foldedFrame(s.Op), names[i], v.Microseconds())
+			}
+		}
+	}
+	// Fold critical-path segments by (kind, label) so repeated park
+	// sites aggregate rather than emitting thousands of lines.
+	type ck struct{ kind, label string }
+	totals := map[ck]time.Duration{}
+	var order []ck
+	for _, s := range p.Critical.Segments {
+		k := ck{s.Kind, s.Label}
+		if _, ok := totals[k]; !ok {
+			order = append(order, k)
+		}
+		totals[k] += s.End - s.Start
+	}
+	for _, k := range order {
+		if k.label == "" {
+			fmt.Fprintf(cw, "critical;%s %d\n", k.kind, totals[k].Microseconds())
+		} else {
+			fmt.Fprintf(cw, "critical;%s;%s %d\n", k.kind, foldedFrame(k.label), totals[k].Microseconds())
+		}
+	}
+	return cw.err
+}
+
+func foldedFrame(s string) string {
+	out := []rune(s)
+	for i, c := range out {
+		if c == ';' || c == ' ' || c == '\n' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+type countWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,24 @@
+package regress
+
+import "testing"
+
+// The go test -bench wrappers expose the gate's suites through the
+// standard benchmark machinery, reporting the virtual-time measures as
+// custom metrics (wall clock of a simulated run is meaningless; the
+// virtual quantities are the ones the gate protects):
+//
+//	go test -bench 'Suite' -benchtime 1x ./internal/regress
+func benchSuite(b *testing.B, run func() *Baseline) {
+	for i := 0; i < b.N; i++ {
+		base := run()
+		for _, e := range base.Entries {
+			b.ReportMetric(float64(e.WallNS), e.Name+":wall-ns")
+			b.ReportMetric(float64(e.CritPathNS), e.Name+":crit-ns")
+			b.ReportMetric(e.MinOverlapPct, e.Name+":min-ovl-%")
+			b.ReportMetric(e.MaxOverlapPct, e.Name+":max-ovl-%")
+		}
+	}
+}
+
+func BenchmarkOverlapSuite(b *testing.B) { benchSuite(b, RunOverlapSuite) }
+func BenchmarkNASSuite(b *testing.B)     { benchSuite(b, RunNASSuite) }

@@ -1,0 +1,161 @@
+// Package regress is the benchmark-regression harness: it measures a
+// fixed suite of deterministic workloads (wall time, overlap bounds,
+// critical-path length, transfer count), saves them as schema-versioned
+// JSON baselines, and compares a fresh measurement against a committed
+// baseline.
+//
+// Because every workload runs on the virtual-time simulator, a
+// measurement is a pure function of the code: re-running an unchanged
+// tree reproduces the baseline byte for byte, and any drift — not just
+// slowdowns — means the model changed and the baseline needs a
+// deliberate refresh. Compare therefore flags deviation in either
+// direction beyond the tolerance; cmd/benchgate turns its findings
+// into a non-zero exit for CI.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Schema versions the baseline file layout. Bump it when Entry gains,
+// loses or reinterprets a field; Compare refuses mismatched schemas.
+const Schema = 1
+
+// Entry is one workload's measurement.
+type Entry struct {
+	Name string `json:"name"`
+	// WallNS is the run's virtual wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// MinOverlapPct and MaxOverlapPct are the cross-rank overlap
+	// bounds as percentages of data transfer time.
+	MinOverlapPct float64 `json:"min_overlap_pct"`
+	MaxOverlapPct float64 `json:"max_overlap_pct"`
+	// CritPathNS is the profiler's critical-path length in
+	// nanoseconds (equal to WallNS when the path tiles the run; kept
+	// separately so path-extraction regressions are visible).
+	CritPathNS int64 `json:"critical_path_ns"`
+	// Transfers counts the suite's data transfers — exact, so any
+	// change fails the gate regardless of tolerance.
+	Transfers int `json:"transfers"`
+}
+
+// Baseline is one suite's measurements.
+type Baseline struct {
+	Schema  int     `json:"schema"`
+	Suite   string  `json:"suite"`
+	Entries []Entry `json:"entries"`
+}
+
+// EncodeJSON writes the baseline as indented JSON. Field order is
+// declaration order and the workloads are deterministic, so the same
+// tree always produces the same bytes.
+func (b *Baseline) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// DecodeJSON reads a baseline written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("regress: decoding baseline: %w", err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline to the named file.
+func (b *Baseline) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.EncodeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a baseline file written by Save.
+func Load(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeJSON(f)
+}
+
+// Compare checks a fresh measurement against a baseline and returns
+// one human-readable finding per violation (empty = gate passes).
+// Durations fail beyond tolPct percent relative deviation, overlap
+// percentages beyond tolPct percentage points absolute, and transfer
+// counts on any change.
+func Compare(got, want *Baseline, tolPct float64) []string {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if got.Schema != want.Schema {
+		fail("schema %d measured vs %d baseline: regenerate the baseline", got.Schema, want.Schema)
+		return bad
+	}
+	if got.Suite != want.Suite {
+		fail("suite %q measured vs %q baseline", got.Suite, want.Suite)
+		return bad
+	}
+	byName := make(map[string]Entry, len(got.Entries))
+	for _, e := range got.Entries {
+		byName[e.Name] = e
+	}
+	for _, w := range want.Entries {
+		g, ok := byName[w.Name]
+		if !ok {
+			fail("%s: missing from measurement", w.Name)
+			continue
+		}
+		delete(byName, w.Name)
+		if d := relPct(g.WallNS, w.WallNS); math.Abs(d) > tolPct {
+			fail("%s: wall time %+.2f%% (%d ns -> %d ns), tolerance %g%%",
+				w.Name, d, w.WallNS, g.WallNS, tolPct)
+		}
+		if d := relPct(g.CritPathNS, w.CritPathNS); math.Abs(d) > tolPct {
+			fail("%s: critical path %+.2f%% (%d ns -> %d ns), tolerance %g%%",
+				w.Name, d, w.CritPathNS, g.CritPathNS, tolPct)
+		}
+		if d := g.MinOverlapPct - w.MinOverlapPct; math.Abs(d) > tolPct {
+			fail("%s: min overlap %+.2fpp (%.2f%% -> %.2f%%), tolerance %gpp",
+				w.Name, d, w.MinOverlapPct, g.MinOverlapPct, tolPct)
+		}
+		if d := g.MaxOverlapPct - w.MaxOverlapPct; math.Abs(d) > tolPct {
+			fail("%s: max overlap %+.2fpp (%.2f%% -> %.2f%%), tolerance %gpp",
+				w.Name, d, w.MaxOverlapPct, g.MaxOverlapPct, tolPct)
+		}
+		if g.Transfers != w.Transfers {
+			fail("%s: transfers %d -> %d (exact in a deterministic run)",
+				w.Name, w.Transfers, g.Transfers)
+		}
+	}
+	for name := range byName {
+		fail("%s: not in baseline: regenerate with -write", name)
+	}
+	return bad
+}
+
+// relPct is the relative deviation of got from want, in percent.
+func relPct(got, want int64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * float64(got-want) / float64(want)
+}

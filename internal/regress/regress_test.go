@@ -1,0 +1,95 @@
+package regress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBaselineByteStable is the gate's determinism criterion: running
+// a suite twice yields byte-identical baseline files.
+func TestBaselineByteStable(t *testing.T) {
+	var runs [2][]byte
+	for i := range runs {
+		var b bytes.Buffer
+		if err := RunOverlapSuite().EncodeJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = b.Bytes()
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatalf("suite re-run changed baseline bytes:\n%s\nvs\n%s", runs[0], runs[1])
+	}
+}
+
+// TestSelfCompare: a measurement compared against itself passes at
+// zero tolerance.
+func TestSelfCompare(t *testing.T) {
+	b := RunOverlapSuite()
+	if bad := Compare(b, b, 0); len(bad) != 0 {
+		t.Fatalf("self-comparison failed: %v", bad)
+	}
+}
+
+// TestCompareFlagsRegressions checks each gate dimension trips.
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Baseline{Schema: Schema, Suite: "t", Entries: []Entry{
+		{Name: "w", WallNS: 1000, MinOverlapPct: 40, MaxOverlapPct: 80, CritPathNS: 1000, Transfers: 10},
+	}}
+	cases := []struct {
+		name   string
+		mutate func(*Entry)
+	}{
+		{"wall", func(e *Entry) { e.WallNS = 1100 }},
+		{"crit", func(e *Entry) { e.CritPathNS = 900 }},
+		{"min overlap", func(e *Entry) { e.MinOverlapPct = 34 }},
+		{"max overlap", func(e *Entry) { e.MaxOverlapPct = 86 }},
+		{"transfers", func(e *Entry) { e.Transfers = 11 }},
+	}
+	for _, c := range cases {
+		got := &Baseline{Schema: Schema, Suite: "t", Entries: []Entry{base.Entries[0]}}
+		c.mutate(&got.Entries[0])
+		if bad := Compare(got, base, 5); len(bad) == 0 {
+			t.Errorf("%s deviation not flagged", c.name)
+		}
+	}
+	// Within tolerance passes.
+	got := &Baseline{Schema: Schema, Suite: "t", Entries: []Entry{base.Entries[0]}}
+	got.Entries[0].WallNS = 1030
+	if bad := Compare(got, base, 5); len(bad) != 0 {
+		t.Errorf("3%% deviation flagged at 5%% tolerance: %v", bad)
+	}
+}
+
+// TestCompareStructure flags schema, missing and extra entries.
+func TestCompareStructure(t *testing.T) {
+	base := &Baseline{Schema: Schema, Suite: "t", Entries: []Entry{{Name: "a"}, {Name: "b"}}}
+	if bad := Compare(&Baseline{Schema: Schema + 1, Suite: "t"}, base, 5); len(bad) == 0 {
+		t.Error("schema mismatch not flagged")
+	}
+	got := &Baseline{Schema: Schema, Suite: "t", Entries: []Entry{{Name: "a"}, {Name: "c"}}}
+	bad := Compare(got, base, 5)
+	if len(bad) != 2 {
+		t.Errorf("want missing-b and extra-c findings, got %v", bad)
+	}
+}
+
+// TestJSONRoundTrip: encode/decode preserves the baseline.
+func TestJSONRoundTrip(t *testing.T) {
+	b := &Baseline{Schema: Schema, Suite: "overlap", Entries: []Entry{
+		{Name: "x", WallNS: 123, MinOverlapPct: 1.5, MaxOverlapPct: 97.25, CritPathNS: 123, Transfers: 7},
+	}}
+	var buf bytes.Buffer
+	if err := b.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := Compare(got, b, 0); len(bad) != 0 {
+		t.Fatalf("round trip changed the baseline: %v", bad)
+	}
+	if _, err := DecodeJSON(bytes.NewBufferString(`{"schema":1,"bogus":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

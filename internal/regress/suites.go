@@ -1,0 +1,111 @@
+package regress
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+	"ovlp/internal/nas"
+	"ovlp/internal/overlap"
+	"ovlp/internal/profile"
+	"ovlp/internal/trace"
+)
+
+// The suites pin the code paths the paper's evaluation exercises: the
+// eager, pipelined-rendezvous and direct-read protocols on the
+// two-process exchange (the microbenchmark shape of Figs. 3-9), and
+// one real NAS kernel. Workload parameters are fixed forever — the
+// baseline files encode their results, so changing a parameter is the
+// same as deleting the baseline's history.
+
+// RunOverlapSuite measures the three protocol paths on the
+// two-process exchange workload.
+func RunOverlapSuite() *Baseline {
+	b := &Baseline{Schema: Schema, Suite: "overlap"}
+	type cfg struct {
+		name  string
+		proto mpi.LongProtocol
+		size  int
+	}
+	for _, c := range []cfg{
+		{"eager-10KiB", mpi.PipelinedRDMA, 10 << 10},
+		{"pipelined-1MiB", mpi.PipelinedRDMA, 1 << 20},
+		{"direct-1MiB", mpi.DirectRDMARead, 1 << 20},
+	} {
+		b.Entries = append(b.Entries, measure(c.name, cluster.Config{
+			Procs: 2,
+			MPI: mpi.Config{
+				Protocol:   c.proto,
+				Instrument: &mpi.InstrumentConfig{},
+			},
+		}, exchangeBody(c.size, 50, 200*time.Microsecond)))
+	}
+	return b
+}
+
+// RunNASSuite measures one real kernel: LU class S on four ranks,
+// three iterations, under the direct-read library.
+func RunNASSuite() *Baseline {
+	b := &Baseline{Schema: Schema, Suite: "nas"}
+	b.Entries = append(b.Entries, measure("lu-S-p4", cluster.Config{
+		Procs: 4,
+		MPI: mpi.Config{
+			Protocol:   mpi.DirectRDMARead,
+			Instrument: &mpi.InstrumentConfig{},
+		},
+	}, func(r *mpi.Rank) {
+		nas.Run(nas.LU, r, nas.Params{Class: nas.ClassS, MaxIters: 3})
+	}))
+	return b
+}
+
+// Suites maps the suite names cmd/benchgate accepts to their runners.
+func Suites() map[string]func() *Baseline {
+	return map[string]func() *Baseline{
+		"overlap": RunOverlapSuite,
+		"nas":     RunNASSuite,
+	}
+}
+
+func exchangeBody(size, reps int, compute time.Duration) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		peer := 1 - r.ID()
+		for i := 0; i < reps; i++ {
+			r.PushRegion("exchange")
+			var q *mpi.Request
+			if r.ID() == 0 {
+				q = r.Isend(peer, 0, size)
+			} else {
+				q = r.Irecv(peer, 0)
+			}
+			r.Compute(compute)
+			r.Wait(q)
+			r.PopRegion()
+		}
+	}
+}
+
+func measure(name string, cfg cluster.Config, body func(r *mpi.Rank)) Entry {
+	tr := trace.New(trace.Options{})
+	cfg.Trace = tr
+	res := cluster.Run(cfg, body)
+	p, err := profile.Analyze(profile.FromTracer(tr, res.Calib, res.Reports))
+	if err != nil {
+		panic(fmt.Sprintf("regress: profiling %s: %v", name, err))
+	}
+	var tot overlap.Measures
+	for _, rep := range res.Reports {
+		if rep != nil {
+			tot.Add(rep.Total())
+		}
+	}
+	return Entry{
+		Name:          name,
+		WallNS:        res.Duration.Nanoseconds(),
+		MinOverlapPct: tot.MinPercent(),
+		MaxOverlapPct: tot.MaxPercent(),
+		CritPathNS:    p.Critical.Length.Nanoseconds(),
+		Transfers:     tot.Count,
+	}
+}

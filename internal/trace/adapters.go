@@ -68,6 +68,19 @@ func (o *kernelObserver) ProcResumed(p *vtime.Proc) {
 	o.track(p).Span("kernel", name, b.since, p.Now(), a)
 }
 
+// ProcUnparked (the vtime.EdgeObserver extension) marks each effective
+// wake-up as an "unpark" instant on the woken proc's track, with Peer
+// set to the waker's proc id when a proc (rather than a timer or a
+// fabric delivery) released it — the cross-timeline edges the
+// critical-path walker follows.
+func (o *kernelObserver) ProcUnparked(p *vtime.Proc, by *vtime.Proc) {
+	a := None
+	if by != nil {
+		a.Peer = by.ID()
+	}
+	o.track(p).Instant("kernel", "unpark", p.Now(), a)
+}
+
 func (o *kernelObserver) ProcDone(p *vtime.Proc) {
 	o.track(p).Instant("kernel", "done", p.Now(), None)
 }
@@ -92,17 +105,27 @@ func (o *kernelObserver) Deadlock(e *vtime.DeadlockError) {
 //
 // The origin is the virtual time of the monitor clock's zero, so
 // event stamps (durations since process origin) land on the shared
-// timeline.
-func OverlapSink(tk *Track, origin vtime.Time) overlap.Sink {
+// timeline. regionName, when non-nil, resolves region indices to
+// their registered names so push/pop instants carry the name in
+// detail and exported traces stay self-describing offline.
+func OverlapSink(tk *Track, origin vtime.Time, regionName func(int32) string) overlap.Sink {
 	if tk == nil {
 		return nil
 	}
-	return &overlapSink{tk: tk, origin: origin}
+	return &overlapSink{tk: tk, origin: origin, regionName: regionName}
 }
 
 type overlapSink struct {
-	tk     *Track
-	origin vtime.Time
+	tk         *Track
+	origin     vtime.Time
+	regionName func(int32) string
+}
+
+func (s *overlapSink) region(idx int32) string {
+	if s.regionName == nil {
+		return ""
+	}
+	return s.regionName(idx)
 }
 
 func (s *overlapSink) OverlapEvent(e overlap.Event) {
@@ -116,8 +139,8 @@ func (s *overlapSink) OverlapEvent(e overlap.Event) {
 		s.tk.Span("overlap", "xfer-exact", s.origin.Add(e.Start), s.origin.Add(e.End),
 			Args{Peer: NoPeer, ID: e.ID, Size: e.Size})
 	case overlap.KindRegionPush:
-		s.tk.Instant("overlap", "region-push", at, Args{Peer: NoPeer, ID: uint64(e.Region)})
+		s.tk.Instant("overlap", "region-push", at, Args{Peer: NoPeer, ID: uint64(e.Region), Detail: s.region(e.Region)})
 	case overlap.KindRegionPop:
-		s.tk.Instant("overlap", "region-pop", at, Args{Peer: NoPeer, ID: uint64(e.Region)})
+		s.tk.Instant("overlap", "region-pop", at, Args{Peer: NoPeer, ID: uint64(e.Region), Detail: s.region(e.Region)})
 	}
 }

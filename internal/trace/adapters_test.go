@@ -35,13 +35,18 @@ func TestKernelObserverSpans(t *testing.T) {
 	for _, r := range recs {
 		names = append(names, r.Name)
 	}
-	want := []string{"spawn", "compute", "park", "done"}
+	// The unpark instant logs at wake time (t=30µs), before the park
+	// span record, which is only emitted once the span closes.
+	want := []string{"spawn", "compute", "unpark", "park", "done"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("record sequence %v, want %v", names, want)
 	}
-	comp, park := recs[1], recs[2]
+	comp, unpark, park := recs[1], recs[2], recs[3]
 	if comp.Start != us(0) || comp.End() != us(10) {
 		t.Errorf("compute span [%v,%v), want [0,10µs)", comp.Start, comp.End())
+	}
+	if unpark.Start != us(30) || unpark.Args.Peer != NoPeer {
+		t.Errorf("unpark instant wrong (want t=30µs, no peer: woken from event context): %+v", unpark)
 	}
 	if park.Start != us(10) || park.End() != us(30) || park.Args.Detail != "test.park" {
 		t.Errorf("park span wrong: %+v", park)
@@ -93,7 +98,7 @@ func TestKernelObserverDeadlock(t *testing.T) {
 func TestOverlapSinkMapping(t *testing.T) {
 	tr := New(Options{})
 	tk := tr.Track(GroupHost, 0, "rank0")
-	s := OverlapSink(tk, us(100)) // origin: monitor clock zero at t=100µs
+	s := OverlapSink(tk, us(100), func(idx int32) string { return "r" }) // origin: monitor clock zero at t=100µs
 	s.OverlapEvent(overlap.Event{Kind: overlap.KindRegionPush, Region: 3, Stamp: 0})
 	s.OverlapEvent(overlap.Event{Kind: overlap.KindXferBegin, ID: 9, Size: 4096, Stamp: time.Microsecond})
 	s.OverlapEvent(overlap.Event{Kind: overlap.KindXferEnd, ID: 9, Stamp: 5 * time.Microsecond})

@@ -120,6 +120,9 @@ func writeArgs(b *bytes.Buffer, a Args) {
 	if a.Detail != "" {
 		field("detail", quote(a.Detail))
 	}
+	if a.Phase != "" {
+		field("phase", quote(a.Phase))
+	}
 	if any {
 		b.WriteByte('}')
 	}

@@ -58,13 +58,19 @@ func (g Group) String() string {
 
 // Args are the optional typed tags of a record. Absent fields are not
 // exported: Peer is emitted when >= 0 (pass NoPeer for none — the zero
-// value would read as rank 0), Size when > 0, ID when != 0, Detail
-// when non-empty.
+// value would read as rank 0), Size when > 0, ID when != 0, Detail and
+// Phase when non-empty.
 type Args struct {
 	Peer   int
 	Size   int64
 	ID     uint64
 	Detail string
+	// Phase tags a wire span with the protocol phase that produced the
+	// transfer ("eager", "pipelined-frag0", "pipelined-frag",
+	// "direct-read", "put", ...), so offline analysis can attribute
+	// non-overlapped time to the protocol choice without replaying the
+	// library state machines.
+	Phase string
 }
 
 // NoPeer marks the Peer field absent.

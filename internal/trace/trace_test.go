@@ -123,7 +123,7 @@ func TestNilTracerSafe(t *testing.T) {
 	tr.Metrics().Counter("x").Inc() // nil registry chain must not panic
 	tr.Metrics().Gauge("g").Set(3)
 	tr.Metrics().Histogram("h", nil).Observe(1)
-	if OverlapSink(nil, 0) != nil {
+	if OverlapSink(nil, 0, nil) != nil {
 		t.Error("OverlapSink of nil track must be nil")
 	}
 }

@@ -122,6 +122,22 @@ type Observer interface {
 	Deadlock(e *DeadlockError)
 }
 
+// EdgeObserver is an optional extension of Observer exposing the
+// event-graph edges of the schedule: which context released each
+// parked proc. Observers that also implement it (checked by type
+// assertion, so plain Observers keep working) receive one callback per
+// effective wake-up — the parked→runnable transitions that offline
+// analysis (critical-path extraction) needs to hop between timelines.
+type EdgeObserver interface {
+	Observer
+	// ProcUnparked fires when a parked p is granted the wake-up that
+	// will dispatch it, before the dispatch runs. by is the proc whose
+	// execution called Unpark, or nil when the wake came from event
+	// context (a timer, a fabric delivery). Redundant Unparks — the
+	// proc not parked, or a permit already pending — do not fire.
+	ProcUnparked(p *Proc, by *Proc)
+}
+
 // Sim is a deterministic virtual-time simulator. The zero value is not
 // usable; create one with NewSim.
 type Sim struct {
@@ -338,6 +354,9 @@ func (p *Proc) Unpark() {
 	if p.state == stateParked && !p.permit {
 		p.permit = true
 		s := p.sim
+		if eo, ok := s.obs.(EdgeObserver); ok {
+			eo.ProcUnparked(p, s.current)
+		}
 		s.schedule(s.now, func() {
 			if p.state == stateParked && p.permit {
 				p.permit = false
