@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchgate [-dir results] [-suites overlap,nas] [-tol 2] [-write]
+//	benchgate [-dir results] [-suites overlap,nas,coll] [-tol 2] [-write]
 //
 // Baselines live at <dir>/BENCH_<suite>.json. -write regenerates them
 // (commit the result); without it the gate compares and reports. The
@@ -34,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
 	dir := flag.String("dir", "results", "directory holding BENCH_<suite>.json baselines")
-	suitesFlag := flag.String("suites", "overlap,nas", "comma-separated suites to run")
+	suitesFlag := flag.String("suites", "overlap,nas,coll", "comma-separated suites to run")
 	tol := flag.Float64("tol", 2, "tolerance: percent for durations, percentage points for overlap bounds")
 	write := flag.Bool("write", false, "write fresh baselines instead of comparing")
 	inject := flag.Float64("inject-pct", 0, "inflate measured durations by this percent (gate self-test)")
@@ -46,7 +46,7 @@ func main() {
 		name = strings.TrimSpace(name)
 		run, ok := runners[name]
 		if !ok {
-			log.Fatalf("unknown suite %q (have: overlap, nas)", name)
+			log.Fatalf("unknown suite %q (have: overlap, nas, coll)", name)
 		}
 		path := filepath.Join(*dir, "BENCH_"+name+".json")
 		got := run()

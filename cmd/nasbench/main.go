@@ -8,7 +8,13 @@
 // Usage:
 //
 //	nasbench [-bench all] [-classes S,W,A,B] [-procs ...] [-iters 10]
+//	         [-overlap] [-coll-algo auto] [-coll-chunk 0]
+//	         [-progress manual] [-progress-quantum 10us]
 //	         [-trace out.json] [-metrics] [-profile out.txt]
+//
+// -overlap runs the overlapped-collective variants of CG, FT and MG
+// (nonblocking schedules advanced by the -progress engine); the
+// -coll-* flags pick the schedule algorithm and pipelining chunk.
 //
 // -iters truncates each benchmark's time-stepping loop; overlap
 // percentages converge within a few iterations, so the default keeps
@@ -67,6 +73,8 @@ func main() {
 	bins := flag.Bool("bins", false, "also print process 0's per-message-size-bin breakdown")
 	hw := flag.Bool("hw", false, "use NIC hardware time-stamps (precise mode: min == max)")
 	jsonDir := flag.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
+	overlapped := flag.Bool("overlap", false, "run the overlapped-collective variants of CG, FT and MG")
+	cf := cmdutil.RegisterColl(nil)
 	buildFaults := faultflag.Register(nil)
 	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
@@ -102,7 +110,7 @@ func main() {
 		if b == nas.BT || b == nas.SP {
 			defProcs = []int{4, 9, 16}
 		}
-		runBench(b, classes, mustProcs(*procsFlag, defProcs), *iters, *bins, *hw, *jsonDir, faults, obs)
+		runBench(b, classes, mustProcs(*procsFlag, defProcs), *iters, *bins, *hw, *overlapped, cf, *jsonDir, faults, obs)
 	}
 	if obs.Enabled() {
 		if err := obs.Finish(os.Stdout); err != nil {
@@ -128,7 +136,7 @@ func checkTraceable(obs *cmdutil.Obs, procs []int) {
 	}
 }
 
-func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw bool, jsonDir string, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
+func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw, overlapped bool, cf *cmdutil.Coll, jsonDir string, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
 	checkFaultNodes(faults, procs)
 	checkTraceable(obs, procs)
 	title := fmt.Sprintf("Overlap characterization — NAS %s (%s protocol)", name, paperProtocol[name])
@@ -137,6 +145,9 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 	}
 	if hw {
 		title += " [NIC hardware time-stamps]"
+	}
+	if overlapped {
+		title += fmt.Sprintf(" [overlapped collectives: %s algo, %s progress]", cf.Algo, cf.Mode)
 	}
 	t := report.NewTable(title,
 		"class", "procs", "min%", "max%", "xfers", "data xfer", "MPI time", "run time")
@@ -150,6 +161,10 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 				HWTimestamps: hw,
 				Faults:       faults,
 				Trace:        obs.Tracer(),
+				Overlap:      overlapped,
+				CollAlgo:     cf.Algo,
+				CollChunk:    cf.Chunk,
+				Progress:     cf.Progress(),
 			})
 			obs.SetRun(nil, reports)
 			rep := reports[0]

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	overlapbench [-fig 0] [-reps 1000] [-fault-seed N -drop P -stall ...]
+//	            [-coll-algo auto] [-progress manual]
 //	            [-trace out.json] [-metrics] [-profile out.txt]
 //
 // -fig 0 (the default) runs every figure. The fault flags (see
@@ -51,6 +52,7 @@ func main() {
 	log.SetPrefix("overlapbench: ")
 	fig := flag.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
 	reps := flag.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
+	cf := cmdutil.RegisterColl(nil)
 	buildFaults := faultflag.Register(nil)
 	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
@@ -76,20 +78,21 @@ func main() {
 		log.Fatal("-trace/-metrics need a single figure: pass -fig 3..9")
 	}
 	for _, f := range figs {
-		runFigure(f, *reps, faults)
+		runFigure(f, *reps, faults, cf)
 	}
 	if obs.Enabled() {
-		runTraced(*fig, *reps, faults, obs)
+		runTraced(*fig, *reps, faults, cf, obs)
 	}
 }
 
 // runTraced reruns the selected figure's final computation point once
 // more with the tracer attached, so the exported timeline shows one
 // fully-overlapping exchange pattern rather than the whole sweep.
-func runTraced(fig, reps int, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
+func runTraced(fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, obs *cmdutil.Obs) {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
 	e.Config.Trace = obs.Tracer()
+	cf.Apply(&e.Config.MPI)
 	e.Observe = func(res cluster.Result) { obs.SetRun(res.Calib, res.Reports) }
 	e.ComputePoints = e.ComputePoints[len(e.ComputePoints)-1:]
 	e.Run()
@@ -99,9 +102,10 @@ func runTraced(fig, reps int, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
 	}
 }
 
-func runFigure(fig, reps int, faults *fabric.FaultPlan) {
+func runFigure(fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll) {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
+	cf.Apply(&e.Config.MPI)
 	start := time.Now()
 	points := e.Run()
 

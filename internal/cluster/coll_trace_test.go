@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ovlp/internal/coll"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/progress"
+	"ovlp/internal/trace"
+)
+
+// TestCollTraceByteIdentical extends the determinism acceptance
+// criterion to the worst-case configuration this repo can produce:
+// a nonblocking ring Iallreduce progressed by the asynchronous thread
+// engine over a lossy link with retransmission. Scheduler order,
+// fault sampling, retransmit timers and progress-thread wakeups must
+// all replay identically, so two runs export byte-identical traces.
+func TestCollTraceByteIdentical(t *testing.T) {
+	workload := func(r *mpi.Rank) {
+		for i := 0; i < 10; i++ {
+			cr := r.Iallreduce(64 << 10)
+			r.Compute(150 * time.Microsecond)
+			r.WaitColl(cr)
+		}
+	}
+	var files [2][]byte
+	for i := range files {
+		tr := trace.New(trace.Options{})
+		cfg := Config{
+			Procs: 4,
+			MPI: mpi.Config{
+				Instrument: &mpi.InstrumentConfig{},
+				Reliable:   &fabric.ReliableParams{},
+				CollAlgo:   coll.Ring,
+				Progress:   progress.Config{Mode: progress.Thread},
+			},
+			Faults: &fabric.FaultPlan{
+				Seed:    7,
+				Default: fabric.LinkFaults{DropRate: 0.1},
+			},
+			RecordTruth: true,
+			Trace:       tr,
+		}
+		Run(cfg, workload)
+		files[i] = export(t, tr)
+
+		// The schedule-attribution instants must be present: every
+		// schedule-issued transfer stamps its owning collective.
+		sched := 0
+		for _, tk := range tr.Tracks() {
+			for _, rec := range tk.Recs() {
+				if rec.Cat == "coll" && rec.Name == "sched" {
+					sched++
+					if rec.Args.Detail == "" {
+						t.Fatal("sched instant with empty schedule label")
+					}
+				}
+			}
+		}
+		if sched == 0 {
+			t.Fatal("trace carries no collective schedule instants")
+		}
+	}
+	if !bytes.Equal(files[0], files[1]) {
+		t.Fatal("fixed-seed faulted collective runs exported different trace bytes")
+	}
+}

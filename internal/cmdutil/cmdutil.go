@@ -12,13 +12,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ovlp/internal/calib"
 	"ovlp/internal/cluster"
+	"ovlp/internal/coll"
 	"ovlp/internal/fabric"
 	"ovlp/internal/faultflag"
+	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
 	"ovlp/internal/profile"
+	"ovlp/internal/progress"
 	"ovlp/internal/trace"
 )
 
@@ -54,6 +58,62 @@ func CheckFaultNodes(plan *fabric.FaultPlan, procs []int) error {
 		}
 	}
 	return faultflag.CheckNodes(plan, min)
+}
+
+// Coll holds the shared nonblocking-collective flag state: which
+// schedule algorithm to build, the pipelining chunk, and which
+// progress engine advances pending schedules.
+type Coll struct {
+	// Algo is the -coll-algo schedule algorithm.
+	Algo coll.Algo
+	// Chunk is the -coll-chunk pipelining size in bytes (0 = whole
+	// payload in one stage).
+	Chunk int
+	// Mode is the -progress engine selection.
+	Mode progress.Mode
+	// Quantum is the -progress-quantum thread wake interval.
+	Quantum time.Duration
+}
+
+// RegisterColl installs the -coll-algo, -coll-chunk, -progress and
+// -progress-quantum flags on fs (the default command-line set when fs
+// is nil). Values are validated at parse time.
+func RegisterColl(fs *flag.FlagSet) *Coll {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &Coll{Quantum: progress.DefaultQuantum}
+	fs.Func("coll-algo", "collective schedule algorithm: auto, binomial, ring or recdouble", func(s string) error {
+		a, err := coll.ParseAlgo(s)
+		if err != nil {
+			return err
+		}
+		c.Algo = a
+		return nil
+	})
+	fs.IntVar(&c.Chunk, "coll-chunk", 0, "pipeline collective payloads in chunks of this many bytes (0 = unchunked)")
+	fs.Func("progress", "progress engine for nonblocking collectives: manual, piggyback or thread", func(s string) error {
+		m, err := progress.ParseMode(s)
+		if err != nil {
+			return err
+		}
+		c.Mode = m
+		return nil
+	})
+	fs.DurationVar(&c.Quantum, "progress-quantum", progress.DefaultQuantum, "wake quantum of the thread progress engine")
+	return c
+}
+
+// Progress returns the selected engine configuration.
+func (c *Coll) Progress() progress.Config {
+	return progress.Config{Mode: c.Mode, Quantum: c.Quantum}
+}
+
+// Apply copies the collective selections into an mpi.Config.
+func (c *Coll) Apply(cfg *mpi.Config) {
+	cfg.CollAlgo = c.Algo
+	cfg.CollChunk = c.Chunk
+	cfg.Progress = c.Progress()
 }
 
 // Obs holds the observability flag state: -trace enables full

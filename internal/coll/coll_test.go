@@ -1,0 +1,222 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+)
+
+// execute runs one schedule per rank through an abstract executor: a
+// ready action (all deps finished) runs immediately; a Send deposits a
+// message keyed by (src, dst, round, chunk); a Recv completes once the
+// matching message is present and its size agrees. The executor loops
+// until a full pass makes no progress, then reports whether every
+// action on every rank finished and no message went unconsumed —
+// i.e. the schedule set is deadlock-free and matching is consistent.
+func execute(t *testing.T, scheds []*Schedule) {
+	t.Helper()
+	type key struct{ src, dst, round, chunk int }
+	bag := map[key][]int{} // in-flight message sizes, FIFO per key
+	procs := len(scheds)
+	done := make([][]bool, procs)
+	left := 0
+	for r, sch := range scheds {
+		done[r] = make([]bool, len(sch.Actions))
+		left += len(sch.Actions)
+		for i, a := range sch.Actions {
+			if a.Round < 0 || a.Round >= 1024 {
+				t.Fatalf("rank %d action %d: round %d out of tag range", r, i, a.Round)
+			}
+			if a.Chunk < 0 || a.Chunk >= MaxChunks {
+				t.Fatalf("rank %d action %d: chunk %d out of tag range", r, i, a.Chunk)
+			}
+			if (a.Kind == Send || a.Kind == Recv) && (a.Peer < 0 || a.Peer >= procs || a.Peer == r) {
+				t.Fatalf("rank %d action %d: bad peer %d", r, i, a.Peer)
+			}
+			for _, d := range a.Deps {
+				if int(d) >= i {
+					t.Fatalf("rank %d action %d: forward dep %d", r, i, d)
+				}
+			}
+		}
+	}
+	for left > 0 {
+		moved := false
+		for r, sch := range scheds {
+			for i, a := range sch.Actions {
+				if done[r][i] {
+					continue
+				}
+				ready := true
+				for _, d := range a.Deps {
+					if !done[r][d] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				switch a.Kind {
+				case Send:
+					bag[key{r, a.Peer, a.Round, a.Chunk}] = append(bag[key{r, a.Peer, a.Round, a.Chunk}], a.Size)
+				case Recv:
+					k := key{a.Peer, r, a.Round, a.Chunk}
+					q := bag[k]
+					if len(q) == 0 {
+						continue
+					}
+					if q[0] != a.Size {
+						t.Fatalf("rank %d action %d: recv size %d, message size %d", r, i, a.Size, q[0])
+					}
+					if bag[k] = q[1:]; len(bag[k]) == 0 {
+						delete(bag, k)
+					}
+				case Reduce, Copy:
+					if a.Peer != -1 {
+						t.Fatalf("rank %d action %d: local action with peer %d", r, i, a.Peer)
+					}
+				}
+				done[r][i] = true
+				left--
+				moved = true
+			}
+		}
+		if !moved {
+			t.Fatalf("deadlock: %d actions stuck, %d messages in flight", left, len(bag))
+		}
+	}
+	if len(bag) != 0 {
+		t.Fatalf("%d unconsumed messages: %v", len(bag), bag)
+	}
+}
+
+func buildAll(t *testing.T, op Op, algo Algo, procs, size, chunk int) []*Schedule {
+	t.Helper()
+	scheds := make([]*Schedule, procs)
+	root := 0
+	if (op == OpBcast || op == OpReduce) && procs > 2 {
+		root = 1 // exercise the virtual-rank remapping
+	}
+	for r := 0; r < procs; r++ {
+		sch, err := Build(Params{Op: op, Algo: algo, Rank: r, Procs: procs,
+			Root: root, Size: size, Chunk: chunk})
+		if err != nil {
+			t.Fatalf("Build rank %d: %v", r, err)
+		}
+		if sch.Algo == Auto {
+			t.Fatalf("rank %d: unresolved algorithm", r)
+		}
+		scheds[r] = sch
+	}
+	return scheds
+}
+
+// TestSchedulesComplete abstractly executes every op x algorithm x
+// world-size x chunking combination and checks deadlock-freedom and
+// matching consistency.
+func TestSchedulesComplete(t *testing.T) {
+	ops := []Op{OpBcast, OpReduce, OpAllreduce, OpAlltoall, OpBarrier}
+	algos := []Algo{Auto, Binomial, Ring, RecDouble}
+	for _, op := range ops {
+		for _, algo := range algos {
+			for _, procs := range []int{1, 2, 3, 4, 5, 8} {
+				for _, chunk := range []int{0, 1000} {
+					name := fmt.Sprintf("%s/%s/p%d/chunk%d", op, algo, procs, chunk)
+					t.Run(name, func(t *testing.T) {
+						execute(t, buildAll(t, op, algo, procs, 4096, chunk))
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestChunkingSplitsTransfers checks that a chunked binomial broadcast
+// actually pipelines and respects the MaxChunks clamp.
+func TestChunkingSplitsTransfers(t *testing.T) {
+	sch, err := Build(Params{Op: OpBcast, Algo: Binomial, Rank: 0, Procs: 2, Size: 4096, Chunk: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Actions) != 4 {
+		t.Fatalf("want 4 chunked sends, got %d actions", len(sch.Actions))
+	}
+	// A tiny chunk size must clamp so no action exceeds MaxChunks.
+	sch, err = Build(Params{Op: OpBcast, Algo: Binomial, Rank: 1, Procs: 2, Size: 1 << 20, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Actions) > MaxChunks {
+		t.Fatalf("chunk clamp failed: %d actions", len(sch.Actions))
+	}
+	total := 0
+	for _, a := range sch.Actions {
+		if a.Kind != Recv {
+			t.Fatalf("leaf rank got %v action", a.Kind)
+		}
+		total += a.Size
+	}
+	if total != 1<<20 {
+		t.Fatalf("chunk sizes sum to %d, want %d", total, 1<<20)
+	}
+}
+
+// TestConservation checks byte conservation for the data collectives:
+// summed over all ranks, sends equal recvs.
+func TestConservation(t *testing.T) {
+	for _, algo := range []Algo{Binomial, Ring, RecDouble} {
+		for _, procs := range []int{2, 4, 8} {
+			for _, op := range []Op{OpBcast, OpReduce, OpAllreduce, OpAlltoall} {
+				scheds := buildAll(t, op, algo, procs, 8192, 0)
+				sent, recvd := 0, 0
+				for _, sch := range scheds {
+					for _, a := range sch.Actions {
+						switch a.Kind {
+						case Send:
+							sent += a.Size
+						case Recv:
+							recvd += a.Size
+						}
+					}
+				}
+				if sent != recvd {
+					t.Errorf("%s/%s/p%d: sent %d != recvd %d", op, algo, procs, sent, recvd)
+				}
+				if sent == 0 {
+					t.Errorf("%s/%s/p%d: no traffic", op, algo, procs)
+				}
+			}
+		}
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	for _, a := range []Algo{Auto, Binomial, Ring, RecDouble} {
+		got, err := ParseAlgo(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgo(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgo("quantum"); err == nil {
+		t.Error("ParseAlgo accepted garbage")
+	}
+}
+
+// TestResolveNonPow2 checks the documented degradations.
+func TestResolveNonPow2(t *testing.T) {
+	if got := Resolve(OpAllreduce, RecDouble, 6); got != Binomial {
+		t.Errorf("allreduce recdouble on 6 procs resolved to %v", got)
+	}
+	if got := Resolve(OpBarrier, RecDouble, 6); got != RecDouble {
+		t.Errorf("dissemination barrier should handle any size, got %v", got)
+	}
+	if got := Resolve(OpAlltoall, RecDouble, 6); got != RecDouble {
+		t.Errorf("bruck alltoall should handle any size, got %v", got)
+	}
+	if got := Resolve(OpAllreduce, Auto, 8); got != RecDouble {
+		t.Errorf("auto allreduce pow2 resolved to %v", got)
+	}
+	if got := Resolve(OpAllreduce, Auto, 6); got != Ring {
+		t.Errorf("auto allreduce non-pow2 resolved to %v", got)
+	}
+}

@@ -11,6 +11,13 @@ import "time"
 // collective sequence number, embedded in the internal tags, keeps
 // rounds of successive collectives apart even when fast ranks run
 // ahead.
+//
+// The single implementation lives on Comm (comm.go); the Rank-level
+// calls below delegate to the world communicator, whose tag and
+// sequence spaces are identical to the historical Rank-level ones
+// (communicator id 0 contributes nothing to ctag, and the world
+// communicator shares the rank's collective sequence counter), so the
+// delegation is wire-compatible with prior releases.
 
 // colTag builds an internal tag from the collective sequence number
 // and the round within the operation.
@@ -23,7 +30,7 @@ func (r *Rank) nextColSeq() int {
 	return s
 }
 
-// isendCol and sendrecvCol are the internal building blocks; they run
+// isendCol and irecvCol are the internal building blocks; they run
 // inside an already-entered collective and so skip enter/exit.
 func (r *Rank) isendCol(dst, tag, size int) *Request {
 	req := r.newReq(reqSend, dst, tag, size)
@@ -39,6 +46,17 @@ func (r *Rank) waitBoth(a, b *Request) {
 	r.waitUntil(func() bool { return a.done && b.done })
 }
 
+func (r *Rank) waitAll(reqs []*Request) {
+	r.waitUntil(func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	})
+}
+
 // tokenSize is the payload of synchronization-only internal messages.
 const tokenSize = 4
 
@@ -49,202 +67,36 @@ func (r *Rank) reduceCost(size int) time.Duration {
 
 // Barrier blocks until all ranks have entered it (dissemination
 // algorithm: ceil(log2 P) rounds of token exchange).
-func (r *Rank) Barrier() {
-	r.enterOp("Barrier")
-	defer r.exit()
-	seq := r.nextColSeq()
-	p := r.Size()
-	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
-		dst := (r.id + k) % p
-		src := (r.id - k + p) % p
-		s := r.isendCol(dst, colTag(seq, round), tokenSize)
-		q := r.irecvCol(src, colTag(seq, round))
-		r.waitBoth(s, q)
-	}
-}
+func (r *Rank) Barrier() { r.World().Barrier() }
 
 // Bcast broadcasts size bytes from root to all ranks (binomial tree).
-func (r *Rank) Bcast(root, size int) {
-	r.enterOp("Bcast")
-	defer r.exit()
-	seq := r.nextColSeq()
-	p := r.Size()
-	vr := (r.id - root + p) % p
-	mask := 1
-	for mask < p {
-		if vr&mask != 0 {
-			src := (vr - mask + root) % p
-			q := r.irecvCol(src, colTag(seq, 0))
-			r.waitUntil(func() bool { return q.done })
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if vr+mask < p {
-			dst := (vr + mask + root) % p
-			s := r.isendCol(dst, colTag(seq, 0), size)
-			r.waitUntil(func() bool { return s.done })
-		}
-		mask >>= 1
-	}
-}
+func (r *Rank) Bcast(root, size int) { r.World().Bcast(root, size) }
 
 // Reduce combines size bytes from every rank onto root (binomial
 // tree); the reduction-operator cost is charged per received
 // contribution.
-func (r *Rank) Reduce(root, size int) {
-	r.enterOp("Reduce")
-	defer r.exit()
-	seq := r.nextColSeq()
-	p := r.Size()
-	vr := (r.id - root + p) % p
-	mask := 1
-	for mask < p {
-		if vr&mask == 0 {
-			if vr+mask < p {
-				src := (vr + mask + root) % p
-				q := r.irecvCol(src, colTag(seq, 0))
-				r.waitUntil(func() bool { return q.done })
-				r.proc.Compute(r.reduceCost(size))
-			}
-		} else {
-			dst := (vr - mask + root) % p
-			s := r.isendCol(dst, colTag(seq, 0), size)
-			r.waitUntil(func() bool { return s.done })
-			break
-		}
-		mask <<= 1
-	}
-}
+func (r *Rank) Reduce(root, size int) { r.World().Reduce(root, size) }
 
 // Allreduce combines size bytes across all ranks, leaving the result
 // everywhere. Power-of-two worlds use recursive doubling; others fall
 // back to Reduce followed by Bcast.
-func (r *Rank) Allreduce(size int) {
-	p := r.Size()
-	if p&(p-1) != 0 {
-		r.Reduce(0, size)
-		r.Bcast(0, size)
-		return
-	}
-	r.enterOp("Allreduce")
-	defer r.exit()
-	seq := r.nextColSeq()
-	for mask, round := 1, 0; mask < p; mask, round = mask<<1, round+1 {
-		partner := r.id ^ mask
-		s := r.isendCol(partner, colTag(seq, round), size)
-		q := r.irecvCol(partner, colTag(seq, round))
-		r.waitBoth(s, q)
-		r.proc.Compute(r.reduceCost(size))
-	}
-}
+func (r *Rank) Allreduce(size int) { r.World().Allreduce(size) }
 
 // Alltoall exchanges size bytes between every pair of ranks (pairwise
 // exchange over P-1 rounds, plus the local copy).
-func (r *Rank) Alltoall(size int) {
-	r.enterOp("Alltoall")
-	defer r.exit()
-	seq := r.nextColSeq()
-	p := r.Size()
-	r.proc.Compute(r.cost().Copy(size)) // self block
-	for i := 1; i < p; i++ {
-		dst := (r.id + i) % p
-		src := (r.id - i + p) % p
-		s := r.isendCol(dst, colTag(seq, i), size)
-		q := r.irecvCol(src, colTag(seq, i))
-		r.waitBoth(s, q)
-	}
-}
+func (r *Rank) Alltoall(size int) { r.World().Alltoall(size) }
 
 // Alltoallv exchanges sizes[i] bytes with rank i (pairwise exchange).
 // sizes must have one entry per rank; the entry for the caller itself
 // is copied locally.
-func (r *Rank) Alltoallv(sizes []int) {
-	r.enterOp("Alltoallv")
-	defer r.exit()
-	if len(sizes) != r.Size() {
-		panic("mpi: Alltoallv needs one size per rank")
-	}
-	seq := r.nextColSeq()
-	p := r.Size()
-	r.proc.Compute(r.cost().Copy(sizes[r.id]))
-	for i := 1; i < p; i++ {
-		dst := (r.id + i) % p
-		src := (r.id - i + p) % p
-		s := r.isendCol(dst, colTag(seq, i), sizes[dst])
-		q := r.irecvCol(src, colTag(seq, i))
-		r.waitBoth(s, q)
-	}
-}
+func (r *Rank) Alltoallv(sizes []int) { r.World().Alltoallv(sizes) }
 
 // Allgather collects size bytes from every rank on every rank (ring
 // algorithm: P-1 steps).
-func (r *Rank) Allgather(size int) {
-	r.enterOp("Allgather")
-	defer r.exit()
-	seq := r.nextColSeq()
-	p := r.Size()
-	next := (r.id + 1) % p
-	prev := (r.id - 1 + p) % p
-	for step := 0; step < p-1; step++ {
-		s := r.isendCol(next, colTag(seq, step), size)
-		q := r.irecvCol(prev, colTag(seq, step))
-		r.waitBoth(s, q)
-	}
-}
+func (r *Rank) Allgather(size int) { r.World().Allgather(size) }
 
 // Gather collects size bytes from every rank onto root (linear).
-func (r *Rank) Gather(root, size int) {
-	r.enterOp("Gather")
-	defer r.exit()
-	seq := r.nextColSeq()
-	if r.id == root {
-		var reqs []*Request
-		for i := 0; i < r.Size(); i++ {
-			if i == root {
-				continue
-			}
-			reqs = append(reqs, r.irecvCol(i, colTag(seq, 0)))
-		}
-		r.waitUntil(func() bool {
-			for _, q := range reqs {
-				if !q.done {
-					return false
-				}
-			}
-			return true
-		})
-		return
-	}
-	s := r.isendCol(root, colTag(seq, 0), size)
-	r.waitUntil(func() bool { return s.done })
-}
+func (r *Rank) Gather(root, size int) { r.World().Gather(root, size) }
 
 // Scatter distributes size bytes from root to every rank (linear).
-func (r *Rank) Scatter(root, size int) {
-	r.enterOp("Scatter")
-	defer r.exit()
-	seq := r.nextColSeq()
-	if r.id == root {
-		var reqs []*Request
-		for i := 0; i < r.Size(); i++ {
-			if i == root {
-				continue
-			}
-			reqs = append(reqs, r.isendCol(i, colTag(seq, 0), size))
-		}
-		r.waitUntil(func() bool {
-			for _, q := range reqs {
-				if !q.done {
-					return false
-				}
-			}
-			return true
-		})
-		return
-	}
-	q := r.irecvCol(root, colTag(seq, 0))
-	r.waitUntil(func() bool { return q.done })
-}
+func (r *Rank) Scatter(root, size int) { r.World().Scatter(root, size) }

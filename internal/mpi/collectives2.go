@@ -1,111 +1,26 @@
 package mpi
 
-// Additional collective operations (same internal-context machinery as
-// collectives.go).
+// Additional collective operations; like collectives.go, these are
+// world-communicator delegates of the single Comm implementation.
 
 // Scan computes an inclusive prefix reduction over size bytes: rank i
 // ends with the combination of contributions from ranks 0..i (linear
 // chain, as small-world MPIs implement MPI_Scan).
-func (r *Rank) Scan(size int) {
-	r.enterOp("Scan")
-	defer r.exit()
-	seq := r.nextColSeq()
-	if r.id > 0 {
-		q := r.irecvCol(r.id-1, colTag(seq, 0))
-		r.waitUntil(func() bool { return q.done })
-		r.proc.Compute(r.reduceCost(size))
-	}
-	if r.id < r.Size()-1 {
-		s := r.isendCol(r.id+1, colTag(seq, 0), size)
-		r.waitUntil(func() bool { return s.done })
-	}
-}
+func (r *Rank) Scan(size int) { r.World().Scan(size) }
 
 // Exscan computes an exclusive prefix reduction: rank i ends with the
 // combination of ranks 0..i-1 (rank 0's result is undefined, as in
 // MPI_Exscan).
-func (r *Rank) Exscan(size int) {
-	r.enterOp("Exscan")
-	defer r.exit()
-	seq := r.nextColSeq()
-	// Chain: receive the prefix, forward prefix+own.
-	if r.id > 0 {
-		q := r.irecvCol(r.id-1, colTag(seq, 0))
-		r.waitUntil(func() bool { return q.done })
-	}
-	if r.id < r.Size()-1 {
-		if r.id > 0 {
-			r.proc.Compute(r.reduceCost(size))
-		}
-		s := r.isendCol(r.id+1, colTag(seq, 0), size)
-		r.waitUntil(func() bool { return s.done })
-	}
-}
+func (r *Rank) Exscan(size int) { r.World().Exscan(size) }
 
 // ReduceScatter combines per-rank blocks of blockSize bytes and leaves
 // each rank with its own combined block (pairwise-exchange algorithm:
 // each rank receives every other rank's contribution to its block).
-func (r *Rank) ReduceScatter(blockSize int) {
-	r.enterOp("ReduceScatter")
-	defer r.exit()
-	seq := r.nextColSeq()
-	p := r.Size()
-	for i := 1; i < p; i++ {
-		dst := (r.id + i) % p
-		src := (r.id - i + p) % p
-		s := r.isendCol(dst, colTag(seq, i), blockSize)
-		q := r.irecvCol(src, colTag(seq, i))
-		r.waitBoth(s, q)
-		r.proc.Compute(r.reduceCost(blockSize))
-	}
-}
+func (r *Rank) ReduceScatter(blockSize int) { r.World().ReduceScatter(blockSize) }
 
 // Allgatherv collects sizes[i] bytes from rank i on every rank (ring
 // algorithm; step k forwards the block originated by rank id-k).
-func (r *Rank) Allgatherv(sizes []int) {
-	r.enterOp("Allgatherv")
-	defer r.exit()
-	if len(sizes) != r.Size() {
-		panic("mpi: Allgatherv needs one size per rank")
-	}
-	seq := r.nextColSeq()
-	p := r.Size()
-	next := (r.id + 1) % p
-	prev := (r.id - 1 + p) % p
-	for step := 0; step < p-1; step++ {
-		outOrigin := (r.id - step + p) % p
-		s := r.isendCol(next, colTag(seq, step), sizes[outOrigin])
-		q := r.irecvCol(prev, colTag(seq, step))
-		r.waitBoth(s, q)
-	}
-}
+func (r *Rank) Allgatherv(sizes []int) { r.World().Allgatherv(sizes) }
 
 // Gatherv collects sizes[i] bytes from rank i onto root (linear).
-func (r *Rank) Gatherv(root int, sizes []int) {
-	r.enterOp("Gatherv")
-	defer r.exit()
-	if len(sizes) != r.Size() {
-		panic("mpi: Gatherv needs one size per rank")
-	}
-	seq := r.nextColSeq()
-	if r.id == root {
-		var reqs []*Request
-		for i := 0; i < r.Size(); i++ {
-			if i == root {
-				continue
-			}
-			reqs = append(reqs, r.irecvCol(i, colTag(seq, 0)))
-		}
-		r.waitUntil(func() bool {
-			for _, q := range reqs {
-				if !q.done {
-					return false
-				}
-			}
-			return true
-		})
-		return
-	}
-	s := r.isendCol(root, colTag(seq, 0), sizes[r.id])
-	r.waitUntil(func() bool { return s.done })
-}
+func (r *Rank) Gatherv(root int, sizes []int) { r.World().Gatherv(root, sizes) }

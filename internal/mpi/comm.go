@@ -385,3 +385,174 @@ func (c *Comm) Allgather(size int) {
 		r.waitBoth(s, q)
 	}
 }
+
+// Alltoallv exchanges sizes[i] bytes with member i (pairwise
+// exchange). sizes must have one entry per member; the caller's own
+// entry is copied locally.
+func (c *Comm) Alltoallv(sizes []int) {
+	r := c.r
+	r.enterOp("Alltoallv")
+	defer r.exit()
+	if len(sizes) != c.Size() {
+		panic("mpi: Alltoallv needs one size per rank")
+	}
+	seq := c.nextSeq()
+	p := c.Size()
+	r.proc.Compute(r.cost().Copy(sizes[c.myIdx]))
+	for i := 1; i < p; i++ {
+		dstIdx := (c.myIdx + i) % p
+		src := c.members[(c.myIdx-i+p)%p]
+		s := r.isendCol(c.members[dstIdx], c.ctag(seq, i), sizes[dstIdx])
+		q := r.irecvCol(src, c.ctag(seq, i))
+		r.waitBoth(s, q)
+	}
+}
+
+// Gather collects size bytes from every member onto root (linear).
+func (c *Comm) Gather(root, size int) {
+	r := c.r
+	r.enterOp("Gather")
+	defer r.exit()
+	seq := c.nextSeq()
+	if c.myIdx == root {
+		var reqs []*Request
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			reqs = append(reqs, r.irecvCol(c.members[i], c.ctag(seq, 0)))
+		}
+		r.waitAll(reqs)
+		return
+	}
+	s := r.isendCol(c.members[root], c.ctag(seq, 0), size)
+	r.waitUntil(func() bool { return s.done })
+}
+
+// Scatter distributes size bytes from root to every member (linear).
+func (c *Comm) Scatter(root, size int) {
+	r := c.r
+	r.enterOp("Scatter")
+	defer r.exit()
+	seq := c.nextSeq()
+	if c.myIdx == root {
+		var reqs []*Request
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			reqs = append(reqs, r.isendCol(c.members[i], c.ctag(seq, 0), size))
+		}
+		r.waitAll(reqs)
+		return
+	}
+	q := r.irecvCol(c.members[root], c.ctag(seq, 0))
+	r.waitUntil(func() bool { return q.done })
+}
+
+// Scan computes an inclusive prefix reduction over size bytes: member
+// i ends with the combination of contributions from members 0..i
+// (linear chain, as small-world MPIs implement MPI_Scan).
+func (c *Comm) Scan(size int) {
+	r := c.r
+	r.enterOp("Scan")
+	defer r.exit()
+	seq := c.nextSeq()
+	if c.myIdx > 0 {
+		q := r.irecvCol(c.members[c.myIdx-1], c.ctag(seq, 0))
+		r.waitUntil(func() bool { return q.done })
+		r.proc.Compute(r.reduceCost(size))
+	}
+	if c.myIdx < c.Size()-1 {
+		s := r.isendCol(c.members[c.myIdx+1], c.ctag(seq, 0), size)
+		r.waitUntil(func() bool { return s.done })
+	}
+}
+
+// Exscan computes an exclusive prefix reduction: member i ends with
+// the combination of members 0..i-1 (member 0's result is undefined,
+// as in MPI_Exscan).
+func (c *Comm) Exscan(size int) {
+	r := c.r
+	r.enterOp("Exscan")
+	defer r.exit()
+	seq := c.nextSeq()
+	// Chain: receive the prefix, forward prefix+own.
+	if c.myIdx > 0 {
+		q := r.irecvCol(c.members[c.myIdx-1], c.ctag(seq, 0))
+		r.waitUntil(func() bool { return q.done })
+	}
+	if c.myIdx < c.Size()-1 {
+		if c.myIdx > 0 {
+			r.proc.Compute(r.reduceCost(size))
+		}
+		s := r.isendCol(c.members[c.myIdx+1], c.ctag(seq, 0), size)
+		r.waitUntil(func() bool { return s.done })
+	}
+}
+
+// ReduceScatter combines per-member blocks of blockSize bytes and
+// leaves each member with its own combined block (pairwise-exchange
+// algorithm: each member receives every other member's contribution to
+// its block).
+func (c *Comm) ReduceScatter(blockSize int) {
+	r := c.r
+	r.enterOp("ReduceScatter")
+	defer r.exit()
+	seq := c.nextSeq()
+	p := c.Size()
+	for i := 1; i < p; i++ {
+		dst := c.members[(c.myIdx+i)%p]
+		src := c.members[(c.myIdx-i+p)%p]
+		s := r.isendCol(dst, c.ctag(seq, i), blockSize)
+		q := r.irecvCol(src, c.ctag(seq, i))
+		r.waitBoth(s, q)
+		r.proc.Compute(r.reduceCost(blockSize))
+	}
+}
+
+// Allgatherv collects sizes[i] bytes from member i on every member
+// (ring algorithm; step k forwards the block originated by member
+// myIdx-k).
+func (c *Comm) Allgatherv(sizes []int) {
+	r := c.r
+	r.enterOp("Allgatherv")
+	defer r.exit()
+	if len(sizes) != c.Size() {
+		panic("mpi: Allgatherv needs one size per rank")
+	}
+	seq := c.nextSeq()
+	p := c.Size()
+	next := c.members[(c.myIdx+1)%p]
+	prev := c.members[(c.myIdx-1+p)%p]
+	for step := 0; step < p-1; step++ {
+		outOrigin := (c.myIdx - step + p) % p
+		s := r.isendCol(next, c.ctag(seq, step), sizes[outOrigin])
+		q := r.irecvCol(prev, c.ctag(seq, step))
+		r.waitBoth(s, q)
+	}
+}
+
+// Gatherv collects sizes[i] bytes from member i onto root (linear).
+func (c *Comm) Gatherv(root int, sizes []int) {
+	r := c.r
+	r.enterOp("Gatherv")
+	defer r.exit()
+	if len(sizes) != c.Size() {
+		panic("mpi: Gatherv needs one size per rank")
+	}
+	seq := c.nextSeq()
+	if c.myIdx == root {
+		var reqs []*Request
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			reqs = append(reqs, r.irecvCol(c.members[i], c.ctag(seq, 0)))
+		}
+		r.waitAll(reqs)
+		return
+	}
+	s := r.isendCol(c.members[root], c.ctag(seq, 0), sizes[c.myIdx])
+	r.waitUntil(func() bool { return s.done })
+}

@@ -33,8 +33,10 @@ import (
 	"time"
 
 	"ovlp/internal/calib"
+	"ovlp/internal/coll"
 	"ovlp/internal/fabric"
 	"ovlp/internal/overlap"
+	"ovlp/internal/progress"
 	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
 )
@@ -122,6 +124,18 @@ type Config struct {
 	// exhaustion library calls fail with a *CommError wrapping
 	// ErrTimeout or ErrPeerUnreachable.
 	Reliable *fabric.ReliableParams
+	// CollAlgo selects the algorithm family for the nonblocking
+	// collectives' dataflow schedules (default coll.Auto: the
+	// customary per-operation choice).
+	CollAlgo coll.Algo
+	// CollChunk pipelines schedule transfers in chunks of at most this
+	// many bytes where the algorithm supports it (0 = whole-message).
+	CollChunk int
+	// Progress configures who advances pending nonblocking-collective
+	// schedules between library calls: nobody (manual, the default),
+	// every call boundary (piggyback), or a dedicated per-rank
+	// progress thread waking on a virtual-time quantum.
+	Progress progress.Config
 	// HWTimestamps makes the library consume the NIC's hardware
 	// transfer time-stamps, feeding the instrumentation's precise
 	// XferExact path instead of the XFER_BEGIN/XFER_END bounds — the
@@ -236,9 +250,15 @@ type Rank struct {
 	w    *World
 	id   int
 	proc *vtime.Proc
-	nic  *fabric.NIC
-	rel  *fabric.Reliable // reliable delivery, nil unless Config.Reliable
-	mon  *overlap.Monitor
+	// driver is the proc currently driving protocol code: normally the
+	// rank's own proc, swapped to the progress thread's proc for the
+	// duration of its sweeps so protocol CPU costs charge to whoever
+	// actually runs them.
+	driver *vtime.Proc
+	nic    *fabric.NIC
+	rel    *fabric.Reliable // reliable delivery, nil unless Config.Reliable
+	mon    *overlap.Monitor
+	eng    *progress.Engine
 
 	recvQ  []*Request // posted, unmatched receives, in post order
 	unexpQ []inbound  // arrived, unmatched messages, in arrival order
@@ -250,6 +270,10 @@ type Rank struct {
 
 	regCache  map[regKey]bool // leave_pinned registration cache
 	worldComm *Comm
+
+	colPending  []*CollRequest // nonblocking collectives in flight
+	progressing bool           // a progress sweep is running (reentrancy guard)
+	stalled     bool           // rank parked waiting for the thread's sweep to end
 
 	reqSeq    uint64
 	colSeq    int
@@ -287,6 +311,7 @@ func newRank(w *World, id int) *Rank {
 // monitor.
 func (r *Rank) attach(p *vtime.Proc) {
 	r.proc = p
+	r.driver = p
 	// Unpark unconditionally: a packet can land between the wait
 	// loop's last empty poll and its Park (during a poll's own yield),
 	// and the permit semantics turn the early notification into an
@@ -308,7 +333,9 @@ func (r *Rank) attach(p *vtime.Proc) {
 			BinBounds: ic.BinBounds,
 		}
 		if ic.ModelCost {
-			mc.Charge = func(d time.Duration) { p.Compute(d) }
+			// Charge instrumentation cost to whoever drives the event:
+			// the rank normally, the progress thread during its sweeps.
+			mc.Charge = func(d time.Duration) { r.driver.Compute(d) }
 			mc.EventCost = ic.EventCost
 			mc.DrainCostPerEvent = ic.DrainCostPerEvent
 			if r.trk != nil {
@@ -340,22 +367,45 @@ func (r *Rank) attach(p *vtime.Proc) {
 		}
 		r.mon = overlap.NewMonitor(mc)
 	}
+	r.eng = progress.New(r.w.sim, r.w.cfg.Progress, progress.Hooks{
+		Poll: func(tp *vtime.Proc) bool {
+			if r.depth > 0 && !r.waiting {
+				// The application is mid-call and will drive progress
+				// itself before returning; a concurrent sweep would
+				// interleave with the call's own protocol actions.
+				return false
+			}
+			old := r.driver
+			r.driver = tp
+			did := r.progress()
+			r.driver = old
+			return did
+		},
+		Wake: func() { r.proc.Unpark() },
+	})
+	r.eng.Start(fmt.Sprintf("rank%d.progress", r.id))
 }
 
 // finalize produces the rank's report at the end of main.
 func (r *Rank) finalize() {
-	if r.rel != nil {
-		// Quiesce the reliability layer first: a blocking eager send's
-		// buffered fast path can return before the acknowledgment, and
-		// exiting with messages outstanding would strand their
-		// retransmission timers with no progress engine to serve them.
-		// Like MPI_Finalize, this blocks until delivery is settled — or
-		// panics with the rank's structured error when a retry budget
-		// runs out.
+	if len(r.colPending) > 0 || r.rel != nil {
+		// Quiesce outstanding work first: un-waited nonblocking
+		// collectives must run to completion (their peers' schedules
+		// depend on our sends), and a blocking eager send's buffered
+		// fast path can return before the acknowledgment — exiting with
+		// messages outstanding would strand their retransmission timers
+		// with no progress engine to serve them. Like MPI_Finalize,
+		// this blocks until delivery is settled — or panics with the
+		// rank's structured error when a retry budget runs out.
 		r.enterOp("Finalize")
-		r.waitUntil(func() bool { return r.rel.Outstanding() == 0 })
+		r.waitUntil(func() bool {
+			return len(r.colPending) == 0 && (r.rel == nil || r.rel.Outstanding() == 0)
+		})
 		r.exit()
 	}
+	// Stop the progress thread before the simulation drains, or its
+	// parked proc would read as a deadlock.
+	r.eng.Stop()
 	if r.mon != nil {
 		rep := r.mon.Finalize()
 		rep.Rank = r.id
@@ -418,6 +468,20 @@ func (r *Rank) enterOp(name string) {
 // the trace span (point-to-point calls know both; collectives and
 // completion calls pass -1).
 func (r *Rank) enterOpPS(name string, peer int, size int64) {
+	if r.depth == 0 {
+		// If a dedicated progress thread is mid-sweep, block until it
+		// finishes before entering the library: call-path protocol
+		// actions must not interleave with the sweep's. This is the
+		// virtual-time analogue of contending on the library's
+		// progress lock. (Parking, not yielding: the sweep's next step
+		// lies at a future instant, and a same-instant yield loop
+		// would never let time advance.)
+		for r.progressing {
+			r.stalled = true
+			r.proc.Park("mpi.progressGate")
+			r.stalled = false
+		}
+	}
 	r.depth++
 	if r.depth == 1 {
 		r.enterAt = r.proc.Now()
@@ -426,9 +490,19 @@ func (r *Rank) enterOpPS(name string, peer int, size int64) {
 		r.curSize = size
 	}
 	r.mon.CallEnter()
+	if r.depth == 1 && r.eng.PollOnCall() {
+		// Piggyback mode: poll on entry, after CallEnter so the sweep
+		// counts as library time in the overlap bounds.
+		r.progress()
+	}
 }
 
 func (r *Rank) exit() {
+	if r.depth == 1 && r.eng.PollOnCall() {
+		// Piggyback mode: poll on exit, before CallExit for the same
+		// accounting reason as the entry poll.
+		r.progress()
+	}
 	r.mon.CallExit()
 	r.depth--
 	if r.depth == 0 {
@@ -476,5 +550,5 @@ func (r *Rank) registerBuffer(peer, tag, size int) {
 		}
 		r.regCache[key] = true
 	}
-	r.proc.Compute(r.cost().RegCost(size))
+	r.driver.Compute(r.cost().RegCost(size))
 }

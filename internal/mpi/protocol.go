@@ -32,10 +32,13 @@ func (r *Rank) xferExact(id uint64, size int, start, end vtime.Time) {
 
 // Message contexts separate user point-to-point traffic from
 // library-internal collective traffic, so wildcard receives never
-// match collective packets.
+// match collective packets. Nonblocking collective schedules use their
+// own context so their tag space (sequence, round, chunk) never
+// collides with the blocking collectives'.
 const (
 	ctxUser = iota
 	ctxCollective
+	ctxSchedule
 )
 
 // Wire payloads. Header bytes are folded into the fabric's per-packet
@@ -113,14 +116,33 @@ type pendingWR struct {
 }
 
 // progress is the library's polling progress engine: drain arrived
-// packets and completions, then pump pipelined sends. It runs only
+// packets and completions, pump pipelined sends, then advance any
+// pending nonblocking-collective schedules. Historically it ran only
 // inside library calls — never while the application computes — which
-// is the property that shapes every overlap result in the paper.
+// is the property that shapes every overlap result in the paper. With
+// a progress engine configured (Config.Progress) it may also run
+// driven by the dedicated progress thread, in which case r.driver is
+// that thread's proc; the guard makes the two drivers mutually
+// exclusive without locks (the simulator's coroutine discipline means
+// only one runs at a time, but a Compute inside a sweep yields, and
+// the other driver must not start a nested sweep in that window).
 // It reports whether any protocol state advanced.
 func (r *Rank) progress() bool {
+	if r.progressing {
+		return false
+	}
+	r.progressing = true
+	defer func() {
+		r.progressing = false
+		if r.stalled {
+			// The application parked on the progress gate while this
+			// (thread-driven) sweep ran; release it.
+			r.proc.Unpark()
+		}
+	}()
 	did := false
 	for {
-		pkt := r.nic.PollInbox(r.proc)
+		pkt := r.nic.PollInbox(r.driver)
 		if pkt == nil {
 			break
 		}
@@ -138,7 +160,7 @@ func (r *Rank) progress() bool {
 		r.handlePacket(pkt)
 	}
 	for {
-		cqe := r.nic.PollCQ(r.proc)
+		cqe := r.nic.PollCQ(r.driver)
 		if cqe == nil {
 			break
 		}
@@ -150,7 +172,7 @@ func (r *Rank) progress() bool {
 		r.handleCQE(cqe)
 	}
 	if r.rel != nil {
-		d, err := r.rel.RunDue(r.proc)
+		d, err := r.rel.RunDue(r.driver)
 		if err != nil {
 			r.commFail(err)
 		}
@@ -159,6 +181,9 @@ func (r *Rank) progress() bool {
 		}
 	}
 	if r.pumpPipelines() {
+		did = true
+	}
+	if r.advanceColl() {
 		did = true
 	}
 	return did
@@ -171,6 +196,15 @@ func (r *Rank) progress() bool {
 func (r *Rank) waitUntil(cond func() bool) {
 	for !cond() {
 		if r.progress() {
+			continue
+		}
+		if r.progressing {
+			// The dedicated progress thread is mid-sweep (our progress
+			// call guard-skipped); park until it finishes — its closing
+			// unpark wakes us, possibly with cond now satisfied.
+			r.stalled = true
+			r.proc.Park("mpi.progressGate")
+			r.stalled = false
 			continue
 		}
 		if cond() || r.nic.Pending() || (r.rel != nil && r.rel.HasDue()) {
@@ -187,10 +221,10 @@ func (r *Rank) waitUntil(cond func() bool) {
 // otherwise.
 func (r *Rank) sendCtl(dst fabric.NodeID, payload any) {
 	if r.rel != nil {
-		r.rel.Send(r.proc, dst, 0, 0, payload, "send", nil)
+		r.rel.Send(r.driver, dst, 0, 0, payload, "send", nil)
 		return
 	}
-	wr := r.nic.Send(r.proc, dst, 0, 0, payload)
+	wr := r.nic.Send(r.driver, dst, 0, 0, payload)
 	r.wrMap[wr] = pendingWR{kind: wrControl}
 }
 
@@ -213,17 +247,18 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 	dst := fabric.NodeID(req.peer)
 	if !sync && req.size <= cfg.EagerThreshold {
 		// Eager: copy into a pre-registered bounce buffer and ship it.
-		r.proc.Compute(c.Copy(req.size))
+		r.driver.Compute(c.Copy(req.size))
 		xid := r.w.fab.NewXferID()
 		r.w.fab.TagXfer(xid, "eager")
 		r.xferBegin(xid, req.size)
+		r.noteSchedXfer(req.schedLabel, xid)
 		msg := eagerMsg{src: r.id, tag: req.tag, ctx: ctx, size: req.size, xferID: xid}
 		if r.rel != nil {
 			// Reliable: completion and the transfer-end observation are
 			// driven by the delivering attempt's acknowledgment, so
 			// retransmissions attribute to library time and never count
 			// as extra transfers.
-			r.rel.Send(r.proc, dst, req.size, xid, msg, "send", func(start, end vtime.Time) {
+			r.rel.Send(r.driver, dst, req.size, xid, msg, "send", func(start, end vtime.Time) {
 				r.xferEnd(xid, req.size)
 				r.xferExact(xid, req.size, start, end)
 				if !req.done {
@@ -231,7 +266,7 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 				}
 			})
 		} else {
-			wr := r.nic.Send(r.proc, dst, req.size, xid, msg)
+			wr := r.nic.Send(r.driver, dst, req.size, xid, msg)
 			r.wrMap[wr] = pendingWR{kind: wrEager, req: req, xferID: xid, size: req.size}
 		}
 		if buffered {
@@ -250,21 +285,22 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		if frag0 < 1 {
 			frag0 = 1
 		}
-		r.proc.Compute(c.Copy(frag0))
+		r.driver.Compute(c.Copy(frag0))
 		xid := r.w.fab.NewXferID()
 		r.w.fab.TagXfer(xid, "pipelined-frag0")
 		r.xferBegin(xid, frag0)
+		r.noteSchedXfer(req.schedLabel, xid)
 		msg := rtsMsg{
 			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
 			sendReq: req.id, frag0: frag0, frag0Xfer: xid,
 		}
 		if r.rel != nil {
-			r.rel.Send(r.proc, dst, frag0, xid, msg, "send", func(start, end vtime.Time) {
+			r.rel.Send(r.driver, dst, frag0, xid, msg, "send", func(start, end vtime.Time) {
 				r.xferEnd(xid, frag0)
 				r.xferExact(xid, frag0, start, end)
 			})
 		} else {
-			wr := r.nic.Send(r.proc, dst, frag0, xid, msg)
+			wr := r.nic.Send(r.driver, dst, frag0, xid, msg)
 			r.wrMap[wr] = pendingWR{kind: wrFrag0, req: req, xferID: xid, size: frag0}
 		}
 		req.nextOffset = frag0
@@ -277,6 +313,7 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 		r.w.fab.TagXfer(xid, "direct-read")
 		req.dataXfer = xid
 		r.xferBegin(xid, req.size)
+		r.noteSchedXfer(req.schedLabel, xid)
 		r.sendCtl(dst, rtsMsg{
 			src: r.id, tag: req.tag, ctx: ctx, size: req.size,
 			sendReq: req.id, readXfer: xid,
@@ -290,8 +327,15 @@ func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
 
 // postRecv posts a receive, matching the unexpected queue first.
 func (r *Rank) postRecv(src, tag, ctx int) *Request {
+	return r.postRecvLabeled(src, tag, ctx, "")
+}
+
+// postRecvLabeled is postRecv carrying a collective-schedule label for
+// transfer attribution.
+func (r *Rank) postRecvLabeled(src, tag, ctx int, label string) *Request {
 	req := r.newReq(reqRecv, src, tag, 0)
 	req.ctx = ctx
+	req.schedLabel = label
 	if i := r.findUnexpected(src, tag, ctx); i >= 0 {
 		ib := r.unexpQ[i]
 		r.unexpQ = append(r.unexpQ[:i], r.unexpQ[i+1:]...)
@@ -299,7 +343,8 @@ func (r *Rank) postRecv(src, tag, ctx int) *Request {
 			// Copy out of the unexpected buffer; the transfer-end
 			// observation was already logged at arrival.
 			req.peer, req.tag, req.size = ib.src, ib.tag, ib.size
-			r.proc.Compute(r.cost().Copy(ib.size))
+			r.noteSchedXfer(label, ib.xferID)
+			r.driver.Compute(r.cost().Copy(ib.size))
 			req.complete()
 		} else {
 			r.handleMatchedRTS(req, ib.rts, true, nil)
@@ -344,7 +389,8 @@ func (r *Rank) handlePacket(pkt *fabric.Packet) {
 	case eagerMsg:
 		if req := r.matchPostedRecv(msg.src, msg.tag, msg.ctx); req != nil {
 			req.peer, req.tag, req.size = msg.src, msg.tag, msg.size
-			r.proc.Compute(c.Copy(msg.size)) // bounce buffer -> user buffer
+			r.noteSchedXfer(req.schedLabel, msg.xferID)
+			r.driver.Compute(c.Copy(msg.size)) // bounce buffer -> user buffer
 			r.xferEnd(msg.xferID, msg.size)
 			r.xferExact(msg.xferID, msg.size, pkt.Start, pkt.End)
 			req.complete()
@@ -352,7 +398,7 @@ func (r *Rank) handlePacket(pkt *fabric.Packet) {
 		}
 		// Unexpected: stash in a temporary buffer. The transfer has
 		// ended as far as this process can ever know.
-		r.proc.Compute(c.Copy(msg.size))
+		r.driver.Compute(c.Copy(msg.size))
 		r.xferEnd(msg.xferID, msg.size)
 		r.xferExact(msg.xferID, msg.size, pkt.Start, pkt.End)
 		r.unexpQ = append(r.unexpQ, inbound{
@@ -366,7 +412,7 @@ func (r *Rank) handlePacket(pkt *fabric.Packet) {
 		}
 		if msg.frag0 > 0 {
 			// Buffer the piggybacked first fragment.
-			r.proc.Compute(c.Copy(msg.frag0))
+			r.driver.Compute(c.Copy(msg.frag0))
 			r.xferEnd(msg.frag0Xfer, msg.frag0)
 			r.xferExact(msg.frag0Xfer, msg.frag0, pkt.Start, pkt.End)
 		}
@@ -427,7 +473,8 @@ func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, p
 	switch r.w.cfg.Protocol {
 	case PipelinedRDMA:
 		if rts.frag0 > 0 {
-			r.proc.Compute(r.cost().Copy(rts.frag0)) // into user buffer
+			r.noteSchedXfer(req.schedLabel, rts.frag0Xfer)
+			r.driver.Compute(r.cost().Copy(rts.frag0)) // into user buffer
 			if !frag0Buffered {
 				r.xferEnd(rts.frag0Xfer, rts.frag0)
 				r.xferExact(rts.frag0Xfer, rts.frag0, pkt.Start, pkt.End)
@@ -444,6 +491,7 @@ func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, p
 			req.bulkXfer = r.w.fab.NewXferID()
 			r.w.fab.TagXfer(req.bulkXfer, "pipelined-bulk")
 			r.xferBegin(req.bulkXfer, req.bulkSize)
+			r.noteSchedXfer(req.schedLabel, req.bulkXfer)
 		}
 		r.sendCtl(fabric.NodeID(rts.src), ctsMsg{sendReq: rts.sendReq, recvReq: req.id})
 		if req.arrivedBytes >= req.size {
@@ -453,7 +501,8 @@ func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, p
 	case DirectRDMARead:
 		r.registerBuffer(rts.src, rts.tag, rts.size)
 		r.xferBegin(rts.readXfer, rts.size)
-		wr := r.nic.RDMARead(r.proc, fabric.NodeID(rts.src), rts.size, rts.readXfer)
+		r.noteSchedXfer(req.schedLabel, rts.readXfer)
+		wr := r.nic.RDMARead(r.driver, fabric.NodeID(rts.src), rts.size, rts.readXfer)
 		r.wrMap[wr] = pendingWR{kind: wrRead, req: req, xferID: rts.readXfer, size: rts.size}
 	}
 }
@@ -568,7 +617,7 @@ func (r *Rank) pumpPipelines() bool {
 			xid := r.w.fab.NewXferID()
 			r.w.fab.TagXfer(xid, "pipelined-frag")
 			r.xferBegin(xid, fsize)
-			wr := r.nic.RDMAWrite(r.proc, fabric.NodeID(req.peer), fsize, xid,
+			wr := r.nic.RDMAWrite(r.driver, fabric.NodeID(req.peer), fsize, xid,
 				fragMsg{recvReq: req.ctsRecvReq, size: fsize})
 			r.wrMap[wr] = pendingWR{kind: wrFrag, req: req, xferID: xid, size: fsize}
 			req.nextOffset += fsize

@@ -39,6 +39,11 @@ type Request struct {
 	done   bool
 	status Status
 
+	// schedLabel names the owning nonblocking-collective schedule
+	// ("Iallreduce[ring]") for transfer attribution; empty for
+	// point-to-point and blocking-collective traffic.
+	schedLabel string
+
 	// receive-side state
 	matched      bool
 	arrivedBytes int

@@ -81,22 +81,38 @@ func RunCG(r *mpi.Rank, p Params) {
 			if transpose != r.ID() {
 				r.Sendrecv(transpose, tagTr, segBytes, transpose, tagTr)
 			}
-			// Two dot products: pairwise 8-byte reductions across the
-			// row, plus the local vector updates.
-			for d := 0; d < 2; d++ {
-				for i := 0; i < l2npcols; i++ {
-					partner := procRow*npcols + (procCol ^ (1 << i))
-					r.Sendrecv(partner, tagDot+8*d+i, doubleBytes, partner, tagDot+8*d+i)
+			// Two dot products, plus the local vector updates. The
+			// blocking code does pairwise 8-byte reductions across the
+			// row; the overlapped variant combines both dots into one
+			// nonblocking allreduce that rides under the vector updates
+			// (a world-wide reduction — rows are symmetric, and exact
+			// when the grid degenerates to a single row).
+			if p.Overlap {
+				cr := r.Iallreduce(2 * doubleBytes)
+				r.Compute(localVec)
+				r.WaitColl(cr)
+			} else {
+				for d := 0; d < 2; d++ {
+					for i := 0; i < l2npcols; i++ {
+						partner := procRow*npcols + (procCol ^ (1 << i))
+						r.Sendrecv(partner, tagDot+8*d+i, doubleBytes, partner, tagDot+8*d+i)
+					}
 				}
+				r.Compute(localVec)
+			}
+		}
+		// Residual norm of the outer step.
+		if p.Overlap {
+			cr := r.Iallreduce(doubleBytes)
+			r.Compute(localVec)
+			r.WaitColl(cr)
+		} else {
+			for i := 0; i < l2npcols; i++ {
+				partner := procRow*npcols + (procCol ^ (1 << i))
+				r.Sendrecv(partner, tagDot+100+i, doubleBytes, partner, tagDot+100+i)
 			}
 			r.Compute(localVec)
 		}
-		// Residual norm of the outer step.
-		for i := 0; i < l2npcols; i++ {
-			partner := procRow*npcols + (procCol ^ (1 << i))
-			r.Sendrecv(partner, tagDot+100+i, doubleBytes, partner, tagDot+100+i)
-		}
-		r.Compute(localVec)
 	}
 	r.Allreduce(doubleBytes)
 }

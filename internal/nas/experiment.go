@@ -5,9 +5,11 @@ import (
 
 	"ovlp/internal/armci"
 	"ovlp/internal/cluster"
+	"ovlp/internal/coll"
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
+	"ovlp/internal/progress"
 	"ovlp/internal/trace"
 )
 
@@ -49,6 +51,16 @@ type Options struct {
 	Faults *fabric.FaultPlan
 	// Trace, when non-nil, traces the run (see cluster.Config.Trace).
 	Trace *trace.Tracer
+	// Overlap selects the overlapped-collective benchmark variants
+	// (see Params.Overlap).
+	Overlap bool
+	// CollAlgo and CollChunk pick the collective schedule algorithm
+	// and pipelining chunk (see mpi.Config).
+	CollAlgo  coll.Algo
+	CollChunk int
+	// Progress configures the asynchronous progress engine driving
+	// nonblocking collectives (see mpi.Config.Progress).
+	Progress progress.Config
 }
 
 // Characterize runs one MPI benchmark instrumented and returns process
@@ -74,11 +86,14 @@ func CharacterizeAllReports(name string, class Class, procs int, opt Options) ([
 			Protocol:     opt.Protocol,
 			HWTimestamps: opt.HWTimestamps,
 			Instrument:   &mpi.InstrumentConfig{},
+			CollAlgo:     opt.CollAlgo,
+			CollChunk:    opt.CollChunk,
+			Progress:     opt.Progress,
 		},
 		Faults: opt.Faults,
 		Trace:  opt.Trace,
 	}, func(r *mpi.Rank) {
-		Run(name, r, Params{Class: class, MaxIters: opt.MaxIters})
+		Run(name, r, Params{Class: class, MaxIters: opt.MaxIters, Overlap: opt.Overlap})
 	})
 	return res.Reports, summarize(name, class, procs, res.Reports[0], res.Duration, res.MPITimes[0])
 }

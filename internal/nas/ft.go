@@ -50,18 +50,41 @@ func RunFT(r *mpi.Rank, p Params) {
 	// One 3-D FFT costs ~5 N log2 N flops, split around the transpose.
 	fftFlops := 5 * float64(total) * math.Log2(float64(total)) / float64(procs)
 
-	r.Bcast(0, 3*doubleBytes)               // problem parameters
-	r.Compute(m.FlopTime(30 * local))       // compute_indexmap + initial conditions
-	r.Compute(m.FlopTime(fftFlops * 2 / 3)) // forward FFT, local dimensions
-	r.Alltoall(blockBytes)                  // distributed transpose
-	r.Compute(m.FlopTime(fftFlops * 1 / 3)) // forward FFT, remaining dimension
+	// fftTranspose is one FFT + distributed transpose + FFT sequence:
+	// pre flops of local passes, the alltoall, then post flops on the
+	// transposed data. The overlapped variant splits the slab in half
+	// and pipelines: each half's transpose is in flight while the other
+	// half's FFT passes run, so the two nonblocking alltoalls overlap
+	// computation (and, briefly, each other).
+	fftTranspose := func(pre, post float64) {
+		if !p.Overlap {
+			r.Compute(m.FlopTime(pre))
+			r.Alltoall(blockBytes)
+			r.Compute(m.FlopTime(post))
+			return
+		}
+		halfA := blockBytes / 2
+		halfB := blockBytes - halfA
+		r.Compute(m.FlopTime(pre / 2))
+		crA := r.Ialltoall(halfA)
+		r.Compute(m.FlopTime(pre / 2))
+		crB := r.Ialltoall(halfB)
+		r.WaitColl(crA)
+		r.Compute(m.FlopTime(post / 2))
+		r.WaitColl(crB)
+		r.Compute(m.FlopTime(post / 2))
+	}
+
+	r.Bcast(0, 3*doubleBytes)         // problem parameters
+	r.Compute(m.FlopTime(30 * local)) // compute_indexmap + initial conditions
+	// Forward FFT: local dimensions, transpose, remaining dimension.
+	fftTranspose(fftFlops*2/3, fftFlops*1/3)
 
 	iters := p.iters(spec.iters)
 	for it := 0; it < iters; it++ {
-		r.Compute(m.FlopTime(6 * local))        // evolve
-		r.Compute(m.FlopTime(fftFlops * 2 / 3)) // inverse FFT, local dims
-		r.Alltoall(blockBytes)                  // distributed transpose
-		r.Compute(m.FlopTime(fftFlops * 1 / 3)) // inverse FFT, last dim
+		r.Compute(m.FlopTime(6 * local)) // evolve
+		// Inverse FFT: local dims, transpose, last dim.
+		fftTranspose(fftFlops*2/3, fftFlops*1/3)
 		r.Compute(m.FlopTime(10 * local / float64(procs)))
 		r.Reduce(0, complexBytes) // checksum
 		r.Bcast(0, complexBytes)

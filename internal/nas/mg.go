@@ -127,6 +127,10 @@ func RunMG(r *mpi.Rank, p Params) {
 	r.Bcast(0, 4*doubleBytes)
 	comm3(levels[0]) // initial residual exchange
 	iters := p.iters(spec.iters)
+	// In the overlapped variant the residual-norm allreduce is issued
+	// nonblockingly and the convergence check deferred one iteration,
+	// so the reduction rides under the whole next V-cycle.
+	var pending *mpi.CollRequest
 	for it := 0; it < iters; it++ {
 		// Down-cycle: restrict to coarser grids.
 		for l := 0; l < len(levels)-1; l++ {
@@ -145,7 +149,17 @@ func RunMG(r *mpi.Rank, p Params) {
 			r.Compute(m.FlopTime(mgSmoothFlops * lv.points))
 		}
 		// Residual norm.
-		r.Allreduce(2 * doubleBytes)
+		if p.Overlap {
+			if pending != nil {
+				r.WaitColl(pending)
+			}
+			pending = r.Iallreduce(2 * doubleBytes)
+		} else {
+			r.Allreduce(2 * doubleBytes)
+		}
+	}
+	if pending != nil {
+		r.WaitColl(pending)
 	}
 	r.Allreduce(2 * doubleBytes)
 }

@@ -67,6 +67,12 @@ type Params struct {
 	// Machine supplies the compute model; the zero value selects
 	// DefaultMachine.
 	Machine Machine
+	// Overlap selects the overlapped-collective variant of the
+	// benchmarks that have one (CG, FT, MG): reductions and transposes
+	// are issued as nonblocking collectives and advanced by the rank's
+	// configured progress engine while independent computation runs.
+	// Benchmarks without collective phases ignore it.
+	Overlap bool
 }
 
 func (p *Params) fill() {

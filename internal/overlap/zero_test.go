@@ -1,0 +1,99 @@
+package overlap_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/mpi"
+	"ovlp/internal/overlap"
+	"ovlp/internal/progress"
+)
+
+// A single-process Ibarrier is the degenerate collective: the schedule
+// is empty, so the monitor observes library calls but zero transfers.
+// The report machinery — percentages, text rendering, JSON round-trip
+// and cross-rank aggregation — must all treat that window as zero, not
+// NaN, and must survive serialization unchanged.
+func TestZeroTransferReport(t *testing.T) {
+	run := func(procs int, body func(r *mpi.Rank)) []*overlap.Report {
+		res := cluster.Run(cluster.Config{
+			Procs: procs,
+			MPI: mpi.Config{
+				Progress:   progress.Config{Mode: progress.Thread},
+				Instrument: &mpi.InstrumentConfig{},
+			},
+		}, body)
+		return res.Reports
+	}
+
+	rep := run(1, func(r *mpi.Rank) {
+		cr := r.Ibarrier()
+		r.Compute(100 * time.Microsecond)
+		r.WaitColl(cr)
+	})[0]
+
+	tot := rep.Total()
+	if tot.Count != 0 || tot.DataTransferTime != 0 || tot.MinOverlapped != 0 || tot.MaxOverlapped != 0 {
+		t.Fatalf("1-proc Ibarrier recorded transfers: %+v", tot)
+	}
+	if tot.MinPercent() != 0 || tot.MaxPercent() != 0 {
+		t.Fatalf("zero-transfer percentages must be 0, got %v/%v", tot.MinPercent(), tot.MaxPercent())
+	}
+	if rep.Duration <= 0 {
+		t.Fatalf("report duration %v", rep.Duration)
+	}
+	if rep.CommCallTime() < 0 || rep.UserComputeTime() <= 0 {
+		t.Fatalf("time accounting broken: call %v compute %v", rep.CommCallTime(), rep.UserComputeTime())
+	}
+	if _, err := rep.WriteTo(&bytes.Buffer{}); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	// JSON round-trip of the empty-window report.
+	var b bytes.Buffer
+	if err := rep.EncodeJSON(&b); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	back, err := overlap.DecodeJSON(&b)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round-trip changed the report:\n got %+v\nwant %+v", back, rep)
+	}
+
+	// Aggregating a zero-transfer report with a busy one must add the
+	// empty rank's time but none of its (nonexistent) transfers, and
+	// skip nils without counting them.
+	busy := run(2, func(r *mpi.Rank) {
+		cr := r.Iallreduce(64 << 10)
+		r.Compute(200 * time.Microsecond)
+		r.WaitColl(cr)
+	})
+	agg := overlap.Aggregate([]*overlap.Report{rep, nil, busy[0], busy[1]})
+	want := busy[0].Total()
+	want.Add(busy[1].Total())
+	if got := agg.Total(); got != want {
+		t.Fatalf("aggregate totals %+v, want %+v", got, want)
+	}
+	wantCompute := rep.UserComputeTime() + busy[0].UserComputeTime() + busy[1].UserComputeTime()
+	if got := agg.UserComputeTime(); got != wantCompute {
+		t.Fatalf("aggregate compute %v, want %v", got, wantCompute)
+	}
+
+	// And the aggregate itself round-trips.
+	b.Reset()
+	if err := agg.EncodeJSON(&b); err != nil {
+		t.Fatalf("EncodeJSON(agg): %v", err)
+	}
+	aggBack, err := overlap.DecodeJSON(&b)
+	if err != nil {
+		t.Fatalf("DecodeJSON(agg): %v", err)
+	}
+	if !reflect.DeepEqual(agg, aggBack) {
+		t.Fatalf("aggregate round-trip changed the report")
+	}
+}

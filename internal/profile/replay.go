@@ -54,7 +54,7 @@ type rkEvent struct {
 
 // replayRank rebuilds rank rs's monitor event stream and replays it.
 func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
-	events, parks, done := reconstruct(rs)
+	events, parks, labels, done := reconstruct(rs)
 	if len(events) == 0 {
 		return nil, nil
 	}
@@ -73,13 +73,24 @@ func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
 		}
 	}
 	r.finish(done)
+	// Transfers issued by a nonblocking-collective schedule are owned
+	// by the schedule, not by whichever call (or progress-thread poll,
+	// rendered "(outside)") happened to be active when the protocol
+	// moved them: rename their site so starvation blame lands on e.g.
+	// "Iallreduce[ring]".
+	for i := range r.out {
+		if lbl, ok := labels[r.out[i].id]; ok {
+			r.out[i].op = lbl
+		}
+	}
 	return r.out, nil
 }
 
 // reconstruct turns the host-track records into monitor-order events,
-// and collects the kernel park spans (for the early-wait test) and the
+// and collects the kernel park spans (for the early-wait test), the
+// collective-schedule ownership labels keyed by transfer id, and the
 // stream's end stamp.
-func reconstruct(rs *RankStream) (events []rkEvent, parks []parkSpan, done time.Duration) {
+func reconstruct(rs *RankStream) (events []rkEvent, parks []parkSpan, labels map[uint64]string, done time.Duration) {
 	var pending []rkEvent
 	flush := func(upto time.Duration, all bool) {
 		n := 0
@@ -141,10 +152,17 @@ func reconstruct(rs *RankStream) (events []rkEvent, parks []parkSpan, done time.
 			if rec.Name == "park" && rec.Dur > 0 {
 				parks = append(parks, parkSpan{start: rec.Start.Duration(), end: end})
 			}
+		case "coll":
+			if rec.Name == "sched" && rec.Args.Detail != "" {
+				if labels == nil {
+					labels = make(map[uint64]string)
+				}
+				labels[rec.Args.ID] = rec.Args.Detail
+			}
 		}
 	}
 	flush(0, true)
-	return events, parks, done
+	return events, parks, labels, done
 }
 
 type parkSpan struct{ start, end time.Duration }

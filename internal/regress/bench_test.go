@@ -22,3 +22,4 @@ func benchSuite(b *testing.B, run func() *Baseline) {
 
 func BenchmarkOverlapSuite(b *testing.B) { benchSuite(b, RunOverlapSuite) }
 func BenchmarkNASSuite(b *testing.B)     { benchSuite(b, RunNASSuite) }
+func BenchmarkCollSuite(b *testing.B)    { benchSuite(b, RunCollSuite) }

@@ -5,10 +5,12 @@ import (
 	"time"
 
 	"ovlp/internal/cluster"
+	"ovlp/internal/coll"
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
 	"ovlp/internal/overlap"
 	"ovlp/internal/profile"
+	"ovlp/internal/progress"
 	"ovlp/internal/trace"
 )
 
@@ -60,11 +62,48 @@ func RunNASSuite() *Baseline {
 	return b
 }
 
+// RunCollSuite measures the nonblocking-collective subsystem: a
+// compute-overlapped ring and recursive-doubling Iallreduce on four
+// ranks under each progress mode. The thread rows pin the subsystem's
+// reason to exist — the overlap a progress thread recovers from
+// unpolled schedules — so a regression there is a regression in the
+// PR's headline result.
+func RunCollSuite() *Baseline {
+	b := &Baseline{Schema: Schema, Suite: "coll"}
+	for _, algo := range []coll.Algo{coll.Ring, coll.RecDouble} {
+		for _, mode := range []progress.Mode{progress.Manual, progress.Piggyback, progress.Thread} {
+			name := fmt.Sprintf("iallreduce-64KiB-%s-%s", algo, mode)
+			b.Entries = append(b.Entries, measure(name, cluster.Config{
+				Procs: 4,
+				MPI: mpi.Config{
+					CollAlgo:   algo,
+					Progress:   progress.Config{Mode: mode},
+					Instrument: &mpi.InstrumentConfig{},
+				},
+			}, iallreduceBody(64<<10, 30, 200*time.Microsecond)))
+		}
+	}
+	return b
+}
+
 // Suites maps the suite names cmd/benchgate accepts to their runners.
 func Suites() map[string]func() *Baseline {
 	return map[string]func() *Baseline{
 		"overlap": RunOverlapSuite,
 		"nas":     RunNASSuite,
+		"coll":    RunCollSuite,
+	}
+}
+
+func iallreduceBody(size, reps int, compute time.Duration) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		for i := 0; i < reps; i++ {
+			r.PushRegion("allreduce")
+			cr := r.Iallreduce(size)
+			r.Compute(compute)
+			r.WaitColl(cr)
+			r.PopRegion()
+		}
 	}
 }
 
