@@ -51,11 +51,11 @@ func main() {
 	reps := flag.Int("reps", 10, "repetitions per configuration")
 	chunk := flag.Int("coll-chunk", 0, "pipeline collective payloads in chunks of this many bytes (0 = unchunked)")
 	quantum := flag.Duration("progress-quantum", progress.DefaultQuantum, "wake quantum of the thread progress engine")
-	buildFaults := faultflag.Register(nil)
+	ff := cmdutil.RegisterFaults(nil)
 	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
 
-	faults, err := buildFaults()
+	faults, err := ff.Plan()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,7 +14,15 @@
 // Usage:
 //
 //	faultstudy [-rates 0,0.01,0.05,0.1,0.2] [-fault-seed 1] [-reps 200]
+//	           [-scenario file.yaml] [-stall "1@2ms+500us"]
 //	           [-csv] [-trace out.json] [-metrics] [-profile out.txt]
+//
+// -scenario layers a declarative chaos schedule (the scenario file's
+// chaos, stalls and seed; its workload section is ignored here) under
+// the swept drop rate. All fault configuration is validated before any
+// rank is spawned: a plan naming nodes this two-process machine does
+// not have exits with status 2 and the validation message, instead of
+// panicking mid-sweep.
 //
 // -csv replaces the table with machine-readable CSV on stdout (times
 // in nanoseconds), for plotting the sweep. -trace exports the final
@@ -28,7 +36,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,23 +51,47 @@ import (
 )
 
 const (
-	msgSize = 64 << 10 // rendezvous-range messages: retransmits hurt
-	compute = 200 * time.Microsecond
+	msgSize    = 64 << 10 // rendezvous-range messages: retransmits hurt
+	studyProcs = 2
+	compute    = 200 * time.Microsecond
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("faultstudy: ")
-	ratesFlag := flag.String("rates", "0,0.01,0.05,0.1,0.2", "comma-separated drop rates to sweep")
-	seed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
-	reps := flag.Int("reps", 200, "exchanges per drop rate")
-	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the table (times in ns)")
-	obs := cmdutil.RegisterObs(nil)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main with its dependencies injected: exit status 0 on
+// success, 1 on a run failure, 2 on bad flags or a fault plan that
+// fails validation (reported before any rank is spawned).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultstudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ratesFlag := fs.String("rates", "0,0.01,0.05,0.1,0.2", "comma-separated drop rates to sweep")
+	reps := fs.Int("reps", 200, "exchanges per drop rate")
+	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of the table (times in ns)")
+	ff := cmdutil.RegisterFaults(fs)
+	obs := cmdutil.RegisterObs(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail2 := func(err error) int {
+		fmt.Fprintf(stderr, "faultstudy: %v\n", err)
+		return 2
+	}
 	rates, err := parseRates(*ratesFlag)
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
+	}
+	// Validate the full fault configuration up front — scenario compile
+	// errors and node-range mistakes must surface as a clean exit, not
+	// as a panic from inside the simulation.
+	base, err := ff.Plan()
+	if err != nil {
+		return fail2(err)
+	}
+	if err := cmdutil.CheckFaultNodes(base, []int{studyProcs}); err != nil {
+		return fail2(err)
 	}
 
 	var rows []point
@@ -70,26 +102,29 @@ func main() {
 		if i == len(rates)-1 {
 			tr = obs.Tracer()
 		}
-		row, err := runPoint(rate, *seed, *reps, tr, obs)
+		row, err := runPoint(rate, base, ff.Seed(), *reps, tr, obs)
 		if err != nil {
-			log.Fatalf("drop rate %g: %v", rate, err)
+			fmt.Fprintf(stderr, "faultstudy: drop rate %g: %v\n", rate, err)
+			return 1
 		}
 		rows = append(rows, row)
 	}
 
 	if *csvOut {
-		writeCSV(os.Stdout, rates, rows)
+		writeCSV(stdout, rates, rows)
 	} else {
-		writeTable(os.Stdout, rates, rows, *seed, *reps)
+		writeTable(stdout, rates, rows, ff.Seed(), *reps)
 	}
 	if obs.Enabled() {
-		if err := obs.Finish(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := obs.Finish(stdout); err != nil {
+			fmt.Fprintf(stderr, "faultstudy: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
-func writeTable(w *os.File, rates []float64, rows []point, seed int64, reps int) {
+func writeTable(w io.Writer, rates []float64, rows []point, seed int64, reps int) {
 	t := report.NewTable(
 		fmt.Sprintf("Overlap bounds vs drop rate — 2 procs, Isend/Irecv %d KiB x %d, %v compute (seed %d)",
 			msgSize>>10, reps, compute, seed),
@@ -106,7 +141,7 @@ func writeTable(w *os.File, rates []float64, rows []point, seed int64, reps int)
 
 // writeCSV emits one row per rate point with durations as integer
 // nanoseconds, the plotting-friendly twin of the table.
-func writeCSV(w *os.File, rates []float64, rows []point) {
+func writeCSV(w io.Writer, rates []float64, rows []point) {
 	cw := csv.NewWriter(w)
 	cw.Write([]string{"drop_rate", "min_pct", "max_pct", "avg_wait_ns", "dropped", "retransmits", "run_ns"})
 	for i, row := range rows {
@@ -121,9 +156,6 @@ func writeCSV(w *os.File, rates []float64, rows []point) {
 		})
 	}
 	cw.Flush()
-	if err := cw.Error(); err != nil {
-		log.Fatal(err)
-	}
 }
 
 type point struct {
@@ -134,20 +166,29 @@ type point struct {
 	duration       time.Duration
 }
 
-func runPoint(rate float64, seed int64, reps int, tr *trace.Tracer, obs *cmdutil.Obs) (point, error) {
+// pointPlan layers the swept drop rate over the base plan (nil base,
+// zero rate → no faults, preserving the sweep's fault-free row).
+func pointPlan(rate float64, base *fabric.FaultPlan, seed int64) *fabric.FaultPlan {
+	if base == nil {
+		if rate == 0 {
+			return nil
+		}
+		return &fabric.FaultPlan{Seed: seed, Default: fabric.LinkFaults{DropRate: rate}}
+	}
+	p := *base // shallow copy: only Default is adjusted
+	p.Default.DropRate = rate
+	return &p
+}
+
+func runPoint(rate float64, base *fabric.FaultPlan, seed int64, reps int, tr *trace.Tracer, obs *cmdutil.Obs) (point, error) {
 	cfg := cluster.Config{
-		Procs: 2,
+		Procs: studyProcs,
 		MPI: mpi.Config{
 			Protocol:   mpi.DirectRDMARead,
 			Instrument: &mpi.InstrumentConfig{},
 		},
-		Trace: tr,
-	}
-	if rate > 0 {
-		cfg.Faults = &fabric.FaultPlan{
-			Seed:    seed,
-			Default: fabric.LinkFaults{DropRate: rate},
-		}
+		Faults: pointPlan(rate, base, seed),
+		Trace:  tr,
 	}
 	var waits [2]time.Duration
 	res, err := cluster.RunE(cfg, func(r *mpi.Rank) {

@@ -75,10 +75,10 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
 	overlapped := flag.Bool("overlap", false, "run the overlapped-collective variants of CG, FT and MG")
 	cf := cmdutil.RegisterColl(nil)
-	buildFaults := faultflag.Register(nil)
+	ff := cmdutil.RegisterFaults(nil)
 	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
-	faults, err := buildFaults()
+	faults, err := ff.Plan()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -53,10 +53,10 @@ func main() {
 	fig := flag.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
 	reps := flag.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
 	cf := cmdutil.RegisterColl(nil)
-	buildFaults := faultflag.Register(nil)
+	ff := cmdutil.RegisterFaults(nil)
 	obs := cmdutil.RegisterObs(nil)
 	flag.Parse()
-	faults, err := buildFaults()
+	faults, err := ff.Plan()
 	if err != nil {
 		log.Fatal(err)
 	}

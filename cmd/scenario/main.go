@@ -1,0 +1,197 @@
+// Scenario runs declarative chaos scenarios: YAML/JSON files that
+// pick a topology and workload, schedule correlated faults over
+// virtual time, and assert machine-checkable expectations on the
+// outcome — overlap-bound ranges, blame shares, expected structured
+// errors, oracle validity, and determinism hashes.
+//
+// Usage:
+//
+//	scenario [flags] <file-or-dir>...
+//	scenario -gen 5 -gen-seed 42 -gen-out scenarios/
+//
+// Each argument is one scenario file or a directory of them (sorted
+// by file name). Every scenario is simulated and its assertions
+// evaluated; violations print as
+//
+//	VIOLATION <scenario>: <check>: expected <...>, observed <...>
+//
+// and make the exit status 1. Bad flags or invalid scenario files
+// exit 2 before any simulation starts.
+//
+//	-smoke        shrink runs for CI (procs <= 4, reps <= 5, iters <= 2;
+//	              golden-hash assertions are skipped)
+//	-report DIR   write each scenario's run-report JSON into DIR
+//	-golden DIR   byte-compare each report against DIR/<name>.json
+//	-write-golden (re)write the golden files instead of comparing
+//	-gen N        generate N seeded stress scenarios and exit
+//
+// Determinism is the engine's contract: the same scenario file always
+// produces byte-identical trace and report, so golden files are exact
+// and a mismatch means behaviour actually changed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ovlp/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	smoke := fs.Bool("smoke", false, "shrink runs for CI; golden-hash assertions are skipped")
+	reportDir := fs.String("report", "", "write each scenario's run-report JSON into this directory")
+	goldenDir := fs.String("golden", "", "byte-compare each run report against <dir>/<name>.json")
+	writeGolden := fs.Bool("write-golden", false, "write the golden files under -golden instead of comparing")
+	gen := fs.Int("gen", 0, "generate this many seeded stress scenarios and exit")
+	genSeed := fs.Int64("gen-seed", 42, "generator seed (same seed, same scenarios)")
+	genOut := fs.String("gen-out", ".", "directory the generated scenario files are written into")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail2 := func(err error) int {
+		fmt.Fprintf(stderr, "scenario: %v\n", err)
+		return 2
+	}
+
+	if *gen > 0 {
+		return generate(*gen, *genSeed, *genOut, stdout, stderr)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "scenario: no scenario files given (pass files or directories, or -gen N)")
+		return 2
+	}
+	if *goldenDir != "" && *smoke {
+		return fail2(fmt.Errorf("-golden needs full-size runs; drop -smoke"))
+	}
+	if *writeGolden && *goldenDir == "" {
+		return fail2(fmt.Errorf("-write-golden needs -golden DIR"))
+	}
+
+	// Load everything first: an invalid corpus exits 2 before any
+	// simulation runs.
+	var scens []*scenario.Scenario
+	seen := map[string]bool{}
+	for _, arg := range fs.Args() {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return fail2(err)
+		}
+		var batch []*scenario.Scenario
+		if st.IsDir() {
+			batch, err = scenario.LoadDir(arg)
+		} else {
+			var s *scenario.Scenario
+			s, err = scenario.LoadFile(arg)
+			batch = []*scenario.Scenario{s}
+		}
+		if err != nil {
+			return fail2(err)
+		}
+		for _, s := range batch {
+			if seen[s.Name] {
+				return fail2(fmt.Errorf("duplicate scenario name %q", s.Name))
+			}
+			seen[s.Name] = true
+			scens = append(scens, s)
+		}
+	}
+	for _, dir := range []string{*reportDir, *goldenDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fail2(err)
+			}
+		}
+	}
+
+	failed := 0
+	opts := scenario.Opts{Smoke: *smoke}
+	for _, s := range scens {
+		rr, err := scenario.Run(s, opts)
+		if err != nil {
+			return fail2(err)
+		}
+		violations := scenario.Evaluate(rr)
+		if *goldenDir != "" {
+			violations = append(violations, checkGolden(rr, *goldenDir, *writeGolden, stdout, stderr)...)
+		}
+		scenario.WriteText(stdout, rr, violations)
+		if len(violations) > 0 {
+			failed++
+			for _, v := range violations {
+				fmt.Fprintf(stderr, "VIOLATION %s\n", v)
+			}
+		}
+		if *reportDir != "" {
+			path := filepath.Join(*reportDir, s.Name+".json")
+			if err := os.WriteFile(path, rr.ReportBytes, 0o644); err != nil {
+				return fail2(err)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "%d scenario(s), %d failed\n", len(scens), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkGolden byte-compares (or rewrites) the scenario's golden run
+// report; a mismatch is reported as a violation so it shares the
+// structured failure path.
+func checkGolden(rr *scenario.RunResult, dir string, write bool, stdout, stderr io.Writer) []scenario.Violation {
+	path := filepath.Join(dir, rr.Scenario.Name+".json")
+	if write {
+		if err := os.WriteFile(path, rr.ReportBytes, 0o644); err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(stdout, "wrote golden %s\n", path)
+		return nil
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return []scenario.Violation{{
+			Scenario: rr.Scenario.Name, Check: "golden",
+			Expected: "a golden report at " + path,
+			Observed: err.Error(),
+		}}
+	}
+	if string(want) != string(rr.ReportBytes) {
+		return []scenario.Violation{{
+			Scenario: rr.Scenario.Name, Check: "golden",
+			Expected: fmt.Sprintf("report bytes matching %s (%d bytes)", path, len(want)),
+			Observed: fmt.Sprintf("%d bytes, hash %s", len(rr.ReportBytes), rr.ReportHash),
+		}}
+	}
+	return nil
+}
+
+func generate(n int, seed int64, outDir string, stdout, stderr io.Writer) int {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(stderr, "scenario: %v\n", err)
+		return 2
+	}
+	for _, s := range scenario.Generate(seed, n) {
+		b, err := s.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			return 2
+		}
+		path := filepath.Join(outDir, s.Name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	return 0
+}

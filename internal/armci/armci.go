@@ -83,11 +83,14 @@ type World struct {
 	cfg     Config
 	procs   []*Proc
 	reports []*overlap.Report
+	errs    []error
 }
 
 // NewWorld creates a world spanning every fabric node.
 func NewWorld(sim *vtime.Sim, fab *fabric.Fabric, cfg Config) *World {
-	w := &World{sim: sim, fab: fab, cfg: cfg, reports: make([]*overlap.Report, fab.Nodes())}
+	w := &World{sim: sim, fab: fab, cfg: cfg,
+		reports: make([]*overlap.Report, fab.Nodes()),
+		errs:    make([]error, fab.Nodes())}
 	for i := 0; i < fab.Nodes(); i++ {
 		w.procs = append(w.procs, &Proc{
 			w:     w,
@@ -109,11 +112,17 @@ func (w *World) Start(main func(p *Proc)) {
 		pr := pr
 		w.sim.Spawn(fmt.Sprintf("armci%d", pr.id), func(vp *vtime.Proc) {
 			pr.attach(vp)
+			defer pr.recoverAbort()
 			main(pr)
 			pr.finalizeReport()
 		})
 	}
 }
+
+// RankErrors returns each process's recovered structured failure, nil
+// entries for processes that finished cleanly; valid after the
+// simulation has run. See mpi.World.RankErrors for the semantics.
+func (w *World) RankErrors() []error { return w.errs }
 
 // Reports returns per-process reports after the run.
 func (w *World) Reports() []*overlap.Report { return w.reports }
@@ -223,6 +232,34 @@ func (p *Proc) finalizeReport() {
 		p.enter("Finalize")
 		p.waitUntil(func() bool { return p.rel.Outstanding() == 0 })
 		p.exit()
+	}
+	if p.mon != nil {
+		rep := p.mon.Finalize()
+		rep.Rank = p.id
+		p.w.reports[p.id] = rep
+	}
+}
+
+// recoverAbort intercepts the process's structured failure panic (a
+// spent retry budget): the error is recorded for World.RankErrors, the
+// interrupted call's accounting is unwound without quiescing, and the
+// report is still produced. Non-error panics are bugs and propagate.
+func (p *Proc) recoverAbort() {
+	v := recover()
+	if v == nil {
+		return
+	}
+	err, ok := v.(error)
+	if !ok {
+		panic(v)
+	}
+	p.w.errs[p.id] = err
+	if p.depth > 0 {
+		for p.depth > 0 {
+			p.mon.CallExit()
+			p.depth--
+		}
+		p.libTime += p.proc.Now().Sub(p.enterAt)
 	}
 	if p.mon != nil {
 		rep := p.mon.Finalize()

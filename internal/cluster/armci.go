@@ -43,6 +43,10 @@ type ARMCIResult struct {
 	RelStats   []fabric.RelStats
 	// Metrics is the end-of-run metrics snapshot (nil when untraced).
 	Metrics *trace.Snapshot
+	// RankErrors holds each process's recovered structured failure
+	// (nil entries for processes that finished cleanly); see
+	// Result.RankErrors.
+	RankErrors []error
 }
 
 // RunARMCI executes main on every process of a fresh machine using the
@@ -92,7 +96,9 @@ func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 		procs = append(procs, p)
 		main(p)
 	})
-	end, err := sim.RunE()
+	end, simErr := sim.RunE()
+	rankErrs := world.RankErrors()
+	err := combineErrors(rankErrs, simErr)
 
 	res := ARMCIResult{
 		Reports:    world.Reports(),
@@ -100,6 +106,7 @@ func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 		LibTimes:   make([]time.Duration, cfg.Procs),
 		FaultStats: fab.FaultStats(),
 		RelStats:   make([]fabric.RelStats, cfg.Procs),
+		RankErrors: rankErrs,
 	}
 	for _, p := range procs {
 		res.LibTimes[p.ID()] = p.LibTime()

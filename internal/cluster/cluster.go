@@ -76,6 +76,10 @@ type Result struct {
 	// (internal/profile) needs the same table to replay the bounds
 	// algorithm.
 	Calib *calib.Table
+	// RankErrors holds each rank's recovered structured failure (nil
+	// entries for ranks that finished cleanly). When any entry is
+	// non-nil, RunE's error is a *RunErrors aggregating them all.
+	RankErrors []error
 }
 
 // Run executes main on every rank of a freshly built machine and
@@ -96,6 +100,13 @@ func Run(cfg Config, main func(r *mpi.Rank)) Result {
 // deadlocks (*vtime.DeadlockError) — as errors instead of panicking.
 // The returned Result carries whatever was observable up to the
 // failure (at minimum the virtual duration and fault counters).
+//
+// A rank that panics with an error value (the library's structured
+// *mpi.CommError path) is recovered in place: the rank finishes, the
+// simulation keeps running, and every failed rank's error is
+// aggregated into Result.RankErrors and a returned *RunErrors — so a
+// partition that times out five ranks reports all five, not just the
+// first. Non-error panics (bugs) still abort the run.
 func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 	if cfg.Procs <= 0 {
 		panic("cluster: Procs must be positive")
@@ -131,7 +142,9 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 		ranks = append(ranks, r)
 		main(r)
 	})
-	end, err := sim.RunE()
+	end, simErr := sim.RunE()
+	rankErrs := world.RankErrors()
+	err := combineErrors(rankErrs, simErr)
 
 	res := Result{
 		Reports:    world.Reports(),
@@ -139,6 +152,7 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 		MPITimes:   make([]time.Duration, cfg.Procs),
 		FaultStats: fab.FaultStats(),
 		RelStats:   make([]fabric.RelStats, cfg.Procs),
+		RankErrors: rankErrs,
 	}
 	for _, r := range ranks {
 		res.MPITimes[r.ID()] = r.MPITime()

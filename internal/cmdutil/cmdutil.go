@@ -23,6 +23,7 @@ import (
 	"ovlp/internal/overlap"
 	"ovlp/internal/profile"
 	"ovlp/internal/progress"
+	"ovlp/internal/scenario"
 	"ovlp/internal/trace"
 )
 
@@ -58,6 +59,65 @@ func CheckFaultNodes(plan *fabric.FaultPlan, procs []int) error {
 		}
 	}
 	return faultflag.CheckNodes(plan, min)
+}
+
+// Faults is the shared fault-injection flag state: the legacy
+// faultflag knobs (-drop/-dup/-jitter/-stall/-fault-seed, now sugar
+// for a one-event chaos schedule) plus -scenario, which loads a
+// declarative scenario file and uses its chaos schedule, stall list
+// and seed. The two sources are mutually exclusive, so a flag typo
+// cannot silently half-override a scenario.
+type Faults struct {
+	// ScenarioPath is the -scenario file ("" = none).
+	ScenarioPath string
+
+	fs     *flag.FlagSet
+	legacy func() (*fabric.FaultPlan, error)
+}
+
+// RegisterFaults installs the fault-injection flags on fs (the default
+// command-line set when fs is nil): everything faultflag.Register
+// provides plus -scenario.
+func RegisterFaults(fs *flag.FlagSet) *Faults {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Faults{fs: fs, legacy: faultflag.Register(fs)}
+	fs.StringVar(&f.ScenarioPath, "scenario", "",
+		"load the chaos schedule (chaos, stalls, seed) from this scenario file instead of the legacy fault flags")
+	return f
+}
+
+// Plan builds the fault plan from whichever source was used: the
+// scenario file's compiled chaos schedule, or the legacy flags' sugar
+// plan. Nil when neither asked for faults.
+func (f *Faults) Plan() (*fabric.FaultPlan, error) {
+	legacy, err := f.legacy()
+	if err != nil {
+		return nil, err
+	}
+	if f.ScenarioPath == "" {
+		return legacy, nil
+	}
+	if legacy != nil {
+		return nil, fmt.Errorf("-scenario and the legacy fault flags (-drop/-dup/-jitter/-stall) are mutually exclusive")
+	}
+	s, err := scenario.LoadFile(f.ScenarioPath)
+	if err != nil {
+		return nil, err
+	}
+	return s.FaultPlan()
+}
+
+// Seed returns the -fault-seed value (the default when the flag set
+// has not been parsed yet).
+func (f *Faults) Seed() int64 {
+	if g, ok := f.fs.Lookup("fault-seed").Value.(flag.Getter); ok {
+		if v, ok := g.Get().(int64); ok {
+			return v
+		}
+	}
+	return 1
 }
 
 // Coll holds the shared nonblocking-collective flag state: which

@@ -251,6 +251,20 @@ func (f *Fabric) SetFaults(plan *FaultPlan) error {
 			return fmt.Errorf("fabric: stall window %d names node %d outside [0, %d)", i, w.Node, len(f.nics))
 		}
 	}
+	for i := range plan.Schedule {
+		ev := &plan.Schedule[i]
+		for l := range ev.Links {
+			if int(l.Src) < 0 || int(l.Src) >= len(f.nics) || int(l.Dst) < 0 || int(l.Dst) >= len(f.nics) {
+				return fmt.Errorf("fabric: %s link %d->%d names a node outside [0, %d)",
+					ev.name(i), l.Src, l.Dst, len(f.nics))
+			}
+		}
+		for _, n := range ev.Nodes {
+			if int(n) < 0 || int(n) >= len(f.nics) {
+				return fmt.Errorf("fabric: %s names node %d outside [0, %d)", ev.name(i), n, len(f.nics))
+			}
+		}
+	}
 	f.faults = newFaultState(*plan)
 	return nil
 }
@@ -484,8 +498,8 @@ func (n *NIC) transmitSeq(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire
 				trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
 			return wr
 		}
-		drop, dup, jitter = fs.decide(n.id, dst, kind == OpSend)
-		wire = fs.scaleWire(n.id, dst, wire)
+		drop, dup, jitter = fs.decide(n.id, dst, kind == OpSend, f.sim.Now())
+		wire = fs.scaleWire(n.id, dst, wire, f.sim.Now())
 		if f.tr != nil {
 			if drop {
 				f.nicTrack(n.id).Instant("fault", "drop", f.sim.Now(),
@@ -572,7 +586,7 @@ func (f *Fabric) sendAck(from, to NodeID, seq uint64, start, end vtime.Time) {
 			return
 		}
 		var drop bool
-		drop, _, jitter = fs.decide(from, to, false)
+		drop, _, jitter = fs.decide(from, to, false, f.sim.Now())
 		if drop {
 			f.nicTrack(from).Instant("fault", "ack-drop", f.sim.Now(),
 				trace.Args{Peer: int(to), ID: seq})
@@ -618,8 +632,8 @@ func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint6
 					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})
 				return
 			}
-			drop, _, jitter = fs.decide(src, dst, false)
-			wire = fs.scaleWire(src, dst, wire)
+			drop, _, jitter = fs.decide(src, dst, false, f.sim.Now())
+			wire = fs.scaleWire(src, dst, wire, f.sim.Now())
 			if drop {
 				f.nicTrack(src).Instant("fault", "drop", f.sim.Now(),
 					trace.Args{Peer: int(dst), Size: int64(size), ID: xferID})

@@ -94,6 +94,105 @@ type StallWindow struct {
 	Start, End vtime.Time
 }
 
+// FaultEvent is one timed entry of a chaos schedule: a fault
+// configuration that activates at virtual time At and (optionally)
+// clears at Clear. While active, the event overlays the plan's static
+// configuration — later schedule entries overlay earlier ones — so
+// cascading failures, correlated rack outages and recovery windows are
+// all expressible as sequences of events.
+//
+// Scope: an event must name at least one of Default, Links or Nodes.
+// An overlay *replaces* the link's whole LinkFaults while active, so an
+// event carrying a zero configuration models a repair window (the
+// scoped links go back to a perfect network until Clear).
+type FaultEvent struct {
+	// Label names the event in descriptions and scenario reports
+	// ("rack0-outage", "cascade-2"). Optional.
+	Label string
+	// At is the activation time. Events with At == 0 are active from
+	// the first instant of the run.
+	At vtime.Time
+	// Clear, when positive, deactivates the event at that time; zero
+	// means the event stays active for the rest of the run. Clear must
+	// be strictly after At (Validate rejects clear-before-activate).
+	Clear vtime.Time
+	// Ramp, when positive, fades the event's bandwidth degradation in
+	// linearly over [At, At+Ramp): the effective BandwidthFactor moves
+	// from nominal (1) at At to the configured value at At+Ramp. The
+	// other knobs (drop, dup, jitter) switch on at At regardless.
+	Ramp time.Duration
+	// Default, when non-nil, replaces the plan's Default link faults
+	// while the event is active.
+	Default *LinkFaults
+	// Links replaces the configuration of specific directed links
+	// while the event is active.
+	Links map[Link]LinkFaults
+	// Nodes lists a correlated outage group — the nodes behind one
+	// rack or switch. While the event is active, NodeFaults applies to
+	// every link whose source or destination is in the group, so the
+	// whole group fails and recovers together.
+	Nodes []NodeID
+	// NodeFaults is the configuration applied to the group's links.
+	NodeFaults LinkFaults
+}
+
+// activeAt reports whether the event is live at time t.
+func (e *FaultEvent) activeAt(t vtime.Time) bool {
+	if t < e.At {
+		return false
+	}
+	return e.Clear == 0 || t < e.Clear
+}
+
+// name renders the event for error messages.
+func (e *FaultEvent) name(i int) string {
+	if e.Label != "" {
+		return fmt.Sprintf("schedule event %d (%s)", i, e.Label)
+	}
+	return fmt.Sprintf("schedule event %d", i)
+}
+
+func (e *FaultEvent) validate(i int) error {
+	what := e.name(i)
+	if e.At < 0 {
+		return fmt.Errorf("fabric: %s: negative activation time %v", what, e.At)
+	}
+	if e.Clear != 0 && e.Clear <= e.At {
+		return fmt.Errorf("fabric: %s: clears at %v, not after activation %v (clear-before-activate)",
+			what, e.Clear, e.At)
+	}
+	if e.Ramp < 0 {
+		return fmt.Errorf("fabric: %s: negative ramp %v", what, e.Ramp)
+	}
+	if e.Default == nil && len(e.Links) == 0 && len(e.Nodes) == 0 {
+		return fmt.Errorf("fabric: %s: configures nothing (need Default, Links or Nodes)", what)
+	}
+	if e.Default != nil {
+		if err := e.Default.validate(what + " Default"); err != nil {
+			return err
+		}
+	}
+	for l, lf := range e.Links {
+		if err := lf.validate(fmt.Sprintf("%s link %d->%d", what, l.Src, l.Dst)); err != nil {
+			return err
+		}
+		if l.Src == l.Dst {
+			return fmt.Errorf("fabric: %s: link %d->%d is a self-loop", what, l.Src, l.Dst)
+		}
+	}
+	if len(e.Nodes) > 0 {
+		for _, n := range e.Nodes {
+			if n < 0 {
+				return fmt.Errorf("fabric: %s: negative node %d in group", what, n)
+			}
+		}
+		if err := e.NodeFaults.validate(what + " NodeFaults"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FaultPlan is a complete, seeded description of fabric misbehaviour
 // for one run. The zero value (and nil) is a perfect network.
 type FaultPlan struct {
@@ -106,6 +205,10 @@ type FaultPlan struct {
 	Links map[Link]LinkFaults
 	// Stalls lists DMA-engine stall windows.
 	Stalls []StallWindow
+	// Schedule is the timed chaos schedule: fault events that activate
+	// and clear at virtual times, overlaying the static configuration
+	// above while active.
+	Schedule []FaultEvent
 }
 
 // Active reports whether the plan can perturb anything; an inactive
@@ -115,7 +218,7 @@ func (p *FaultPlan) Active() bool {
 	if p == nil {
 		return false
 	}
-	if p.Default.active() || len(p.Stalls) > 0 {
+	if p.Default.active() || len(p.Stalls) > 0 || len(p.Schedule) > 0 {
 		return true
 	}
 	for _, lf := range p.Links {
@@ -151,6 +254,11 @@ func (p *FaultPlan) Validate() error {
 			return fmt.Errorf("fabric: stall window %d: end %v not after start %v (use Forever for a permanent stall)", i, w.End, w.Start)
 		}
 	}
+	for i := range p.Schedule {
+		if err := p.Schedule[i].validate(i); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -180,21 +288,58 @@ func newFaultState(plan FaultPlan) *faultState {
 	}
 }
 
-func (fs *faultState) linkFaults(src, dst NodeID) LinkFaults {
-	if lf, ok := fs.plan.Links[Link{src, dst}]; ok {
-		return lf
+// effective resolves the src→dst link's fault configuration at time
+// now: the base plan's per-link override or default, then every
+// schedule event active at now overlays it in declaration order (later
+// events win). The returned event index is the winning overlay (-1
+// when the base configuration applies), so ramp scaling can find its
+// activation time.
+func (fs *faultState) effective(src, dst NodeID, now vtime.Time) (LinkFaults, int) {
+	lf, ok := fs.plan.Links[Link{src, dst}]
+	if !ok {
+		lf = fs.plan.Default
 	}
-	return fs.plan.Default
+	win := -1
+	for i := range fs.plan.Schedule {
+		ev := &fs.plan.Schedule[i]
+		if !ev.activeAt(now) {
+			continue
+		}
+		if o, ok := ev.Links[Link{src, dst}]; ok {
+			lf, win = o, i
+			continue
+		}
+		if ev.touches(src, dst) {
+			lf, win = ev.NodeFaults, i
+			continue
+		}
+		if ev.Default != nil {
+			lf, win = *ev.Default, i
+		}
+	}
+	return lf, win
 }
 
-// decide draws this packet's fate on the src→dst link. The draws
-// consumed depend only on the link's configuration — never on dupOK or
-// the packet's kind — and calls happen in simulation event order, so
-// the PRNG stream is reproducible. dupOK is false for reliable-
-// transport ops (RDMA, acks): their hardware dedups in the transport
-// layer, so an injected duplicate can never reach the application.
-func (fs *faultState) decide(src, dst NodeID, dupOK bool) (drop, dup bool, jitter time.Duration) {
-	lf := fs.linkFaults(src, dst)
+// touches reports whether the event's correlated node group contains
+// either endpoint of the link.
+func (e *FaultEvent) touches(src, dst NodeID) bool {
+	for _, n := range e.Nodes {
+		if n == src || n == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// decide draws this packet's fate on the src→dst link at time now. The
+// draws consumed depend only on the link's effective configuration —
+// never on dupOK or the packet's kind — and calls happen in simulation
+// event order, so the PRNG stream is reproducible. dupOK is false for
+// reliable-transport ops (RDMA, acks): their hardware dedups in the
+// transport layer, so an injected duplicate can never reach the
+// application.
+func (fs *faultState) decide(src, dst NodeID, dupOK bool, now vtime.Time) (drop, dup bool, jitter time.Duration) {
+	lf, _ := fs.effective(src, dst, now)
 	l := Link{src, dst}
 	fs.linkCount[l]++
 	if lf.DropEvery > 0 {
@@ -221,10 +366,25 @@ func (fs *faultState) decide(src, dst NodeID, dupOK bool) (drop, dup bool, jitte
 }
 
 // scaleWire stretches a serialization time by the link's degraded
-// bandwidth factor.
-func (fs *faultState) scaleWire(src, dst NodeID, wire time.Duration) time.Duration {
-	f := fs.linkFaults(src, dst).BandwidthFactor
+// bandwidth factor at time now. When the winning configuration comes
+// from a ramping schedule event still inside its ramp, the factor is
+// interpolated linearly from nominal toward the configured value.
+func (fs *faultState) scaleWire(src, dst NodeID, wire time.Duration, now vtime.Time) time.Duration {
+	lf, win := fs.effective(src, dst, now)
+	f := lf.BandwidthFactor
 	if f == 0 || f == 1 {
+		return wire
+	}
+	if win >= 0 {
+		if ev := &fs.plan.Schedule[win]; ev.Ramp > 0 {
+			elapsed := now.Sub(ev.At)
+			if elapsed < ev.Ramp {
+				frac := float64(elapsed) / float64(ev.Ramp)
+				f = 1 - (1-f)*frac
+			}
+		}
+	}
+	if f <= 0 || f >= 1 {
 		return wire
 	}
 	return time.Duration(float64(wire) / f)

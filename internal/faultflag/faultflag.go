@@ -35,22 +35,30 @@ func Register(fs *flag.FlagSet) func() (*fabric.FaultPlan, error) {
 	}
 	v := &values{}
 	fs.Int64Var(&v.seed, "fault-seed", 1, "seed for the fault-injection PRNG (same seed, same run)")
-	fs.Float64Var(&v.drop, "drop", 0, "per-packet drop probability on every link [0,1]")
-	fs.Float64Var(&v.dup, "dup", 0, "per-packet duplication probability on every link [0,1]")
-	fs.DurationVar(&v.jitter, "jitter", 0, "maximum extra per-packet delivery delay (uniform in [0,jitter))")
+	fs.Float64Var(&v.drop, "drop", 0, "per-packet drop probability on every link [0,1] (sugar for a one-event -scenario chaos schedule)")
+	fs.Float64Var(&v.dup, "dup", 0, "per-packet duplication probability on every link [0,1] (sugar for a one-event -scenario chaos schedule)")
+	fs.DurationVar(&v.jitter, "jitter", 0, "maximum extra per-packet delivery delay, uniform in [0,jitter) (sugar for a one-event -scenario chaos schedule)")
 	fs.StringVar(&v.stall, "stall", "", `DMA stall windows, comma-separated "node@start+dur" (dur may be "forever"), e.g. "1@2ms+500us"`)
 	return v.plan
 }
 
 // plan assembles the FaultPlan, or nil when every knob is at rest.
+//
+// The link knobs (-drop/-dup/-jitter) are deprecated sugar: they
+// compile to a single schedule event active from t=0 over every link —
+// exactly the plan a one-event scenario file would declare — so the
+// legacy flags and the scenario engine share one runtime path. The
+// injected faults are bit-for-bit what the old always-on Default
+// produced.
 func (v *values) plan() (*fabric.FaultPlan, error) {
-	p := &fabric.FaultPlan{
-		Seed: v.seed,
-		Default: fabric.LinkFaults{
-			DropRate:  v.drop,
-			DupRate:   v.dup,
-			JitterMax: v.jitter,
-		},
+	p := &fabric.FaultPlan{Seed: v.seed}
+	lf := fabric.LinkFaults{
+		DropRate:  v.drop,
+		DupRate:   v.dup,
+		JitterMax: v.jitter,
+	}
+	if lf != (fabric.LinkFaults{}) {
+		p.Schedule = []fabric.FaultEvent{{Label: "faultflag", Default: &lf}}
 	}
 	if v.stall != "" {
 		stalls, err := ParseStalls(v.stall)
@@ -139,6 +147,21 @@ func CheckNodes(p *fabric.FaultPlan, procs int) error {
 				l.Src, l.Dst, procs)
 		}
 	}
+	for i := range p.Schedule {
+		ev := &p.Schedule[i]
+		for l := range ev.Links {
+			if int(l.Src) >= procs || int(l.Dst) >= procs {
+				return fmt.Errorf("faultflag: schedule event %d names link %d->%d but the run uses %d process(es)",
+					i, l.Src, l.Dst, procs)
+			}
+		}
+		for _, n := range ev.Nodes {
+			if int(n) >= procs {
+				return fmt.Errorf("faultflag: schedule event %d names node %d but the run uses %d process(es) (nodes 0-%d)",
+					i, n, procs, procs-1)
+			}
+		}
+	}
 	return nil
 }
 
@@ -149,14 +172,26 @@ func Describe(p *fabric.FaultPlan) string {
 		return ""
 	}
 	parts := []string{fmt.Sprintf("seed %d", p.Seed)}
-	if p.Default.DropRate > 0 {
-		parts = append(parts, fmt.Sprintf("drop %.2g", p.Default.DropRate))
+	lf := p.Default
+	sched := p.Schedule
+	if len(sched) == 1 && sched[0].At == 0 && sched[0].Clear == 0 &&
+		sched[0].Ramp == 0 && sched[0].Default != nil && len(sched[0].Links) == 0 &&
+		len(sched[0].Nodes) == 0 {
+		// The always-on one-event shape the legacy flags compile to:
+		// render it like the old Default so header lines stay stable.
+		lf, sched = *sched[0].Default, nil
 	}
-	if p.Default.DupRate > 0 {
-		parts = append(parts, fmt.Sprintf("dup %.2g", p.Default.DupRate))
+	if lf.DropRate > 0 {
+		parts = append(parts, fmt.Sprintf("drop %.2g", lf.DropRate))
 	}
-	if p.Default.JitterMax > 0 {
-		parts = append(parts, fmt.Sprintf("jitter %v", p.Default.JitterMax))
+	if lf.DupRate > 0 {
+		parts = append(parts, fmt.Sprintf("dup %.2g", lf.DupRate))
+	}
+	if lf.JitterMax > 0 {
+		parts = append(parts, fmt.Sprintf("jitter %v", lf.JitterMax))
+	}
+	if n := len(sched); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d chaos event(s)", n))
 	}
 	if n := len(p.Stalls); n > 0 {
 		parts = append(parts, fmt.Sprintf("%d stall window(s)", n))

@@ -37,8 +37,20 @@ func TestDropAndStallParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Seed != 3 || p.Default.DropRate != 0.1 || p.Default.JitterMax != 2*time.Microsecond {
+	// The link knobs compile to a single always-on schedule event (the
+	// one-event-scenario sugar), not the legacy Default field.
+	if p.Seed != 3 || len(p.Schedule) != 1 || p.Schedule[0].Default == nil {
 		t.Fatalf("bad plan: %+v", p)
+	}
+	if ev := p.Schedule[0]; ev.At != 0 || ev.Clear != 0 ||
+		ev.Default.DropRate != 0.1 || ev.Default.JitterMax != 2*time.Microsecond {
+		t.Fatalf("bad sugar event: %+v", ev)
+	}
+	if p.Default != (fabric.LinkFaults{}) {
+		t.Fatalf("legacy Default should stay zero, got %+v", p.Default)
+	}
+	if d := Describe(p); d != "faults: seed 3, drop 0.1, jitter 2µs, 2 stall window(s)" {
+		t.Fatalf("Describe = %q", d)
 	}
 	want := []fabric.StallWindow{
 		{Node: 1, Start: vtime.Time(2 * time.Millisecond), End: vtime.Time(2*time.Millisecond + 500*time.Microsecond)},

@@ -185,6 +185,7 @@ type World struct {
 	cfg     Config
 	ranks   []*Rank
 	reports []*overlap.Report
+	errs    []error
 
 	// Communicator bookkeeping (accessed under the simulator's
 	// coroutine discipline, so no locking is needed).
@@ -201,6 +202,7 @@ func NewWorld(sim *vtime.Sim, fab *fabric.Fabric, cfg Config) *World {
 		fab:     fab,
 		cfg:     cfg,
 		reports: make([]*overlap.Report, fab.Nodes()),
+		errs:    make([]error, fab.Nodes()),
 	}
 	for i := 0; i < fab.Nodes(); i++ {
 		w.ranks = append(w.ranks, newRank(w, i))
@@ -216,16 +218,29 @@ func (w *World) Size() int { return len(w.ranks) }
 
 // Start spawns one proc per rank, each executing main. The simulation
 // must be run (sim.Run) afterwards to execute them.
+//
+// A rank whose main (or finalization) aborts with an error value — the
+// library's structured *CommError path — is recovered in place: the
+// error is recorded (see RankErrors), the rank is torn down without
+// quiescing, and the other ranks keep running, so simultaneous
+// failures across the machine are all observable. Non-error panics are
+// bugs and propagate.
 func (w *World) Start(main func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
 		w.sim.Spawn(fmt.Sprintf("rank%d", r.id), func(p *vtime.Proc) {
 			r.attach(p)
+			defer r.recoverAbort()
 			main(r)
 			r.finalize()
 		})
 	}
 }
+
+// RankErrors returns each rank's recovered structured failure, nil
+// entries for ranks that finished cleanly; valid after the simulation
+// has run.
+func (w *World) RankErrors() []error { return w.errs }
 
 // Reports returns the per-rank instrumentation reports; valid after
 // the simulation has run to completion, nil entries if uninstrumented.
@@ -405,6 +420,39 @@ func (r *Rank) finalize() {
 	}
 	// Stop the progress thread before the simulation drains, or its
 	// parked proc would read as a deadlock.
+	r.eng.Stop()
+	if r.mon != nil {
+		rep := r.mon.Finalize()
+		rep.Rank = r.id
+		r.w.reports[r.id] = rep
+	}
+}
+
+// recoverAbort intercepts the rank's structured failure panic (the
+// *CommError path from a spent retry budget). The error is recorded
+// for World.RankErrors, the interrupted call's accounting is unwound
+// WITHOUT re-entering progress (the failure came from there, and the
+// network is presumed broken — no quiescing), and the rank's report is
+// still produced so the run's observations survive partial failure.
+func (r *Rank) recoverAbort() {
+	v := recover()
+	if v == nil {
+		return
+	}
+	err, ok := v.(error)
+	if !ok {
+		panic(v)
+	}
+	r.w.errs[r.id] = err
+	if r.depth > 0 {
+		for r.depth > 0 {
+			r.mon.CallExit()
+			r.depth--
+		}
+		d := r.proc.Now().Sub(r.enterAt)
+		r.mpiTime += d
+		r.callTimes[r.curOp] += d
+	}
 	r.eng.Stop()
 	if r.mon != nil {
 		rep := r.mon.Finalize()

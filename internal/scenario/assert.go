@@ -1,0 +1,299 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/overlap"
+	"ovlp/internal/vtime"
+)
+
+// Violation is one failed assertion, phrased so the failure output
+// names the expectation and the observation side by side.
+type Violation struct {
+	Scenario string
+	Check    string
+	Expected string
+	Observed string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: expected %s, observed %s", v.Scenario, v.Check, v.Expected, v.Observed)
+}
+
+// Evaluate checks every assertion of the run's scenario and returns
+// the violations (empty means the scenario passes). A scenario with
+// no explicit "error" assertion implicitly asserts the run finished
+// cleanly: an unexpected run error is itself a violation.
+func Evaluate(rr *RunResult) []Violation {
+	s := rr.Scenario
+	var out []Violation
+	add := func(check, expected, observed string) {
+		out = append(out, Violation{Scenario: s.Name, Check: check, Expected: expected, Observed: observed})
+	}
+
+	expectsError := false
+	for i := range s.Assertions {
+		if s.Assertions[i].Check == "error" {
+			expectsError = true
+		}
+	}
+	if !expectsError && rr.Err != nil {
+		add("clean-run", "run finishes without error", rr.Err.Error())
+	}
+
+	for i := range s.Assertions {
+		a := &s.Assertions[i]
+		switch a.Check {
+		case "overlap":
+			checkOverlap(rr, a, add)
+		case "blame_share":
+			checkBlameShare(rr, a, add)
+		case "error":
+			if msg := matchError(rr, a, true); msg != "" {
+				add("error", describeErrorWant(a), msg)
+			}
+		case "error_absent":
+			if msg := matchError(rr, a, false); msg != "" {
+				add("error_absent", "no "+describeErrorWant(a), msg)
+			}
+		case "bounds_valid":
+			checkBoundsValid(rr, add)
+		case "conservation":
+			checkConservation(rr, add)
+		case "determinism":
+			checkDeterminism(rr, add)
+		case "trace_hash":
+			if rr.Opts.Smoke {
+				continue // smoke runs are legitimately different bytes
+			}
+			if rr.TraceHash != a.Hash {
+				add("trace_hash", a.Hash, rr.TraceHash)
+			}
+		case "report_hash":
+			if rr.Opts.Smoke {
+				continue
+			}
+			if rr.ReportHash != a.Hash {
+				add("report_hash", a.Hash, rr.ReportHash)
+			}
+		case "duration":
+			if rr.Res.Duration > a.Max.D() {
+				add("duration", fmt.Sprintf("virtual time <= %v", a.Max.D()),
+					rr.Res.Duration.String())
+			}
+		}
+	}
+	return out
+}
+
+// checkOverlap asserts the true overlap percentage of the scoped
+// measures lies in [min_pct, max_pct]: since the framework reports
+// bounds that bracket the truth, the assertion fails only when even
+// the optimistic bound is below min_pct (or the pessimistic bound
+// above max_pct), beyond the tolerance.
+func checkOverlap(rr *RunResult, a *Assertion, add func(check, expected, observed string)) {
+	m, scope, ok := scopedMeasures(rr, a)
+	if !ok {
+		add("overlap", fmt.Sprintf("measures for %s", scope), "no instrumentation data")
+		return
+	}
+	if m.Count == 0 {
+		add("overlap", fmt.Sprintf("transfers in %s", scope), "0 transfers")
+		return
+	}
+	obs := fmt.Sprintf("%s overlap bounds [%.1f%%, %.1f%%]", scope, m.MinPercent(), m.MaxPercent())
+	if a.MinPct != nil && m.MaxPercent() < *a.MinPct-a.TolPct {
+		add("overlap", fmt.Sprintf("overlap >= %.1f%% (tol %.1f)", *a.MinPct, a.TolPct), obs)
+	}
+	if a.MaxPct != nil && m.MinPercent() > *a.MaxPct+a.TolPct {
+		add("overlap", fmt.Sprintf("overlap <= %.1f%% (tol %.1f)", *a.MaxPct, a.TolPct), obs)
+	}
+}
+
+func scopedMeasures(rr *RunResult, a *Assertion) (overlap.Measures, string, bool) {
+	scope := "total"
+	var rep *overlap.Report
+	if a.Rank != nil {
+		scope = fmt.Sprintf("rank %d", *a.Rank)
+		if *a.Rank >= len(rr.Res.Reports) || rr.Res.Reports[*a.Rank] == nil {
+			return overlap.Measures{}, scope, false
+		}
+		rep = rr.Res.Reports[*a.Rank]
+	} else {
+		rep = overlap.Aggregate(rr.Res.Reports)
+	}
+	if a.Region != "" {
+		scope += " region " + a.Region
+		reg := rep.Region(a.Region)
+		if reg == nil {
+			return overlap.Measures{}, scope, false
+		}
+		return reg.Total, scope, true
+	}
+	return rep.Total(), scope, true
+}
+
+func checkBlameShare(rr *RunResult, a *Assertion, add func(check, expected, observed string)) {
+	if rr.Profile == nil {
+		add("blame_share", "an offline profile", "profile analysis unavailable for this run")
+		return
+	}
+	names, vals := rr.Profile.Totals.Blame.Columns()
+	gap := rr.Profile.Totals.Gap
+	var share float64
+	for i, n := range names {
+		if n == a.Category {
+			if gap > 0 {
+				share = 100 * float64(vals[i]) / float64(gap)
+			}
+		}
+	}
+	obs := fmt.Sprintf("%s share %.1f%% of %v gap", a.Category, share, gap)
+	if a.MinShare != nil && share < *a.MinShare {
+		add("blame_share", fmt.Sprintf("%s share >= %.1f%%", a.Category, *a.MinShare), obs)
+	}
+	if a.MaxShare != nil && share > *a.MaxShare {
+		add("blame_share", fmt.Sprintf("%s share <= %.1f%%", a.Category, *a.MaxShare), obs)
+	}
+}
+
+func describeErrorWant(a *Assertion) string {
+	where := "on any rank"
+	if a.Rank != nil {
+		where = fmt.Sprintf("on rank %d", *a.Rank)
+	}
+	return fmt.Sprintf("%s error %s", a.Error, where)
+}
+
+// matchError checks the expected-error (want=true) or proven-absent
+// (want=false) condition and returns "" on success or the observation
+// text on failure.
+func matchError(rr *RunResult, a *Assertion, want bool) string {
+	matched, found := findError(rr, a)
+	if want {
+		if matched {
+			return ""
+		}
+		if found != "" {
+			return "different error: " + found
+		}
+		return "run finished cleanly"
+	}
+	if !matched {
+		return ""
+	}
+	return found
+}
+
+// findError reports whether the expected error kind is present in the
+// assertion's scope, plus a description of whatever error was seen.
+func findError(rr *RunResult, a *Assertion) (matched bool, seen string) {
+	kindMatch := func(err error) bool {
+		if err == nil {
+			return false
+		}
+		switch a.Error {
+		case "timeout":
+			return errors.Is(err, mpi.ErrTimeout)
+		case "peer_unreachable":
+			return errors.Is(err, mpi.ErrPeerUnreachable)
+		case "deadlock":
+			var de *vtime.DeadlockError
+			return errors.As(err, &de)
+		default: // "any"
+			return true
+		}
+	}
+	if a.Rank != nil {
+		var err error
+		if *a.Rank < len(rr.Res.RankErrors) {
+			err = rr.Res.RankErrors[*a.Rank]
+		}
+		if err != nil {
+			seen = fmt.Sprintf("rank %d: %v", *a.Rank, err)
+		}
+		return kindMatch(err), seen
+	}
+	if rr.Err != nil {
+		seen = rr.Err.Error()
+	}
+	if kindMatch(rr.Err) {
+		return true, seen
+	}
+	for rank, err := range rr.Res.RankErrors {
+		if kindMatch(err) {
+			return true, fmt.Sprintf("rank %d: %v", rank, err)
+		}
+	}
+	return false, seen
+}
+
+// checkBoundsValid runs the independent oracle over every rank's raw
+// event stream (see oracle.go).
+func checkBoundsValid(rr *RunResult, add func(check, expected, observed string)) {
+	if rr.Res.Calib == nil {
+		add("bounds_valid", "a calibrated instrumented run", "no calibration table in result")
+		return
+	}
+	plan, err := rr.Scenario.FaultPlan()
+	if err != nil {
+		add("bounds_valid", "compilable chaos schedule", err.Error())
+		return
+	}
+	truth := rr.truthByID()
+	cost := fabric.DefaultCostModel()
+	for rank := 0; rank < rr.Procs; rank++ {
+		var rep *overlap.Report
+		if rank < len(rr.Res.Reports) {
+			rep = rr.Res.Reports[rank]
+		}
+		if rep == nil && len(rr.Events[rank]) == 0 {
+			continue // rank wedged before finalize: nothing to replay
+		}
+		if msg := checkBounds(rank, rr.Events[rank], rep, truth, rr.Res.Calib, cost, plan); msg != "" {
+			add("bounds_valid", "min <= true overlap <= max per transfer", msg)
+			return
+		}
+	}
+}
+
+// checkConservation asserts the profiler's attribution conserves the
+// quantity it explains: the job-wide attributed gap equals the
+// overlap report's max−min bound gap exactly, and the per-category
+// blame sums back to it.
+func checkConservation(rr *RunResult, add func(check, expected, observed string)) {
+	if rr.Profile == nil {
+		add("conservation", "an offline profile", "profile analysis unavailable for this run")
+		return
+	}
+	agg := overlap.Aggregate(rr.Res.Reports).Total()
+	repGap := agg.MaxOverlapped - agg.MinOverlapped
+	tot := rr.Profile.Totals
+	if tot.Gap != repGap {
+		add("conservation", fmt.Sprintf("attributed gap == report gap %v", repGap),
+			fmt.Sprintf("attributed gap %v", tot.Gap))
+	}
+	if bt := tot.Blame.Total(); bt != tot.Gap {
+		add("conservation", fmt.Sprintf("blame categories sum to gap %v", tot.Gap),
+			fmt.Sprintf("categories sum to %v", bt))
+	}
+}
+
+// checkDeterminism reruns the scenario in-process and compares the
+// artifact hashes — same seed, same bytes.
+func checkDeterminism(rr *RunResult, add func(check, expected, observed string)) {
+	again, err := Run(rr.Scenario, rr.Opts)
+	if err != nil {
+		add("determinism", "a repeatable run", "rerun failed: "+err.Error())
+		return
+	}
+	if again.TraceHash != rr.TraceHash {
+		add("determinism", "identical trace hash "+short(rr.TraceHash), "rerun produced "+short(again.TraceHash))
+	}
+	if again.ReportHash != rr.ReportHash {
+		add("determinism", "identical report hash "+short(rr.ReportHash), "rerun produced "+short(again.ReportHash))
+	}
+}

@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/fabric"
+	"ovlp/internal/overlap"
+)
+
+// The bounds oracle re-derives the paper's three-case min/max overlap
+// algorithm from each rank's raw instrumentation event stream and
+// checks it two ways: the replayed totals must equal the monitor's
+// incrementally folded report exactly, and for every transfer the
+// fabric double-stamped, min ≤ true overlap ≤ max must hold within a
+// tolerance reflecting the library's approximate view. Under a chaos
+// schedule the tolerance additionally absorbs injected jitter and —
+// for bandwidth-degraded windows — the stretch of the physical
+// transfer beyond its calibrated time, since calibration describes
+// the healthy network the instrumentation was characterized on.
+
+type oracle struct {
+	table *calib.Table
+
+	lastStamp time.Duration
+	inLib     bool
+	callSeq   uint64
+	cumUser   time.Duration
+	cumLib    time.Duration
+
+	open          map[uint64]oracleOpen
+	results       []oracleResult
+	userIntervals []interval
+	lastExit      time.Duration
+
+	sumMin, sumMax, sumData time.Duration
+	count                   int
+}
+
+type oracleOpen struct {
+	size    int64
+	cumUser time.Duration
+	cumLib  time.Duration
+	callSeq uint64
+}
+
+type oracleResult struct {
+	id       uint64
+	size     int64
+	minOv    time.Duration
+	maxOv    time.Duration
+	sameCall bool
+}
+
+type interval struct{ start, end time.Duration }
+
+func (o *oracle) advance(stamp time.Duration) {
+	span := stamp - o.lastStamp
+	if o.inLib {
+		o.cumLib += span
+	} else {
+		o.cumUser += span
+	}
+	o.lastStamp = stamp
+}
+
+func (o *oracle) apply(e overlap.Event) {
+	o.advance(e.Stamp)
+	switch e.Kind {
+	case overlap.KindCallEnter:
+		o.inLib = true
+		o.callSeq++
+		if e.Stamp > o.lastExit {
+			o.userIntervals = append(o.userIntervals, interval{o.lastExit, e.Stamp})
+		}
+	case overlap.KindCallExit:
+		o.inLib = false
+		o.lastExit = e.Stamp
+	case overlap.KindXferBegin:
+		o.open[e.ID] = oracleOpen{size: e.Size, cumUser: o.cumUser, cumLib: o.cumLib, callSeq: o.callSeq}
+	case overlap.KindXferEnd:
+		rec, seen := o.open[e.ID]
+		if !seen {
+			o.record(oracleResult{id: e.ID, size: e.Size, minOv: 0, maxOv: o.table.XferTime(int(e.Size))})
+			return
+		}
+		delete(o.open, e.ID)
+		xt := o.table.XferTime(int(rec.size))
+		if rec.callSeq == o.callSeq && o.inLib {
+			o.record(oracleResult{id: e.ID, size: rec.size, sameCall: true})
+			return
+		}
+		comp := o.cumUser - rec.cumUser
+		noncomp := o.cumLib - rec.cumLib
+		maxOv := xt
+		if comp < maxOv {
+			maxOv = comp
+		}
+		minOv := xt - noncomp
+		if minOv < 0 {
+			minOv = 0
+		}
+		if minOv > maxOv {
+			minOv = maxOv
+		}
+		o.record(oracleResult{id: e.ID, size: rec.size, minOv: minOv, maxOv: maxOv})
+	}
+}
+
+func (o *oracle) record(res oracleResult) {
+	o.results = append(o.results, res)
+	o.sumMin += res.minOv
+	o.sumMax += res.maxOv
+	o.sumData += o.table.XferTime(int(res.size))
+	o.count++
+}
+
+func (o *oracle) finish(stamp time.Duration) {
+	o.advance(stamp)
+	if !o.inLib && stamp > o.lastExit {
+		o.userIntervals = append(o.userIntervals, interval{o.lastExit, stamp})
+	}
+	for id, rec := range o.open {
+		o.record(oracleResult{id: id, size: rec.size, minOv: 0, maxOv: o.table.XferTime(int(rec.size))})
+		delete(o.open, id)
+	}
+}
+
+// overlapWith returns how much of [start, end) falls inside the
+// rank's user-computation intervals.
+func (o *oracle) overlapWith(start, end time.Duration) time.Duration {
+	var total time.Duration
+	for _, iv := range o.userIntervals {
+		s, e := start, end
+		if iv.start > s {
+			s = iv.start
+		}
+		if iv.end < e {
+			e = iv.end
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// maxJitter returns the largest jitter any part of the plan can
+// inject (the time-dependent part of the oracle tolerance).
+func maxJitter(plan *fabric.FaultPlan) time.Duration {
+	if plan == nil {
+		return 0
+	}
+	m := plan.Default.JitterMax
+	for _, lf := range plan.Links {
+		if lf.JitterMax > m {
+			m = lf.JitterMax
+		}
+	}
+	for i := range plan.Schedule {
+		ev := &plan.Schedule[i]
+		if ev.Default != nil && ev.Default.JitterMax > m {
+			m = ev.Default.JitterMax
+		}
+		if ev.NodeFaults.JitterMax > m {
+			m = ev.NodeFaults.JitterMax
+		}
+		for _, lf := range ev.Links {
+			if lf.JitterMax > m {
+				m = lf.JitterMax
+			}
+		}
+	}
+	return m
+}
+
+// checkBounds replays rank's event stream and verifies both oracle
+// properties against the monitor report and the ground-truth transfer
+// log. It returns a violation description, or "".
+func checkBounds(rank int, events []overlap.Event, rep *overlap.Report,
+	truth map[uint64]fabric.Transfer, table *calib.Table,
+	cost fabric.CostModel, plan *fabric.FaultPlan) string {
+
+	if rep == nil {
+		return fmt.Sprintf("rank %d: no instrumentation report to check bounds against", rank)
+	}
+	o := &oracle{table: table, open: map[uint64]oracleOpen{}}
+	for _, e := range events {
+		o.apply(e)
+	}
+	o.finish(rep.Duration)
+
+	// (1) Internal consistency: the monitor's folded totals must match
+	// an independent replay of its own event stream exactly.
+	tot := rep.Total()
+	if o.sumMin != tot.MinOverlapped || o.sumMax != tot.MaxOverlapped ||
+		o.sumData != tot.DataTransferTime || o.count != tot.Count {
+		return fmt.Sprintf("rank %d: replayed totals (n=%d min=%v max=%v data=%v) != report (n=%d min=%v max=%v data=%v)",
+			rank, o.count, o.sumMin, o.sumMax, o.sumData,
+			tot.Count, tot.MinOverlapped, tot.MaxOverlapped, tot.DataTransferTime)
+	}
+
+	// (2) Physical validity: bounds bracket the true overlap.
+	eps := cost.LinkLatency + cost.DMAStartup + 2*time.Microsecond + maxJitter(plan)
+	for _, r := range o.results {
+		tr, ok := truth[r.id]
+		if !ok {
+			continue // library-internal id (e.g. receiver-side bulk view)
+		}
+		trueDur := (tr.End - tr.Start).Duration()
+		trueOv := o.overlapWith(tr.Start.Duration(), tr.End.Duration())
+		// 5% calibration slack plus, under bandwidth degradation, the
+		// stretch of the wire interval beyond the calibrated estimate.
+		fudge := eps + trueDur/20
+		if stretch := trueDur - o.table.XferTime(int(r.size)); stretch > 0 {
+			fudge += stretch
+		}
+		if r.sameCall && trueOv > fudge {
+			return fmt.Sprintf("rank %d xfer %d (size %d): same-call transfer but true overlap %v > %v",
+				rank, r.id, r.size, trueOv, fudge)
+		}
+		if r.minOv > trueOv+fudge {
+			return fmt.Sprintf("rank %d xfer %d (size %d): min bound %v exceeds true overlap %v (+%v)",
+				rank, r.id, r.size, r.minOv, trueOv, fudge)
+		}
+		if trueOv > r.maxOv+fudge {
+			return fmt.Sprintf("rank %d xfer %d (size %d): true overlap %v exceeds max bound %v (+%v)",
+				rank, r.id, r.size, trueOv, r.maxOv, fudge)
+		}
+	}
+	return ""
+}

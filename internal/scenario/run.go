@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/overlap"
+	"ovlp/internal/profile"
+	"ovlp/internal/trace"
+)
+
+// Smoke-mode caps: CI runs the whole corpus quickly by shrinking the
+// machine and the iteration counts while keeping every scenario's
+// structure — workload mix, chaos schedule, assertion set — intact.
+const (
+	smokeProcs = 4
+	smokeReps  = 5
+	smokeIters = 2
+)
+
+// DefaultDeadline bounds scenarios that do not declare their own.
+const DefaultDeadline = 10 * time.Second
+
+// Opts parameterizes one engine run.
+type Opts struct {
+	// Smoke shrinks the run for CI: procs capped at 4 (but never below
+	// the scenario's structural minimum), reps at 5, iterations at 2.
+	// Golden-hash assertions are skipped, since the bytes legitimately
+	// differ from the full-size run's.
+	Smoke bool
+}
+
+// RunResult is everything one engine run produces: the raw cluster
+// observations, the captured per-rank instrumentation streams, the
+// offline profile, and the deterministic artifacts (Chrome trace
+// bytes, run-report JSON) with their hashes.
+type RunResult struct {
+	Scenario *Scenario
+	Opts     Opts
+	// Procs is the machine size actually used (== Scenario.Procs except
+	// under smoke clamping).
+	Procs int
+
+	Res cluster.Result
+	// Err is the run's aggregate error: nil, a *cluster.RunErrors, or a
+	// bare simulation error (deadlock). An expected-error assertion can
+	// make a non-nil Err a passing outcome.
+	Err error
+	// Events holds each rank's raw instrumentation event stream (the
+	// oracle's input).
+	Events [][]overlap.Event
+	// Profile is the offline blame analysis (nil when it could not be
+	// produced, e.g. a run wedged before emitting any stream).
+	Profile *profile.Profile
+
+	TraceBytes  []byte
+	TraceHash   string
+	ReportBytes []byte
+	ReportHash  string
+}
+
+// Run executes the scenario once. The run is a pure function of
+// (scenario, opts): identical inputs produce byte-identical
+// TraceBytes and ReportBytes. Errors returned here are engine-level
+// (invalid scenario); the workload's own failures land in
+// RunResult.Err where assertions can inspect them.
+func Run(s *Scenario, opts Opts) (*RunResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	procs := s.Procs
+	if opts.Smoke && procs > smokeProcs {
+		procs = smokeProcs
+		if mp := s.MinProcs(); procs < mp {
+			procs = mp
+		}
+		// Never shrink onto a machine the workload cannot use (NPB grid
+		// constraints); s.Procs itself validated, so this terminates.
+		for procs < s.Procs && !s.Workload.procsOK(procs) {
+			procs++
+		}
+	}
+	mpiCfg, err := s.mpiConfig()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	plan, err := s.FaultPlan()
+	if err != nil {
+		return nil, err
+	}
+
+	events := make([][]overlap.Event, procs)
+	mpiCfg.Instrument = &mpi.InstrumentConfig{
+		TraceSinkFor: func(rank int) func(overlap.Event) {
+			return func(e overlap.Event) { events[rank] = append(events[rank], e) }
+		},
+	}
+	deadline := s.Deadline.D()
+	if deadline <= 0 {
+		deadline = DefaultDeadline
+	}
+	tracer := trace.New(trace.Options{})
+	cfg := cluster.Config{
+		Procs:       procs,
+		MPI:         mpiCfg,
+		RecordTruth: true,
+		Faults:      plan,
+		Deadline:    deadline,
+		Trace:       tracer,
+	}
+
+	res, runErr := cluster.RunE(cfg, s.Workload.program(opts.Smoke))
+
+	rr := &RunResult{
+		Scenario: s,
+		Opts:     opts,
+		Procs:    procs,
+		Res:      res,
+		Err:      runErr,
+		Events:   events,
+	}
+
+	var tb bytes.Buffer
+	if err := tracer.WriteChrome(&tb); err != nil {
+		return nil, fmt.Errorf("scenario %s: trace export: %w", s.Name, err)
+	}
+	rr.TraceBytes = tb.Bytes()
+	rr.TraceHash = hashBytes(rr.TraceBytes)
+
+	// The offline profile is best-effort: a run that wedged at t=0 may
+	// not have enough stream to analyze, and assertions that need the
+	// profile report its absence as their own violation.
+	if p, err := profile.Analyze(profile.FromTracer(tracer, res.Calib, res.Reports)); err == nil {
+		rr.Profile = p
+	}
+
+	rr.ReportBytes, err = buildReport(rr).encode()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: report encode: %w", s.Name, err)
+	}
+	rr.ReportHash = hashBytes(rr.ReportBytes)
+	return rr, nil
+}
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// truthByID indexes the ground-truth transfer log for the oracle.
+func (rr *RunResult) truthByID() map[uint64]fabric.Transfer {
+	m := make(map[uint64]fabric.Transfer, len(rr.Res.Transfers))
+	for _, tr := range rr.Res.Transfers {
+		m[tr.XferID] = tr
+	}
+	return m
+}

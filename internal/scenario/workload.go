@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"time"
+
+	"ovlp/internal/coll"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/nas"
+	"ovlp/internal/progress"
+)
+
+// RegionExchange labels the monitored section around each exchange
+// iteration, so overlap assertions can scope to it.
+const RegionExchange = "exchange"
+
+// program returns the per-rank main for the workload, already scaled
+// for smoke mode (reduced reps/iterations; the mix is unchanged).
+func (w *Workload) program(smoke bool) func(r *mpi.Rank) {
+	reps := w.Reps
+	iters := w.Iters
+	if smoke {
+		if reps > smokeReps {
+			reps = smokeReps
+		}
+		if iters == 0 || iters > smokeIters {
+			iters = smokeIters
+		}
+	}
+	switch w.Kind {
+	case "exchange":
+		size, compute := w.Size.N(), w.Compute.D()
+		return func(r *mpi.Rank) {
+			// Ring exchange: Isend to the right neighbour, Irecv from
+			// the left, compute while both are in flight. With two
+			// ranks this degenerates to the paper's pairwise
+			// microbenchmark shape.
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() + r.Size() - 1) % r.Size()
+			for i := 0; i < reps; i++ {
+				r.PushRegion(RegionExchange)
+				sq := r.Isend(right, 0, size)
+				rq := r.Irecv(left, 0)
+				r.Compute(compute)
+				r.Waitall(sq, rq)
+				r.PopRegion()
+			}
+		}
+	case "nas":
+		bench := strings.ToUpper(w.Bench)
+		class := nas.ClassS
+		if w.Class != "" {
+			class = nas.Class(strings.ToUpper(w.Class)[0])
+		}
+		return func(r *mpi.Rank) {
+			nas.Run(bench, r, nas.Params{Class: class, MaxIters: iters})
+		}
+	case "coll":
+		op, size, compute, polls := w.Op, w.Size.N(), w.Compute.D(), w.Polls
+		return func(r *mpi.Rank) {
+			for i := 0; i < reps; i++ {
+				cr := startColl(r, op, size)
+				slice := compute / time.Duration(polls+1)
+				for k := 0; k <= polls; k++ {
+					r.Compute(slice)
+					if k < polls {
+						r.TestColl(cr)
+					}
+				}
+				r.WaitColl(cr)
+			}
+		}
+	}
+	panic("scenario: unvalidated workload kind " + w.Kind)
+}
+
+func startColl(r *mpi.Rank, op string, size int) *mpi.CollRequest {
+	switch op {
+	case "ibcast":
+		return r.Ibcast(0, size)
+	case "ireduce":
+		return r.Ireduce(0, size)
+	case "iallreduce":
+		return r.Iallreduce(size)
+	case "ialltoall":
+		return r.Ialltoall(size)
+	case "ibarrier":
+		return r.Ibarrier()
+	}
+	panic("scenario: unvalidated collective " + op)
+}
+
+// mpiConfig fills the library configuration the workload asks for.
+func (s *Scenario) mpiConfig() (mpi.Config, error) {
+	proto, err := s.protocol()
+	if err != nil {
+		return mpi.Config{}, err
+	}
+	cfg := mpi.Config{Protocol: proto}
+	w := &s.Workload
+	if w.Kind == "coll" {
+		if w.Algo != "" {
+			if cfg.CollAlgo, err = coll.ParseAlgo(w.Algo); err != nil {
+				return mpi.Config{}, err
+			}
+		}
+		cfg.CollChunk = w.Chunk.N()
+		if w.Progress != "" {
+			mode, err := progress.ParseMode(w.Progress)
+			if err != nil {
+				return mpi.Config{}, err
+			}
+			cfg.Progress = progress.Config{Mode: mode}
+		}
+	}
+	if s.Reliable != nil {
+		cfg.Reliable = &fabric.ReliableParams{
+			Timeout:    s.Reliable.Timeout.D(),
+			MaxRetries: s.Reliable.MaxRetries,
+			Backoff:    s.Reliable.Backoff,
+		}
+	}
+	return cfg, nil
+}

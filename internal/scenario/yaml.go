@@ -1,0 +1,395 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the YAML subset scenario files are written in.
+// The repo deliberately has no third-party dependencies, so instead of
+// a full YAML implementation the loader parses a small, predictable
+// dialect into the generic any/map/slice shape encoding/json produces,
+// and the typed Scenario is then decoded from that via JSON (see
+// load.go). The subset covers what scenario files need:
+//
+//   - "#" comments (full-line or trailing, outside quotes)
+//   - block mappings  key: value  with nesting by indentation (spaces)
+//   - block sequences "- item", including sequences of mappings
+//   - flow collections [a, b] and {k: v}, nestable
+//   - scalars: null, true/false, integers, floats, and strings
+//     (quoted or bare; bare strings like 2ms or 64K stay strings)
+//
+// Anchors, aliases, multi-document streams, multi-line strings and
+// tabs are rejected with positioned errors.
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content, comment stripped, trailing space trimmed
+}
+
+// parseYAML parses src into nested map[string]any / []any / scalars.
+func parseYAML(src []byte) (any, error) {
+	lines, err := splitYAMLLines(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("scenario: yaml line %d: unexpected content %q (bad indentation?)", l.num, l.text)
+	}
+	return v, nil
+}
+
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("scenario: yaml line %d: tabs are not allowed, indent with spaces", num)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" || strings.HasPrefix(trimmed, "%") {
+			if trimmed == "---" && len(out) == 0 {
+				continue // a leading document marker is harmless
+			}
+			return nil, fmt.Errorf("scenario: yaml line %d: multi-document streams are not supported", num)
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		out = append(out, yamlLine{num: num, indent: indent, text: strings.TrimSpace(text)})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#" comment, honouring quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#':
+			// YAML only treats # as a comment at start or after space.
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses the mapping or sequence whose first line sits at the
+// current position with the given indent.
+func (p *yamlParser) block(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *yamlParser) sequence(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			break
+		}
+		p.pos++
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		switch {
+		case rest == "":
+			// Item is the nested block on the following lines.
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMappingStart(rest):
+			// "- key: ..." opens an inline mapping whose further keys
+			// are indented past the dash.
+			v, err := p.inlineItemMapping(l, rest, indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			v, err := parseFlowValue(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// inlineItemMapping handles a sequence item of the form "- key: value"
+// with continuation keys indented deeper than the dash.
+func (p *yamlParser) inlineItemMapping(l yamlLine, rest string, indent int) (any, error) {
+	m := map[string]any{}
+	key, val, err := splitKey(rest, l.num)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.mappingValue(m, key, val, l, indent+2); err != nil {
+		return nil, err
+	}
+	// Continuation keys: deeper than the dash, aligned with each other.
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		cont := p.lines[p.pos].indent
+		for p.pos < len(p.lines) && p.lines[p.pos].indent == cont {
+			cl := p.lines[p.pos]
+			if strings.HasPrefix(cl.text, "- ") {
+				break
+			}
+			p.pos++
+			k, v, err := splitKey(cl.text, cl.num)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := m[k]; dup {
+				return nil, fmt.Errorf("scenario: yaml line %d: duplicate key %q", cl.num, k)
+			}
+			if err := p.mappingValue(m, k, v, cl, cont); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) mapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("scenario: yaml line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("scenario: yaml line %d: sequence item inside a mapping", l.num)
+		}
+		p.pos++
+		key, val, err := splitKey(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("scenario: yaml line %d: duplicate key %q", l.num, key)
+		}
+		if err := p.mappingValue(m, key, val, l, indent); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// mappingValue stores key's value in m: an inline scalar/flow value,
+// or the nested block on the following lines when val is empty.
+func (p *yamlParser) mappingValue(m map[string]any, key, val string, l yamlLine, indent int) error {
+	if val != "" {
+		v, err := parseFlowValue(val, l.num)
+		if err != nil {
+			return err
+		}
+		m[key] = v
+		return nil
+	}
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		v, err := p.block(p.lines[p.pos].indent)
+		if err != nil {
+			return err
+		}
+		m[key] = v
+		return nil
+	}
+	m[key] = nil
+	return nil
+}
+
+func isMappingStart(s string) bool {
+	k, _, err := splitKey(s, 0)
+	return err == nil && k != "" && !strings.ContainsAny(k, "[]{},\"'")
+}
+
+// splitKey splits "key: value" / "key:" at the first colon outside
+// quotes that is followed by space or end of line.
+func splitKey(s string, num int) (key, val string, err error) {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == ':':
+			if i+1 == len(s) {
+				return unquoteKey(s[:i]), "", nil
+			}
+			if s[i+1] == ' ' {
+				return unquoteKey(s[:i]), strings.TrimSpace(s[i+1:]), nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("scenario: yaml line %d: expected \"key: value\", got %q", num, s)
+}
+
+func unquoteKey(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// parseFlowValue parses an inline value: a flow collection or scalar.
+func parseFlowValue(s string, num int) (any, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	switch s[0] {
+	case '[', '{':
+		v, rest, err := parseFlow(s, num)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("scenario: yaml line %d: trailing content %q after flow value", num, rest)
+		}
+		return v, nil
+	case '&', '*', '|', '>':
+		return nil, fmt.Errorf("scenario: yaml line %d: %q values are not supported in the yaml subset", num, string(s[0]))
+	}
+	return parseScalar(s), nil
+}
+
+// parseFlow parses one flow collection or scalar element, returning
+// the unconsumed remainder.
+func parseFlow(s string, num int) (any, string, error) {
+	s = strings.TrimLeft(s, " ")
+	if s == "" {
+		return nil, "", fmt.Errorf("scenario: yaml line %d: unterminated flow collection", num)
+	}
+	switch s[0] {
+	case '[':
+		var out []any
+		s = strings.TrimLeft(s[1:], " ")
+		if strings.HasPrefix(s, "]") {
+			return []any{}, s[1:], nil
+		}
+		for {
+			v, rest, err := parseFlow(s, num)
+			if err != nil {
+				return nil, "", err
+			}
+			out = append(out, v)
+			rest = strings.TrimLeft(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, ","):
+				s = rest[1:]
+			case strings.HasPrefix(rest, "]"):
+				return out, rest[1:], nil
+			default:
+				return nil, "", fmt.Errorf("scenario: yaml line %d: expected ',' or ']' in flow sequence, got %q", num, rest)
+			}
+		}
+	case '{':
+		m := map[string]any{}
+		s = strings.TrimLeft(s[1:], " ")
+		if strings.HasPrefix(s, "}") {
+			return m, s[1:], nil
+		}
+		for {
+			colon := strings.IndexByte(s, ':')
+			if colon < 0 {
+				return nil, "", fmt.Errorf("scenario: yaml line %d: expected \"key: value\" in flow mapping", num)
+			}
+			key := unquoteKey(s[:colon])
+			v, rest, err := parseFlow(s[colon+1:], num)
+			if err != nil {
+				return nil, "", err
+			}
+			m[key] = v
+			rest = strings.TrimLeft(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, ","):
+				s = strings.TrimLeft(rest[1:], " ")
+			case strings.HasPrefix(rest, "}"):
+				return m, rest[1:], nil
+			default:
+				return nil, "", fmt.Errorf("scenario: yaml line %d: expected ',' or '}' in flow mapping, got %q", num, rest)
+			}
+		}
+	case '"', '\'':
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return nil, "", fmt.Errorf("scenario: yaml line %d: unterminated string", num)
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	}
+	// Bare scalar: up to the next flow delimiter.
+	end := strings.IndexAny(s, ",]}")
+	if end < 0 {
+		return parseScalar(strings.TrimSpace(s)), "", nil
+	}
+	return parseScalar(strings.TrimSpace(s[:end])), s[end:], nil
+}
+
+// parseScalar interprets a bare scalar: null, booleans and numbers get
+// native types, everything else stays a string (so durations like
+// "2ms" and sizes like "64K" survive for the typed decode).
+func parseScalar(s string) any {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	switch s {
+	case "null", "~":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLBasicMapping(t *testing.T) {
+	src := `
+# a scenario header
+name: demo          # trailing comment
+seed: 42
+procs: 4
+pi: 3.5
+on: true
+off: false
+empty: null
+label: "quoted # not a comment"
+`
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name": "demo", "seed": int64(42), "procs": int64(4),
+		"pi": 3.5, "on": true, "off": false, "empty": nil,
+		"label": "quoted # not a comment",
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLNestedBlocksAndSequences(t *testing.T) {
+	src := `
+workload:
+  kind: exchange
+  size: 64K
+chaos:
+  - label: first
+    at: 1ms
+    links: [0->1, 1->2]
+  - label: second
+    at: 2ms
+ranks:
+  - 0
+  - 1
+inline: {a: 1, b: [x, y]}
+`
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	wl := m["workload"].(map[string]any)
+	if wl["kind"] != "exchange" || wl["size"] != "64K" {
+		t.Fatalf("workload = %#v", wl)
+	}
+	chaos := m["chaos"].([]any)
+	if len(chaos) != 2 {
+		t.Fatalf("chaos = %#v", chaos)
+	}
+	first := chaos[0].(map[string]any)
+	if first["label"] != "first" || first["at"] != "1ms" {
+		t.Fatalf("first = %#v", first)
+	}
+	if links := first["links"].([]any); len(links) != 2 || links[0] != "0->1" {
+		t.Fatalf("links = %#v", first["links"])
+	}
+	if ranks := m["ranks"].([]any); !reflect.DeepEqual(ranks, []any{int64(0), int64(1)}) {
+		t.Fatalf("ranks = %#v", ranks)
+	}
+	inline := m["inline"].(map[string]any)
+	if inline["a"] != int64(1) {
+		t.Fatalf("inline = %#v", inline)
+	}
+	if b := inline["b"].([]any); !reflect.DeepEqual(b, []any{"x", "y"}) {
+		t.Fatalf("inline.b = %#v", inline["b"])
+	}
+}
+
+func TestYAMLRejections(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab", "a:\n\tb: 1", "tabs are not allowed"},
+		{"multidoc", "a: 1\n---\nb: 2", "multi-document"},
+		{"anchor", "a: &x 1", "not supported"},
+		{"duplicate", "a: 1\na: 2", "duplicate key"},
+		{"badline", "just words\n", "key: value"},
+		{"unterminated", `a: [1, 2`, "expected ',' or ']'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
