@@ -8,6 +8,7 @@
 // Usage:
 //
 //	ovlprof [-calib table.txt] [-top 10] [-csv|-folded|-json] trace.json
+//	ovlprof -timeresolved [-window 100us] [-csv|-json] trace.json
 //
 // The trace file must come from this repo's exporter (cluster runs
 // with -trace, or cmd/tracecat merges). Transfer times are interpolated
@@ -20,63 +21,112 @@
 // -folded emits folded-stack lines for flamegraph.pl (blame stacks and
 // critical-path stacks); -json the full profile document. The default
 // is a human-readable text report; -top caps its call-site table.
+//
+// -timeresolved switches to the windowed efficiency view (see
+// internal/timeres): rolling-window and per-phase parallel/load-
+// balance/communication/transfer/serialization efficiencies with
+// per-window overlap bounds; -csv and -json select the deterministic
+// machine formats, the default is text tables. An empty or span-free
+// trace exits non-zero with a named error instead of emitting an
+// empty report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
 	"ovlp/internal/calib"
 	"ovlp/internal/cluster"
 	"ovlp/internal/fabric"
 	"ovlp/internal/profile"
+	"ovlp/internal/timeres"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ovlprof: ")
-	calibPath := flag.String("calib", "", "calibration table file (default: calibrate on the default cost model)")
-	top := flag.Int("top", 10, "call sites to list in the text report (0 = all)")
-	csvOut := flag.Bool("csv", false, "emit per-site CSV instead of the text report")
-	folded := flag.Bool("folded", false, "emit folded-stack lines (flamegraph.pl input)")
-	jsonOut := flag.Bool("json", false, "emit the full profile as JSON")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: ovlprof [flags] trace.json (\"-\" for stdin)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ovlprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	calibPath := fs.String("calib", "", "calibration table file (default: calibrate on the default cost model)")
+	top := fs.Int("top", 10, "call sites to list in the text report (0 = all)")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the text report")
+	folded := fs.Bool("folded", false, "emit folded-stack lines (flamegraph.pl input)")
+	jsonOut := fs.Bool("json", false, "emit the full document as JSON")
+	timeResolved := fs.Bool("timeresolved", false, "emit time-resolved windowed efficiency metrics instead of the blame profile")
+	window := fs.Duration("window", timeres.DefaultWindow, "rolling-window length for -timeresolved")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "ovlprof: %v\n", err)
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ovlprof [flags] trace.json (\"-\" for stdin)")
+		return 2
 	}
 	if n := count(*csvOut, *folded, *jsonOut); n > 1 {
-		log.Fatal("pass at most one of -csv, -folded, -json")
+		fmt.Fprintln(stderr, "ovlprof: pass at most one of -csv, -folded, -json")
+		return 2
+	}
+	if *timeResolved && *folded {
+		fmt.Fprintln(stderr, "ovlprof: -folded does not apply to -timeresolved")
+		return 2
 	}
 
 	table, err := loadTable(*calibPath)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	in, err := readInput(flag.Arg(0), table)
+	in, err := readInput(fs.Arg(0), table)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	p, err := profile.Analyze(in)
-	if err != nil {
-		log.Fatal(err)
+	if err := in.CheckNonEmpty(); err != nil {
+		return fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
 	}
 
+	if *timeResolved {
+		s, err := timeres.FromInput(in, timeres.Options{Window: *window})
+		if err != nil {
+			return fail(err)
+		}
+		switch {
+		case *csvOut:
+			err = s.WriteCSV(stdout)
+		case *jsonOut:
+			err = s.WriteJSON(stdout)
+		default:
+			err = s.WriteText(stdout)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	p, err := profile.Analyze(in)
+	if err != nil {
+		return fail(err)
+	}
 	switch {
 	case *csvOut:
-		err = p.WriteCSV(os.Stdout)
+		err = p.WriteCSV(stdout)
 	case *folded:
-		err = p.WriteFolded(os.Stdout)
+		err = p.WriteFolded(stdout)
 	case *jsonOut:
-		err = p.EncodeJSON(os.Stdout)
+		err = p.EncodeJSON(stdout)
 	default:
-		err = p.WriteText(os.Stdout, *top)
+		err = p.WriteText(stdout, *top)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
+	return 0
 }
 
 func count(bs ...bool) int {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ovlp/internal/timeres"
+)
+
+const testScenario = `name: top-test
+seed: 7
+procs: 2
+deadline: 2s
+workload:
+  kind: exchange
+  size: 64K
+  reps: 4
+  compute: 200us
+`
+
+func writeScenario(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "top-test.yaml")
+	if err := os.WriteFile(path, []byte(testScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFinalRender pins the -refresh 0 mode: no live redraws, one full
+// table render after the run, exit 0.
+func TestFinalRender(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-refresh", "0", writeScenario(t)}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "\x1b[2J") {
+		t.Error("-refresh 0 cleared the screen")
+	}
+	for _, want := range []string{"scenario top-test", "windows", "phases", "PE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("final render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{"no-such-file.yaml"}, &out, &errb); code != 1 {
+		t.Errorf("missing scenario exited %d, want 1", code)
+	}
+}
+
+// TestWebHandler drives the embedded view's two endpoints.
+func TestWebHandler(t *testing.T) {
+	an := timeres.New(timeres.Options{})
+	srv := httptest.NewServer(newHandler(an, "top-test"))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page bytes.Buffer
+	if _, err := page.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	html := page.String()
+	for _, want := range []string{"<!doctype html", "ovltop — top-test", "data.json"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/data.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var snap struct {
+		Schema int   `json:"schema"`
+		Ranks  []int `json:"ranks"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatalf("data.json not valid JSON: %v", err)
+	}
+	if snap.Schema != timeres.Schema {
+		t.Errorf("schema = %d, want %d", snap.Schema, timeres.Schema)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 404 {
+		t.Errorf("unknown path returned %d", res.StatusCode)
+	}
+}
+
+// TestBarAndStrip pin the tiny render helpers.
+func TestBarAndStrip(t *testing.T) {
+	if got := bar(0, 4); got != "····" {
+		t.Errorf("bar(0) = %q", got)
+	}
+	if got := bar(1, 4); got != "████" {
+		t.Errorf("bar(1) = %q", got)
+	}
+	if got := bar(0.5, 4); strings.Count(got, "█") != 2 {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	strip := phaseStrip([]timeres.Slice{
+		{Kind: "compute", Start: 0, End: 300},
+		{Kind: "exchange", Start: 300, End: 400},
+	}, 8)
+	if !strings.Contains(strip, "C") || !strings.Contains(strip, "X") {
+		t.Errorf("phase strip %q lacks both kinds", strip)
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ovlp/internal/timeres"
+)
+
+// newHandler serves the embedded web view: "/" is the self-contained
+// page, "/data.json" the analyzer's current snapshot in the same
+// schema ovlprof -timeresolved -json emits. Snapshots are safe to take
+// from request goroutines — the analyzer carries its own mutex.
+func newHandler(an *timeres.Analyzer, name string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, strings.Replace(indexHTML, "{{NAME}}", name, 1))
+	})
+	mux.HandleFunc("/data.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := an.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// indexHTML is the whole dashboard: no build step, no external assets,
+// one page polling /data.json and drawing efficiency bars.
+const indexHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ovltop — {{NAME}}</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, monospace; background: #111; color: #ddd;
+         margin: 1.5em auto; max-width: 72em; padding: 0 1em; }
+  h1 { font-size: 1.1em; color: #fff; }
+  table { border-collapse: collapse; width: 100%; margin-bottom: 1.5em; }
+  th, td { padding: 2px 8px; text-align: right; white-space: nowrap; }
+  th { color: #888; border-bottom: 1px solid #333; }
+  td.bar { width: 40%; text-align: left; }
+  .track { background: #222; display: block; height: 10px; border-radius: 2px; }
+  .fill  { background: #4a9; display: block; height: 10px; border-radius: 2px; }
+  .fill.low { background: #c55; }
+  .phase-compute { color: #4a9; } .phase-exchange { color: #c95; }
+  #status { color: #888; margin-bottom: 1em; }
+</style>
+</head>
+<body>
+<h1>ovltop — {{NAME}}</h1>
+<div id="status">connecting…</div>
+<div id="windows"></div>
+<div id="phases"></div>
+<script>
+function pct(v) { return (100 * v).toFixed(1) + "%"; }
+function barCell(v) {
+  var cls = v < 0.5 ? "fill low" : "fill";
+  return '<td class="bar"><span class="track"><span class="' + cls +
+         '" style="width:' + Math.max(0, Math.min(100, 100 * v)) + '%"></span></span></td>';
+}
+function effCols(e) {
+  return barCell(e.par_eff) +
+    ["par_eff", "load_bal", "comm_eff", "xfer_eff", "ser_eff"]
+      .map(function (k) { return "<td>" + pct(e[k]) + "</td>"; }).join("");
+}
+function table(title, rows, label) {
+  var h = "<h1>" + title + "</h1><table><tr><th>" + label +
+    "</th><th>start</th><th>end</th><th>PE</th><th>PE</th><th>LB</th><th>CE</th><th>TE</th><th>SE</th></tr>";
+  rows.forEach(function (s) {
+    var tag = s.kind ? '<span class="phase-' + s.kind + '">' + s.kind + " " + s.index + "</span>" : s.index;
+    h += "<tr><td>" + tag + "</td><td>" + (s.start_ns / 1e6).toFixed(2) + "ms</td><td>" +
+      (s.end_ns / 1e6).toFixed(2) + "ms</td>" + effCols(s.eff) + "</tr>";
+  });
+  return h + "</table>";
+}
+function tick() {
+  fetch("data.json").then(function (r) { return r.json(); }).then(function (d) {
+    document.getElementById("status").textContent =
+      d.ranks.length + " ranks · window " + (d.window_ns / 1e3) + "µs · t=" +
+      (d.duration_ns / 1e6).toFixed(3) + "ms · " + (d.priced ? "priced" : "unpriced");
+    document.getElementById("windows").innerHTML = table("windows", d.windows || [], "window");
+    document.getElementById("phases").innerHTML = table("phases", d.phases || [], "phase");
+  }).catch(function (e) {
+    document.getElementById("status").textContent = "poll failed: " + e;
+  });
+}
+tick();
+setInterval(tick, 500);
+</script>
+</body>
+</html>
+`

@@ -19,10 +19,12 @@
 // exit 2 before any simulation starts.
 //
 //	-smoke        shrink runs for CI (procs <= 4, reps <= 5, iters <= 2;
-//	              golden-hash assertions are skipped)
+//	              golden-hash and time_resolved assertions are skipped)
 //	-report DIR   write each scenario's run-report JSON into DIR
 //	-golden DIR   byte-compare each report against DIR/<name>.json
 //	-write-golden (re)write the golden files instead of comparing
+//	-timeresolved DIR  write each scenario's windowed efficiency CSV
+//	              (internal/timeres) into DIR as <name>.timeres.csv
 //	-gen N        generate N seeded stress scenarios and exit
 //
 // Determinism is the engine's contract: the same scenario file always
@@ -31,6 +33,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reportDir := fs.String("report", "", "write each scenario's run-report JSON into this directory")
 	goldenDir := fs.String("golden", "", "byte-compare each run report against <dir>/<name>.json")
 	writeGolden := fs.Bool("write-golden", false, "write the golden files under -golden instead of comparing")
+	timeresDir := fs.String("timeresolved", "", "write each scenario's windowed time-resolved CSV into this directory")
 	gen := fs.Int("gen", 0, "generate this many seeded stress scenarios and exit")
 	genSeed := fs.Int64("gen-seed", 42, "generator seed (same seed, same scenarios)")
 	genOut := fs.String("gen-out", ".", "directory the generated scenario files are written into")
@@ -104,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			scens = append(scens, s)
 		}
 	}
-	for _, dir := range []string{*reportDir, *goldenDir} {
+	for _, dir := range []string{*reportDir, *goldenDir, *timeresDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return fail2(err)
@@ -113,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failed := 0
-	opts := scenario.Opts{Smoke: *smoke}
+	opts := scenario.Opts{Smoke: *smoke, TimeRes: *timeresDir != ""}
 	for _, s := range scens {
 		rr, err := scenario.Run(s, opts)
 		if err != nil {
@@ -134,6 +138,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			path := filepath.Join(*reportDir, s.Name+".json")
 			if err := os.WriteFile(path, rr.ReportBytes, 0o644); err != nil {
 				return fail2(err)
+			}
+		}
+		if *timeresDir != "" {
+			if rr.TimeRes == nil {
+				fmt.Fprintf(stderr, "scenario: %s: no time-resolved snapshot (stream not replayable)\n", s.Name)
+			} else {
+				var buf bytes.Buffer
+				if err := rr.TimeRes.WriteCSV(&buf); err != nil {
+					return fail2(err)
+				}
+				path := filepath.Join(*timeresDir, s.Name+".timeres.csv")
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					return fail2(err)
+				}
 			}
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -390,6 +391,7 @@ func (f *traceFile) summarize(w *os.File) {
 		t.AddRow(k.cat, k.name, s.count, time.Duration(s.total).Round(time.Microsecond))
 	}
 	t.Render(w)
+	warnSpills(w, f.Metrics)
 	if f.Metrics != nil && !f.Metrics.Empty() {
 		fmt.Fprintln(w, "metrics:")
 		if err := f.Metrics.WriteText(w); err != nil {
@@ -397,6 +399,29 @@ func (f *traceFile) summarize(w *os.File) {
 		}
 	}
 	fmt.Fprintln(w)
+}
+
+// warnSpills surfaces per-track ring-buffer spills recorded in the
+// embedded metrics block: a spilled track allocated during
+// steady-state emission, which biases any overhead-sensitive
+// post-hoc analysis of the trace.
+func warnSpills(w io.Writer, m *trace.Snapshot) {
+	if m == nil {
+		return
+	}
+	var total int64
+	for _, c := range m.Counters {
+		switch {
+		case c.Name == "trace.spills":
+			total = c.Value
+		case strings.HasPrefix(c.Name, "trace.spills."):
+			fmt.Fprintf(w, "  WARNING: track %s spilled its hot ring %d time(s) — emission allocated; consider a larger ring\n",
+				strings.TrimPrefix(c.Name, "trace.spills."), c.Value)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(w, "  WARNING: %d ring spill(s) total across tracks\n", total)
+	}
 }
 
 // parseUsec converts the spec's decimal-microsecond timestamp to

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ovlp/internal/trace"
 )
 
 // TestReadTraceRejectsCorruptInput: malformed or truncated input must
@@ -60,5 +63,36 @@ func TestReadTraceAcceptsValidInput(t *testing.T) {
 		if name == "one-event" && len(f.Events) != 1 {
 			t.Errorf("%s: want 1 event, got %d", name, len(f.Events))
 		}
+	}
+}
+
+// TestWarnSpills: a metrics block carrying spill counters surfaces a
+// per-track warning plus a total; a spill-free block stays silent.
+func TestWarnSpills(t *testing.T) {
+	var buf bytes.Buffer
+	warnSpills(&buf, &trace.Snapshot{Counters: []trace.CounterSnap{
+		{Name: "mpi.calls", Value: 12},
+		{Name: "trace.spills", Value: 3},
+		{Name: "trace.spills.hosts.rank1", Value: 2},
+		{Name: "trace.spills.nic.nic0", Value: 1},
+	}})
+	out := buf.String()
+	for _, want := range []string{
+		"track hosts.rank1 spilled its hot ring 2 time(s)",
+		"track nic.nic0 spilled its hot ring 1 time(s)",
+		"3 ring spill(s) total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("warning output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	warnSpills(&buf, &trace.Snapshot{Counters: []trace.CounterSnap{{Name: "mpi.calls", Value: 12}}})
+	if buf.Len() != 0 {
+		t.Errorf("spill-free metrics produced warnings: %s", buf.String())
+	}
+	warnSpills(&buf, nil)
+	if buf.Len() != 0 {
+		t.Error("nil metrics produced warnings")
 	}
 }

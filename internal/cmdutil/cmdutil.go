@@ -24,6 +24,7 @@ import (
 	"ovlp/internal/profile"
 	"ovlp/internal/progress"
 	"ovlp/internal/scenario"
+	"ovlp/internal/timeres"
 	"ovlp/internal/trace"
 )
 
@@ -195,8 +196,17 @@ type Obs struct {
 	ProfilePath string
 	// ProfileTop caps the text report's call-site table (-profile-top).
 	ProfileTop int
+	// TimeResolvedPath is the -timeresolved output ("" = off). The
+	// extension selects the format: .json, .csv, anything else a text
+	// table; "-" prints the text table to the Finish writer. The
+	// analyzer taps the trace stream live, so it works in metrics-only
+	// mode too.
+	TimeResolvedPath string
+	// TimeResWindow is the -timeres-window rolling-window length.
+	TimeResWindow time.Duration
 
 	tr      *trace.Tracer
+	tres    *timeres.Analyzer
 	table   *calib.Table
 	reports []*overlap.Report
 }
@@ -212,12 +222,14 @@ func RegisterObs(fs *flag.FlagSet) *Obs {
 	fs.BoolVar(&o.Metrics, "metrics", false, "print the run's metrics registry after the sweep")
 	fs.StringVar(&o.ProfilePath, "profile", "", "write a critical-path/blame profile to this path (.json/.csv/.folded by extension, text otherwise, \"-\" for stdout)")
 	fs.IntVar(&o.ProfileTop, "profile-top", 10, "call sites to list in the text profile (0 = all)")
+	fs.StringVar(&o.TimeResolvedPath, "timeresolved", "", "write time-resolved efficiency metrics to this path (.json/.csv by extension, text otherwise, \"-\" for stdout)")
+	fs.DurationVar(&o.TimeResWindow, "timeres-window", timeres.DefaultWindow, "rolling-window length for -timeresolved")
 	return o
 }
 
 // Enabled reports whether any observability output was requested.
 func (o *Obs) Enabled() bool {
-	return o != nil && (o.TracePath != "" || o.Metrics || o.ProfilePath != "")
+	return o != nil && (o.TracePath != "" || o.Metrics || o.ProfilePath != "" || o.TimeResolvedPath != "")
 }
 
 // Tracer returns the tracer to hand to cluster.Config.Trace, creating
@@ -229,8 +241,21 @@ func (o *Obs) Tracer() *trace.Tracer {
 	}
 	if o.tr == nil {
 		o.tr = trace.New(trace.Options{MetricsOnly: o.TracePath == "" && o.ProfilePath == ""})
+		if o.TimeResolvedPath != "" {
+			o.tres = timeres.New(timeres.Options{Window: o.TimeResWindow})
+			o.tr.AddSink(o.tres)
+		}
 	}
 	return o.tr
+}
+
+// TimeRes returns the live time-resolved analyzer, non-nil once
+// Tracer() has been called with -timeresolved set.
+func (o *Obs) TimeRes() *timeres.Analyzer {
+	if o == nil {
+		return nil
+	}
+	return o.tres
 }
 
 // SetRun records the traced run's calibration table and reports, which
@@ -282,7 +307,66 @@ func (o *Obs) Finish(w io.Writer) error {
 			return fmt.Errorf("profile: %w", err)
 		}
 	}
+	if o.TimeResolvedPath != "" && o.tres != nil {
+		if err := o.writeTimeRes(w); err != nil {
+			return fmt.Errorf("timeresolved: %w", err)
+		}
+	}
 	return nil
+}
+
+func (o *Obs) writeTimeRes(w io.Writer) error {
+	table := o.table
+	if table == nil {
+		table = cluster.Calibrate(fabric.CostModel{}, nil, 0)
+	}
+	o.tres.SetTable(table)
+	o.tres.Finalize(o.runDuration())
+	if err := o.tres.Err(); err != nil {
+		return err
+	}
+	s := o.tres.Snapshot()
+	if o.TimeResolvedPath == "-" {
+		return s.WriteText(w)
+	}
+	f, err := os.Create(o.TimeResolvedPath)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(o.TimeResolvedPath, ".json"):
+		err = s.WriteJSON(f)
+	case strings.HasSuffix(o.TimeResolvedPath, ".csv"):
+		err = s.WriteCSV(f)
+	default:
+		err = s.WriteText(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote time-resolved metrics to %s (%d windows, %d phases)\n",
+		o.TimeResolvedPath, len(s.Windows), len(s.Phases))
+	return nil
+}
+
+// runDuration recovers the run's virtual wall time from the metrics
+// registry (cluster.RunE publishes run.duration_ns); zero lets the
+// analyzer fall back to the largest stamp seen.
+func (o *Obs) runDuration() time.Duration {
+	snap := o.tr.Metrics().Snapshot()
+	if snap == nil {
+		return 0
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "run.duration_ns" {
+			return time.Duration(g.Value)
+		}
+	}
+	return 0
 }
 
 func (o *Obs) writeProfile(w io.Writer) error {

@@ -24,6 +24,7 @@
 package profile
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -31,6 +32,25 @@ import (
 	"ovlp/internal/calib"
 	"ovlp/internal/trace"
 )
+
+// ErrEmptyTrace marks an input with no span records in any host
+// stream — nothing to replay, so analysis tools should fail loudly
+// (exit non-zero) instead of emitting a vacuous report. Test with
+// errors.Is.
+var ErrEmptyTrace = errors.New("empty trace: no span records in any host stream")
+
+// CheckNonEmpty returns ErrEmptyTrace when every host stream is
+// missing or span-free (instants alone cannot anchor a replay).
+func (in *Input) CheckNonEmpty() error {
+	for i := range in.Ranks {
+		for _, r := range in.Ranks[i].Recs {
+			if !r.Instant() {
+				return nil
+			}
+		}
+	}
+	return ErrEmptyTrace
+}
 
 // Schema is the profile JSON schema version.
 const Schema = 1

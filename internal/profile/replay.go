@@ -16,6 +16,11 @@ import (
 // granularity. Matching the monitor's arithmetic operation-for-
 // operation is what makes attribution conservative: the per-transfer
 // gaps sum to the report's max−min bound gap exactly.
+//
+// The state machine itself lives in stream.go (RankReplay), shared
+// with the live time-resolved analyzer; this file is the offline
+// driver that prices samples against the calibration table and
+// classifies blame.
 
 // xferObs is one replayed transfer with its bounds and blame.
 type xferObs struct {
@@ -29,18 +34,6 @@ type xferObs struct {
 	blame  Blame
 }
 
-// replayCase mirrors the monitor's case taxonomy, plus the replay-only
-// truncated and exact outcomes.
-type replayCase int
-
-const (
-	caseSameCall replayCase = iota
-	caseBothStamps
-	caseSingleStamp
-	caseTruncated
-	caseExact
-)
-
 // rkEvent is one reconstructed monitor event.
 type rkEvent struct {
 	kind       overlap.Kind
@@ -50,119 +43,6 @@ type rkEvent struct {
 	region     int32
 	op         string        // call name (enter/exit events)
 	start, end time.Duration // exact transfer interval (KindXferExact)
-}
-
-// replayRank rebuilds rank rs's monitor event stream and replays it.
-func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
-	events, parks, labels, done := reconstruct(rs)
-	if len(events) == 0 {
-		return nil, nil
-	}
-	if in.Table == nil {
-		return nil, fmt.Errorf("overlap events present but no calibration table to replay bounds with")
-	}
-	r := &replayer{in: in, rs: rs, parks: parks, open: make(map[uint64]openX)}
-	window := in.Window
-	if window <= 0 {
-		window = overlap.DefaultUserIntervalWindow
-	}
-	r.window = window
-	for i := range events {
-		if err := r.apply(&events[i]); err != nil {
-			return nil, err
-		}
-	}
-	r.finish(done)
-	// Transfers issued by a nonblocking-collective schedule are owned
-	// by the schedule, not by whichever call (or progress-thread poll,
-	// rendered "(outside)") happened to be active when the protocol
-	// moved them: rename their site so starvation blame lands on e.g.
-	// "Iallreduce[ring]".
-	for i := range r.out {
-		if lbl, ok := labels[r.out[i].id]; ok {
-			r.out[i].op = lbl
-		}
-	}
-	return r.out, nil
-}
-
-// reconstruct turns the host-track records into monitor-order events,
-// and collects the kernel park spans (for the early-wait test), the
-// collective-schedule ownership labels keyed by transfer id, and the
-// stream's end stamp.
-func reconstruct(rs *RankStream) (events []rkEvent, parks []parkSpan, labels map[uint64]string, done time.Duration) {
-	var pending []rkEvent
-	flush := func(upto time.Duration, all bool) {
-		n := 0
-		for _, ev := range pending {
-			// An exact span's coordinates are the transfer's physical
-			// interval, which can predate the call that detected it; it
-			// was logged inside that call, so it is never an outside
-			// event (and everything logged after it is inside too).
-			if !all && (ev.kind == overlap.KindXferExact || ev.at >= upto) {
-				break
-			}
-			events = append(events, ev)
-			n++
-		}
-		pending = pending[n:]
-	}
-	for _, rec := range rs.Recs {
-		end := rec.End().Duration()
-		if end > done {
-			done = end
-		}
-		switch rec.Cat {
-		case "mpi", "armci":
-			if rec.Name == "attach" {
-				if rs.Protocol == "" {
-					rs.Protocol = rec.Args.Detail
-				}
-				continue
-			}
-			// A call span record is emitted at call exit, after every
-			// overlap instant that fired inside it; pending instants
-			// stamped before the call began happened in user code.
-			start := rec.Start.Duration()
-			flush(start, false)
-			events = append(events, rkEvent{kind: overlap.KindCallEnter, at: start, op: rec.Name})
-			flush(0, true)
-			events = append(events, rkEvent{kind: overlap.KindCallExit, at: end, op: rec.Name})
-		case "overlap":
-			ev := rkEvent{at: rec.Start.Duration(), id: rec.Args.ID, size: rec.Args.Size}
-			switch rec.Name {
-			case "xfer-begin":
-				ev.kind = overlap.KindXferBegin
-			case "xfer-end":
-				ev.kind = overlap.KindXferEnd
-			case "xfer-exact":
-				ev.kind = overlap.KindXferExact
-				ev.start, ev.end = rec.Start.Duration(), rec.End().Duration()
-			case "region-push":
-				ev.kind = overlap.KindRegionPush
-				ev.region = int32(rec.Args.ID)
-			case "region-pop":
-				ev.kind = overlap.KindRegionPop
-				ev.region = int32(rec.Args.ID)
-			default:
-				continue
-			}
-			pending = append(pending, ev)
-		case "kernel":
-			if rec.Name == "park" && rec.Dur > 0 {
-				parks = append(parks, parkSpan{start: rec.Start.Duration(), end: end})
-			}
-		case "coll":
-			if rec.Name == "sched" && rec.Args.Detail != "" {
-				if labels == nil {
-					labels = make(map[uint64]string)
-				}
-				labels[rec.Args.ID] = rec.Args.Detail
-			}
-		}
-	}
-	flush(0, true)
-	return events, parks, labels, done
 }
 
 type parkSpan struct{ start, end time.Duration }
@@ -178,272 +58,93 @@ type openX struct {
 	beginAt        time.Duration
 }
 
-// replayer mirrors overlap.procState field-for-field, with per-
-// transfer output instead of folded measures.
-type replayer struct {
-	in    *Input
-	rs    *RankStream
-	parks []parkSpan
-
-	lastStamp time.Duration
-	inLib     bool
-	callSeq   uint64
-	curRegion int32
-	curOp     string
-	lastExit  time.Duration
-
-	userIvals []struct{ start, end time.Duration }
-	horizon   time.Duration
-	window    int
-
-	cumUser time.Duration
-	cumLib  time.Duration
-
-	open map[uint64]openX
-	out  []xferObs
-}
-
-func (r *replayer) advance(stamp time.Duration) error {
-	span := stamp - r.lastStamp
-	if span < 0 {
-		return fmt.Errorf("non-monotonic reconstructed stamps (%v after %v)", stamp, r.lastStamp)
+// replayRank rebuilds rank rs's monitor event stream and replays it.
+func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
+	var samples []XferSample
+	rr := NewRankReplay(in.Window, func(x XferSample) { samples = append(samples, x) })
+	for _, rec := range rs.Recs {
+		rr.Feed(rec)
 	}
-	if r.inLib {
-		r.cumLib += span
-	} else {
-		r.cumUser += span
+	rr.Finish()
+	if err := rr.Err(); err != nil {
+		return nil, err
 	}
-	r.lastStamp = stamp
-	return nil
-}
-
-func (r *replayer) apply(e *rkEvent) error {
-	if e.kind == overlap.KindXferExact {
-		// The event's stamps are the physical interval, not the
-		// detection time the monitor's clock advanced on. Exact mode
-		// never reads the cumulative clocks, so skip advancing them.
-		r.applyExact(e)
-		return nil
+	if rs.Protocol == "" {
+		rs.Protocol = rr.Protocol()
 	}
-	if err := r.advance(e.at); err != nil {
-		return err
+	if rr.Events() == 0 {
+		return nil, nil
 	}
-	switch e.kind {
-	case overlap.KindCallEnter:
-		r.inLib = true
-		r.callSeq++
-		r.curOp = e.op
-		r.recordUserInterval(r.lastExit, e.at)
-	case overlap.KindCallExit:
-		r.inLib = false
-		r.lastExit = e.at
-	case overlap.KindRegionPush, overlap.KindRegionPop:
-		r.curRegion = e.region
-	case overlap.KindXferBegin:
-		r.open[e.id] = openX{
-			size:           e.size,
-			cumUserAtBegin: r.cumUser,
-			cumLibAtBegin:  r.cumLib,
-			callSeq:        r.callSeq,
-			region:         r.curRegion,
-			op:             r.curOp,
-			beginAt:        e.at,
+	if in.Table == nil {
+		return nil, fmt.Errorf("overlap events present but no calibration table to replay bounds with")
+	}
+	// Transfers issued by a nonblocking-collective schedule are owned
+	// by the schedule, not by whichever call (or progress-thread poll,
+	// rendered "(outside)") happened to be active when the protocol
+	// moved them: rename their site so starvation blame lands on e.g.
+	// "Iallreduce[ring]".
+	labels := rr.Labels()
+	out := make([]xferObs, 0, len(samples))
+	for i := range samples {
+		x := &samples[i]
+		if lbl, ok := labels[x.ID]; ok {
+			x.Op = lbl
 		}
-	case overlap.KindXferEnd:
-		r.completeXfer(e)
+		xt, minOv, maxOv := x.Bounds(in.Table)
+		out = append(out, xferObs{id: x.ID, size: x.Size, region: x.Region, op: x.Op,
+			xt: xt, minOv: minOv, maxOv: maxOv,
+			blame: classify(x, minOv, maxOv, in, rs.Protocol, rr)})
 	}
-	return nil
+	return out, nil
 }
 
-// completeXfer is overlap.procState.completeXfer with blame attached.
-func (r *replayer) completeXfer(e *rkEvent) {
-	rec, seen := r.open[e.id]
-	if !seen {
-		// Single-stamp: initiation was invisible to this rank.
-		xt := r.xferTime(e.size)
-		op := r.curOp
-		if !r.inLib {
-			op = "(outside)"
-		}
-		r.emit(e.id, e.size, r.curRegion, op, xt, 0, xt, caseSingleStamp, 0)
-		return
-	}
-	delete(r.open, e.id)
-	xt := r.xferTime(rec.size)
-	if rec.callSeq == r.callSeq && r.inLib {
-		r.emit(e.id, rec.size, rec.region, rec.op, xt, 0, 0, caseSameCall, 0)
-		return
-	}
-	computation := r.cumUser - rec.cumUserAtBegin
-	noncomputation := r.cumLib - rec.cumLibAtBegin
-	maxOv := xt
-	if computation < xt {
-		maxOv = computation
-	}
-	minOv := xt - noncomputation
-	if minOv < 0 {
-		minOv = 0
-	}
-	if minOv > maxOv {
-		minOv = maxOv
-	}
-	r.emitWindow(e.id, rec, xt, minOv, maxOv, e.at, noncomputation)
-}
-
-func (r *replayer) xferTime(size int64) time.Duration {
-	return r.in.Table.XferTime(int(size))
-}
-
-func (r *replayer) recordUserInterval(start, end time.Duration) {
-	if end <= start {
-		return
-	}
-	if len(r.userIvals) >= r.window {
-		drop := len(r.userIvals) - r.window + 1
-		r.horizon = r.userIvals[drop-1].end
-		r.userIvals = append(r.userIvals[:0], r.userIvals[drop:]...)
-	}
-	r.userIvals = append(r.userIvals, struct{ start, end time.Duration }{start, end})
-}
-
-// applyExact mirrors overlap.procState.applyExact: the only gap an
-// exact transfer can carry is the unknowable prefix predating the
-// retained user-interval window.
-func (r *replayer) applyExact(e *rkEvent) {
-	start, end := e.start, e.end
-	known := time.Duration(0)
-	for _, iv := range r.userIvals {
-		lo, hi := start, end
-		if iv.start > lo {
-			lo = iv.start
-		}
-		if iv.end < hi {
-			hi = iv.end
-		}
-		if hi > lo {
-			known += hi - lo
-		}
-	}
-	var unknown time.Duration
-	if start < r.horizon {
-		cut := end
-		if r.horizon < cut {
-			cut = r.horizon
-		}
-		unknown = cut - start
-	}
-	data := end - start
-	minOv, maxOv := known, known+unknown
-	if maxOv > data {
-		maxOv = data
-	}
-	if minOv > maxOv {
-		minOv = maxOv
-	}
-	op := r.curOp
-	if !r.inLib {
-		op = "(outside)"
-	}
-	x := xferObs{id: e.id, size: e.size, region: r.curRegion, op: op,
-		xt: data, minOv: minOv, maxOv: maxOv}
-	x.blame.Unknown = maxOv - minOv
-	r.out = append(r.out, x)
-}
-
-// emitWindow classifies a both-stamps transfer and emits it.
-func (r *replayer) emitWindow(id uint64, rec openX, xt, minOv, maxOv, endAt time.Duration, noncomp time.Duration) {
+// classify attributes a sample's bound gap to one cause, preserving
+// the monitor-era taxonomy per case.
+func classify(x *XferSample, minOv, maxOv time.Duration, in *Input, protocol string, rr *RankReplay) Blame {
 	gap := maxOv - minOv
-	var blamed Blame
-	switch {
-	case gap == 0:
+	var b Blame
+	if gap == 0 {
 		// Nothing to attribute.
-	case r.in.Retrans[id] > 0:
-		blamed.FaultRetransmit = gap
-	case noncomp > 0 && 2*r.parkTime(rec.beginAt, endAt) >= noncomp:
-		blamed.EarlyWait = gap
-	case r.isPipelined(id):
-		blamed.Protocol = gap
-	default:
-		blamed.Progress = gap
+		return b
 	}
-	r.out = append(r.out, xferObs{id: id, size: rec.size, region: rec.region, op: rec.op,
-		xt: xt, minOv: minOv, maxOv: maxOv, blame: blamed})
-}
-
-// emit records a transfer whose blame follows directly from its case.
-func (r *replayer) emit(id uint64, size int64, region int32, op string, xt, minOv, maxOv time.Duration, kase replayCase, _ time.Duration) {
-	gap := maxOv - minOv
-	var blamed Blame
-	if gap > 0 {
+	switch x.Case {
+	case CaseExact:
+		// The only exact-case gap is the evicted user-interval window.
+		b.Unknown = gap
+	case CaseBothStamps:
 		switch {
-		case r.in.Retrans[id] > 0:
-			blamed.FaultRetransmit = gap
-		case kase == caseTruncated:
-			blamed.Truncated = gap
-		case kase == caseSingleStamp:
-			blamed.LateInit = gap
+		case in.Retrans[x.ID] > 0:
+			b.FaultRetransmit = gap
+		case x.Noncomputation > 0 && 2*rr.ParkTime(x.BeginAt, x.At) >= x.Noncomputation:
+			b.EarlyWait = gap
+		case isPipelined(in, protocol, x.ID):
+			b.Protocol = gap
 		default:
-			blamed.Unknown = gap
+			b.Progress = gap
+		}
+	default:
+		switch {
+		case in.Retrans[x.ID] > 0:
+			b.FaultRetransmit = gap
+		case x.Case == CaseTruncated:
+			b.Truncated = gap
+		case x.Case == CaseSingleStamp:
+			b.LateInit = gap
+		default:
+			b.Unknown = gap
 		}
 	}
-	r.out = append(r.out, xferObs{id: id, size: size, region: region, op: op,
-		xt: xt, minOv: minOv, maxOv: maxOv, blame: blamed})
-}
-
-// parkTime sums the rank's parked time inside [from, to].
-func (r *replayer) parkTime(from, to time.Duration) time.Duration {
-	var total time.Duration
-	for _, p := range r.parks {
-		if p.end <= from {
-			continue
-		}
-		if p.start >= to {
-			break
-		}
-		lo, hi := p.start, p.end
-		if from > lo {
-			lo = from
-		}
-		if to < hi {
-			hi = to
-		}
-		if hi > lo {
-			total += hi - lo
-		}
-	}
-	return total
+	return b
 }
 
 // isPipelined reports whether transfer id moved under a pipelined
 // phase — by wire tag when the id reached the wire, by the rank's
 // protocol otherwise (a receiver's virtual bulk transfer never does).
-func (r *replayer) isPipelined(id uint64) bool {
-	for i := range r.in.Wire {
-		if r.in.Wire[i].ID == id {
-			return strings.HasPrefix(r.in.Wire[i].Phase, "pipelined")
+func isPipelined(in *Input, protocol string, id uint64) bool {
+	for i := range in.Wire {
+		if in.Wire[i].ID == id {
+			return strings.HasPrefix(in.Wire[i].Phase, "pipelined")
 		}
 	}
-	return strings.Contains(r.rs.Protocol, "Pipelined")
-}
-
-// finish resolves still-open transfers as the monitor does at
-// Finalize: downgraded to single-stamp bounds, blamed on truncation.
-func (r *replayer) finish(stamp time.Duration) {
-	// Deterministic order for map iteration: ids ascend.
-	ids := make([]uint64, 0, len(r.open))
-	for id := range r.open {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
-		}
-	}
-	for _, id := range ids {
-		rec := r.open[id]
-		xt := r.xferTime(rec.size)
-		r.emit(id, rec.size, rec.region, rec.op, xt, 0, xt, caseTruncated, 0)
-		delete(r.open, id)
-	}
-	_ = stamp
+	return strings.Contains(protocol, "Pipelined")
 }

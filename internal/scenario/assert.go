@@ -84,6 +84,11 @@ func Evaluate(rr *RunResult) []Violation {
 				add("duration", fmt.Sprintf("virtual time <= %v", a.Max.D()),
 					rr.Res.Duration.String())
 			}
+		case "time_resolved":
+			if rr.Opts.Smoke {
+				continue // a shrunk run's windows are legitimately different
+			}
+			checkTimeResolved(rr, a, add)
 		}
 	}
 	return out
@@ -282,10 +287,52 @@ func checkConservation(rr *RunResult, add func(check, expected, observed string)
 	}
 }
 
+// checkTimeResolved asserts the minimum of the named efficiency over
+// the scoped windows (or phases) stays inside [min_eff, max_eff]
+// within tolerance. An empty scope is itself a violation: an assertion
+// that selects nothing proves nothing.
+func checkTimeResolved(rr *RunResult, a *Assertion, add func(check, expected, observed string)) {
+	scope := "windows"
+	if a.Phase != "" {
+		scope = a.Phase + " phases"
+	}
+	if a.From > 0 || a.To > 0 {
+		to := "end"
+		if a.To > 0 {
+			to = a.To.D().String()
+		}
+		scope += fmt.Sprintf(" in [%v, %s)", a.From.D(), to)
+	}
+	if rr.TimeRes == nil {
+		add("time_resolved", "time-resolved metrics for the run", "analyzer produced no snapshot")
+		return
+	}
+	min, n, err := rr.TimeRes.MinMetric(a.Metric, a.From.D(), a.To.D(), a.Phase)
+	if err != nil {
+		add("time_resolved", "a known metric", err.Error())
+		return
+	}
+	if n == 0 {
+		add("time_resolved", fmt.Sprintf("at least one of the %s", scope), "scope selected no slices")
+		return
+	}
+	obs := fmt.Sprintf("min %s %.4f over %d %s", a.Metric, min, n, scope)
+	if a.MinEff != nil && min < *a.MinEff-a.TolEff {
+		add("time_resolved", fmt.Sprintf("min %s >= %.4f (tol %.4f)", a.Metric, *a.MinEff, a.TolEff), obs)
+	}
+	if a.MaxEff != nil && min > *a.MaxEff+a.TolEff {
+		add("time_resolved", fmt.Sprintf("min %s <= %.4f (tol %.4f)", a.Metric, *a.MaxEff, a.TolEff), obs)
+	}
+}
+
 // checkDeterminism reruns the scenario in-process and compares the
-// artifact hashes — same seed, same bytes.
+// artifact hashes — same seed, same bytes. The rerun sheds any live
+// sink: a viewer fed twice would double-count, and the sink is not
+// part of the determinism domain.
 func checkDeterminism(rr *RunResult, add func(check, expected, observed string)) {
-	again, err := Run(rr.Scenario, rr.Opts)
+	opts := rr.Opts
+	opts.Sink = nil
+	again, err := Run(rr.Scenario, opts)
 	if err != nil {
 		add("determinism", "a repeatable run", "rerun failed: "+err.Error())
 		return

@@ -12,6 +12,7 @@ import (
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
 	"ovlp/internal/profile"
+	"ovlp/internal/timeres"
 	"ovlp/internal/trace"
 )
 
@@ -34,6 +35,17 @@ type Opts struct {
 	// Golden-hash assertions are skipped, since the bytes legitimately
 	// differ from the full-size run's.
 	Smoke bool
+	// TimeRes attaches the time-resolved analyzer even when no
+	// time_resolved assertion asks for it, so RunResult.TimeRes carries
+	// a snapshot (cmd/scenario -timeresolved sets it).
+	TimeRes bool
+	// TimeResWindow overrides the analyzer's window length when the
+	// scenario's assertions don't declare one (0 = package default).
+	TimeResWindow time.Duration
+	// Sink, when non-nil, is attached to the run's tracer and observes
+	// every trace record as it is emitted (cmd/ovltop's live console).
+	// It never alters the run's bytes, and determinism reruns strip it.
+	Sink trace.Sink
 }
 
 // RunResult is everything one engine run produces: the raw cluster
@@ -58,6 +70,11 @@ type RunResult struct {
 	// Profile is the offline blame analysis (nil when it could not be
 	// produced, e.g. a run wedged before emitting any stream).
 	Profile *profile.Profile
+	// TimeRes is the windowed efficiency snapshot, present when the
+	// scenario has time_resolved assertions or Opts.TimeRes was set
+	// (nil when the stream could not be replayed). It is deliberately
+	// NOT part of the run report, so golden files are unaffected.
+	TimeRes *timeres.Snapshot
 
 	TraceBytes  []byte
 	TraceHash   string
@@ -106,6 +123,12 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 		deadline = DefaultDeadline
 	}
 	tracer := trace.New(trace.Options{})
+	var tres *timeres.Analyzer
+	if opts.TimeRes || s.wantsTimeRes() {
+		tres = timeres.New(timeres.Options{Window: s.timeResWindow(opts.TimeResWindow)})
+		tracer.AddSink(tres)
+	}
+	tracer.AddSink(opts.Sink) // nil-safe no-op when unset
 	cfg := cluster.Config{
 		Procs:       procs,
 		MPI:         mpiCfg,
@@ -138,6 +161,17 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 	// profile report its absence as their own violation.
 	if p, err := profile.Analyze(profile.FromTracer(tracer, res.Calib, res.Reports)); err == nil {
 		rr.Profile = p
+	}
+
+	// Same best-effort contract for the time-resolved view: a stream
+	// the replay rejects leaves TimeRes nil and the time_resolved
+	// assertions report its absence as their own violation.
+	if tres != nil {
+		tres.SetTable(res.Calib)
+		tres.Finalize(res.Duration)
+		if tres.Err() == nil {
+			rr.TimeRes = tres.Snapshot()
+		}
 	}
 
 	rr.ReportBytes, err = buildReport(rr).encode()

@@ -24,6 +24,7 @@ import (
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
 	"ovlp/internal/progress"
+	"ovlp/internal/timeres"
 	"ovlp/internal/vtime"
 )
 
@@ -231,12 +232,30 @@ type Assertion struct {
 	// trace_hash / report_hash: expected sha256 hex of the Chrome
 	// trace bytes / report JSON.
 	Hash string `json:"hash,omitempty"`
+
+	// time_resolved: the minimum of Metric (a timeres efficiency:
+	// par_eff, load_bal, comm_eff, xfer_eff, ser_eff) over the windows
+	// — or the phases of kind Phase — overlapping [From, To) must stay
+	// >= MinEff and/or <= MaxEff, within TolEff. To == 0 means the run
+	// end. Window sets the analyzer's window length; every
+	// time_resolved assertion in a scenario must declare the same one
+	// (zero means the default). Skipped under -smoke, like the hash
+	// checks: a shrunk run's windows are legitimately different.
+	Metric string   `json:"metric,omitempty"`
+	Window Dur      `json:"window,omitempty"`
+	From   Dur      `json:"from,omitempty"`
+	To     Dur      `json:"to,omitempty"`
+	Phase  string   `json:"phase,omitempty"`
+	MinEff *float64 `json:"min_eff,omitempty"`
+	MaxEff *float64 `json:"max_eff,omitempty"`
+	TolEff float64  `json:"tol_eff,omitempty"`
 }
 
 // knownChecks lists the assertion kinds, for validation messages.
 var knownChecks = []string{
 	"overlap", "blame_share", "error", "error_absent", "bounds_valid",
 	"conservation", "determinism", "trace_hash", "report_hash", "duration",
+	"time_resolved",
 }
 
 var errorNames = map[string]bool{"timeout": true, "peer_unreachable": true, "deadlock": true, "any": true}
@@ -270,9 +289,18 @@ func (s *Scenario) Validate() error {
 	if n := s.MinProcs(); s.Procs < n {
 		return fmt.Errorf("scenario %s: chaos schedule names node %d but procs is %d", s.Name, n-1, s.Procs)
 	}
+	var trWindow Dur
+	trSeen := false
 	for i := range s.Assertions {
 		if err := s.Assertions[i].validate(s.Name, i, s.Procs); err != nil {
 			return err
+		}
+		if a := &s.Assertions[i]; a.Check == "time_resolved" {
+			if trSeen && a.Window != trWindow {
+				return fmt.Errorf("scenario %s: time_resolved assertions disagree on window (%v vs %v); one analyzer serves them all",
+					s.Name, trWindow.D(), a.Window.D())
+			}
+			trWindow, trSeen = a.Window, true
 		}
 	}
 	// The compiled plan gets the fabric's own validation too.
@@ -381,10 +409,66 @@ func (a *Assertion) validate(name string, i, procs int) error {
 		if a.Max <= 0 {
 			return bad("needs a positive max")
 		}
+	case "time_resolved":
+		if a.Metric == "" {
+			a.Metric = "par_eff"
+		}
+		known := false
+		for _, m := range timeres.MetricNames() {
+			if m == a.Metric {
+				known = true
+			}
+		}
+		if !known {
+			return bad("unknown metric %q (want one of %s)", a.Metric, strings.Join(timeres.MetricNames(), ", "))
+		}
+		switch a.Phase {
+		case "", "compute", "exchange":
+		default:
+			return bad("unknown phase kind %q (want compute or exchange)", a.Phase)
+		}
+		if a.MinEff == nil && a.MaxEff == nil {
+			return bad("needs min_eff and/or max_eff")
+		}
+		for _, p := range []*float64{a.MinEff, a.MaxEff} {
+			if p != nil && (*p < 0 || *p > 1) {
+				return bad("efficiency bound %.3f outside [0, 1]", *p)
+			}
+		}
+		if a.Window < 0 || a.From < 0 || a.To < 0 || a.TolEff < 0 {
+			return bad("window, from, to and tol_eff must be non-negative")
+		}
+		if a.To != 0 && a.To <= a.From {
+			return bad("empty scope [%v, %v)", a.From.D(), a.To.D())
+		}
 	default:
 		return bad("unknown check (want one of %s)", strings.Join(knownChecks, ", "))
 	}
 	return nil
+}
+
+// wantsTimeRes reports whether any assertion needs the time-resolved
+// analyzer attached to the run.
+func (s *Scenario) wantsTimeRes() bool {
+	for i := range s.Assertions {
+		if s.Assertions[i].Check == "time_resolved" {
+			return true
+		}
+	}
+	return false
+}
+
+// timeResWindow picks the analyzer window: the assertions' declared
+// window wins (they were validated to agree), then the engine option,
+// then the package default.
+func (s *Scenario) timeResWindow(override time.Duration) time.Duration {
+	for i := range s.Assertions {
+		a := &s.Assertions[i]
+		if a.Check == "time_resolved" && a.Window > 0 {
+			return a.Window.D()
+		}
+	}
+	return override
 }
 
 // MinProcs returns the smallest machine this scenario can run on: the

@@ -1,0 +1,150 @@
+package timeres
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ovlp/internal/report"
+)
+
+// WriteCSV renders the snapshot as a deterministic CSV with three
+// sections — windows, phases, per-rank cells — every duration as
+// integer nanoseconds and every efficiency with six decimals, so a
+// pinned seed byte-compares against a golden file.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# ovlp time-resolved metrics v%d\n", s.Schema); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# ranks=%d window_ns=%d duration_ns=%d priced=%v\n",
+		len(s.Ranks), int64(s.Window), int64(s.Duration), s.Priced); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "window,start_ns,end_ns,par_eff,load_bal,comm_eff,xfer_eff,ser_eff,xfers,data_ns,min_ov_ns,max_ov_ns"); err != nil {
+		return err
+	}
+	row := func(label string, sl *Slice) error {
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d\n",
+			label, int64(sl.Start), int64(sl.End),
+			sl.Eff.Parallel, sl.Eff.LoadBalance, sl.Eff.Comm, sl.Eff.Transfer, sl.Eff.Serialization,
+			sl.Overlap.Transfers, int64(sl.Overlap.Data), int64(sl.Overlap.MinOv), int64(sl.Overlap.MaxOv))
+		return err
+	}
+	for i := range s.Windows {
+		if err := row(fmt.Sprintf("%d", i), &s.Windows[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "phase,kind,start_ns,end_ns,par_eff,load_bal,comm_eff,xfer_eff,ser_eff,xfers,data_ns,min_ov_ns,max_ov_ns"); err != nil {
+		return err
+	}
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d\n",
+			i, ph.Kind, int64(ph.Start), int64(ph.End),
+			ph.Eff.Parallel, ph.Eff.LoadBalance, ph.Eff.Comm, ph.Eff.Transfer, ph.Eff.Serialization,
+			ph.Overlap.Transfers, int64(ph.Overlap.Data), int64(ph.Overlap.MinOv), int64(ph.Overlap.MaxOv)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "cell,rank,window,compute_ns,lib_active_ns,wire_wait_ns,ser_wait_ns,idle_ns"); err != nil {
+		return err
+	}
+	for wi := range s.Windows {
+		for _, c := range s.Windows[wi].Cells {
+			if _, err := fmt.Fprintf(w, "cell,%d,%d,%d,%d,%d,%d,%d\n",
+				c.Rank, wi, int64(c.Compute), int64(c.LibActive),
+				int64(c.WireWait), int64(c.SerWait), int64(c.Idle)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON (the web view's and
+// -timeresolved .json's payload).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders aligned window and phase tables for humans.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "time-resolved metrics: %d rank(s), window %v, duration %v\n",
+		len(s.Ranks), s.Window, s.Duration)
+	tb := report.NewTable("windows", "#", "span", "PE", "LB", "CommE", "TE", "SerE", "xfers", "overlap")
+	for i := range s.Windows {
+		tb.AddRow(sliceCells(i, &s.Windows[i])...)
+	}
+	tb.Render(w)
+	pb := report.NewTable("phases", "#", "kind", "span", "PE", "LB", "CommE", "TE", "SerE", "xfers", "overlap")
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		cells := append([]any{fmt.Sprintf("%d", i), ph.Kind}, sliceCells(i, ph)[1:]...)
+		pb.AddRow(cells...)
+	}
+	pb.Render(w)
+	return nil
+}
+
+func sliceCells(i int, sl *Slice) []any {
+	return []any{
+		fmt.Sprintf("%d", i),
+		fmt.Sprintf("%v..%v", sl.Start, sl.End),
+		fmt.Sprintf("%.3f", sl.Eff.Parallel),
+		fmt.Sprintf("%.3f", sl.Eff.LoadBalance),
+		fmt.Sprintf("%.3f", sl.Eff.Comm),
+		fmt.Sprintf("%.3f", sl.Eff.Transfer),
+		fmt.Sprintf("%.3f", sl.Eff.Serialization),
+		fmt.Sprintf("%d", sl.Overlap.Transfers),
+		overlapRange(sl.Overlap),
+	}
+}
+
+func overlapRange(b OverlapBin) string {
+	if b.Transfers == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%v..%v", b.MinOv, b.MaxOv)
+}
+
+// MinMetric returns the minimum value of the named metric over the
+// snapshot slices overlapping [from, to) — phases of the given kind
+// when phase is non-empty, windows otherwise. to <= 0 means the run
+// end. The returned count says how many slices were considered; zero
+// means the scope selected nothing.
+func (s *Snapshot) MinMetric(metric string, from, to time.Duration, phase string) (float64, int, error) {
+	if _, ok := (Efficiency{}).Get(metric); !ok {
+		return 0, 0, fmt.Errorf("timeres: unknown metric %q", metric)
+	}
+	if to <= 0 {
+		to = s.Duration
+	}
+	slices := s.Windows
+	if phase != "" {
+		slices = s.Phases
+	}
+	minV, n := 0.0, 0
+	for i := range slices {
+		sl := &slices[i]
+		if phase != "" && sl.Kind != phase {
+			continue
+		}
+		if sl.End <= from || sl.Start >= to {
+			continue
+		}
+		v, _ := sl.Eff.Get(metric)
+		if n == 0 || v < minV {
+			minV = v
+		}
+		n++
+	}
+	return minV, n, nil
+}

@@ -1,0 +1,469 @@
+package timeres
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/nas"
+	"ovlp/internal/profile"
+	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
+)
+
+func us(n int) vtime.Time { return vtime.Time(time.Duration(n) * time.Microsecond) }
+
+func exchange(size int, reps int, compute time.Duration) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		peer := 1 - r.ID()
+		for i := 0; i < reps; i++ {
+			r.PushRegion("exchange")
+			var q *mpi.Request
+			if r.ID() == 0 {
+				q = r.Isend(peer, 0, size)
+			} else {
+				q = r.Irecv(peer, 0)
+			}
+			r.Compute(compute)
+			r.Wait(q)
+			r.PopRegion()
+			r.Compute(10 * time.Microsecond)
+		}
+	}
+}
+
+type workload struct {
+	name string
+	cfg  cluster.Config
+	body func(r *mpi.Rank)
+}
+
+func workloads() []workload {
+	mk := func(proto mpi.LongProtocol, faults *fabric.FaultPlan) cluster.Config {
+		return cluster.Config{
+			Procs: 2,
+			MPI: mpi.Config{
+				Protocol:   proto,
+				Instrument: &mpi.InstrumentConfig{},
+			},
+			Faults: faults,
+		}
+	}
+	return []workload{
+		{"eager-pipelined", mk(mpi.PipelinedRDMA, nil), exchange(10<<10, 40, 20*time.Microsecond)},
+		{"rendezvous-direct", mk(mpi.DirectRDMARead, nil), exchange(1<<20, 10, 500*time.Microsecond)},
+		{"direct-faulted", mk(mpi.DirectRDMARead,
+			&fabric.FaultPlan{Seed: 7, Default: fabric.LinkFaults{DropRate: 0.1}}),
+			exchange(64<<10, 20, 100*time.Microsecond)},
+	}
+}
+
+// runAnalyzed runs a workload with the analyzer attached as a live
+// sink, the way scenario/ovltop consume it.
+func runAnalyzed(t *testing.T, cfg cluster.Config, opts Options, body func(r *mpi.Rank)) (*Analyzer, cluster.Result, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New(trace.Options{})
+	a := New(opts)
+	tr.AddSink(a)
+	cfg.Trace = tr
+	res := cluster.Run(cfg, body)
+	a.SetTable(res.Calib)
+	a.Finalize(res.Duration)
+	if err := a.Err(); err != nil {
+		t.Fatalf("analyzer error: %v", err)
+	}
+	return a, res, tr
+}
+
+// checkConservation asserts the tentpole invariant: per window and
+// per rank the five buckets sum to the window length exactly, the
+// windows tile [0, duration], and the phases do too.
+func checkConservation(t *testing.T, s *Snapshot) {
+	t.Helper()
+	if len(s.Windows) == 0 {
+		t.Fatal("no windows")
+	}
+	var cursor time.Duration
+	for _, sl := range s.Windows {
+		if sl.Start != cursor {
+			t.Fatalf("window %d starts at %v, want %v", sl.Index, sl.Start, cursor)
+		}
+		cursor = sl.End
+		for _, c := range sl.Cells {
+			if c.Total() != sl.End-sl.Start {
+				t.Errorf("window %d rank %d: buckets sum to %v, window is %v (%+v)",
+					sl.Index, c.Rank, c.Total(), sl.End-sl.Start, c)
+			}
+			if c.Compute < 0 || c.LibActive < 0 || c.WireWait < 0 || c.SerWait < 0 || c.Idle < 0 {
+				t.Errorf("window %d rank %d: negative bucket %+v", sl.Index, c.Rank, c)
+			}
+		}
+	}
+	if cursor != s.Duration {
+		t.Errorf("windows tile to %v, duration %v", cursor, s.Duration)
+	}
+	cursor = 0
+	for _, ph := range s.Phases {
+		if ph.Start != cursor {
+			t.Fatalf("phase %d starts at %v, want %v", ph.Index, ph.Start, cursor)
+		}
+		if ph.Kind != "compute" && ph.Kind != "exchange" {
+			t.Errorf("phase %d has kind %q", ph.Index, ph.Kind)
+		}
+		cursor = ph.End
+		for _, c := range ph.Cells {
+			if c.Total() != ph.End-ph.Start {
+				t.Errorf("phase %d rank %d: buckets sum to %v, phase is %v",
+					ph.Index, c.Rank, c.Total(), ph.End-ph.Start)
+			}
+		}
+	}
+	if cursor != s.Duration {
+		t.Errorf("phases tile to %v, duration %v", cursor, s.Duration)
+	}
+	// The POP identity PE = LB × CommE holds per slice (float
+	// arithmetic, so within epsilon).
+	for _, sl := range s.Windows {
+		if got := sl.Eff.LoadBalance * sl.Eff.Comm; abs(got-sl.Eff.Parallel) > 1e-9 {
+			t.Errorf("window %d: LB×CommE = %v, PE = %v", sl.Index, got, sl.Eff.Parallel)
+		}
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// checkAgainstProfile asserts that merging all windows (and,
+// separately, all phases) reproduces the whole-run profile totals:
+// same transfer count and identical summed min/max overlap bounds.
+func checkAgainstProfile(t *testing.T, s *Snapshot, tr *trace.Tracer, res cluster.Result) {
+	t.Helper()
+	if !s.Priced {
+		t.Fatal("snapshot not priced despite table being set")
+	}
+	p, err := profile.Analyze(profile.FromTracer(tr, res.Calib, res.Reports))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	sum := func(slices []Slice) (n int, data, minOv, maxOv time.Duration) {
+		for _, sl := range slices {
+			n += sl.Overlap.Transfers
+			data += sl.Overlap.Data
+			minOv += sl.Overlap.MinOv
+			maxOv += sl.Overlap.MaxOv
+		}
+		return
+	}
+	for _, part := range []struct {
+		name   string
+		slices []Slice
+	}{{"windows", s.Windows}, {"phases", s.Phases}} {
+		n, data, minOv, maxOv := sum(part.slices)
+		if n != p.Totals.Transfers {
+			t.Errorf("%s: %d transfers, profile %d", part.name, n, p.Totals.Transfers)
+		}
+		if data != p.Totals.DataTransferTime {
+			t.Errorf("%s: data %v, profile %v", part.name, data, p.Totals.DataTransferTime)
+		}
+		if minOv != p.Totals.MinOverlapped || maxOv != p.Totals.MaxOverlapped {
+			t.Errorf("%s: bounds [%v,%v], profile [%v,%v]",
+				part.name, minOv, maxOv, p.Totals.MinOverlapped, p.Totals.MaxOverlapped)
+		}
+	}
+}
+
+func TestConservationMicro(t *testing.T) {
+	for _, w := range workloads() {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			a, res, tr := runAnalyzed(t, w.cfg, Options{}, w.body)
+			s := a.Snapshot()
+			checkConservation(t, s)
+			checkAgainstProfile(t, s, tr, res)
+			if len(s.Ranks) != 2 {
+				t.Errorf("ranks = %v, want [0 1]", s.Ranks)
+			}
+		})
+	}
+}
+
+func TestConservationNAS(t *testing.T) {
+	cfg := cluster.Config{
+		Procs: 4,
+		MPI: mpi.Config{
+			Protocol:   mpi.DirectRDMARead,
+			Instrument: &mpi.InstrumentConfig{},
+		},
+	}
+	a, res, tr := runAnalyzed(t, cfg, Options{}, func(r *mpi.Rank) {
+		nas.Run(nas.LU, r, nas.Params{Class: nas.ClassS, MaxIters: 2})
+	})
+	s := a.Snapshot()
+	checkConservation(t, s)
+	checkAgainstProfile(t, s, tr, res)
+	// A real kernel must show both phase kinds.
+	kinds := map[string]bool{}
+	for _, ph := range s.Phases {
+		kinds[ph.Kind] = true
+	}
+	if !kinds["exchange"] || !kinds["compute"] {
+		t.Errorf("NAS run detected phases %v, want both kinds", kinds)
+	}
+}
+
+// TestWindowLargerThanRun: the whole run fits in one clipped window.
+func TestWindowLargerThanRun(t *testing.T) {
+	w := workloads()[0]
+	a, _, _ := runAnalyzed(t, w.cfg, Options{Window: time.Hour}, w.body)
+	s := a.Snapshot()
+	if len(s.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(s.Windows))
+	}
+	if s.Windows[0].Start != 0 || s.Windows[0].End != s.Duration {
+		t.Errorf("window [%v,%v), want [0,%v)", s.Windows[0].Start, s.Windows[0].End, s.Duration)
+	}
+	checkConservation(t, s)
+}
+
+// synthetic builds an analyzer from hand-placed spans on a raw
+// tracer, bypassing the simulator.
+func synthetic(opts Options, fill func(tr *trace.Tracer)) *Snapshot {
+	tr := trace.New(trace.Options{MetricsOnly: true})
+	a := New(opts)
+	tr.AddSink(a)
+	fill(tr)
+	return a.Snapshot()
+}
+
+// TestRankIdleFullWindow: a rank with no spans in a window classifies
+// the whole window as idle, load balance degrades, and conservation
+// still holds.
+func TestRankIdleFullWindow(t *testing.T) {
+	s := synthetic(Options{Window: 100 * time.Microsecond}, func(tr *trace.Tracer) {
+		r0 := tr.Track(trace.GroupHost, 1, "rank0")
+		r1 := tr.Track(trace.GroupHost, 2, "rank1")
+		// rank0 computes through both windows; rank1 computes only in
+		// the first.
+		r0.Span("kernel", "compute", us(0), us(200), trace.None)
+		r1.Span("kernel", "compute", us(0), us(100), trace.None)
+	})
+	if len(s.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2", len(s.Windows))
+	}
+	w1 := s.Windows[1]
+	var idleCell Cell
+	for _, c := range w1.Cells {
+		if c.Rank == 1 {
+			idleCell = c
+		}
+	}
+	if idleCell.Idle != 100*time.Microsecond || idleCell.Compute != 0 {
+		t.Errorf("idle rank cell = %+v, want fully idle", idleCell)
+	}
+	if w1.Eff.LoadBalance != 0.5 {
+		t.Errorf("window 1 load balance = %v, want 0.5", w1.Eff.LoadBalance)
+	}
+	if w1.Eff.Parallel != 0.5 || w1.Eff.Comm != 1.0 {
+		t.Errorf("window 1 PE=%v CommE=%v, want 0.5/1.0", w1.Eff.Parallel, w1.Eff.Comm)
+	}
+	checkConservation(t, s)
+}
+
+// TestSplitSpanConservation: spans crossing window boundaries are
+// split, and the split halves sum to the original span exactly.
+func TestSplitSpanConservation(t *testing.T) {
+	s := synthetic(Options{Window: 100 * time.Microsecond}, func(tr *trace.Tracer) {
+		r0 := tr.Track(trace.GroupHost, 1, "rank0")
+		// A compute span straddling the first boundary, a library call
+		// straddling the second, parked for its tail.
+		r0.Span("kernel", "compute", us(30), us(130), trace.None)
+		r0.Span("kernel", "park", us(150), us(250), trace.Args{Peer: trace.NoPeer, Detail: "mpi.wait"})
+		r0.Span("mpi", "Wait", us(130), us(250), trace.None)
+	})
+	if len(s.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(s.Windows))
+	}
+	var comp, lib, ser time.Duration
+	for _, sl := range s.Windows {
+		c := sl.Cells[0]
+		comp += c.Compute
+		lib += c.LibActive
+		ser += c.SerWait
+	}
+	if comp != 100*time.Microsecond {
+		t.Errorf("summed compute %v, want 100µs", comp)
+	}
+	if lib != 20*time.Microsecond {
+		t.Errorf("summed lib-active %v, want 20µs", lib)
+	}
+	if ser != 100*time.Microsecond {
+		t.Errorf("summed ser-wait %v, want 100µs", ser)
+	}
+	// Window 1 splits the compute span (70µs) and the call (30µs
+	// active + 0 parked → wait starts at 150µs, so 20µs active, 50µs... )
+	w1 := s.Windows[1].Cells[0]
+	if w1.Compute != 30*time.Microsecond {
+		t.Errorf("window 1 compute %v, want 30µs", w1.Compute)
+	}
+	if got := s.Windows[1].Cells[0].Total(); got != 100*time.Microsecond {
+		t.Errorf("window 1 total %v, want 100µs", got)
+	}
+	checkConservation(t, s)
+}
+
+// TestWireWaitClassification: parked inside a call while own wire
+// traffic flies is WireWait; parked without traffic is SerWait.
+func TestWireWaitClassification(t *testing.T) {
+	s := synthetic(Options{Window: 100 * time.Microsecond}, func(tr *trace.Tracer) {
+		r0 := tr.Track(trace.GroupHost, 1, "rank0")
+		nic := tr.Track(trace.GroupNIC, 0, "nic0")
+		r0.Span("kernel", "park", us(10), us(90), trace.Args{Peer: trace.NoPeer})
+		r0.Span("mpi", "Wait", us(0), us(100), trace.None)
+		nic.Span("wire", "xfer", us(20), us(60), trace.Args{Peer: 1, Size: 1 << 20, ID: 1})
+	})
+	c := s.Windows[0].Cells[0]
+	if c.WireWait != 40*time.Microsecond {
+		t.Errorf("wire wait %v, want 40µs", c.WireWait)
+	}
+	if c.SerWait != 40*time.Microsecond {
+		t.Errorf("ser wait %v, want 40µs", c.SerWait)
+	}
+	if c.LibActive != 20*time.Microsecond {
+		t.Errorf("lib active %v, want 20µs", c.LibActive)
+	}
+	checkConservation(t, s)
+}
+
+// TestPhaseDetection: a two-rank synthetic alternation produces
+// compute/exchange phases at the call boundaries.
+func TestPhaseDetection(t *testing.T) {
+	s := synthetic(Options{Window: 50 * time.Microsecond}, func(tr *trace.Tracer) {
+		r0 := tr.Track(trace.GroupHost, 1, "rank0")
+		r1 := tr.Track(trace.GroupHost, 2, "rank1")
+		for _, r := range []*trace.Track{r0, r1} {
+			r.Span("kernel", "compute", us(0), us(100), trace.None)
+			r.Span("mpi", "Sendrecv", us(100), us(150), trace.None)
+			r.Span("kernel", "compute", us(150), us(250), trace.None)
+		}
+	})
+	want := []struct {
+		kind       string
+		start, end time.Duration
+	}{
+		{"compute", 0, 100 * time.Microsecond},
+		{"exchange", 100 * time.Microsecond, 150 * time.Microsecond},
+		{"compute", 150 * time.Microsecond, 250 * time.Microsecond},
+	}
+	if len(s.Phases) != len(want) {
+		t.Fatalf("got %d phases (%+v), want %d", len(s.Phases), s.Phases, len(want))
+	}
+	for i, w := range want {
+		ph := s.Phases[i]
+		if ph.Kind != w.kind || ph.Start != w.start || ph.End != w.end {
+			t.Errorf("phase %d = %s [%v,%v), want %s [%v,%v)",
+				i, ph.Kind, ph.Start, ph.End, w.kind, w.start, w.end)
+		}
+	}
+	checkConservation(t, s)
+}
+
+// TestEmptyAnalyzer: no records at all yields an empty, well-formed
+// snapshot.
+func TestEmptyAnalyzer(t *testing.T) {
+	a := New(Options{})
+	a.Finalize(0)
+	s := a.Snapshot()
+	if len(s.Windows) != 0 || len(s.Phases) != 0 || s.Duration != 0 {
+		t.Errorf("empty analyzer produced %+v", s)
+	}
+	if err := a.Err(); err != nil {
+		t.Errorf("empty analyzer error: %v", err)
+	}
+}
+
+// TestProgressAgentExcluded: dotted track names feed the replay but
+// not the per-rank cells.
+func TestProgressAgentExcluded(t *testing.T) {
+	s := synthetic(Options{}, func(tr *trace.Tracer) {
+		tr.Track(trace.GroupHost, 1, "rank0").Span("kernel", "compute", us(0), us(100), trace.None)
+		tr.Track(trace.GroupHost, 2, "rank0.progress").Span("kernel", "compute", us(0), us(100), trace.None)
+	})
+	if len(s.Ranks) != 1 || s.Ranks[0] != 0 {
+		t.Fatalf("ranks = %v, want [0]", s.Ranks)
+	}
+}
+
+// TestMinMetric exercises the assertion helper's scoping rules.
+func TestMinMetric(t *testing.T) {
+	s := synthetic(Options{Window: 100 * time.Microsecond}, func(tr *trace.Tracer) {
+		r0 := tr.Track(trace.GroupHost, 1, "rank0")
+		r0.Span("kernel", "compute", us(0), us(100), trace.None)
+		r0.Span("mpi", "Wait", us(100), us(200), trace.None)
+	})
+	v, n, err := s.MinMetric("par_eff", 0, 0, "")
+	if err != nil || n != 2 || v != 0 {
+		t.Errorf("min par_eff over all = (%v,%d,%v), want (0,2,nil)", v, n, err)
+	}
+	v, n, err = s.MinMetric("par_eff", 0, 100*time.Microsecond, "")
+	if err != nil || n != 1 || v != 1 {
+		t.Errorf("min par_eff first window = (%v,%d,%v), want (1,1,nil)", v, n, err)
+	}
+	if _, n, err = s.MinMetric("par_eff", 0, 0, "exchange"); err != nil || n != 1 {
+		t.Errorf("exchange-phase scope selected %d slices (%v), want 1", n, err)
+	}
+	if _, _, err = s.MinMetric("nope", 0, 0, ""); err == nil {
+		t.Error("unknown metric must error")
+	}
+}
+
+// TestCSVDeterminism: two identical runs render byte-identical CSV.
+func TestCSVDeterminism(t *testing.T) {
+	render := func() []byte {
+		w := workloads()[0]
+		a, _, _ := runAnalyzed(t, w.cfg, Options{}, w.body)
+		var buf bytes.Buffer
+		if err := a.Snapshot().WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("CSV output is not deterministic across identical runs")
+	}
+	head := string(a[:120])
+	if !strings.Contains(head, "ovlp time-resolved metrics v1") {
+		t.Errorf("CSV header missing: %q", head)
+	}
+}
+
+// TestFromInputMatchesLiveSink: the offline bridge over a
+// FromTracer input reproduces the live sink's snapshot.
+func TestFromInputMatchesLiveSink(t *testing.T) {
+	w := workloads()[1]
+	a, res, tr := runAnalyzed(t, w.cfg, Options{}, w.body)
+	live := a.Snapshot()
+	in := profile.FromTracer(tr, res.Calib, res.Reports)
+	off, err := FromInput(in, Options{})
+	if err != nil {
+		t.Fatalf("FromInput: %v", err)
+	}
+	var lb, ob bytes.Buffer
+	if err := live.WriteCSV(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.WriteCSV(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb.Bytes(), ob.Bytes()) {
+		t.Error("offline FromInput snapshot differs from live sink snapshot")
+	}
+}

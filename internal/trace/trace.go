@@ -27,6 +27,7 @@
 package trace
 
 import (
+	"fmt"
 	"time"
 
 	"ovlp/internal/vtime"
@@ -104,10 +105,25 @@ type Options struct {
 	// RingSize is the per-track hot-buffer capacity; 0 means
 	// DefaultRingSize.
 	RingSize int
-	// MetricsOnly disables span/instant recording, leaving only the
+	// MetricsOnly disables span/instant retention, leaving only the
 	// metrics registry active — the cheap mode behind a bare -metrics
-	// flag.
+	// flag. Streaming sinks (AddSink) still observe every record, so
+	// incremental analyzers run without any ring memory being spent on
+	// events nobody will export.
 	MetricsOnly bool
+}
+
+// Sink observes every record the moment it is emitted — a streaming
+// tap on the trace, so incremental analyzers (internal/timeres) can
+// consume the run live instead of re-parsing an exported file. Sinks
+// run in simulation context under the coroutine discipline: exactly
+// one emission at a time, records per track in emission order (which,
+// because spans are logged at their end stamp, is non-decreasing end
+// time per track).
+type Sink interface {
+	// TraceRec delivers one record from tk. The Rec is a value copy;
+	// the sink must not retain pointers into the tracer.
+	TraceRec(tk *Track, r Rec)
 }
 
 // Tracer owns the run's tracks and metrics registry. A nil *Tracer is
@@ -118,6 +134,7 @@ type Tracer struct {
 	tracks []*Track
 	index  map[trackKey]*Track
 	reg    *Registry
+	sinks  []Sink
 }
 
 type trackKey struct {
@@ -146,6 +163,17 @@ func (t *Tracer) Metrics() *Registry {
 		return nil
 	}
 	return t.reg
+}
+
+// AddSink attaches a streaming record tap. Multiple sinks are
+// delivered in attachment order. Attach sinks before the traced run
+// starts: records emitted earlier are not replayed. A nil tracer
+// ignores the call.
+func (t *Tracer) AddSink(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.sinks = append(t.sinks, s)
 }
 
 // Track returns the track for (group, id), creating it with the given
@@ -188,10 +216,11 @@ type Track struct {
 	id    int
 	name  string
 
-	ring   []Rec // hot buffer
-	n      int   // ring occupancy
-	cold   []Rec // spilled records, in emission order
-	spills int
+	ring     []Rec // hot buffer
+	n        int   // ring occupancy
+	cold     []Rec // spilled records, in emission order
+	spills   int
+	spillCtr *Counter // lazily bound "trace.spills.<group>.<name>" counter
 }
 
 // Group returns the track's group.
@@ -225,14 +254,27 @@ func (k *Track) Instant(cat, name string, ts vtime.Time, a Args) {
 }
 
 func (k *Track) emit(r Rec) {
-	if k.t.opts.MetricsOnly {
-		return
-	}
 	if r.Dur < 0 {
 		panic("trace: span ends before it starts")
 	}
+	for _, s := range k.t.sinks {
+		s.TraceRec(k, r)
+	}
+	if k.t.opts.MetricsOnly {
+		return
+	}
 	if k.n == len(k.ring) {
 		k.spill()
+		// Surface the overflow in the metrics registry (per track and
+		// in total) so an exported trace carries its own queue-pressure
+		// diagnosis and offline tools can warn that steady-state
+		// emission allocated. The end-of-run drain in Recs does not
+		// count: only overflows under emission are pressure.
+		if k.spillCtr == nil {
+			k.spillCtr = k.t.reg.Counter(fmt.Sprintf("trace.spills.%s.%s", k.group, k.name))
+		}
+		k.spillCtr.Inc()
+		k.t.reg.Counter("trace.spills").Inc()
 	}
 	k.ring[k.n] = r
 	k.n++

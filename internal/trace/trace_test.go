@@ -127,3 +127,81 @@ func TestNilTracerSafe(t *testing.T) {
 		t.Error("OverlapSink of nil track must be nil")
 	}
 }
+
+type recSink struct {
+	tracks []string
+	recs   []Rec
+}
+
+func (s *recSink) TraceRec(tk *Track, r Rec) {
+	s.tracks = append(s.tracks, tk.Name())
+	s.recs = append(s.recs, r)
+}
+
+func TestSinkObservesEveryRecord(t *testing.T) {
+	tr := New(Options{RingSize: 4})
+	s := &recSink{}
+	tr.AddSink(s)
+	tk := tr.Track(GroupHost, 0, "r0")
+	nic := tr.Track(GroupNIC, 0, "nic0")
+	tk.Span("kernel", "compute", us(0), us(5), None)
+	nic.Instant("rel", "retransmit", us(2), Args{Peer: NoPeer, ID: 7})
+	tk.Instant("overlap", "xfer-begin", us(3), Args{Peer: NoPeer, ID: 1})
+	if len(s.recs) != 3 {
+		t.Fatalf("sink saw %d records, want 3", len(s.recs))
+	}
+	want := []string{"r0", "nic0", "r0"}
+	for i, name := range want {
+		if s.tracks[i] != name {
+			t.Errorf("record %d from track %q, want %q", i, s.tracks[i], name)
+		}
+	}
+	if s.recs[0].Name != "compute" || s.recs[0].Dur != 5*time.Microsecond {
+		t.Errorf("span record mangled: %+v", s.recs[0])
+	}
+	if s.recs[1].Args.ID != 7 {
+		t.Errorf("instant args mangled: %+v", s.recs[1])
+	}
+}
+
+func TestSinkSeesRecordsInMetricsOnlyMode(t *testing.T) {
+	tr := New(Options{MetricsOnly: true})
+	s := &recSink{}
+	tr.AddSink(s)
+	tk := tr.Track(GroupHost, 0, "r0")
+	tk.Span("kernel", "compute", us(0), us(5), None)
+	if len(s.recs) != 1 {
+		t.Fatalf("sink saw %d records in MetricsOnly mode, want 1", len(s.recs))
+	}
+	if len(tk.Recs()) != 0 {
+		t.Error("MetricsOnly tracer must still not retain records")
+	}
+}
+
+func TestAddSinkNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.AddSink(&recSink{}) // nil tracer must ignore
+	tr2 := New(Options{})
+	tr2.AddSink(nil) // nil sink must be ignored
+	tr2.Track(GroupHost, 0, "r").Instant("c", "i", us(0), None)
+}
+
+func TestSpillCountersInRegistry(t *testing.T) {
+	tr := New(Options{RingSize: 4})
+	tk := tr.Track(GroupHost, 0, "rank0")
+	for i := 0; i < 11; i++ {
+		tk.Instant("c", "e", us(i), None)
+	}
+	reg := tr.Metrics()
+	if got := reg.Counter("trace.spills.hosts.rank0").Value(); got != 2 {
+		t.Errorf("per-track spill counter = %d, want 2", got)
+	}
+	if got := reg.Counter("trace.spills").Value(); got != 2 {
+		t.Errorf("total spill counter = %d, want 2", got)
+	}
+	// The end-of-run drain is not queue pressure and must not count.
+	tk.Recs()
+	if got := reg.Counter("trace.spills").Value(); got != 2 {
+		t.Errorf("Recs drain bumped spill counter to %d", got)
+	}
+}
