@@ -11,19 +11,23 @@
 //	          [-algos auto] [-modes manual,piggyback,thread]
 //	          [-compute 500us] [-polls 0] [-reps 10] [-coll-chunk 0]
 //	          [-progress-quantum 10us] [-fault-seed N -drop P ...]
-//	          [-trace out.json] [-metrics] [-profile out.txt]
+//	          [-trace out.json] [-metrics] [-profile out.txt] [-diagnose -]
 //
 // Each rep starts the collective, computes -compute of application
 // work (optionally interspersed with -polls TestColl calls — the
 // manual-progress poll budget), then waits. With -polls 0 the manual
 // row shows what the paper's same-call case certifies (nothing), and
 // the thread row what a progress thread recovers from identical code.
+//
+// -version prints the build identity and exits. Bad flags or invalid
+// sweep/fault configuration exit 2 before any simulation starts; a
+// failed observability output exits 1.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,47 +43,71 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("collstudy: ")
-	opFlag := flag.String("op", "iallreduce", "collective to study: ibcast, ireduce, iallreduce, ialltoall or ibarrier")
-	procs := flag.Int("procs", 8, "number of processes")
-	sizesFlag := flag.String("sizes", "4K,64K,1M", "comma-separated payload sizes (K/M suffixes)")
-	algosFlag := flag.String("algos", "auto", "comma-separated schedule algorithms (auto, binomial, ring, recdouble)")
-	modesFlag := flag.String("modes", "manual,piggyback,thread", "comma-separated progress modes")
-	compute := flag.Duration("compute", 500*time.Microsecond, "application computation per rep")
-	polls := flag.Int("polls", 0, "TestColl polls interspersed in each rep's computation")
-	reps := flag.Int("reps", 10, "repetitions per configuration")
-	chunk := flag.Int("coll-chunk", 0, "pipeline collective payloads in chunks of this many bytes (0 = unchunked)")
-	quantum := flag.Duration("progress-quantum", progress.DefaultQuantum, "wake quantum of the thread progress engine")
-	ff := cmdutil.RegisterFaults(nil)
-	obs := cmdutil.RegisterObs(nil)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main with its dependencies injected: exit status 0 on
+// success, 1 on a run or output failure, 2 on bad flags or
+// sweep/fault configuration that fails validation.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("collstudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opFlag := fs.String("op", "iallreduce", "collective to study: ibcast, ireduce, iallreduce, ialltoall or ibarrier")
+	procs := fs.Int("procs", 8, "number of processes")
+	sizesFlag := fs.String("sizes", "4K,64K,1M", "comma-separated payload sizes (K/M suffixes)")
+	algosFlag := fs.String("algos", "auto", "comma-separated schedule algorithms (auto, binomial, ring, recdouble)")
+	modesFlag := fs.String("modes", "manual,piggyback,thread", "comma-separated progress modes")
+	compute := fs.Duration("compute", 500*time.Microsecond, "application computation per rep")
+	polls := fs.Int("polls", 0, "TestColl polls interspersed in each rep's computation")
+	reps := fs.Int("reps", 10, "repetitions per configuration")
+	chunk := fs.Int("coll-chunk", 0, "pipeline collective payloads in chunks of this many bytes (0 = unchunked)")
+	quantum := fs.Duration("progress-quantum", progress.DefaultQuantum, "wake quantum of the thread progress engine")
+	ff := cmdutil.RegisterFaults(fs)
+	obs := cmdutil.RegisterObs(fs)
+	ver := cmdutil.RegisterVersion(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, cmdutil.Version())
+		return 0
+	}
+	fail2 := func(err error) int {
+		fmt.Fprintf(stderr, "collstudy: %v\n", err)
+		return 2
+	}
+
+	if *procs < 1 {
+		return fail2(fmt.Errorf("bad processor count %d", *procs))
+	}
 	faults, err := ff.Plan()
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
 	}
 	if err := cmdutil.CheckFaultNodes(faults, []int{*procs}); err != nil {
-		log.Fatal(err)
+		return fail2(err)
 	}
 	if desc := faultflag.Describe(faults); desc != "" {
-		fmt.Printf("%s\n\n", desc)
+		fmt.Fprintf(stdout, "%s\n\n", desc)
 	}
 	op := strings.ToLower(strings.TrimSpace(*opFlag))
+	if !knownOp(op) {
+		return fail2(fmt.Errorf("unknown collective %q", op))
+	}
 	algos, err := parseAlgos(*algosFlag)
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
 	}
 	modes, err := parseModes(*modesFlag)
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
 	}
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
 	}
 	if obs.Enabled() && (len(algos) != 1 || len(modes) != 1 || len(sizes) != 1) {
-		log.Fatal("-trace/-metrics/-profile need a single run: pass one -algos, one -modes and one -sizes value")
+		return fail2(fmt.Errorf("-trace/-metrics/-profile need a single run: pass one -algos, one -modes and one -sizes value"))
 	}
 
 	title := fmt.Sprintf("Nonblocking %s on %d procs — %v compute, %d polls, %d reps",
@@ -127,15 +155,26 @@ func main() {
 			}
 		}
 	}
-	t.Render(os.Stdout)
-	fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "  (%v)\n\n", time.Since(start).Round(time.Millisecond))
 	if obs.Enabled() {
-		if err := obs.Finish(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := obs.Finish(stdout); err != nil {
+			fmt.Fprintf(stderr, "collstudy: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
+func knownOp(op string) bool {
+	switch op {
+	case "ibcast", "ireduce", "iallreduce", "ialltoall", "ibarrier":
+		return true
+	}
+	return false
+}
+
+// startOp launches the studied collective; op was validated up front.
 func startOp(r *mpi.Rank, op string, size int) *mpi.CollRequest {
 	switch op {
 	case "ibcast":
@@ -146,11 +185,9 @@ func startOp(r *mpi.Rank, op string, size int) *mpi.CollRequest {
 		return r.Iallreduce(size)
 	case "ialltoall":
 		return r.Ialltoall(size)
-	case "ibarrier":
+	default:
 		return r.Ibarrier()
 	}
-	log.Fatalf("unknown collective %q", op)
-	return nil
 }
 
 func parseAlgos(s string) ([]coll.Algo, error) {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestBadFlagsExitTwo: validation failures exit 2 with a message on
+// stderr, before any simulation starts.
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"malformed-procs", []string{"-procs", "x"}, "-procs"},
+		{"nonpositive-procs", []string{"-procs", "0"}, "bad processor count"},
+		{"unknown-op", []string{"-op", "igather"}, `unknown collective "igather"`},
+		{"bad-size", []string{"-sizes", "4Q"}, "bad size"},
+		{"scenario-and-legacy", []string{"-scenario", "x.yaml", "-drop", "0.1"}, "mutually exclusive"},
+		{"trace-needs-single", []string{"-trace", "out.json", "-modes", "manual,thread"}, "single run"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, c.want) {
+				t.Fatalf("stderr = %q, want substring %q", stderr, c.want)
+			}
+		})
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-version")
+	if code != 0 {
+		t.Fatalf("-version exit = %d, want 0", code)
+	}
+	if !strings.HasPrefix(stdout, "ovlp ") {
+		t.Fatalf("-version output = %q", stdout)
+	}
+}
+
+// TestQuickStudyRuns: a minimal configuration exits 0 and prints its
+// table.
+func TestQuickStudyRuns(t *testing.T) {
+	code, stdout, stderr := runCmd(t,
+		"-op", "iallreduce", "-procs", "2", "-sizes", "4K",
+		"-algos", "ring", "-modes", "manual", "-reps", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Nonblocking iallreduce") {
+		t.Fatalf("no table in output:\n%s", stdout)
+	}
+}

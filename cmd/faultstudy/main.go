@@ -29,7 +29,10 @@
 // rate point as Chrome trace-event JSON; -metrics prints its counters,
 // and -profile runs the critical-path/blame profiler over it — on a
 // faulted sweep the fault-retransmit blame column shows what the
-// repair traffic cost.
+// repair traffic cost. -diagnose runs the diagnosis engine over the
+// same traced point and emits its ranked findings (a lossy sweep's
+// dominant finding is the retransmit storm). -version prints the
+// build identity and exits.
 package main
 
 import (
@@ -71,8 +74,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of the table (times in ns)")
 	ff := cmdutil.RegisterFaults(fs)
 	obs := cmdutil.RegisterObs(fs)
+	ver := cmdutil.RegisterVersion(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, cmdutil.Version())
+		return 0
 	}
 
 	fail2 := func(err error) int {

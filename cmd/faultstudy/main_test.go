@@ -16,6 +16,28 @@ func runCmd(t *testing.T, args ...string) (int, string, string) {
 	return code, stdout.String(), stderr.String()
 }
 
+func TestVersionFlag(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-version")
+	if code != 0 {
+		t.Fatalf("-version exit = %d, want 0", code)
+	}
+	if !strings.HasPrefix(stdout, "ovlp ") {
+		t.Fatalf("-version output = %q", stdout)
+	}
+}
+
+// TestDiagnoseFlag: -diagnose - appends the ranked findings to stdout;
+// a lossy sweep must at least produce the findings header.
+func TestDiagnoseFlag(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-rates", "0.2", "-reps", "10", "-diagnose", "-")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "findings") {
+		t.Fatalf("no findings block in output:\n%s", stdout)
+	}
+}
+
 func TestBadFaultFlagsExitTwoBeforeRunning(t *testing.T) {
 	cases := []struct {
 		name string

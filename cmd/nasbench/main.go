@@ -10,7 +10,7 @@
 //	nasbench [-bench all] [-classes S,W,A,B] [-procs ...] [-iters 10]
 //	         [-overlap] [-coll-algo auto] [-coll-chunk 0]
 //	         [-progress manual] [-progress-quantum 10us]
-//	         [-trace out.json] [-metrics] [-profile out.txt]
+//	         [-trace out.json] [-metrics] [-profile out.txt] [-diagnose -]
 //
 // -overlap runs the overlapped-collective variants of CG, FT and MG
 // (nonblocking schedules advanced by the -progress engine); the
@@ -19,15 +19,20 @@
 // -iters truncates each benchmark's time-stepping loop; overlap
 // percentages converge within a few iterations, so the default keeps
 // runs quick. Pass -iters 0 for the full NPB iteration counts.
-// -trace/-metrics/-profile (which need a single bench/class/procs
-// selection) export the run as Chrome trace-event JSON, print its
-// counters, and run the critical-path/blame profiler over it.
+// -trace/-metrics/-profile/-diagnose (which need a single
+// bench/class/procs selection) export the run as Chrome trace-event
+// JSON, print its counters, run the critical-path/blame profiler over
+// it, and emit the diagnosis engine's ranked findings.
+//
+// -version prints the build identity and exits. Bad flags or invalid
+// sweep/fault configuration exit 2 before any simulation starts; a
+// failed run or output exits 1.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,26 +69,53 @@ var paperFigure = map[string]string{
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("nasbench: ")
-	benchFlag := flag.String("bench", "all", "comma-separated benchmarks (BT,CG,LU,FT,SP,MG,IS,EP,MG-ARMCI) or 'all'/'paper'")
-	classFlag := flag.String("classes", "S,W,A,B", "comma-separated problem classes")
-	procsFlag := flag.String("procs", "", "comma-separated processor counts (default per benchmark)")
-	iters := flag.Int("iters", 10, "iteration cap (0 = full NPB iteration counts)")
-	bins := flag.Bool("bins", false, "also print process 0's per-message-size-bin breakdown")
-	hw := flag.Bool("hw", false, "use NIC hardware time-stamps (precise mode: min == max)")
-	jsonDir := flag.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
-	overlapped := flag.Bool("overlap", false, "run the overlapped-collective variants of CG, FT and MG")
-	cf := cmdutil.RegisterColl(nil)
-	ff := cmdutil.RegisterFaults(nil)
-	obs := cmdutil.RegisterObs(nil)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: exit status 0 on
+// success, 1 on a run or output failure, 2 on bad flags or
+// sweep/fault configuration that fails validation.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nasbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchFlag := fs.String("bench", "all", "comma-separated benchmarks (BT,CG,LU,FT,SP,MG,IS,EP,MG-ARMCI) or 'all'/'paper'")
+	classFlag := fs.String("classes", "S,W,A,B", "comma-separated problem classes")
+	procsFlag := fs.String("procs", "", "comma-separated processor counts (default per benchmark)")
+	iters := fs.Int("iters", 10, "iteration cap (0 = full NPB iteration counts)")
+	bins := fs.Bool("bins", false, "also print process 0's per-message-size-bin breakdown")
+	hw := fs.Bool("hw", false, "use NIC hardware time-stamps (precise mode: min == max)")
+	jsonDir := fs.String("json", "", "directory to write per-rank JSON reports into (inspect with ovlpreport)")
+	overlapped := fs.Bool("overlap", false, "run the overlapped-collective variants of CG, FT and MG")
+	cf := cmdutil.RegisterColl(fs)
+	ff := cmdutil.RegisterFaults(fs)
+	obs := cmdutil.RegisterObs(fs)
+	ver := cmdutil.RegisterVersion(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, cmdutil.Version())
+		return 0
+	}
+	fail2 := func(err error) int {
+		fmt.Fprintf(stderr, "nasbench: %v\n", err)
+		return 2
+	}
 	faults, err := ff.Plan()
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
+	}
+	// Validate the whole sweep configuration before any simulation: a
+	// malformed -procs or -classes exits 2 up front, not mid-sweep.
+	if _, err := cmdutil.ParseProcs(*procsFlag, nil); err != nil {
+		return fail2(err)
+	}
+	classes, err := parseClasses(*classFlag)
+	if err != nil {
+		return fail2(err)
 	}
 	if desc := faultflag.Describe(faults); desc != "" {
-		fmt.Printf("%s\n\n", desc)
+		fmt.Fprintf(stdout, "%s\n\n", desc)
 	}
 
 	var benches []string
@@ -95,50 +127,58 @@ func main() {
 	default:
 		benches = strings.Split(*benchFlag, ",")
 	}
-	classes := parseClasses(*classFlag)
 	if obs.Enabled() && (len(benches) != 1 || len(classes) != 1) {
-		log.Fatal("-trace/-metrics need a single run: pass one -bench, one -classes and one -procs value")
+		return fail2(fmt.Errorf("-trace/-metrics need a single run: pass one -bench, one -classes and one -procs value"))
 	}
 
 	for _, b := range benches {
 		b = strings.ToUpper(strings.TrimSpace(b))
+		var err error
 		if b == "MG-ARMCI" {
-			runMGARMCI(classes, mustProcs(*procsFlag, []int{2, 4, 8}), *iters, faults, obs)
-			continue
+			err = runMGARMCI(stdout, classes, defProcs(*procsFlag, []int{2, 4, 8}), *iters, faults, obs)
+		} else {
+			dp := []int{4, 8, 16}
+			if b == nas.BT || b == nas.SP {
+				dp = []int{4, 9, 16}
+			}
+			err = runBench(stdout, b, classes, defProcs(*procsFlag, dp), *iters, *bins, *hw, *overlapped, cf, *jsonDir, faults, obs)
 		}
-		defProcs := []int{4, 8, 16}
-		if b == nas.BT || b == nas.SP {
-			defProcs = []int{4, 9, 16}
+		if err != nil {
+			return fail2(err)
 		}
-		runBench(b, classes, mustProcs(*procsFlag, defProcs), *iters, *bins, *hw, *overlapped, cf, *jsonDir, faults, obs)
 	}
 	if obs.Enabled() {
-		if err := obs.Finish(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := obs.Finish(stdout); err != nil {
+			fmt.Fprintf(stderr, "nasbench: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
-// mustProcs parses the -procs flag, defaulting per benchmark.
-func mustProcs(s string, def []int) []int {
-	procs, err := cmdutil.ParseProcs(s, def)
-	if err != nil {
-		log.Fatal(err)
-	}
+// defProcs resolves the -procs flag against a benchmark's default
+// sweep; the flag's syntax was validated up front, so this cannot fail.
+func defProcs(s string, def []int) []int {
+	procs, _ := cmdutil.ParseProcs(s, def)
 	return procs
 }
 
 // checkTraceable rejects -trace/-metrics on a processor-count sweep:
 // one trace file holds one run.
-func checkTraceable(obs *cmdutil.Obs, procs []int) {
+func checkTraceable(obs *cmdutil.Obs, procs []int) error {
 	if obs.Enabled() && len(procs) != 1 {
-		log.Fatal("-trace/-metrics need a single run: pass one -bench, one -classes and one -procs value")
+		return fmt.Errorf("-trace/-metrics need a single run: pass one -bench, one -classes and one -procs value")
 	}
+	return nil
 }
 
-func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw, overlapped bool, cf *cmdutil.Coll, jsonDir string, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
-	checkFaultNodes(faults, procs)
-	checkTraceable(obs, procs)
+func runBench(w io.Writer, name string, classes []nas.Class, procs []int, iters int, bins, hw, overlapped bool, cf *cmdutil.Coll, jsonDir string, faults *fabric.FaultPlan, obs *cmdutil.Obs) error {
+	if err := cmdutil.CheckFaultNodes(faults, procs); err != nil {
+		return err
+	}
+	if err := checkTraceable(obs, procs); err != nil {
+		return err
+	}
 	title := fmt.Sprintf("Overlap characterization — NAS %s (%s protocol)", name, paperProtocol[name])
 	if f, ok := paperFigure[name]; ok {
 		title = fmt.Sprintf("%s — paper %s", title, f)
@@ -169,7 +209,9 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 			obs.SetRun(nil, reports)
 			rep := reports[0]
 			if jsonDir != "" {
-				saveReports(jsonDir, name, class, reports)
+				if err := saveReports(jsonDir, name, class, reports); err != nil {
+					return err
+				}
 			}
 			t.AddRow(class, p, r.MinPct, r.MaxPct, r.Transfers,
 				r.DataTransferTime.Round(time.Microsecond),
@@ -180,26 +222,28 @@ func runBench(name string, classes []nas.Class, procs []int, iters int, bins, hw
 			}
 		}
 	}
-	t.Render(os.Stdout)
-	fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+	t.Render(w)
+	fmt.Fprintf(w, "  (%v)\n\n", time.Since(start).Round(time.Millisecond))
 	for _, bt := range binTables {
-		bt.Render(os.Stdout)
-		fmt.Println()
+		bt.Render(w)
+		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 // saveReports writes one JSON report file per rank.
-func saveReports(dir, name string, class nas.Class, reports []*overlap.Report) {
+func saveReports(dir, name string, class nas.Class, reports []*overlap.Report) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, rep := range reports {
 		path := filepath.Join(dir, fmt.Sprintf("%s-%s-p%d-rank%d.json",
 			strings.ToLower(name), class, len(reports), rep.Rank))
 		if err := rep.SaveJSON(path); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // binTable renders process 0's per-message-size breakdown — the
@@ -227,17 +271,13 @@ func binTable(name string, class nas.Class, procs int, rep *overlap.Report) *rep
 	return t
 }
 
-// checkFaultNodes rejects a plan naming nodes beyond the smallest
-// processor count in the sweep, before any simulation starts.
-func checkFaultNodes(faults *fabric.FaultPlan, procs []int) {
+func runMGARMCI(w io.Writer, classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan, obs *cmdutil.Obs) error {
 	if err := cmdutil.CheckFaultNodes(faults, procs); err != nil {
-		log.Fatal(err)
+		return err
 	}
-}
-
-func runMGARMCI(classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan, obs *cmdutil.Obs) {
-	checkFaultNodes(faults, procs)
-	checkTraceable(obs, procs)
+	if err := checkTraceable(obs, procs); err != nil {
+		return err
+	}
 	t := report.NewTable("Overlap characterization — ARMCI MG, blocking vs non-blocking — paper Fig. 19",
 		"class", "procs", "blk min%", "blk max%", "nb min%", "nb max%")
 	start := time.Now()
@@ -253,18 +293,19 @@ func runMGARMCI(classes []nas.Class, procs []int, iters int, faults *fabric.Faul
 			t.AddRow(class, p, b.MinPct, b.MaxPct, n.MinPct, n.MaxPct)
 		}
 	}
-	t.Render(os.Stdout)
-	fmt.Printf("  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+	t.Render(w)
+	fmt.Fprintf(w, "  (%v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
-func parseClasses(s string) []nas.Class {
+func parseClasses(s string) ([]nas.Class, error) {
 	var out []nas.Class
 	for _, part := range strings.Split(s, ",") {
 		part = strings.ToUpper(strings.TrimSpace(part))
 		if len(part) != 1 {
-			log.Fatalf("bad class %q", part)
+			return nil, fmt.Errorf("bad class %q", part)
 		}
 		out = append(out, nas.Class(part[0]))
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestBadFlagsExitTwo: sweep and fault validation failures exit 2
+// before any simulation starts.
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"bad-flag", []string{"-nope"}, "-nope"},
+		{"malformed-procs", []string{"-procs", "4,x"}, "bad processor count"},
+		{"bad-class", []string{"-classes", "SS"}, "bad class"},
+		{"scenario-and-legacy", []string{"-scenario", "x.yaml", "-drop", "0.1"}, "mutually exclusive"},
+		{"trace-needs-single", []string{"-trace", "out.json"}, "single run"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, c.want) {
+				t.Fatalf("stderr = %q, want substring %q", stderr, c.want)
+			}
+		})
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-version")
+	if code != 0 {
+		t.Fatalf("-version exit = %d, want 0", code)
+	}
+	if !strings.HasPrefix(stdout, "ovlp ") {
+		t.Fatalf("-version output = %q", stdout)
+	}
+}
+
+// TestQuickBenchRuns: a minimal single-benchmark sweep exits 0 and
+// prints its characterization table.
+func TestQuickBenchRuns(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-bench", "EP", "-classes", "S", "-procs", "2", "-iters", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "NAS EP") {
+		t.Fatalf("no characterization table in output:\n%s", stdout)
+	}
+}

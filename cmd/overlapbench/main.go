@@ -9,7 +9,7 @@
 //
 //	overlapbench [-fig 0] [-reps 1000] [-fault-seed N -drop P -stall ...]
 //	            [-coll-algo auto] [-progress manual]
-//	            [-trace out.json] [-metrics] [-profile out.txt]
+//	            [-trace out.json] [-metrics] [-profile out.txt] [-diagnose -]
 //
 // -fig 0 (the default) runs every figure. The fault flags (see
 // internal/faultflag) rerun the figures on a deterministically lossy
@@ -17,15 +17,20 @@
 // and the printed wait times and bounds show what the repair traffic
 // costs. With -trace (which needs a single -fig), the figure's final
 // computation point is rerun once more under the tracer and exported
-// as Chrome trace-event JSON; -metrics prints the run's counters, and
+// as Chrome trace-event JSON; -metrics prints the run's counters,
 // -profile runs the critical-path/blame profiler over it (see
-// internal/profile; "-profile -" prints the text report).
+// internal/profile; "-profile -" prints the text report), and
+// -diagnose runs the diagnosis engine and prints its ranked findings.
+//
+// -version prints the build identity and exits. Bad flags or invalid
+// fault configuration exit 2 before any simulation starts; a failed
+// traced run exits 1.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -48,47 +53,69 @@ var figureNotes = map[int]string{
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("overlapbench: ")
-	fig := flag.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
-	reps := flag.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
-	cf := cmdutil.RegisterColl(nil)
-	ff := cmdutil.RegisterFaults(nil)
-	obs := cmdutil.RegisterObs(nil)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: exit status 0 on
+// success, 1 on a run failure, 2 on bad flags or fault configuration
+// that fails validation.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("overlapbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "paper figure to regenerate (3-9; 0 = all)")
+	reps := fs.Int("reps", 1000, "transfers per computation point (paper uses 1000)")
+	cf := cmdutil.RegisterColl(fs)
+	ff := cmdutil.RegisterFaults(fs)
+	obs := cmdutil.RegisterObs(fs)
+	ver := cmdutil.RegisterVersion(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, cmdutil.Version())
+		return 0
+	}
+	fail2 := func(err error) int {
+		fmt.Fprintf(stderr, "overlapbench: %v\n", err)
+		return 2
+	}
 	faults, err := ff.Plan()
 	if err != nil {
-		log.Fatal(err)
+		return fail2(err)
 	}
 	if err := cmdutil.CheckFaultNodes(faults, []int{2}); err != nil {
-		log.Fatal(err) // microbenchmarks always run 2 processes
+		return fail2(err) // microbenchmarks always run 2 processes
 	}
 	if desc := faultflag.Describe(faults); desc != "" {
-		fmt.Printf("%s\n\n", desc)
+		fmt.Fprintf(stdout, "%s\n\n", desc)
 	}
 
 	figs := []int{3, 4, 5, 6, 7, 8, 9}
 	if *fig != 0 {
 		if *fig < 3 || *fig > 9 {
-			log.Fatalf("no paper figure %d (want 3-9)", *fig)
+			return fail2(fmt.Errorf("no paper figure %d (want 3-9)", *fig))
 		}
 		figs = []int{*fig}
 	}
 	if obs.Enabled() && *fig == 0 {
-		log.Fatal("-trace/-metrics need a single figure: pass -fig 3..9")
+		return fail2(fmt.Errorf("-trace/-metrics need a single figure: pass -fig 3..9"))
 	}
 	for _, f := range figs {
-		runFigure(f, *reps, faults, cf)
+		runFigure(stdout, f, *reps, faults, cf)
 	}
 	if obs.Enabled() {
-		runTraced(*fig, *reps, faults, cf, obs)
+		if err := runTraced(stdout, *fig, *reps, faults, cf, obs); err != nil {
+			fmt.Fprintf(stderr, "overlapbench: %v\n", err)
+			return 1
+		}
 	}
+	return 0
 }
 
 // runTraced reruns the selected figure's final computation point once
 // more with the tracer attached, so the exported timeline shows one
 // fully-overlapping exchange pattern rather than the whole sweep.
-func runTraced(fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, obs *cmdutil.Obs) {
+func runTraced(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, obs *cmdutil.Obs) error {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
 	e.Config.Trace = obs.Tracer()
@@ -96,13 +123,11 @@ func runTraced(fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, obs *c
 	e.Observe = func(res cluster.Result) { obs.SetRun(res.Calib, res.Reports) }
 	e.ComputePoints = e.ComputePoints[len(e.ComputePoints)-1:]
 	e.Run()
-	fmt.Printf("traced figure %d at compute %v, %d reps\n", fig, e.ComputePoints[0], e.Reps)
-	if err := obs.Finish(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Fprintf(w, "traced figure %d at compute %v, %d reps\n", fig, e.ComputePoints[0], e.Reps)
+	return obs.Finish(w)
 }
 
-func runFigure(fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll) {
+func runFigure(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll) {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
 	cf.Apply(&e.Config.MPI)
@@ -118,8 +143,8 @@ func runFigure(fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll) {
 		t.AddRow(p.Compute, p.SenderWait, p.ReceiverWait,
 			p.SenderMin, p.SenderMax, p.ReceiverMin, p.ReceiverMax)
 	}
-	t.Render(os.Stdout)
-	fmt.Printf("  (%d points, %v)\n\n", len(points), time.Since(start).Round(time.Millisecond))
+	t.Render(w)
+	fmt.Fprintf(w, "  (%d points, %v)\n\n", len(points), time.Since(start).Round(time.Millisecond))
 }
 
 func sizeLabel(n int) string {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestBadFlagsExitTwo: validation failures exit 2 with a message on
+// stderr, before any simulation starts.
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"bad-flag", []string{"-nope"}, "-nope"},
+		{"bad-figure", []string{"-fig", "12"}, "no paper figure 12"},
+		{"scenario-and-legacy", []string{"-scenario", "x.yaml", "-drop", "0.1"}, "mutually exclusive"},
+		{"fault-node-range", []string{"-stall", "5@1ms+2ms"}, "names node 5"},
+		{"trace-needs-fig", []string{"-trace", "out.json"}, "single figure"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, c.want) {
+				t.Fatalf("stderr = %q, want substring %q", stderr, c.want)
+			}
+		})
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-version")
+	if code != 0 {
+		t.Fatalf("-version exit = %d, want 0", code)
+	}
+	if !strings.HasPrefix(stdout, "ovlp ") {
+		t.Fatalf("-version output = %q", stdout)
+	}
+}
+
+// TestSingleFigureWithDiagnose: a quick single-figure run succeeds and
+// -diagnose prints the findings block for the traced point.
+func TestSingleFigureWithDiagnose(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-fig", "3", "-reps", "5", "-diagnose", "-")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "findings") {
+		t.Fatalf("no findings block in output:\n%s", stdout)
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	ovlprof [-calib table.txt] [-top 10] [-csv|-folded|-json] trace.json
 //	ovlprof -timeresolved [-window 100us] [-csv|-json] trace.json
+//	ovlprof -diagnose [-window 100us] [-json] trace.json
 //
 // The trace file must come from this repo's exporter (cluster runs
 // with -trace, or cmd/tracecat merges). Transfer times are interpolated
@@ -29,6 +30,12 @@
 // machine formats, the default is text tables. An empty or span-free
 // trace exits non-zero with a named error instead of emitting an
 // empty report.
+//
+// -diagnose runs the automated diagnosis engine (internal/diagnose)
+// over the profile and the windowed efficiencies and prints the ranked
+// findings — straggler ranks, retransmit storms, progress starvation,
+// phase collapse, serialization hotspots, idle tails — instead of the
+// raw tables.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 
 	"ovlp/internal/calib"
 	"ovlp/internal/cluster"
+	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
 	"ovlp/internal/profile"
 	"ovlp/internal/timeres"
@@ -57,7 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	folded := fs.Bool("folded", false, "emit folded-stack lines (flamegraph.pl input)")
 	jsonOut := fs.Bool("json", false, "emit the full document as JSON")
 	timeResolved := fs.Bool("timeresolved", false, "emit time-resolved windowed efficiency metrics instead of the blame profile")
-	window := fs.Duration("window", timeres.DefaultWindow, "rolling-window length for -timeresolved")
+	diagnoseOut := fs.Bool("diagnose", false, "emit ranked diagnosis findings (see internal/diagnose) instead of the raw profile")
+	window := fs.Duration("window", timeres.DefaultWindow, "rolling-window length for -timeresolved and -diagnose")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ovlprof: -folded does not apply to -timeresolved")
 		return 2
 	}
+	if *diagnoseOut && (*folded || *csvOut || *timeResolved) {
+		fmt.Fprintln(stderr, "ovlprof: -diagnose combines only with -json")
+		return 2
+	}
 
 	table, err := loadTable(*calibPath)
 	if err != nil {
@@ -88,6 +101,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := in.CheckNonEmpty(); err != nil {
 		return fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+
+	if *diagnoseOut {
+		p, err := profile.Analyze(in)
+		if err != nil {
+			return fail(err)
+		}
+		s, err := timeres.FromInput(in, timeres.Options{Window: *window})
+		if err != nil {
+			return fail(err)
+		}
+		rep := diagnose.Analyze(diagnose.Input{
+			Profile: p, TimeRes: s, Duration: p.Duration, Procs: p.Ranks,
+		})
+		if *jsonOut {
+			err = diagnose.WriteJSON(stdout, rep)
+		} else {
+			err = diagnose.WriteText(stdout, rep)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	if *timeResolved {

@@ -122,3 +122,27 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("-csv -json exited %d, want 2", code)
 	}
 }
+
+func TestDiagnoseModes(t *testing.T) {
+	path := tracedRun(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diagnose", path}, &out, &errb); code != 0 {
+		t.Fatalf("-diagnose exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "findings:") {
+		t.Errorf("-diagnose text missing findings header:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-diagnose", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("-diagnose -json exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"schema": 1`) || !strings.Contains(out.String(), `"findings"`) {
+		t.Errorf("-diagnose -json missing schema/findings:\n%s", out.String())
+	}
+	if code := run([]string{"-diagnose", "-csv", path}, &out, &errb); code != 2 {
+		t.Errorf("-diagnose -csv exited %d, want 2", code)
+	}
+	if code := run([]string{"-diagnose", "-timeresolved", path}, &out, &errb); code != 2 {
+		t.Errorf("-diagnose -timeresolved exited %d, want 2", code)
+	}
+}

@@ -16,12 +16,17 @@
 // tables render once. -refresh 0 skips the live redraws and prints
 // only the final tables — the mode the tests pin.
 //
+// When the run lands, the final render also includes the diagnosis
+// engine's ranked findings (internal/diagnose) — the same report
+// `scenario -findings` and the drivers' -diagnose flag write.
+//
 // -http serves a minimal self-contained web view: "/" is a single
 // embedded HTML page whose script polls /data.json (the analyzer's
-// snapshot, same schema as ovlprof -timeresolved -json) and renders
-// efficiency bars client-side. The server keeps running after the
-// scenario completes so the final state can be inspected; interrupt
-// to exit.
+// snapshot, same schema as ovlprof -timeresolved -json) and
+// /findings.json (the post-run diagnosis; null while the run is
+// still in flight) and renders efficiency bars plus the findings
+// panel client-side. The server keeps running after the scenario
+// completes so the final state can be inspected; interrupt to exit.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"time"
 
 	"ovlp/internal/cluster"
+	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
 	"ovlp/internal/scenario"
 	"ovlp/internal/timeres"
@@ -84,13 +90,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		rr, err := scenario.Run(s, scenario.Opts{Smoke: *smoke, Sink: an})
+		rr, err := scenario.Run(s, scenario.Opts{Smoke: *smoke, Findings: true, Sink: an})
 		done <- outcome{rr, err}
 	}()
 
+	var fh findingsHolder
 	var srv *http.Server
 	if *httpAddr != "" {
-		srv = &http.Server{Addr: *httpAddr, Handler: newHandler(an, s.Name)}
+		srv = &http.Server{Addr: *httpAddr, Handler: newHandler(an, s.Name, &fh)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(stderr, "ovltop: http: %v\n", err)
@@ -148,6 +155,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, v := range violations {
 			fmt.Fprintf(stdout, "VIOLATION %s\n", v)
 		}
+	}
+
+	fmt.Fprintln(stdout)
+	if rr.Findings != nil {
+		fh.set(rr.Findings)
+		if err := diagnose.WriteText(stdout, rr.Findings); err != nil {
+			return fail(err)
+		}
+	} else {
+		fmt.Fprintln(stdout, "findings: no diagnosis (trace stream not replayable)")
 	}
 
 	if srv != nil {

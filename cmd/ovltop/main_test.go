@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"ovlp/internal/diagnose"
 	"ovlp/internal/timeres"
 )
 
@@ -43,7 +44,7 @@ func TestFinalRender(t *testing.T) {
 	if strings.Contains(s, "\x1b[2J") {
 		t.Error("-refresh 0 cleared the screen")
 	}
-	for _, want := range []string{"scenario top-test", "windows", "phases", "PE"} {
+	for _, want := range []string{"scenario top-test", "windows", "phases", "PE", "findings"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("final render missing %q:\n%s", want, s)
 		}
@@ -60,10 +61,11 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
-// TestWebHandler drives the embedded view's two endpoints.
+// TestWebHandler drives the embedded view's endpoints.
 func TestWebHandler(t *testing.T) {
 	an := timeres.New(timeres.Options{})
-	srv := httptest.NewServer(newHandler(an, "top-test"))
+	var fh findingsHolder
+	srv := httptest.NewServer(newHandler(an, "top-test", &fh))
 	defer srv.Close()
 
 	res, err := srv.Client().Get(srv.URL + "/")
@@ -96,6 +98,35 @@ func TestWebHandler(t *testing.T) {
 	}
 	if snap.Schema != timeres.Schema {
 		t.Errorf("schema = %d, want %d", snap.Schema, timeres.Schema)
+	}
+
+	// findings.json is null until the run lands, then the holder's
+	// report verbatim.
+	fetchFindings := func() string {
+		t.Helper()
+		res, err := srv.Client().Get(srv.URL + "/findings.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(res.Body); err != nil {
+			t.Fatal(err)
+		}
+		return body.String()
+	}
+	if got := strings.TrimSpace(fetchFindings()); got != "null" {
+		t.Errorf("findings.json before run = %q, want null", got)
+	}
+	fh.set(&diagnose.Report{Schema: 1, Findings: []diagnose.Finding{
+		{Kind: "straggler-rank", Severity: "warn", Summary: "rank 1 lags"},
+	}})
+	var rep diagnose.Report
+	if err := json.Unmarshal([]byte(fetchFindings()), &rep); err != nil {
+		t.Fatalf("findings.json not valid JSON: %v", err)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Kind != "straggler-rank" {
+		t.Errorf("findings.json = %+v", rep)
 	}
 
 	res, err = srv.Client().Get(srv.URL + "/nope")

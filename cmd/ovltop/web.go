@@ -4,15 +4,39 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 
+	"ovlp/internal/diagnose"
 	"ovlp/internal/timeres"
 )
 
+// findingsHolder publishes the post-run diagnosis report to request
+// goroutines; it stays empty (and /findings.json serves null) until
+// the scenario lands.
+type findingsHolder struct {
+	mu sync.Mutex
+	r  *diagnose.Report
+}
+
+func (h *findingsHolder) set(r *diagnose.Report) {
+	h.mu.Lock()
+	h.r = r
+	h.mu.Unlock()
+}
+
+func (h *findingsHolder) get() *diagnose.Report {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.r
+}
+
 // newHandler serves the embedded web view: "/" is the self-contained
 // page, "/data.json" the analyzer's current snapshot in the same
-// schema ovlprof -timeresolved -json emits. Snapshots are safe to take
-// from request goroutines — the analyzer carries its own mutex.
-func newHandler(an *timeres.Analyzer, name string) http.Handler {
+// schema ovlprof -timeresolved -json emits, "/findings.json" the
+// post-run diagnosis (null while the run is in flight). Snapshots are
+// safe to take from request goroutines — the analyzer carries its own
+// mutex.
+func newHandler(an *timeres.Analyzer, name string, fh *findingsHolder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -25,6 +49,17 @@ func newHandler(an *timeres.Analyzer, name string) http.Handler {
 	mux.HandleFunc("/data.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := an.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/findings.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := fh.get()
+		if rep == nil {
+			fmt.Fprintln(w, "null")
+			return
+		}
+		if err := diagnose.WriteJSON(w, rep); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -51,11 +86,15 @@ const indexHTML = `<!doctype html>
   .fill.low { background: #c55; }
   .phase-compute { color: #4a9; } .phase-exchange { color: #c95; }
   #status { color: #888; margin-bottom: 1em; }
+  .sev-info { color: #4a9; } .sev-warn { color: #c95; } .sev-critical { color: #c55; }
+  .finding td { text-align: left; }
+  .finding .cause { color: #888; }
 </style>
 </head>
 <body>
 <h1>ovltop — {{NAME}}</h1>
 <div id="status">connecting…</div>
+<div id="findings"></div>
 <div id="windows"></div>
 <div id="phases"></div>
 <script>
@@ -80,6 +119,20 @@ function table(title, rows, label) {
   });
   return h + "</table>";
 }
+function findingsPanel(rep) {
+  if (!rep) { return "<h1>findings</h1><div id='status'>diagnosis pending — run in flight</div>"; }
+  if (!rep.findings || !rep.findings.length) { return "<h1>findings</h1><div id='status'>none</div>"; }
+  var h = "<h1>findings (" + rep.findings.length + ")</h1><table>" +
+    "<tr><th>severity</th><th>kind</th><th>scope</th><th>score</th><th>summary</th></tr>";
+  rep.findings.forEach(function (f) {
+    h += '<tr class="finding"><td class="sev-' + f.severity + '">' + f.severity +
+      "</td><td>" + f.kind + "</td><td>" + f.scope + "</td><td>" + f.score.toFixed(4) +
+      "</td><td>" + f.summary +
+      (f.suspected_cause ? '<br><span class="cause">cause: ' + f.suspected_cause + "</span>" : "") +
+      "</td></tr>";
+  });
+  return h + "</table>";
+}
 function tick() {
   fetch("data.json").then(function (r) { return r.json(); }).then(function (d) {
     document.getElementById("status").textContent =
@@ -90,6 +143,9 @@ function tick() {
   }).catch(function (e) {
     document.getElementById("status").textContent = "poll failed: " + e;
   });
+  fetch("findings.json").then(function (r) { return r.json(); }).then(function (rep) {
+    document.getElementById("findings").innerHTML = findingsPanel(rep);
+  }).catch(function () {});
 }
 tick();
 setInterval(tick, 500);

@@ -25,6 +25,8 @@
 //	-write-golden (re)write the golden files instead of comparing
 //	-timeresolved DIR  write each scenario's windowed efficiency CSV
 //	              (internal/timeres) into DIR as <name>.timeres.csv
+//	-findings DIR write each scenario's diagnosis findings JSON
+//	              (internal/diagnose) into DIR as <name>.findings.json
 //	-gen N        generate N seeded stress scenarios and exit
 //
 // Determinism is the engine's contract: the same scenario file always
@@ -40,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"ovlp/internal/diagnose"
 	"ovlp/internal/scenario"
 )
 
@@ -55,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	goldenDir := fs.String("golden", "", "byte-compare each run report against <dir>/<name>.json")
 	writeGolden := fs.Bool("write-golden", false, "write the golden files under -golden instead of comparing")
 	timeresDir := fs.String("timeresolved", "", "write each scenario's windowed time-resolved CSV into this directory")
+	findingsDir := fs.String("findings", "", "write each scenario's diagnosis findings JSON into this directory")
 	gen := fs.Int("gen", 0, "generate this many seeded stress scenarios and exit")
 	genSeed := fs.Int64("gen-seed", 42, "generator seed (same seed, same scenarios)")
 	genOut := fs.String("gen-out", ".", "directory the generated scenario files are written into")
@@ -108,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			scens = append(scens, s)
 		}
 	}
-	for _, dir := range []string{*reportDir, *goldenDir, *timeresDir} {
+	for _, dir := range []string{*reportDir, *goldenDir, *timeresDir, *findingsDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return fail2(err)
@@ -117,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failed := 0
-	opts := scenario.Opts{Smoke: *smoke, TimeRes: *timeresDir != ""}
+	opts := scenario.Opts{Smoke: *smoke, TimeRes: *timeresDir != "", Findings: *findingsDir != ""}
 	for _, s := range scens {
 		rr, err := scenario.Run(s, opts)
 		if err != nil {
@@ -149,6 +153,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return fail2(err)
 				}
 				path := filepath.Join(*timeresDir, s.Name+".timeres.csv")
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					return fail2(err)
+				}
+			}
+		}
+		if *findingsDir != "" {
+			if rr.Findings == nil {
+				fmt.Fprintf(stderr, "scenario: %s: no diagnosis (stream not replayable)\n", s.Name)
+			} else {
+				var buf bytes.Buffer
+				if err := diagnose.WriteJSON(&buf, rr.Findings); err != nil {
+					return fail2(err)
+				}
+				path := filepath.Join(*findingsDir, s.Name+".findings.json")
 				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 					return fail2(err)
 				}

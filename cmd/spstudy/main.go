@@ -36,7 +36,12 @@ func main() {
 	procsFlag := flag.String("procs", "4,9,16", "comma-separated processor counts (squares)")
 	iters := flag.Int("iters", 10, "iteration cap (0 = full NPB count)")
 	obs := cmdutil.RegisterObs(nil)
+	ver := cmdutil.RegisterVersion(nil)
 	flag.Parse()
+	if *ver {
+		fmt.Println(cmdutil.Version())
+		return
+	}
 
 	var classes []nas.Class
 	for _, part := range strings.Split(*classFlag, ",") {

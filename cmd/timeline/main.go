@@ -15,6 +15,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"time"
@@ -34,7 +35,12 @@ func main() {
 	procs := flag.Int("procs", 4, "number of ranks")
 	width := flag.Int("width", 100, "chart width in columns")
 	obs := cmdutil.RegisterObs(nil)
+	ver := cmdutil.RegisterVersion(nil)
 	flag.Parse()
+	if *ver {
+		fmt.Println(cmdutil.Version())
+		return
+	}
 
 	traces := make([][]overlap.Event, *procs)
 	cfg := cluster.Config{

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"ovlp/internal/calib"
 	"ovlp/internal/cluster"
 	"ovlp/internal/coll"
+	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
 	"ovlp/internal/faultflag"
 	"ovlp/internal/mpi"
@@ -27,6 +29,54 @@ import (
 	"ovlp/internal/timeres"
 	"ovlp/internal/trace"
 )
+
+// Version returns the binary's build identity from the embedded build
+// info: module version, VCS revision (with a +dirty marker when the
+// working tree was modified) and the Go toolchain. It never fails —
+// a stripped binary reports "ovlp devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "ovlp devel"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	out := "ovlp " + ver
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		out += " " + rev + dirty
+	}
+	if bi.GoVersion != "" {
+		out += " " + bi.GoVersion
+	}
+	return out
+}
+
+// RegisterVersion installs the -version flag on fs (the default
+// command-line set when fs is nil). Drivers check the returned bool
+// after parsing: when set, print Version() and exit 0 before doing any
+// work.
+func RegisterVersion(fs *flag.FlagSet) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("version", false, "print the build identity and exit")
+}
 
 // ParseProcs parses a comma-separated list of processor counts,
 // falling back to def when the flag was left empty.
@@ -179,9 +229,11 @@ func (c *Coll) Apply(cfg *mpi.Config) {
 
 // Obs holds the observability flag state: -trace enables full
 // span/instant collection and writes a Chrome trace-event file,
-// -metrics prints the registry snapshot as text, and -profile runs
-// the critical-path/blame profiler over the collected events. Any of
-// them alone works; -metrics without -trace or -profile runs the
+// -metrics prints the registry snapshot as text, -profile runs the
+// critical-path/blame profiler over the collected events, and
+// -diagnose feeds the profile and a windowed snapshot to the
+// diagnosis engine and writes its ranked findings. Any of them alone
+// works; -metrics without -trace, -profile or -diagnose runs the
 // tracer in metrics-only mode so no ring memory is spent on events
 // nobody will export.
 type Obs struct {
@@ -204,6 +256,12 @@ type Obs struct {
 	TimeResolvedPath string
 	// TimeResWindow is the -timeres-window rolling-window length.
 	TimeResWindow time.Duration
+	// DiagnosePath is the -diagnose output ("" = off): the diagnosis
+	// engine (internal/diagnose) runs over the traced run's blame
+	// profile and windowed snapshot and writes its ranked findings —
+	// .json selects the schema-versioned JSON, anything else the text
+	// report; "-" prints the text report to the Finish writer.
+	DiagnosePath string
 
 	tr      *trace.Tracer
 	tres    *timeres.Analyzer
@@ -224,12 +282,14 @@ func RegisterObs(fs *flag.FlagSet) *Obs {
 	fs.IntVar(&o.ProfileTop, "profile-top", 10, "call sites to list in the text profile (0 = all)")
 	fs.StringVar(&o.TimeResolvedPath, "timeresolved", "", "write time-resolved efficiency metrics to this path (.json/.csv by extension, text otherwise, \"-\" for stdout)")
 	fs.DurationVar(&o.TimeResWindow, "timeres-window", timeres.DefaultWindow, "rolling-window length for -timeresolved")
+	fs.StringVar(&o.DiagnosePath, "diagnose", "", "write the run's ranked diagnosis findings to this path (.json by extension, text otherwise, \"-\" for stdout)")
 	return o
 }
 
 // Enabled reports whether any observability output was requested.
 func (o *Obs) Enabled() bool {
-	return o != nil && (o.TracePath != "" || o.Metrics || o.ProfilePath != "" || o.TimeResolvedPath != "")
+	return o != nil && (o.TracePath != "" || o.Metrics || o.ProfilePath != "" ||
+		o.TimeResolvedPath != "" || o.DiagnosePath != "")
 }
 
 // Tracer returns the tracer to hand to cluster.Config.Trace, creating
@@ -240,7 +300,12 @@ func (o *Obs) Tracer() *trace.Tracer {
 		return nil
 	}
 	if o.tr == nil {
-		o.tr = trace.New(trace.Options{MetricsOnly: o.TracePath == "" && o.ProfilePath == ""})
+		// The diagnosis engine replays the retained events through the
+		// profiler, so -diagnose needs full retention just like -profile.
+		o.tr = trace.New(trace.Options{
+			MetricsOnly: o.TracePath == "" && o.ProfilePath == "" && o.DiagnosePath == "",
+			Generator:   Version(),
+		})
 		if o.TimeResolvedPath != "" {
 			o.tres = timeres.New(timeres.Options{Window: o.TimeResWindow})
 			o.tr.AddSink(o.tres)
@@ -312,6 +377,52 @@ func (o *Obs) Finish(w io.Writer) error {
 			return fmt.Errorf("timeresolved: %w", err)
 		}
 	}
+	if o.DiagnosePath != "" {
+		if err := o.writeDiagnose(w); err != nil {
+			return fmt.Errorf("diagnose: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeDiagnose runs the diagnosis engine over the traced run — the
+// blame profile plus a windowed snapshot rebuilt from the same event
+// stream — and writes the ranked findings.
+func (o *Obs) writeDiagnose(w io.Writer) error {
+	table := o.table
+	if table == nil {
+		table = cluster.Calibrate(fabric.CostModel{}, nil, 0)
+	}
+	in := profile.FromTracer(o.tr, table, o.reports)
+	p, err := profile.Analyze(in)
+	if err != nil {
+		return err
+	}
+	din := diagnose.Input{Profile: p, Duration: p.Duration, Procs: p.Ranks}
+	if snap, err := timeres.FromInput(in, timeres.Options{Window: o.TimeResWindow}); err == nil {
+		din.TimeRes = snap
+	}
+	rep := diagnose.Analyze(din)
+	if o.DiagnosePath == "-" {
+		return diagnose.WriteText(w, rep)
+	}
+	f, err := os.Create(o.DiagnosePath)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(o.DiagnosePath, ".json") {
+		err = diagnose.WriteJSON(f, rep)
+	} else {
+		err = diagnose.WriteText(f, rep)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote diagnosis to %s (%d findings)\n", o.DiagnosePath, len(rep.Findings))
 	return nil
 }
 

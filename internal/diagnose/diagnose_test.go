@@ -1,0 +1,407 @@
+package diagnose
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ovlp/internal/profile"
+	"ovlp/internal/timeres"
+)
+
+const ms = time.Millisecond
+
+// mkSnapshot builds a consistent synthetic snapshot: n ranks, 1ms
+// windows, cells and efficiencies supplied per window.
+func mkSnapshot(ranks int, windows []timeres.Slice) *timeres.Snapshot {
+	ids := make([]int, ranks)
+	for i := range ids {
+		ids[i] = i
+	}
+	for i := range windows {
+		windows[i].Index = i
+		windows[i].Start = time.Duration(i) * ms
+		windows[i].End = time.Duration(i+1) * ms
+	}
+	dur := time.Duration(len(windows)) * ms
+	return &timeres.Snapshot{Schema: 1, Ranks: ids, Window: ms, Duration: dur, Windows: windows}
+}
+
+func cells(per ...timeres.Cell) []timeres.Cell {
+	for i := range per {
+		per[i].Rank = i
+	}
+	return per
+}
+
+// balancedWindow is a healthy window: equal compute, good efficiencies.
+func balancedWindow(ranks int) timeres.Slice {
+	cs := make([]timeres.Cell, ranks)
+	for i := range cs {
+		cs[i] = timeres.Cell{Rank: i, Compute: 900 * time.Microsecond, LibActive: 100 * time.Microsecond}
+	}
+	return timeres.Slice{Cells: cs, Eff: timeres.Efficiency{Parallel: 0.9, LoadBalance: 0.95, Comm: 0.95, Transfer: 0.9, Serialization: 0.9}}
+}
+
+func TestStragglerRule(t *testing.T) {
+	us := time.Microsecond
+	lag := func() timeres.Slice {
+		w := timeres.Slice{
+			Cells: cells(
+				timeres.Cell{Compute: 900 * us, LibActive: 100 * us},
+				timeres.Cell{Compute: 900 * us, LibActive: 100 * us},
+				timeres.Cell{Compute: 100 * us, WireWait: 800 * us, SerWait: 50 * us, Idle: 50 * us},
+				timeres.Cell{Compute: 900 * us, LibActive: 100 * us},
+			),
+			Eff: timeres.Efficiency{LoadBalance: 0.4, Comm: 0.5, Transfer: 0.6, Parallel: 0.5},
+		}
+		return w
+	}
+	snap := mkSnapshot(4, []timeres.Slice{
+		balancedWindow(4), lag(), lag(), lag(), balancedWindow(4),
+	})
+	rep := Analyze(Input{TimeRes: snap, Duration: snap.Duration, Procs: 4})
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == KindStraggler {
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("no straggler finding in %+v", rep.Findings)
+	}
+	if f.Scope.Rank == nil || *f.Scope.Rank != 2 {
+		t.Fatalf("straggler pinned to %v, want rank 2", f.Scope)
+	}
+	if f.Severity != SevWarn {
+		t.Fatalf("severity %q, want warn (min LB 0.4 > 0.25)", f.Severity)
+	}
+	// Evidence re-derivation: every value must match what we compute
+	// from the snapshot with the same rounding.
+	want := map[string]float64{
+		"collapsed_windows":   3,
+		"min_load_bal":        round4(0.4),
+		"rank_wire_wait_frac": round4(float64(3*800*us) / float64(3*ms)),
+		"rank_ser_wait_frac":  round4(float64(3*50*us) / float64(3*ms)),
+		"rank_compute_ratio":  round4(float64(100*us) / float64(900*us)),
+	}
+	for _, e := range f.Evidence {
+		if w, ok := want[e.Metric]; ok && e.Value != w {
+			t.Errorf("evidence %s = %v, want %v", e.Metric, e.Value, w)
+		}
+	}
+	if !strings.Contains(f.Cause, "DMA stall") && !strings.Contains(f.Cause, "wire") {
+		t.Errorf("cause %q does not name the wire-wait evidence", f.Cause)
+	}
+}
+
+func TestStragglerNeedsRepetition(t *testing.T) {
+	// A single collapsed window must not name a straggler.
+	us := time.Microsecond
+	one := timeres.Slice{
+		Cells: cells(
+			timeres.Cell{Compute: 900 * us}, timeres.Cell{Compute: 100 * us, WireWait: 800 * us},
+		),
+		Eff: timeres.Efficiency{LoadBalance: 0.3, Comm: 0.5},
+	}
+	snap := mkSnapshot(2, []timeres.Slice{balancedWindow(2), one, balancedWindow(2)})
+	rep := Analyze(Input{TimeRes: snap})
+	for _, f := range rep.Findings {
+		if f.Kind == KindStraggler {
+			t.Fatalf("straggler fired on a single window: %+v", f)
+		}
+	}
+}
+
+// mkProfile builds a profile whose conservation invariants hold:
+// per-site Blame sums to the site Gap, totals sum over sites.
+func mkProfile(dur time.Duration, sites []profile.Site) *profile.Profile {
+	p := &profile.Profile{Schema: 1, Ranks: 2, Duration: dur, Sites: sites}
+	for i := range sites {
+		sites[i].Gap = sites[i].Blame.Total()
+		sites[i].MaxOverlapped = sites[i].MinOverlapped + sites[i].Gap
+		p.Totals.Gap += sites[i].Gap
+		p.Totals.Blame.Add(sites[i].Blame)
+		p.Totals.Transfers += sites[i].Count
+	}
+	p.Totals.MinOverlapped = 0
+	p.Totals.MaxOverlapped = p.Totals.Gap
+	return p
+}
+
+func TestBlameShareRules(t *testing.T) {
+	p := mkProfile(10*ms, []profile.Site{
+		{Region: "exchange", Op: "Isend", Count: 8, Blame: profile.Blame{FaultRetransmit: 200 * time.Microsecond, Progress: 250 * time.Microsecond}},
+		{Region: "exchange", Op: "Wait", Count: 8, Blame: profile.Blame{FaultRetransmit: 100 * time.Microsecond, EarlyWait: 450 * time.Microsecond}},
+	})
+	// Gap total = 1ms; fault-retransmit share 0.3, progress share 0.25.
+	in := Input{Profile: p, Duration: 10 * ms, Procs: 2, ProgressMode: "manual", Retransmits: []int{5, 3}}
+	rep := Analyze(in)
+	var storm, starve *Finding
+	for i := range rep.Findings {
+		switch rep.Findings[i].Kind {
+		case KindRetransStorm:
+			storm = &rep.Findings[i]
+		case KindStarvation:
+			starve = &rep.Findings[i]
+		}
+	}
+	if storm == nil || starve == nil {
+		t.Fatalf("want storm+starvation, got %+v", rep.Findings)
+	}
+	if storm.Scope.Site != "exchange/Isend" {
+		t.Errorf("storm site %q, want exchange/Isend", storm.Scope.Site)
+	}
+	if storm.Score != round4(0.3) {
+		t.Errorf("storm score %v, want 0.3", storm.Score)
+	}
+	if starve.Score != round4(0.25) {
+		t.Errorf("starvation score %v, want 0.25", starve.Score)
+	}
+
+	// The thread engine owns progress: starvation must not fire.
+	in.ProgressMode = "thread"
+	rep = Analyze(in)
+	for _, f := range rep.Findings {
+		if f.Kind == KindStarvation {
+			t.Fatalf("starvation fired under -progress thread")
+		}
+	}
+}
+
+func TestPhaseCollapseRule(t *testing.T) {
+	te := func(v float64) timeres.Slice {
+		w := balancedWindow(2)
+		w.Eff.Transfer = v
+		return w
+	}
+	snap := mkSnapshot(2, []timeres.Slice{te(0.9), te(0.9), te(0.05), te(0.15), te(0.9), te(0.9)})
+	in := Input{
+		TimeRes: snap, Duration: snap.Duration,
+		Faults: []Interval{{Label: "bw-hammer", Start: 2 * ms, End: 4 * ms}},
+	}
+	rep := Analyze(in)
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == KindPhaseCollapse {
+			if f != nil {
+				t.Fatalf("consecutive cliff windows must merge into one finding")
+			}
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("no phase-collapse finding: %+v", rep.Findings)
+	}
+	if f.Scope.Window == nil || *f.Scope.Window != 2 {
+		t.Errorf("cliff scope %v, want window 2", f.Scope)
+	}
+	if f.Severity != SevCritical {
+		t.Errorf("severity %q, want critical (min TE 0.05 < %v)", f.Severity, CollapseTE/3)
+	}
+	if !strings.Contains(f.Cause, "bw-hammer") {
+		t.Errorf("cause %q does not cite the overlapping fault interval", f.Cause)
+	}
+	for _, e := range f.Evidence {
+		switch e.Metric {
+		case "min_xfer_eff":
+			if e.Value != round4(0.05) {
+				t.Errorf("min_xfer_eff %v, want 0.05", e.Value)
+			}
+		case "median_xfer_eff":
+			if e.Value != round4(0.9) {
+				t.Errorf("median_xfer_eff %v, want 0.9", e.Value)
+			}
+		case "cliff_windows":
+			if e.Value != 2 {
+				t.Errorf("cliff_windows %v, want 2", e.Value)
+			}
+		}
+	}
+}
+
+func TestPhaseCollapseNeedsHealthyMedian(t *testing.T) {
+	te := func(v float64) timeres.Slice {
+		w := balancedWindow(2)
+		w.Eff.Transfer = v
+		return w
+	}
+	// Whole run sick: every window below the cliff line → no finding.
+	snap := mkSnapshot(2, []timeres.Slice{te(0.1), te(0.1), te(0.1), te(0.1)})
+	rep := Analyze(Input{TimeRes: snap})
+	for _, f := range rep.Findings {
+		if f.Kind == KindPhaseCollapse {
+			t.Fatalf("phase-collapse fired with median TE 0.1")
+		}
+	}
+}
+
+func TestSerHotspotRule(t *testing.T) {
+	us := time.Microsecond
+	hot := timeres.Slice{
+		Cells: cells(
+			timeres.Cell{Compute: 600 * us, SerWait: 400 * us},
+			timeres.Cell{Compute: 600 * us, SerWait: 400 * us},
+		),
+		Eff: timeres.Efficiency{LoadBalance: 0.9, Comm: 0.9, Transfer: 0.9},
+	}
+	snap := mkSnapshot(2, []timeres.Slice{balancedWindow(2), hot, balancedWindow(2)})
+	p := mkProfile(3*ms, []profile.Site{
+		{Region: "exchange", Op: "Wait", Count: 4, Blame: profile.Blame{EarlyWait: 700 * us}},
+	})
+	rep := Analyze(Input{TimeRes: snap, Profile: p})
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == KindSerHotspot {
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("no serialization-hotspot finding: %+v", rep.Findings)
+	}
+	if f.Scope.Site != "exchange/Wait" {
+		t.Errorf("hotspot site %q, want exchange/Wait (top early-wait site)", f.Scope.Site)
+	}
+	if f.Score != round4(0.4) {
+		t.Errorf("score %v, want 0.4 (ser fraction)", f.Score)
+	}
+}
+
+func TestIdleTailRule(t *testing.T) {
+	us := time.Microsecond
+	tail := func() timeres.Slice {
+		return timeres.Slice{
+			Cells: cells(
+				timeres.Cell{Idle: 900 * us, Compute: 100 * us},
+				timeres.Cell{Idle: 900 * us, Compute: 100 * us},
+				timeres.Cell{Compute: 900 * us, Idle: 100 * us},
+				timeres.Cell{Compute: 900 * us, Idle: 100 * us},
+			),
+			Eff: timeres.Efficiency{LoadBalance: 0.6, Comm: 0.9},
+		}
+	}
+	snap := mkSnapshot(4, []timeres.Slice{balancedWindow(4), balancedWindow(4), tail(), tail()})
+	rep := Analyze(Input{TimeRes: snap})
+	var f *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == KindIdleTail {
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("no idle-tail finding: %+v", rep.Findings)
+	}
+	if f.Scope.Rank == nil || *f.Scope.Rank != 0 {
+		t.Errorf("idlest rank %v, want 0", f.Scope.Rank)
+	}
+	// spread: ranks 0,1 idle 1.8ms of the 2ms tail (0.9), ranks 2,3
+	// idle 0.2ms (0.1) → spread 0.8 ≥ 2×0.3 → critical.
+	if f.Severity != SevCritical {
+		t.Errorf("severity %q, want critical (spread 0.8)", f.Severity)
+	}
+	if f.Score != round4(0.8) {
+		t.Errorf("score %v, want 0.8", f.Score)
+	}
+}
+
+func TestIdleTailBalancedIsSilent(t *testing.T) {
+	us := time.Microsecond
+	tail := timeres.Slice{
+		Cells: cells(
+			timeres.Cell{Idle: 500 * us, Compute: 500 * us},
+			timeres.Cell{Idle: 500 * us, Compute: 500 * us},
+		),
+		Eff: timeres.Efficiency{LoadBalance: 1, Comm: 0.9},
+	}
+	snap := mkSnapshot(2, []timeres.Slice{balancedWindow(2), tail})
+	rep := Analyze(Input{TimeRes: snap})
+	for _, f := range rep.Findings {
+		if f.Kind == KindIdleTail {
+			t.Fatalf("idle-tail fired on a balanced tail (spread 0)")
+		}
+	}
+}
+
+func TestEmptyInputIsClean(t *testing.T) {
+	rep := Analyze(Input{})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("empty input produced findings: %+v", rep.Findings)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Fatalf("empty findings must marshal as [], got:\n%s", buf.String())
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	mk := func() Input {
+		us := time.Microsecond
+		lag := timeres.Slice{
+			Cells: cells(
+				timeres.Cell{Compute: 900 * us}, timeres.Cell{Compute: 100 * us, WireWait: 800 * us},
+			),
+			Eff: timeres.Efficiency{LoadBalance: 0.3, Comm: 0.5, Transfer: 0.2},
+		}
+		snap := mkSnapshot(2, []timeres.Slice{balancedWindow(2), lag, lag, balancedWindow(2)})
+		p := mkProfile(4*ms, []profile.Site{
+			{Region: "exchange", Op: "Isend", Count: 4, Blame: profile.Blame{FaultRetransmit: 300 * us, Progress: 300 * us}},
+			{Region: "exchange", Op: "Wait", Count: 4, Blame: profile.Blame{EarlyWait: 400 * us}},
+		})
+		return Input{Profile: p, TimeRes: snap, Duration: 4 * ms, Procs: 2,
+			ProgressMode: "manual", Retransmits: []int{2, 9},
+			Faults: []Interval{{Label: "storm", Start: ms, End: 3 * ms}}}
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, Analyze(mk())); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, Analyze(mk())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("findings JSON not byte-identical across reruns:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if len(Analyze(mk()).Findings) == 0 {
+		t.Fatalf("determinism fixture produced no findings — weak test")
+	}
+}
+
+func TestRankTotalOrder(t *testing.T) {
+	w1, w2 := 1, 2
+	fs := []Finding{
+		{Kind: "b", Severity: SevWarn, Score: 0.5},
+		{Kind: "a", Severity: SevCritical, Score: 0.1},
+		{Kind: "a", Severity: SevWarn, Score: 0.5, Scope: Scope{Window: &w2}},
+		{Kind: "a", Severity: SevWarn, Score: 0.5, Scope: Scope{Window: &w1}},
+		{Kind: "c", Severity: SevInfo, Score: 0.9},
+	}
+	got := rank(fs)
+	order := make([]string, len(got))
+	for i, f := range got {
+		order[i] = f.Severity + "/" + f.Kind + "/" + f.Scope.String()
+	}
+	want := []string{
+		"critical/a/run",
+		"warn/a/window 1", "warn/a/window 2", "warn/b/run",
+		"info/c/run",
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("rank order[%d] = %q, want %q (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+func TestRound4(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0.123456, 0.1235}, {0.99995, 1}, {-0.123449, -0.1234}, {0, 0}, {2, 2},
+	} {
+		if got := round4(tc.in); got != tc.want {
+			t.Errorf("round4(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

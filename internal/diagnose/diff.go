@@ -1,0 +1,417 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ovlp/internal/profile"
+	"ovlp/internal/timeres"
+)
+
+// Run is one side of a differential comparison: the artifacts of a
+// single run plus a label for rendering ("baseline", a commit, a
+// filename).
+type Run struct {
+	Label   string
+	Profile *profile.Profile
+	TimeRes *timeres.Snapshot
+}
+
+// CauseDelta is one blame cause's contribution to the bound-gap delta.
+// Because every profile conserves blame (per-site Blame sums exactly to
+// the site's gap, sites sum to the totals), the cause deltas sum
+// exactly to GapDelta — the diff inherits conservation instead of
+// re-deriving it.
+type CauseDelta struct {
+	Cause   string `json:"cause"`
+	ANS     int64  `json:"a_ns"`
+	BNS     int64  `json:"b_ns"`
+	DeltaNS int64  `json:"delta_ns"`
+}
+
+// SiteDelta aligns one call site ("region/op") across the two runs.
+// A site missing on one side contributes zero there. Only sites with a
+// non-zero gap delta appear in the report, so a self-diff has none.
+type SiteDelta struct {
+	Site     string       `json:"site"`
+	GapANS   int64        `json:"gap_a_ns"`
+	GapBNS   int64        `json:"gap_b_ns"`
+	DeltaNS  int64        `json:"delta_ns"`
+	Dominant string       `json:"dominant_cause,omitempty"`
+	Causes   []CauseDelta `json:"causes,omitempty"`
+}
+
+// WindowDelta aligns one time window across the runs and carries the
+// per-metric efficiency deltas (B − A, rounded). Only windows where at
+// least one metric moved appear.
+type WindowDelta struct {
+	Index    int     `json:"window"`
+	StartNS  int64   `json:"start_ns"`
+	EndNS    int64   `json:"end_ns"`
+	DParal   float64 `json:"d_parallel_eff"`
+	DLoadBal float64 `json:"d_load_bal"`
+	DComm    float64 `json:"d_comm_eff"`
+	DXfer    float64 `json:"d_xfer_eff"`
+	DSer     float64 `json:"d_ser_eff"`
+}
+
+// DiffReport is the complete output of Diff: totals, the per-cause
+// conservation ledger, aligned sites and windows, and the findings
+// that explain the movement.
+type DiffReport struct {
+	Schema      int           `json:"schema"`
+	ALabel      string        `json:"a"`
+	BLabel      string        `json:"b"`
+	WallANS     int64         `json:"wall_a_ns"`
+	WallBNS     int64         `json:"wall_b_ns"`
+	WallDeltaNS int64         `json:"wall_delta_ns"`
+	GapANS      int64         `json:"gap_a_ns"`
+	GapBNS      int64         `json:"gap_b_ns"`
+	GapDeltaNS  int64         `json:"gap_delta_ns"`
+	WindowSkew  string        `json:"window_skew,omitempty"`
+	Causes      []CauseDelta  `json:"causes"`
+	Sites       []SiteDelta   `json:"sites"`
+	Windows     []WindowDelta `json:"windows"`
+	Findings    []Finding     `json:"findings"`
+}
+
+// Diff thresholds: the relative movement at which a diff finding fires.
+const (
+	// DiffWallPct: wall-time movement (vs A) that is a regression or an
+	// improvement.
+	DiffWallPct = 0.05
+	// DiffGapPct: bound-gap movement (vs A's gap) that warrants a
+	// gap-regression finding.
+	DiffGapPct = 0.10
+	// DiffEffDrop: per-window efficiency drop that flags the window.
+	DiffEffDrop = 0.15
+	// DiffMaxWindowFindings caps the per-window efficiency-regression
+	// findings at the worst offenders; long runs have tens of thousands
+	// of windows, and a thousand near-identical findings would bury the
+	// gap explanation. The remainder collapses into one summary finding.
+	DiffMaxWindowFindings = 8
+)
+
+// Diff aligns run b against run a and attributes the movement. Both
+// profiles are required; timeres snapshots are optional (no windows
+// section without them). Diffing a run against itself yields zero
+// deltas, no sites, no windows and no findings.
+func Diff(a, b Run) (*DiffReport, error) {
+	if a.Profile == nil || b.Profile == nil {
+		return nil, fmt.Errorf("diagnose: diff needs a profile on both sides")
+	}
+	r := &DiffReport{
+		Schema: Schema,
+		ALabel: a.Label, BLabel: b.Label,
+		WallANS: int64(a.Profile.Duration), WallBNS: int64(b.Profile.Duration),
+		GapANS: int64(a.Profile.Totals.Gap), GapBNS: int64(b.Profile.Totals.Gap),
+	}
+	r.WallDeltaNS = r.WallBNS - r.WallANS
+	r.GapDeltaNS = r.GapBNS - r.GapANS
+	r.Causes = causeDeltas(a.Profile.Totals.Blame, b.Profile.Totals.Blame)
+	r.Sites = siteDeltas(a.Profile, b.Profile)
+	r.Windows, r.WindowSkew = windowDeltas(a.TimeRes, b.TimeRes)
+	r.Findings = rank(diffFindings(r))
+	return r, nil
+}
+
+func causeDeltas(a, b profile.Blame) []CauseDelta {
+	names, av := a.Columns()
+	_, bv := b.Columns()
+	out := []CauseDelta{}
+	for i, name := range names {
+		if av[i] == bv[i] {
+			continue
+		}
+		out = append(out, CauseDelta{
+			Cause: name, ANS: int64(av[i]), BNS: int64(bv[i]),
+			DeltaNS: int64(bv[i]) - int64(av[i]),
+		})
+	}
+	return out
+}
+
+// siteDeltas aligns the union of call sites by "region/op" name,
+// keeping source order: every site of A in A's order, then B-only
+// sites in B's order. Zero-delta sites are dropped.
+func siteDeltas(a, b *profile.Profile) []SiteDelta {
+	bByName := map[string]*profile.Site{}
+	for i := range b.Sites {
+		s := &b.Sites[i]
+		bByName[s.Region+"/"+s.Op] = s
+	}
+	seen := map[string]bool{}
+	out := []SiteDelta{}
+	add := func(name string, as, bs *profile.Site) {
+		seen[name] = true
+		var ab, bb profile.Blame
+		var ag, bg time.Duration
+		if as != nil {
+			ab, ag = as.Blame, as.Gap
+		}
+		if bs != nil {
+			bb, bg = bs.Blame, bs.Gap
+		}
+		if ag == bg && ab == bb {
+			return
+		}
+		sd := SiteDelta{
+			Site: name, GapANS: int64(ag), GapBNS: int64(bg),
+			DeltaNS: int64(bg) - int64(ag),
+			Causes:  causeDeltas(ab, bb),
+		}
+		best := int64(0)
+		for _, c := range sd.Causes {
+			d := c.DeltaNS
+			if d < 0 {
+				d = -d
+			}
+			if d > best {
+				best, sd.Dominant = d, c.Cause
+			}
+		}
+		out = append(out, sd)
+	}
+	for i := range a.Sites {
+		s := &a.Sites[i]
+		name := s.Region + "/" + s.Op
+		add(name, s, bByName[name])
+	}
+	for i := range b.Sites {
+		s := &b.Sites[i]
+		name := s.Region + "/" + s.Op
+		if !seen[name] {
+			add(name, nil, s)
+		}
+	}
+	return out
+}
+
+func windowDeltas(a, b *timeres.Snapshot) ([]WindowDelta, string) {
+	if a == nil || b == nil {
+		return []WindowDelta{}, ""
+	}
+	if a.Window != b.Window {
+		return []WindowDelta{}, fmt.Sprintf(
+			"window sizes differ (%v vs %v); window alignment skipped", a.Window, b.Window)
+	}
+	n := len(a.Windows)
+	skew := ""
+	if len(b.Windows) < n {
+		n = len(b.Windows)
+	}
+	if len(a.Windows) != len(b.Windows) {
+		skew = fmt.Sprintf("window counts differ (%d vs %d); comparing the first %d",
+			len(a.Windows), len(b.Windows), n)
+	}
+	out := []WindowDelta{}
+	for i := 0; i < n; i++ {
+		wa, wb := &a.Windows[i], &b.Windows[i]
+		d := WindowDelta{
+			Index: i, StartNS: int64(wa.Start), EndNS: int64(wa.End),
+			DParal:   round4(wb.Eff.Parallel - wa.Eff.Parallel),
+			DLoadBal: round4(wb.Eff.LoadBalance - wa.Eff.LoadBalance),
+			DComm:    round4(wb.Eff.Comm - wa.Eff.Comm),
+			DXfer:    round4(wb.Eff.Transfer - wa.Eff.Transfer),
+			DSer:     round4(wb.Eff.Serialization - wa.Eff.Serialization),
+		}
+		if d.DParal == 0 && d.DLoadBal == 0 && d.DComm == 0 && d.DXfer == 0 && d.DSer == 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, skew
+}
+
+// diffFindings explains the report's movement: wall regressions and
+// improvements, gap regressions pinned to the dominant cause and the
+// site that moved most under it, and per-window efficiency cliffs.
+func diffFindings(r *DiffReport) []Finding {
+	var out []Finding
+
+	if r.WallANS > 0 {
+		rel := float64(r.WallDeltaNS) / float64(r.WallANS)
+		if rel >= DiffWallPct {
+			sev := SevWarn
+			if rel >= 2*DiffWallPct {
+				sev = SevCritical
+			}
+			out = append(out, Finding{
+				Kind: KindWallRegression, Severity: sev, Score: round4(rel),
+				Summary: fmt.Sprintf("wall time regressed %+.1f%%: %v → %v",
+					round4(rel)*100, time.Duration(r.WallANS), time.Duration(r.WallBNS)),
+				Cause: "see the gap/cause breakdown below",
+				Evidence: []Evidence{
+					{Metric: "wall_delta_rel", Value: round4(rel), Threshold: DiffWallPct},
+					{Metric: "wall_delta_ns", Value: float64(r.WallDeltaNS), Unit: "ns"},
+				},
+			})
+		} else if rel <= -DiffWallPct {
+			out = append(out, Finding{
+				Kind: KindImprovement, Severity: SevInfo, Score: round4(-rel),
+				Summary: fmt.Sprintf("wall time improved %.1f%%: %v → %v",
+					round4(-rel)*100, time.Duration(r.WallANS), time.Duration(r.WallBNS)),
+				Evidence: []Evidence{
+					{Metric: "wall_delta_rel", Value: round4(rel), Threshold: DiffWallPct},
+				},
+			})
+		}
+	}
+
+	if r.GapDeltaNS != 0 {
+		base := r.GapANS
+		if base <= 0 {
+			base = r.WallANS
+		}
+		if base > 0 {
+			rel := float64(r.GapDeltaNS) / float64(base)
+			if rel >= DiffGapPct {
+				// Dominant cause over the totals ledger, then the site
+				// that moved the most under that cause.
+				cause, causeNS := "", int64(0)
+				for _, c := range r.Causes {
+					if c.DeltaNS > causeNS {
+						cause, causeNS = c.Cause, c.DeltaNS
+					}
+				}
+				site, siteNS := "", int64(0)
+				for _, s := range r.Sites {
+					for _, c := range s.Causes {
+						if c.Cause == cause && c.DeltaNS > siteNS {
+							site, siteNS = s.Site, c.DeltaNS
+						}
+					}
+				}
+				sev := SevWarn
+				if rel >= 2*DiffGapPct {
+					sev = SevCritical
+				}
+				share := 0.0
+				if r.GapDeltaNS > 0 {
+					share = float64(causeNS) / float64(r.GapDeltaNS)
+				}
+				sum := fmt.Sprintf("regression explained: %+.1f%% bound gap", round4(rel)*100)
+				if cause != "" {
+					sum += " from " + cause
+				}
+				if site != "" {
+					sum += " at " + site
+				}
+				f := Finding{
+					Kind: KindGapRegression, Severity: sev, Score: round4(rel),
+					Scope:   Scope{Site: site},
+					Summary: sum,
+					Cause:   causeStory(cause),
+					Knob:    causeKnob(cause),
+					Evidence: []Evidence{
+						{Metric: "gap_delta_rel", Value: round4(rel), Threshold: DiffGapPct},
+						{Metric: "gap_delta_ns", Value: float64(r.GapDeltaNS), Unit: "ns"},
+						{Metric: "dominant_cause_share", Value: round4(share)},
+					},
+				}
+				out = append(out, f)
+			} else if rel <= -DiffGapPct {
+				out = append(out, Finding{
+					Kind: KindImprovement, Severity: SevInfo, Score: round4(-rel),
+					Summary: fmt.Sprintf("bound gap improved %.1f%%: %v → %v",
+						round4(-rel)*100, time.Duration(r.GapANS), time.Duration(r.GapBNS)),
+					Evidence: []Evidence{
+						{Metric: "gap_delta_rel", Value: round4(rel), Threshold: DiffGapPct},
+					},
+				})
+			}
+		}
+	}
+
+	var winFs []Finding
+	for _, w := range r.Windows {
+		worst, metric := 0.0, ""
+		for _, m := range []struct {
+			name string
+			d    float64
+		}{
+			{"parallel_eff", w.DParal}, {"load_bal", w.DLoadBal},
+			{"comm_eff", w.DComm}, {"xfer_eff", w.DXfer}, {"ser_eff", w.DSer},
+		} {
+			if -m.d > worst {
+				worst, metric = -m.d, m.name
+			}
+		}
+		if worst < DiffEffDrop {
+			continue
+		}
+		wi := w.Index
+		winFs = append(winFs, Finding{
+			Kind: KindEffRegression, Severity: SevWarn, Score: round4(worst),
+			Scope: Scope{Window: &wi, FromNS: w.StartNS, ToNS: w.EndNS},
+			Summary: fmt.Sprintf("window %d: %s drops %.4f between the runs",
+				w.Index, metric, round4(worst)),
+			Cause: "localized efficiency loss — compare this window's chaos schedule and site activity",
+			Evidence: []Evidence{
+				{Metric: "d_" + metric, Value: round4(-worst), Threshold: DiffEffDrop},
+			},
+		})
+	}
+	// Keep the worst DiffMaxWindowFindings windows (score desc, index
+	// asc — deterministic) and fold the rest into one summary finding.
+	if len(winFs) > DiffMaxWindowFindings {
+		sort.SliceStable(winFs, func(i, j int) bool {
+			if winFs[i].Score != winFs[j].Score {
+				return winFs[i].Score > winFs[j].Score
+			}
+			return *winFs[i].Scope.Window < *winFs[j].Scope.Window
+		})
+		omitted := winFs[DiffMaxWindowFindings:]
+		winFs = winFs[:DiffMaxWindowFindings]
+		winFs = append(winFs, Finding{
+			Kind: KindEffRegression, Severity: SevWarn, Score: omitted[0].Score,
+			Summary: fmt.Sprintf("%d more windows regressed ≥ %.2f on some efficiency (worst shown above)",
+				len(omitted), DiffEffDrop),
+			Cause: "widespread efficiency loss — the gap-regression finding carries the cause",
+			Evidence: []Evidence{
+				{Metric: "omitted_windows", Value: float64(len(omitted))},
+				{Metric: "omitted_worst_drop", Value: omitted[0].Score, Threshold: DiffEffDrop},
+			},
+		})
+	}
+	return append(out, winFs...)
+}
+
+// causeStory/causeKnob turn a blame-cause name into the prose a diff
+// finding carries.
+func causeStory(cause string) string {
+	switch cause {
+	case "fault-retransmit":
+		return "the reliable layer spent more time retransmitting — the B run saw more fabric loss"
+	case "late-init":
+		return "transfers were initiated later relative to the data's availability"
+	case "early-wait":
+		return "ranks entered Wait earlier relative to transfer completion, shrinking the overlap window"
+	case "protocol":
+		return "protocol phases (rendezvous handshakes) grew between the runs"
+	case "progress":
+		return "more transfer time sat unprogressed outside library calls"
+	case "truncated":
+		return "more transfers were cut off by the end of the observation window"
+	case "":
+		return "the movement is spread across causes with no dominant one"
+	}
+	return "uncategorized bound-gap movement"
+}
+
+func causeKnob(cause string) string {
+	switch cause {
+	case "fault-retransmit":
+		return "compare fault schedules; raise reliable timeout/backoff"
+	case "late-init":
+		return "start transfers as soon as data is ready"
+	case "early-wait":
+		return "push Wait later; insert compute between init and Wait"
+	case "protocol":
+		return "check eager/rendezvous threshold against message sizes"
+	case "progress":
+		return "-progress thread, or poll with Test/TestColl during compute"
+	}
+	return ""
+}

@@ -1,0 +1,240 @@
+package diagnose
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ovlp/internal/profile"
+	"ovlp/internal/timeres"
+)
+
+func diffFixtures() (Run, Run) {
+	us := time.Microsecond
+	a := Run{
+		Label: "a",
+		Profile: mkProfile(10*ms, []profile.Site{
+			{Region: "exchange", Op: "Isend", Count: 8, Blame: profile.Blame{FaultRetransmit: 600 * us, EarlyWait: 400 * us}},
+			{Region: "halo", Op: "Wait", Count: 4, Blame: profile.Blame{Progress: 500 * us}},
+		}),
+	}
+	b := Run{
+		Label: "b",
+		Profile: mkProfile(12*ms, []profile.Site{
+			{Region: "exchange", Op: "Isend", Count: 8, Blame: profile.Blame{FaultRetransmit: 1500 * us, EarlyWait: 500 * us}},
+			{Region: "coll", Op: "Iallreduce[ring]", Count: 2, Blame: profile.Blame{Protocol: 300 * us}},
+		}),
+	}
+	return a, b
+}
+
+func TestDiffSelfIsZero(t *testing.T) {
+	a, _ := diffFixtures()
+	us := time.Microsecond
+	lag := timeres.Slice{
+		Cells: cells(timeres.Cell{Compute: 500 * us, WireWait: 500 * us}, timeres.Cell{Compute: 900 * us, Idle: 100 * us}),
+		Eff:   timeres.Efficiency{Parallel: 0.7, LoadBalance: 0.6, Comm: 0.8, Transfer: 0.5, Serialization: 0.9},
+	}
+	a.TimeRes = mkSnapshot(2, []timeres.Slice{balancedWindow(2), lag})
+	r, err := Diff(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WallDeltaNS != 0 || r.GapDeltaNS != 0 {
+		t.Fatalf("self-diff deltas: wall %d gap %d, want 0 0", r.WallDeltaNS, r.GapDeltaNS)
+	}
+	if len(r.Causes) != 0 || len(r.Sites) != 0 || len(r.Windows) != 0 {
+		t.Fatalf("self-diff kept rows: causes=%d sites=%d windows=%d", len(r.Causes), len(r.Sites), len(r.Windows))
+	}
+	if len(r.Findings) != 0 {
+		t.Fatalf("self-diff produced findings: %+v", r.Findings)
+	}
+}
+
+func TestDiffConservation(t *testing.T) {
+	a, b := diffFixtures()
+	r, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGapDelta := int64(b.Profile.Totals.Gap - a.Profile.Totals.Gap)
+	if r.GapDeltaNS != wantGapDelta {
+		t.Fatalf("gap delta %d, want %d", r.GapDeltaNS, wantGapDelta)
+	}
+	// Per-cause deltas must sum exactly to the total max−min bound
+	// delta — the diff's conservation law.
+	var causeSum int64
+	for _, c := range r.Causes {
+		causeSum += c.DeltaNS
+	}
+	if causeSum != r.GapDeltaNS {
+		t.Fatalf("cause deltas sum to %d, gap delta is %d", causeSum, r.GapDeltaNS)
+	}
+	// Site deltas conserve too, and each site's cause deltas sum to
+	// the site's own delta.
+	var siteSum int64
+	for _, s := range r.Sites {
+		siteSum += s.DeltaNS
+		var cs int64
+		for _, c := range s.Causes {
+			cs += c.DeltaNS
+		}
+		if cs != s.DeltaNS {
+			t.Errorf("site %s: cause deltas sum %d != site delta %d", s.Site, cs, s.DeltaNS)
+		}
+	}
+	if siteSum != r.GapDeltaNS {
+		t.Fatalf("site deltas sum to %d, gap delta is %d", siteSum, r.GapDeltaNS)
+	}
+	// Union alignment: the A-only site appears with GapB 0, the B-only
+	// site with GapA 0.
+	bySite := map[string]SiteDelta{}
+	for _, s := range r.Sites {
+		bySite[s.Site] = s
+	}
+	if s := bySite["halo/Wait"]; s.GapBNS != 0 || s.DeltaNS != -int64(500*time.Microsecond) {
+		t.Errorf("A-only site halo/Wait = %+v", s)
+	}
+	if s := bySite["coll/Iallreduce[ring]"]; s.GapANS != 0 || s.DeltaNS != int64(300*time.Microsecond) {
+		t.Errorf("B-only site coll/Iallreduce[ring] = %+v", s)
+	}
+}
+
+func TestDiffExplainsRegression(t *testing.T) {
+	a, b := diffFixtures()
+	r, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gap *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Kind == KindGapRegression {
+			gap = &r.Findings[i]
+		}
+	}
+	if gap == nil {
+		t.Fatalf("no gap-regression finding: %+v", r.Findings)
+	}
+	// Dominant cause is fault-retransmit (+900µs of the +800µs net),
+	// and the site that moved most under it is exchange/Isend.
+	if !strings.Contains(gap.Summary, "fault-retransmit") {
+		t.Errorf("summary %q does not name the dominant cause", gap.Summary)
+	}
+	if gap.Scope.Site != "exchange/Isend" {
+		t.Errorf("scope site %q, want exchange/Isend", gap.Scope.Site)
+	}
+	var wall *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Kind == KindWallRegression {
+			wall = &r.Findings[i]
+		}
+	}
+	if wall == nil {
+		t.Fatalf("wall regressed 20%% but no wall-regression finding")
+	}
+}
+
+func TestDiffImprovement(t *testing.T) {
+	a, b := diffFixtures()
+	r, err := Diff(b, a) // reversed: a is the faster run
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Kind == KindImprovement {
+			found = true
+		}
+		if f.Kind == KindGapRegression || f.Kind == KindWallRegression {
+			t.Fatalf("reversed diff reported a regression: %+v", f)
+		}
+	}
+	if !found {
+		t.Fatalf("reversed diff reported no improvement: %+v", r.Findings)
+	}
+}
+
+func TestDiffWindowAlignment(t *testing.T) {
+	a, b := diffFixtures()
+	mkTR := func(te float64) *timeres.Snapshot {
+		w := balancedWindow(2)
+		w.Eff.Transfer = te
+		return mkSnapshot(2, []timeres.Slice{balancedWindow(2), w})
+	}
+	a.TimeRes, b.TimeRes = mkTR(0.9), mkTR(0.4)
+	r, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Windows) != 1 || r.Windows[0].Index != 1 {
+		t.Fatalf("windows = %+v, want exactly window 1", r.Windows)
+	}
+	if r.Windows[0].DXfer != round4(-0.5) {
+		t.Errorf("d_xfer_eff %v, want -0.5", r.Windows[0].DXfer)
+	}
+	var eff *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Kind == KindEffRegression {
+			eff = &r.Findings[i]
+		}
+	}
+	if eff == nil {
+		t.Fatalf("0.5 TE drop produced no efficiency-regression finding")
+	}
+
+	// Mismatched window sizes: alignment skipped, note recorded.
+	b.TimeRes.Window = 2 * ms
+	r, err = Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Windows) != 0 || r.WindowSkew == "" {
+		t.Fatalf("mismatched windows: got %d rows, skew %q", len(r.Windows), r.WindowSkew)
+	}
+}
+
+func TestDiffDeterministicJSON(t *testing.T) {
+	run := func() []byte {
+		a, b := diffFixtures()
+		r, err := Diff(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDiffJSON(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("diff JSON not byte-identical across reruns")
+	}
+}
+
+func TestDiffWriters(t *testing.T) {
+	a, b := diffFixtures()
+	r, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, csv bytes.Buffer
+	if err := WriteDiffText(&txt, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"diff: a → b", "causes", "exchange/Isend", "findings:"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, txt.String())
+		}
+	}
+	if err := WriteDiffCSV(&csv, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "section,key,a,b,delta" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.Contains(csv.String(), "cause,fault-retransmit,") {
+		t.Fatalf("csv missing cause row:\n%s", csv.String())
+	}
+}

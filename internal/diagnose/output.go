@@ -1,0 +1,138 @@
+package diagnose
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteJSON renders a findings report as indented JSON. Output is
+// byte-deterministic: every float was rounded at construction and the
+// findings carry a total order.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders a findings report for a terminal.
+func WriteText(w io.Writer, r *Report) error {
+	if len(r.Findings) == 0 {
+		_, err := fmt.Fprintln(w, "findings: none")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "findings: %d\n", len(r.Findings)); err != nil {
+		return err
+	}
+	for i, f := range r.Findings {
+		fmt.Fprintf(w, "%3d. [%s] %s  (%s, score %.4f)\n", i+1, f.Severity, f.Kind, f.Scope, f.Score)
+		fmt.Fprintf(w, "     %s\n", f.Summary)
+		if f.Cause != "" {
+			fmt.Fprintf(w, "     cause: %s\n", f.Cause)
+		}
+		if f.Knob != "" {
+			fmt.Fprintf(w, "     try:   %s\n", f.Knob)
+		}
+		for _, e := range f.Evidence {
+			line := fmt.Sprintf("       - %s = %g", e.Metric, e.Value)
+			if e.Unit != "" {
+				line += " " + e.Unit
+			}
+			if e.Threshold != 0 {
+				line += fmt.Sprintf(" (threshold %g)", e.Threshold)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}
+
+// WriteDiffJSON renders a differential report as indented JSON.
+func WriteDiffJSON(w io.Writer, r *DiffReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteDiffText renders a differential report for a terminal: totals,
+// the cause ledger, the moved sites and windows, then the findings.
+func WriteDiffText(w io.Writer, r *DiffReport) error {
+	fmt.Fprintf(w, "diff: %s → %s\n", r.ALabel, r.BLabel)
+	fmt.Fprintf(w, "wall: %v → %v (%+v)\n",
+		time.Duration(r.WallANS), time.Duration(r.WallBNS), time.Duration(r.WallDeltaNS))
+	fmt.Fprintf(w, "gap:  %v → %v (%+v)\n",
+		time.Duration(r.GapANS), time.Duration(r.GapBNS), time.Duration(r.GapDeltaNS))
+	if r.WindowSkew != "" {
+		fmt.Fprintf(w, "note: %s\n", r.WindowSkew)
+	}
+	if len(r.Causes) > 0 {
+		fmt.Fprintln(w, "\ncauses (delta of bound gap):")
+		for _, c := range r.Causes {
+			fmt.Fprintf(w, "  %-16s %12v → %-12v %+v\n", c.Cause,
+				time.Duration(c.ANS), time.Duration(c.BNS), time.Duration(c.DeltaNS))
+		}
+	}
+	if len(r.Sites) > 0 {
+		fmt.Fprintln(w, "\nsites (gap delta, dominant cause):")
+		for _, s := range r.Sites {
+			dom := s.Dominant
+			if dom == "" {
+				dom = "-"
+			}
+			fmt.Fprintf(w, "  %-28s %+12v  %s\n", s.Site, time.Duration(s.DeltaNS), dom)
+		}
+	}
+	if len(r.Windows) > 0 {
+		// The text view is for a terminal; long runs move thousands of
+		// windows, so show the first few and the count. -csv/-json carry
+		// the full list.
+		const maxRows = 12
+		fmt.Fprintln(w, "\nwindows (efficiency deltas B−A):")
+		fmt.Fprintln(w, "  win       start    d_par    d_lb     d_ce     d_te     d_se")
+		for i, d := range r.Windows {
+			if i == maxRows {
+				fmt.Fprintf(w, "  … %d more moved windows (use -csv or -json for all)\n",
+					len(r.Windows)-maxRows)
+				break
+			}
+			fmt.Fprintf(w, "  %3d %11v %+8.4f %+8.4f %+8.4f %+8.4f %+8.4f\n",
+				d.Index, time.Duration(d.StartNS), d.DParal, d.DLoadBal, d.DComm, d.DXfer, d.DSer)
+		}
+	}
+	fmt.Fprintln(w)
+	return WriteText(w, &Report{Schema: r.Schema, Findings: r.Findings})
+}
+
+// WriteDiffCSV renders a differential report as one machine-parseable
+// CSV: a section column disambiguates totals, causes, sites and
+// windows; a/b/delta are ns for time rows and dimensionless (already
+// rounded) for window efficiency rows.
+func WriteDiffCSV(w io.Writer, r *DiffReport) error {
+	if _, err := fmt.Fprintln(w, "section,key,a,b,delta"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total,wall_ns,%d,%d,%d\n", r.WallANS, r.WallBNS, r.WallDeltaNS)
+	fmt.Fprintf(w, "total,gap_ns,%d,%d,%d\n", r.GapANS, r.GapBNS, r.GapDeltaNS)
+	for _, c := range r.Causes {
+		fmt.Fprintf(w, "cause,%s,%d,%d,%d\n", c.Cause, c.ANS, c.BNS, c.DeltaNS)
+	}
+	for _, s := range r.Sites {
+		fmt.Fprintf(w, "site,%s,%d,%d,%d\n", s.Site, s.GapANS, s.GapBNS, s.DeltaNS)
+	}
+	for _, d := range r.Windows {
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{"parallel_eff", d.DParal}, {"load_bal", d.DLoadBal},
+			{"comm_eff", d.DComm}, {"xfer_eff", d.DXfer}, {"ser_eff", d.DSer},
+		} {
+			if m.v == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "window,%d/%s,,,%g\n", d.Index, m.name, m.v)
+		}
+	}
+	return nil
+}

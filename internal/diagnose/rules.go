@@ -1,0 +1,446 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ovlp/internal/profile"
+	"ovlp/internal/timeres"
+)
+
+// stragglerFindings scans the windowed load balance for collapse and
+// pins it to the rank with the least compute in the collapsed windows,
+// then argues causality from that rank's own wait composition and
+// retransmit counter.
+func stragglerFindings(in *Input) []Finding {
+	s := in.TimeRes
+	if s == nil || len(s.Ranks) < 2 || len(s.Windows) == 0 {
+		return nil
+	}
+	type accum struct {
+		windows            int
+		minLB              float64
+		first, last        time.Duration
+		compute, wireWait  time.Duration
+		serWait, span      time.Duration
+		othersCompute      time.Duration
+		othersComputeSpans int
+	}
+	byRank := map[int]*accum{}
+	collapsed := 0
+	for wi := range s.Windows {
+		w := &s.Windows[wi]
+		if w.Eff.LoadBalance >= StragglerLB || w.Eff.Comm <= 0 {
+			continue
+		}
+		collapsed++
+		// The straggler of this window: least compute, ties to the
+		// lower rank id (Cells are in ascending rank order).
+		min := 0
+		for i := range w.Cells {
+			if w.Cells[i].Compute < w.Cells[min].Compute {
+				min = i
+			}
+		}
+		c := &w.Cells[min]
+		a := byRank[c.Rank]
+		if a == nil {
+			a = &accum{minLB: 1, first: w.Start}
+			byRank[c.Rank] = a
+		}
+		if a.windows == 0 {
+			a.first = w.Start
+		}
+		a.windows++
+		if w.Eff.LoadBalance < a.minLB {
+			a.minLB = w.Eff.LoadBalance
+		}
+		a.last = w.End
+		a.compute += c.Compute
+		a.wireWait += c.WireWait
+		a.serWait += c.SerWait
+		a.span += w.End - w.Start
+		for i := range w.Cells {
+			if i != min {
+				a.othersCompute += w.Cells[i].Compute
+				a.othersComputeSpans++
+			}
+		}
+	}
+	if collapsed == 0 {
+		return nil
+	}
+	// The suspect must own the collapse: most collapsed windows, and at
+	// least StragglerMinWindows / half of them.
+	suspect, best := -1, (*accum)(nil)
+	for rank, a := range byRank {
+		if best == nil || a.windows > best.windows || (a.windows == best.windows && rank < suspect) {
+			suspect, best = rank, a
+		}
+	}
+	if best == nil || best.windows < StragglerMinWindows || best.windows*2 < collapsed {
+		return nil
+	}
+
+	wireFrac := frac(best.wireWait, best.span)
+	serFrac := frac(best.serWait, best.span)
+	computeRatio := 0.0
+	if best.othersComputeSpans > 0 && best.othersCompute > 0 {
+		avgOthers := float64(best.othersCompute) / float64(best.othersComputeSpans)
+		computeRatio = float64(best.compute) / float64(best.windows) / avgOthers
+	}
+
+	cause := "serialization: the rank waits on peers with no own wire traffic"
+	knob := "inspect the dependency structure feeding rank " + fmt.Sprint(suspect)
+	if retransHot(in, suspect) {
+		cause = fmt.Sprintf("fault retransmits concentrated on rank %d stretch its transfer windows", suspect)
+		knob = "check the fabric loss scoped at this rank's links; raise reliable timeout/backoff"
+	} else if wireFrac > serFrac {
+		cause = fmt.Sprintf("rank %d sits parked on in-flight wire traffic — a DMA stall or bandwidth fault on its NIC", suspect)
+		knob = fmt.Sprintf("inspect NIC stalls / link bandwidth at node %d", suspect)
+		if iv, ok := faultAt(in, best.first, best.last); ok && iv.Label != "" {
+			cause += fmt.Sprintf(" (declared fault %q overlaps)", iv.Label)
+		}
+	}
+
+	sev := SevWarn
+	if best.minLB < StragglerLB/2 {
+		sev = SevCritical
+	}
+	r := suspect
+	return []Finding{{
+		Kind:     KindStraggler,
+		Severity: sev,
+		Score:    round4(1 - best.minLB),
+		Scope:    Scope{Rank: &r, FromNS: int64(best.first), ToNS: int64(best.last)},
+		Summary: fmt.Sprintf("rank %d drags load balance to %.4f over %d of %d collapsed windows",
+			suspect, round4(best.minLB), best.windows, collapsed),
+		Cause: cause,
+		Knob:  knob,
+		Evidence: []Evidence{
+			{Metric: "collapsed_windows", Value: float64(best.windows), Threshold: StragglerMinWindows},
+			{Metric: "min_load_bal", Value: round4(best.minLB), Threshold: StragglerLB},
+			{Metric: "rank_compute_ratio", Value: round4(computeRatio)},
+			{Metric: "rank_wire_wait_frac", Value: round4(wireFrac)},
+			{Metric: "rank_ser_wait_frac", Value: round4(serFrac)},
+		},
+	}}
+}
+
+// retransHot reports whether the rank's retransmit counter is at least
+// twice the mean of the other ranks' (and non-trivial).
+func retransHot(in *Input, rank int) bool {
+	if rank >= len(in.Retransmits) || in.Retransmits[rank] < 4 {
+		return false
+	}
+	sum, n := 0, 0
+	for r, c := range in.Retransmits {
+		if r != rank {
+			sum, n = sum+c, n+1
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	return float64(in.Retransmits[rank]) >= 2*(float64(sum)/float64(n)+1)
+}
+
+// blameShareFindings covers the profile-driven rules: retransmit
+// storms and progress starvation, each scoped to the call site owning
+// the most of that category's blame.
+func blameShareFindings(in *Input) []Finding {
+	p := in.Profile
+	if p == nil || p.Totals.Gap <= 0 {
+		return nil
+	}
+	gap := float64(p.Totals.Gap)
+	var out []Finding
+
+	if share := float64(p.Totals.Blame.FaultRetransmit) / gap; share >= StormShare {
+		site, siteShare := worstSite(p, func(b profile.Blame) time.Duration { return b.FaultRetransmit })
+		total := 0
+		for _, c := range in.Retransmits {
+			total += c
+		}
+		cause := "fabric loss forced the reliable layer to retransmit, stretching detection windows"
+		if iv, ok := faultAt(in, 0, in.Duration); ok && iv.Label != "" {
+			cause = fmt.Sprintf("declared fault %q forced retransmissions that stretch detection windows", iv.Label)
+		}
+		out = append(out, Finding{
+			Kind:     KindRetransStorm,
+			Severity: shareSeverity(share),
+			Score:    round4(share),
+			Scope:    Scope{Site: site},
+			Summary: fmt.Sprintf("fault-retransmit owns %.1f%% of the %v bound gap (worst site %s)",
+				round4(share)*100, p.Totals.Gap, site),
+			Cause: cause,
+			Knob:  "raise reliable timeout/backoff, or scope the chaos schedule away from hot links",
+			Evidence: []Evidence{
+				{Metric: "fault_retransmit_share", Value: round4(share), Threshold: StormShare},
+				{Metric: "site_share", Value: round4(siteShare)},
+				{Metric: "retransmits", Value: float64(total)},
+			},
+		})
+	}
+
+	if in.ProgressMode != "thread" {
+		if share := float64(p.Totals.Blame.Progress) / gap; share >= StarveShare {
+			site, siteShare := worstSite(p, func(b profile.Blame) time.Duration { return b.Progress })
+			out = append(out, Finding{
+				Kind:     KindStarvation,
+				Severity: shareSeverity(share),
+				Score:    round4(share),
+				Scope:    Scope{Site: site},
+				Summary: fmt.Sprintf("progress starvation owns %.1f%% of the %v bound gap at Wait-heavy site %s",
+					round4(share)*100, p.Totals.Gap, site),
+				Cause: "the library only progresses inside calls; compute periods leave pending transfers unpolled",
+				Knob:  "-progress thread (dedicated progress engine), or intersperse TestColl/Test polls",
+				Evidence: []Evidence{
+					{Metric: "progress_share", Value: round4(share), Threshold: StarveShare},
+					{Metric: "site_share", Value: round4(siteShare)},
+				},
+			})
+		}
+	}
+	return out
+}
+
+// worstSite returns "region/op" of the site owning the most of the
+// category selected by pick, and that site's share of the category.
+func worstSite(p *profile.Profile, pick func(profile.Blame) time.Duration) (string, float64) {
+	best, total := -1, time.Duration(0)
+	for i := range p.Sites {
+		v := pick(p.Sites[i].Blame)
+		total += v
+		if best < 0 || v > pick(p.Sites[best].Blame) {
+			best = i
+		}
+	}
+	if best < 0 || total <= 0 {
+		return "", 0
+	}
+	s := &p.Sites[best]
+	return s.Region + "/" + s.Op, float64(pick(s.Blame)) / float64(total)
+}
+
+// phaseCollapseFindings finds transfer-efficiency cliffs: windows
+// whose TE craters while the run median stays healthy, each maximal
+// run of consecutive cliff windows one finding, tied to a declared
+// fault interval when one overlaps.
+func phaseCollapseFindings(in *Input) []Finding {
+	s := in.TimeRes
+	if s == nil || len(s.Windows) < 2 {
+		return nil
+	}
+	med := medianTE(s.Windows)
+	if med < CollapseMedianTE {
+		return nil // the whole run is sick; a cliff needs healthy surroundings
+	}
+	var out []Finding
+	for wi := 0; wi < len(s.Windows); {
+		if s.Windows[wi].Eff.Transfer >= CollapseTE {
+			wi++
+			continue
+		}
+		lo := wi
+		minTE := s.Windows[wi].Eff.Transfer
+		for wi < len(s.Windows) && s.Windows[wi].Eff.Transfer < CollapseTE {
+			if s.Windows[wi].Eff.Transfer < minTE {
+				minTE = s.Windows[wi].Eff.Transfer
+			}
+			wi++
+		}
+		hi := wi - 1
+		start, end := s.Windows[lo].Start, s.Windows[hi].End
+		cause := "wire time ballooned in this interval with no declared fault — suspect contention or protocol change"
+		knob := "inspect the fabric state in this interval"
+		if iv, ok := faultAt(in, start, end); ok {
+			label := iv.Label
+			if label == "" {
+				label = "unlabeled"
+			}
+			cause = fmt.Sprintf("declared fault interval %q is active across the cliff", label)
+			knob = "shorten or re-scope that chaos event; raise bandwidth floor"
+		}
+		sev := SevWarn
+		if minTE < CollapseTE/3 {
+			sev = SevCritical
+		}
+		w := lo
+		out = append(out, Finding{
+			Kind:     KindPhaseCollapse,
+			Severity: sev,
+			Score:    round4(med - minTE),
+			Scope:    Scope{Window: &w, FromNS: int64(start), ToNS: int64(end)},
+			Summary: fmt.Sprintf("transfer efficiency craters to %.4f in windows %d..%d (run median %.4f)",
+				round4(minTE), lo, hi, round4(med)),
+			Cause: cause,
+			Knob:  knob,
+			Evidence: []Evidence{
+				{Metric: "min_xfer_eff", Value: round4(minTE), Threshold: CollapseTE},
+				{Metric: "median_xfer_eff", Value: round4(med), Threshold: CollapseMedianTE},
+				{Metric: "cliff_windows", Value: float64(hi - lo + 1)},
+			},
+		})
+	}
+	return out
+}
+
+func medianTE(ws []timeres.Slice) float64 {
+	vals := make([]float64, len(ws))
+	for i := range ws {
+		vals[i] = ws[i].Eff.Transfer
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// serHotspotFindings flags maximal window runs whose serialization
+// wait (parked with no own wire traffic) dominates rank time, and
+// names the profiler's worst early-wait site as the likely code.
+func serHotspotFindings(in *Input) []Finding {
+	s := in.TimeRes
+	if s == nil || len(s.Windows) == 0 {
+		return nil
+	}
+	serFrac := func(w *timeres.Slice) float64 {
+		var ser, span time.Duration
+		for i := range w.Cells {
+			ser += w.Cells[i].SerWait
+			span += w.End - w.Start
+		}
+		return frac(ser, span)
+	}
+	var out []Finding
+	for wi := 0; wi < len(s.Windows); {
+		if serFrac(&s.Windows[wi]) < SerHotspotFrac {
+			wi++
+			continue
+		}
+		lo := wi
+		maxFrac := 0.0
+		for wi < len(s.Windows) {
+			f := serFrac(&s.Windows[wi])
+			if f < SerHotspotFrac {
+				break
+			}
+			if f > maxFrac {
+				maxFrac = f
+			}
+			wi++
+		}
+		hi := wi - 1
+		site := ""
+		siteShare := 0.0
+		if in.Profile != nil {
+			site, siteShare = worstSite(in.Profile, func(b profile.Blame) time.Duration { return b.EarlyWait })
+		}
+		sev := SevWarn
+		if maxFrac >= SerHotspotFrac*2 {
+			sev = SevCritical
+		}
+		w := lo
+		f := Finding{
+			Kind:     KindSerHotspot,
+			Severity: sev,
+			Score:    round4(maxFrac),
+			Scope:    Scope{Site: site, Window: &w, FromNS: int64(s.Windows[lo].Start), ToNS: int64(s.Windows[hi].End)},
+			Summary: fmt.Sprintf("serialization wait owns %.1f%% of rank time in windows %d..%d",
+				round4(maxFrac)*100, lo, hi),
+			Cause: "ranks park in blocking calls with no own wire traffic — dependency order, not bandwidth, serializes them",
+			Knob:  "restructure the exchange to keep computation pending, or start transfers earlier",
+			Evidence: []Evidence{
+				{Metric: "max_ser_wait_frac", Value: round4(maxFrac), Threshold: SerHotspotFrac},
+				{Metric: "hotspot_windows", Value: float64(hi - lo + 1)},
+			},
+		}
+		if site != "" {
+			f.Evidence = append(f.Evidence, Evidence{Metric: "early_wait_site_share", Value: round4(siteShare)})
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// idleTailFindings looks at the trailing windows for an imbalanced
+// idle tail: some ranks done and idling while others still work. The
+// trigger is the per-rank idle-share spread, not idleness itself — a
+// run where everyone finishes together has a short balanced tail.
+func idleTailFindings(in *Input) []Finding {
+	s := in.TimeRes
+	if s == nil || len(s.Windows) < 2 || len(s.Ranks) < 2 {
+		return nil
+	}
+	idleFrac := func(w *timeres.Slice) float64 {
+		var idle, span time.Duration
+		for i := range w.Cells {
+			idle += w.Cells[i].Idle
+			span += w.End - w.Start
+		}
+		return frac(idle, span)
+	}
+	// Walk the tail back while windows stay idle-heavy.
+	lo := len(s.Windows)
+	for lo > 0 && idleFrac(&s.Windows[lo-1]) >= IdleTailFrac {
+		lo--
+	}
+	if lo == len(s.Windows) || lo == 0 {
+		return nil // no tail, or the whole run idles (not a tail problem)
+	}
+	// Per-rank idle share over the tail, and its spread.
+	tailSpan := s.Windows[len(s.Windows)-1].End - s.Windows[lo].Start
+	idleBy := make(map[int]time.Duration, len(s.Ranks))
+	for wi := lo; wi < len(s.Windows); wi++ {
+		for i := range s.Windows[wi].Cells {
+			c := &s.Windows[wi].Cells[i]
+			idleBy[c.Rank] += c.Idle
+		}
+	}
+	minFrac, maxFrac, idlest := 1.0, 0.0, -1
+	for _, rank := range s.Ranks {
+		f := frac(idleBy[rank], tailSpan)
+		if f < minFrac {
+			minFrac = f
+		}
+		if f > maxFrac || (f == maxFrac && (idlest < 0 || rank < idlest)) {
+			maxFrac, idlest = f, rank
+		}
+	}
+	spread := maxFrac - minFrac
+	if spread < IdleTailSpread {
+		return nil
+	}
+	sev := SevWarn
+	if spread >= 2*IdleTailSpread {
+		sev = SevCritical
+	}
+	r := idlest
+	return []Finding{{
+		Kind:     KindIdleTail,
+		Severity: sev,
+		Score:    round4(spread),
+		Scope:    Scope{Rank: &r, FromNS: int64(s.Windows[lo].Start), ToNS: int64(s.Windows[len(s.Windows)-1].End)},
+		Summary: fmt.Sprintf("imbalanced idle tail over the last %d window(s): rank %d idles %.1f%% while the busiest idles %.1f%%",
+			len(s.Windows)-lo, idlest, round4(maxFrac)*100, round4(minFrac)*100),
+		Cause: "work is unevenly tailed: some ranks finish and park while others still drain communication",
+		Knob:  "rebalance the final iterations, or overlap the drain with the tail ranks' remaining work",
+		Evidence: []Evidence{
+			{Metric: "tail_windows", Value: float64(len(s.Windows) - lo)},
+			{Metric: "idle_spread", Value: round4(spread), Threshold: IdleTailSpread},
+			{Metric: "max_idle_frac", Value: round4(maxFrac), Threshold: IdleTailFrac},
+			{Metric: "min_idle_frac", Value: round4(minFrac)},
+		},
+	}}
+}
+
+func frac(num, den time.Duration) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

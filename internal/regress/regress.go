@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 )
 
 // Schema versions the baseline file layout. Bump it when Entry gains,
@@ -93,22 +94,55 @@ func Load(path string) (*Baseline, error) {
 	return DecodeJSON(f)
 }
 
+// Violation is one structured gate failure. Metric names the gate
+// dimension that tripped (the baseline JSON field name, or "schema" /
+// "suite" / "entries" for structural mismatches); Delta carries the
+// measured deviation in the metric's own unit — percent for
+// durations, percentage points for overlap bounds, a raw count for
+// transfers. String renders the canonical machine-parseable line CI
+// greps for, so scripts can key on suite/entry/metric without parsing
+// the human sentence in Detail.
+type Violation struct {
+	Suite  string  `json:"suite"`
+	Entry  string  `json:"entry,omitempty"`
+	Metric string  `json:"metric"`
+	Want   float64 `json:"want"`
+	Got    float64 `json:"got"`
+	Delta  float64 `json:"delta"`
+	Tol    float64 `json:"tol"`
+	Detail string  `json:"detail"`
+}
+
+func (v Violation) String() string {
+	entry := v.Entry
+	if entry == "" {
+		entry = "-"
+	}
+	return fmt.Sprintf("gate suite=%s entry=%s metric=%s want=%g got=%g delta=%+.2f tol=%g: %s",
+		v.Suite, entry, v.Metric, v.Want, v.Got, v.Delta, v.Tol, v.Detail)
+}
+
 // Compare checks a fresh measurement against a baseline and returns
-// one human-readable finding per violation (empty = gate passes).
+// one structured Violation per failed check (empty = gate passes).
 // Durations fail beyond tolPct percent relative deviation, overlap
 // percentages beyond tolPct percentage points absolute, and transfer
 // counts on any change.
-func Compare(got, want *Baseline, tolPct float64) []string {
-	var bad []string
-	fail := func(format string, args ...any) {
-		bad = append(bad, fmt.Sprintf(format, args...))
+func Compare(got, want *Baseline, tolPct float64) []Violation {
+	var bad []Violation
+	fail := func(entry, metric string, wantV, gotV, delta float64, format string, args ...any) {
+		bad = append(bad, Violation{
+			Suite: want.Suite, Entry: entry, Metric: metric,
+			Want: wantV, Got: gotV, Delta: delta, Tol: tolPct,
+			Detail: fmt.Sprintf(format, args...),
+		})
 	}
 	if got.Schema != want.Schema {
-		fail("schema %d measured vs %d baseline: regenerate the baseline", got.Schema, want.Schema)
+		fail("", "schema", float64(want.Schema), float64(got.Schema), float64(got.Schema-want.Schema),
+			"schema %d measured vs %d baseline: regenerate the baseline", got.Schema, want.Schema)
 		return bad
 	}
 	if got.Suite != want.Suite {
-		fail("suite %q measured vs %q baseline", got.Suite, want.Suite)
+		fail("", "suite", 0, 0, 0, "suite %q measured vs %q baseline", got.Suite, want.Suite)
 		return bad
 	}
 	byName := make(map[string]Entry, len(got.Entries))
@@ -118,33 +152,43 @@ func Compare(got, want *Baseline, tolPct float64) []string {
 	for _, w := range want.Entries {
 		g, ok := byName[w.Name]
 		if !ok {
-			fail("%s: missing from measurement", w.Name)
+			fail(w.Name, "entries", 1, 0, -1, "%s: missing from measurement", w.Name)
 			continue
 		}
 		delete(byName, w.Name)
 		if d := relPct(g.WallNS, w.WallNS); math.Abs(d) > tolPct {
-			fail("%s: wall time %+.2f%% (%d ns -> %d ns), tolerance %g%%",
+			fail(w.Name, "wall_ns", float64(w.WallNS), float64(g.WallNS), d,
+				"%s: wall time %+.2f%% (%d ns -> %d ns), tolerance %g%%",
 				w.Name, d, w.WallNS, g.WallNS, tolPct)
 		}
 		if d := relPct(g.CritPathNS, w.CritPathNS); math.Abs(d) > tolPct {
-			fail("%s: critical path %+.2f%% (%d ns -> %d ns), tolerance %g%%",
+			fail(w.Name, "critical_path_ns", float64(w.CritPathNS), float64(g.CritPathNS), d,
+				"%s: critical path %+.2f%% (%d ns -> %d ns), tolerance %g%%",
 				w.Name, d, w.CritPathNS, g.CritPathNS, tolPct)
 		}
 		if d := g.MinOverlapPct - w.MinOverlapPct; math.Abs(d) > tolPct {
-			fail("%s: min overlap %+.2fpp (%.2f%% -> %.2f%%), tolerance %gpp",
+			fail(w.Name, "min_overlap_pct", w.MinOverlapPct, g.MinOverlapPct, d,
+				"%s: min overlap %+.2fpp (%.2f%% -> %.2f%%), tolerance %gpp",
 				w.Name, d, w.MinOverlapPct, g.MinOverlapPct, tolPct)
 		}
 		if d := g.MaxOverlapPct - w.MaxOverlapPct; math.Abs(d) > tolPct {
-			fail("%s: max overlap %+.2fpp (%.2f%% -> %.2f%%), tolerance %gpp",
+			fail(w.Name, "max_overlap_pct", w.MaxOverlapPct, g.MaxOverlapPct, d,
+				"%s: max overlap %+.2fpp (%.2f%% -> %.2f%%), tolerance %gpp",
 				w.Name, d, w.MaxOverlapPct, g.MaxOverlapPct, tolPct)
 		}
 		if g.Transfers != w.Transfers {
-			fail("%s: transfers %d -> %d (exact in a deterministic run)",
+			fail(w.Name, "transfers", float64(w.Transfers), float64(g.Transfers), float64(g.Transfers-w.Transfers),
+				"%s: transfers %d -> %d (exact in a deterministic run)",
 				w.Name, w.Transfers, g.Transfers)
 		}
 	}
+	extra := make([]string, 0, len(byName))
 	for name := range byName {
-		fail("%s: not in baseline: regenerate with -write", name)
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fail(name, "entries", 0, 1, 1, "%s: not in baseline: regenerate with -write", name)
 	}
 	return bad
 }

@@ -11,6 +11,7 @@ import (
 	"ovlp/internal/overlap"
 	"ovlp/internal/profile"
 	"ovlp/internal/progress"
+	"ovlp/internal/timeres"
 	"ovlp/internal/trace"
 )
 
@@ -21,9 +22,24 @@ import (
 // baseline files encode their results, so changing a parameter is the
 // same as deleting the baseline's history.
 
+// Artifact is one workload's retained analysis output: the blame
+// profile and windowed efficiency snapshot behind an Entry's numbers.
+// Runners obtained through SuitesTraced keep one Artifact per entry,
+// so cmd/benchgate -explain can hand a regression it just flagged to
+// the diagnosis engine without re-measuring. TimeRes is nil when the
+// stream could not be replayed (the profile alone still explains the
+// blame split).
+type Artifact struct {
+	Entry   string
+	Profile *profile.Profile
+	TimeRes *timeres.Snapshot
+}
+
 // RunOverlapSuite measures the three protocol paths on the
 // two-process exchange workload.
-func RunOverlapSuite() *Baseline {
+func RunOverlapSuite() *Baseline { b, _ := overlapSuite(nil); return b }
+
+func overlapSuite(arts *[]Artifact) (*Baseline, []Artifact) {
 	b := &Baseline{Schema: Schema, Suite: "overlap"}
 	type cfg struct {
 		name  string
@@ -41,14 +57,16 @@ func RunOverlapSuite() *Baseline {
 				Protocol:   c.proto,
 				Instrument: &mpi.InstrumentConfig{},
 			},
-		}, exchangeBody(c.size, 50, 200*time.Microsecond)))
+		}, exchangeBody(c.size, 50, 200*time.Microsecond), arts))
 	}
-	return b
+	return b, deref(arts)
 }
 
 // RunNASSuite measures one real kernel: LU class S on four ranks,
 // three iterations, under the direct-read library.
-func RunNASSuite() *Baseline {
+func RunNASSuite() *Baseline { b, _ := nasSuite(nil); return b }
+
+func nasSuite(arts *[]Artifact) (*Baseline, []Artifact) {
 	b := &Baseline{Schema: Schema, Suite: "nas"}
 	b.Entries = append(b.Entries, measure("lu-S-p4", cluster.Config{
 		Procs: 4,
@@ -58,8 +76,8 @@ func RunNASSuite() *Baseline {
 		},
 	}, func(r *mpi.Rank) {
 		nas.Run(nas.LU, r, nas.Params{Class: nas.ClassS, MaxIters: 3})
-	}))
-	return b
+	}, arts))
+	return b, deref(arts)
 }
 
 // RunCollSuite measures the nonblocking-collective subsystem: a
@@ -68,7 +86,9 @@ func RunNASSuite() *Baseline {
 // reason to exist — the overlap a progress thread recovers from
 // unpolled schedules — so a regression there is a regression in the
 // PR's headline result.
-func RunCollSuite() *Baseline {
+func RunCollSuite() *Baseline { b, _ := collSuite(nil); return b }
+
+func collSuite(arts *[]Artifact) (*Baseline, []Artifact) {
 	b := &Baseline{Schema: Schema, Suite: "coll"}
 	for _, algo := range []coll.Algo{coll.Ring, coll.RecDouble} {
 		for _, mode := range []progress.Mode{progress.Manual, progress.Piggyback, progress.Thread} {
@@ -80,10 +100,17 @@ func RunCollSuite() *Baseline {
 					Progress:   progress.Config{Mode: mode},
 					Instrument: &mpi.InstrumentConfig{},
 				},
-			}, iallreduceBody(64<<10, 30, 200*time.Microsecond)))
+			}, iallreduceBody(64<<10, 30, 200*time.Microsecond), arts))
 		}
 	}
-	return b
+	return b, deref(arts)
+}
+
+func deref(arts *[]Artifact) []Artifact {
+	if arts == nil {
+		return nil
+	}
+	return *arts
 }
 
 // Suites maps the suite names cmd/benchgate accepts to their runners.
@@ -92,6 +119,23 @@ func Suites() map[string]func() *Baseline {
 		"overlap": RunOverlapSuite,
 		"nas":     RunNASSuite,
 		"coll":    RunCollSuite,
+	}
+}
+
+// SuitesTraced maps suite names to runners that also retain each
+// entry's analysis artifacts for post-hoc diagnosis. The measurement
+// itself is identical to Suites — the capture is a pure observer.
+func SuitesTraced() map[string]func() (*Baseline, []Artifact) {
+	wrap := func(run func(*[]Artifact) (*Baseline, []Artifact)) func() (*Baseline, []Artifact) {
+		return func() (*Baseline, []Artifact) {
+			var arts []Artifact
+			return run(&arts)
+		}
+	}
+	return map[string]func() (*Baseline, []Artifact){
+		"overlap": wrap(overlapSuite),
+		"nas":     wrap(nasSuite),
+		"coll":    wrap(collSuite),
 	}
 }
 
@@ -125,13 +169,21 @@ func exchangeBody(size, reps int, compute time.Duration) func(r *mpi.Rank) {
 	}
 }
 
-func measure(name string, cfg cluster.Config, body func(r *mpi.Rank)) Entry {
+func measure(name string, cfg cluster.Config, body func(r *mpi.Rank), arts *[]Artifact) Entry {
 	tr := trace.New(trace.Options{})
 	cfg.Trace = tr
 	res := cluster.Run(cfg, body)
-	p, err := profile.Analyze(profile.FromTracer(tr, res.Calib, res.Reports))
+	in := profile.FromTracer(tr, res.Calib, res.Reports)
+	p, err := profile.Analyze(in)
 	if err != nil {
 		panic(fmt.Sprintf("regress: profiling %s: %v", name, err))
+	}
+	if arts != nil {
+		a := Artifact{Entry: name, Profile: p}
+		if snap, err := timeres.FromInput(in, timeres.Options{}); err == nil {
+			a.TimeRes = snap
+		}
+		*arts = append(*arts, a)
 	}
 	var tot overlap.Measures
 	for _, rep := range res.Reports {

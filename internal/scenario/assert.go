@@ -3,7 +3,9 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
@@ -89,6 +91,10 @@ func Evaluate(rr *RunResult) []Violation {
 				continue // a shrunk run's windows are legitimately different
 			}
 			checkTimeResolved(rr, a, add)
+		case "finding":
+			checkFinding(rr, a, true, add)
+		case "finding_absent":
+			checkFinding(rr, a, false, add)
 		}
 	}
 	return out
@@ -323,6 +329,68 @@ func checkTimeResolved(rr *RunResult, a *Assertion, add func(check, expected, ob
 	if a.MaxEff != nil && min > *a.MaxEff+a.TolEff {
 		add("time_resolved", fmt.Sprintf("min %s <= %.4f (tol %.4f)", a.Metric, *a.MaxEff, a.TolEff), obs)
 	}
+}
+
+// checkFinding asserts the diagnosis engine emitted (want=true) or did
+// not emit (want=false) a finding of the assertion's kind, at severity
+// >= min_severity, whose scope string contains the scope substring
+// when one is given. Unlike the hash checks this runs under -smoke:
+// the diagnosed condition is structural and the corpus scenarios are
+// written to exhibit it at both sizes.
+func checkFinding(rr *RunResult, a *Assertion, want bool, add func(check, expected, observed string)) {
+	check := "finding"
+	if !want {
+		check = "finding_absent"
+	}
+	expected := fmt.Sprintf("finding %s", a.Kind)
+	if a.Scope != "" {
+		expected += fmt.Sprintf(" scoped to %q", a.Scope)
+	}
+	if a.MinSeverity != "" {
+		expected += " at severity >= " + a.MinSeverity
+	}
+	if !want {
+		expected = "no " + expected
+	}
+	if rr.Findings == nil {
+		add(check, expected, "diagnosis unavailable for this run")
+		return
+	}
+	var match *diagnose.Finding
+	for i := range rr.Findings.Findings {
+		f := &rr.Findings.Findings[i]
+		if f.Kind != a.Kind {
+			continue
+		}
+		if a.Scope != "" && !strings.Contains(f.Scope.String(), a.Scope) {
+			continue
+		}
+		if a.MinSeverity != "" &&
+			diagnose.SeverityRank(f.Severity) < diagnose.SeverityRank(a.MinSeverity) {
+			continue
+		}
+		match = f
+		break
+	}
+	if want && match == nil {
+		add(check, expected, describeFindings(rr.Findings))
+	}
+	if !want && match != nil {
+		add(check, expected, fmt.Sprintf("[%s] %s", match.Severity, match.Summary))
+	}
+}
+
+// describeFindings summarizes what the engine did emit, so a failed
+// `finding` assertion names the alternatives seen.
+func describeFindings(rep *diagnose.Report) string {
+	if len(rep.Findings) == 0 {
+		return "no findings"
+	}
+	kinds := make([]string, len(rep.Findings))
+	for i, f := range rep.Findings {
+		kinds[i] = fmt.Sprintf("%s[%s] %s", f.Kind, f.Severity, f.Scope)
+	}
+	return "findings: " + strings.Join(kinds, "; ")
 }
 
 // checkDeterminism reruns the scenario in-process and compares the

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ovlp/internal/diagnose"
 )
 
 const corpusDir = "../../scenarios"
@@ -60,11 +62,14 @@ func TestCorpusSmoke(t *testing.T) {
 
 // TestCorpusFullMatchesGoldens runs every committed scenario at full
 // size, requires zero violations, and byte-compares the produced
-// report against the committed golden. A drift here means either a
-// regression in the simulator/instrumentation or an intentional
-// behaviour change; regenerate with
+// report against the committed golden. Scenarios that also commit a
+// findings golden (<name>.findings.json) get their diagnosis JSON
+// byte-compared the same way. A drift here means either a regression
+// in the simulator/instrumentation or an intentional behaviour
+// change; regenerate with
 //
 //	go run ./cmd/scenario -golden scenarios/golden -write-golden scenarios/
+//	go run ./cmd/scenario -findings scenarios/golden scenarios/09-phase-collapse.yaml scenarios/10-straggler.yaml
 //
 // only after deciding the change is intentional.
 func TestCorpusFullMatchesGoldens(t *testing.T) {
@@ -79,7 +84,7 @@ func TestCorpusFullMatchesGoldens(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
-			rr, err := Run(s, Opts{})
+			rr, err := Run(s, Opts{Findings: true})
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -93,6 +98,24 @@ func TestCorpusFullMatchesGoldens(t *testing.T) {
 			if !bytes.Equal(rr.ReportBytes, golden) {
 				t.Errorf("report drifted from golden (%d vs %d bytes); regenerate with -write-golden if intentional",
 					len(rr.ReportBytes), len(golden))
+			}
+			fGolden, err := os.ReadFile(filepath.Join(corpusDir, "golden", s.Name+".findings.json"))
+			if os.IsNotExist(err) {
+				return // findings goldens are only committed for some scenarios
+			}
+			if err != nil {
+				t.Fatalf("findings golden: %v", err)
+			}
+			if rr.Findings == nil {
+				t.Fatal("findings golden committed but run produced no diagnosis")
+			}
+			var buf bytes.Buffer
+			if err := diagnose.WriteJSON(&buf, rr.Findings); err != nil {
+				t.Fatalf("WriteJSON: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), fGolden) {
+				t.Errorf("findings drifted from golden (%d vs %d bytes); regenerate with cmd/scenario -findings if intentional",
+					buf.Len(), len(fGolden))
 			}
 		})
 	}

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// findingScenario is the calm scenario plus finding assertions.
+func findingScenario(asserts ...Assertion) *Scenario {
+	s := calmScenario()
+	s.Name = "finding"
+	s.Assertions = asserts
+	return s
+}
+
+// TestFindingAssertionEvaluates: a calm run diagnoses clean, so
+// demanding a straggler finding violates and asserting its absence
+// passes — and the finding checks run under smoke too, unlike the
+// hash checks.
+func TestFindingAssertionEvaluates(t *testing.T) {
+	s := findingScenario(
+		Assertion{Check: "finding", Kind: "straggler-rank"},
+	)
+	rr, err := Run(s, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Findings == nil {
+		t.Fatal("run with finding assertions has no diagnosis report")
+	}
+	vs := Evaluate(rr)
+	if len(vs) != 1 || vs[0].Check != "finding" {
+		t.Fatalf("missing finding not violated: %v", vs)
+	}
+
+	s = findingScenario(
+		Assertion{Check: "finding_absent", Kind: "straggler-rank"},
+		Assertion{Check: "finding_absent", Kind: "retransmit-storm"},
+	)
+	rr, err = Run(s, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Evaluate(rr); len(vs) != 0 {
+		t.Fatalf("clean run violated finding_absent: %v", vs)
+	}
+
+	// Smoke mode must still evaluate the checks (structural, not
+	// byte-level): the missing finding stays a violation.
+	s = findingScenario(Assertion{Check: "finding", Kind: "straggler-rank"})
+	smoke, err := Run(s, Opts{Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs = Evaluate(smoke)
+	if len(vs) != 1 || vs[0].Check != "finding" {
+		t.Fatalf("smoke run skipped the finding check: %v", vs)
+	}
+}
+
+func TestFindingValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		a    Assertion
+	}{
+		{"no-kind", Assertion{Check: "finding"}},
+		{"unknown-kind", Assertion{Check: "finding", Kind: "slow-computer"}},
+		{"diff-only-kind", Assertion{Check: "finding", Kind: "gap-regression"}},
+		{"bad-severity", Assertion{Check: "finding", Kind: "straggler-rank", MinSeverity: "fatal"}},
+		{"absent-unknown-kind", Assertion{Check: "finding_absent", Kind: "nope"}},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			if err := findingScenario(c.a).Validate(); err == nil {
+				t.Errorf("%s accepted", c.name)
+			}
+		})
+	}
+	ok := findingScenario(
+		Assertion{Check: "finding", Kind: "straggler-rank", Scope: "rank 1", MinSeverity: "warn"},
+		Assertion{Check: "finding_absent", Kind: "progress-starvation"},
+	)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid finding assertions rejected: %v", err)
+	}
+}

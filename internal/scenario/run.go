@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ovlp/internal/cluster"
+	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
@@ -46,6 +47,11 @@ type Opts struct {
 	// every trace record as it is emitted (cmd/ovltop's live console).
 	// It never alters the run's bytes, and determinism reruns strip it.
 	Sink trace.Sink
+	// Findings runs the diagnosis engine even when no finding assertion
+	// asks for it, so RunResult.Findings carries a report
+	// (cmd/scenario -findings sets it). Implies the time-resolved
+	// analyzer.
+	Findings bool
 }
 
 // RunResult is everything one engine run produces: the raw cluster
@@ -75,6 +81,11 @@ type RunResult struct {
 	// (nil when the stream could not be replayed). It is deliberately
 	// NOT part of the run report, so golden files are unaffected.
 	TimeRes *timeres.Snapshot
+	// Findings is the diagnosis engine's report, present when the
+	// scenario has finding assertions or Opts.Findings was set. Like
+	// TimeRes it stays out of the run report: its own JSON is the
+	// golden artifact (scenarios/golden/<name>.findings.json).
+	Findings *diagnose.Report
 
 	TraceBytes  []byte
 	TraceHash   string
@@ -124,7 +135,7 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 	}
 	tracer := trace.New(trace.Options{})
 	var tres *timeres.Analyzer
-	if opts.TimeRes || s.wantsTimeRes() {
+	if opts.TimeRes || opts.Findings || s.wantsTimeRes() {
 		tres = timeres.New(timeres.Options{Window: s.timeResWindow(opts.TimeResWindow)})
 		tracer.AddSink(tres)
 	}
@@ -174,12 +185,63 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 		}
 	}
 
+	if opts.Findings || s.wantsFindings() {
+		rr.Findings = diagnoseRun(rr)
+	}
+
 	rr.ReportBytes, err = buildReport(rr).encode()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: report encode: %w", s.Name, err)
 	}
 	rr.ReportHash = hashBytes(rr.ReportBytes)
 	return rr, nil
+}
+
+// diagnoseRun feeds the run's artifacts to the diagnosis engine: the
+// blame profile, the windowed snapshot, per-rank retransmit counters
+// and structured errors, the workload's progress mode, and the
+// declared chaos schedule as labeled fault intervals so findings can
+// cite their cause.
+func diagnoseRun(rr *RunResult) *diagnose.Report {
+	s := rr.Scenario
+	in := diagnose.Input{
+		Profile:      rr.Profile,
+		TimeRes:      rr.TimeRes,
+		Duration:     rr.Res.Duration,
+		Procs:        rr.Procs,
+		ProgressMode: s.Workload.Progress,
+	}
+	for _, rs := range rr.Res.RelStats {
+		in.Retransmits = append(in.Retransmits, rs.Retransmits+rs.Reposts)
+	}
+	for _, err := range rr.Res.RankErrors {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		in.Errors = append(in.Errors, msg)
+	}
+	for i := range s.Chaos {
+		ev := &s.Chaos[i]
+		label := ev.Label
+		if label == "" {
+			label = fmt.Sprintf("chaos[%d]", i)
+		}
+		in.Faults = append(in.Faults, diagnose.Interval{
+			Label: label, Start: ev.At.D(), End: ev.Clear.D(),
+		})
+	}
+	for i, st := range s.Stalls {
+		iv := diagnose.Interval{
+			Label: fmt.Sprintf("dma-stall[%d] node %d", i, st.Node),
+			Start: st.Start.D(),
+		}
+		if !st.Forever {
+			iv.End = st.Start.D() + st.Dur.D()
+		}
+		in.Faults = append(in.Faults, iv)
+	}
+	return diagnose.Analyze(in)
 }
 
 func hashBytes(b []byte) string {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ovlp/internal/coll"
+	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
@@ -204,7 +205,8 @@ type Stall struct {
 type Assertion struct {
 	// Check: "overlap", "blame_share", "error", "error_absent",
 	// "bounds_valid", "conservation", "determinism", "trace_hash",
-	// "report_hash", "duration".
+	// "report_hash", "duration", "time_resolved", "finding",
+	// "finding_absent".
 	Check string `json:"check"`
 
 	// overlap: bounds (in percent of data transfer time) the region's
@@ -249,13 +251,23 @@ type Assertion struct {
 	MinEff *float64 `json:"min_eff,omitempty"`
 	MaxEff *float64 `json:"max_eff,omitempty"`
 	TolEff float64  `json:"tol_eff,omitempty"`
+
+	// finding / finding_absent: the diagnosis engine
+	// (internal/diagnose) must emit (or must not emit) a finding of
+	// Kind, at severity >= MinSeverity ("" means any), whose scope
+	// string contains Scope when set ("rank 2", "site exchange/Isend").
+	// Unlike the hash checks these run under -smoke too: the diagnosed
+	// condition is structural, not byte-exact.
+	Kind        string `json:"kind,omitempty"`
+	Scope       string `json:"scope,omitempty"`
+	MinSeverity string `json:"min_severity,omitempty"`
 }
 
 // knownChecks lists the assertion kinds, for validation messages.
 var knownChecks = []string{
 	"overlap", "blame_share", "error", "error_absent", "bounds_valid",
 	"conservation", "determinism", "trace_hash", "report_hash", "duration",
-	"time_resolved",
+	"time_resolved", "finding", "finding_absent",
 }
 
 var errorNames = map[string]bool{"timeout": true, "peer_unreachable": true, "deadlock": true, "any": true}
@@ -441,6 +453,22 @@ func (a *Assertion) validate(name string, i, procs int) error {
 		if a.To != 0 && a.To <= a.From {
 			return bad("empty scope [%v, %v)", a.From.D(), a.To.D())
 		}
+	case "finding", "finding_absent":
+		known := false
+		for _, k := range diagnose.AnalyzeKinds() {
+			if k == a.Kind {
+				known = true
+			}
+		}
+		if !known {
+			return bad("unknown finding kind %q (want one of %s)",
+				a.Kind, strings.Join(diagnose.AnalyzeKinds(), ", "))
+		}
+		switch a.MinSeverity {
+		case "", diagnose.SevInfo, diagnose.SevWarn, diagnose.SevCritical:
+		default:
+			return bad("unknown min_severity %q (want info, warn or critical)", a.MinSeverity)
+		}
 	default:
 		return bad("unknown check (want one of %s)", strings.Join(knownChecks, ", "))
 	}
@@ -448,10 +476,21 @@ func (a *Assertion) validate(name string, i, procs int) error {
 }
 
 // wantsTimeRes reports whether any assertion needs the time-resolved
-// analyzer attached to the run.
+// analyzer attached to the run. Finding assertions count: the
+// diagnosis engine reads the windowed snapshot.
 func (s *Scenario) wantsTimeRes() bool {
+	return s.wantsFindings() || s.hasCheck("time_resolved")
+}
+
+// wantsFindings reports whether any assertion needs the diagnosis
+// engine's findings.
+func (s *Scenario) wantsFindings() bool {
+	return s.hasCheck("finding") || s.hasCheck("finding_absent")
+}
+
+func (s *Scenario) hasCheck(kind string) bool {
 	for i := range s.Assertions {
-		if s.Assertions[i].Check == "time_resolved" {
+		if s.Assertions[i].Check == kind {
 			return true
 		}
 	}

@@ -75,6 +75,10 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		b.WriteString(`,"metrics":`)
 		snap.writeJSON(&b)
 	}
+	if t.opts.Generator != "" {
+		b.WriteString(`,"generator":`)
+		b.WriteString(quote(t.opts.Generator))
+	}
 	b.WriteString("}\n")
 	_, err := w.Write(b.Bytes())
 	return err

@@ -111,6 +111,11 @@ type Options struct {
 	// incremental analyzers run without any ring memory being spent on
 	// events nobody will export.
 	MetricsOnly bool
+	// Generator, when set, is stamped into exported trace files as a
+	// top-level "generator" key — the producing binary's build identity
+	// (cmdutil.Version). Left empty it adds nothing, so byte-stable
+	// golden traces are unaffected unless a caller opts in.
+	Generator string
 }
 
 // Sink observes every record the moment it is emitted — a streaming
