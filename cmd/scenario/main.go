@@ -28,6 +28,8 @@
 //	-findings DIR write each scenario's diagnosis findings JSON
 //	              (internal/diagnose) into DIR as <name>.findings.json
 //	-gen N        generate N seeded stress scenarios and exit
+//	-list-checks  print the assertion-check catalogue (every check with
+//	              its fields and the closed vocabularies) and exit
 //
 // Determinism is the engine's contract: the same scenario file always
 // produces byte-identical trace and report, so golden files are exact
@@ -59,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeGolden := fs.Bool("write-golden", false, "write the golden files under -golden instead of comparing")
 	timeresDir := fs.String("timeresolved", "", "write each scenario's windowed time-resolved CSV into this directory")
 	findingsDir := fs.String("findings", "", "write each scenario's diagnosis findings JSON into this directory")
+	listChecks := fs.Bool("list-checks", false, "print the assertion-check catalogue and exit")
 	gen := fs.Int("gen", 0, "generate this many seeded stress scenarios and exit")
 	genSeed := fs.Int64("gen-seed", 42, "generator seed (same seed, same scenarios)")
 	genOut := fs.String("gen-out", ".", "directory the generated scenario files are written into")
@@ -70,6 +73,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *listChecks {
+		if err := scenario.WriteChecks(stdout); err != nil {
+			return fail2(err)
+		}
+		return 0
+	}
 	if *gen > 0 {
 		return generate(*gen, *genSeed, *genOut, stdout, stderr)
 	}

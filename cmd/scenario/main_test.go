@@ -179,3 +179,20 @@ func TestNoArgsExitsTwo(t *testing.T) {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)
 	}
 }
+
+// TestListChecksGolden: the -list-checks catalogue is byte-pinned, so
+// adding a check or a vocabulary entry shows up in review. Regenerate
+// with: go run ./cmd/scenario -list-checks > cmd/scenario/testdata/list-checks.golden
+func TestListChecksGolden(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-list-checks")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "list-checks.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("-list-checks drifted from the golden; regenerate it if the change is intended.\ngot:\n%s\nwant:\n%s", stdout, want)
+	}
+}

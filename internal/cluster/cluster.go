@@ -36,6 +36,15 @@ type Config struct {
 	// default fabric.ReliableParams so lost packets are retransmitted
 	// rather than deadlocking the run.
 	Faults *fabric.FaultPlan
+	// Crashes, when non-nil and active, injects crash-stop node
+	// failures (see fabric.CrashPlan): at each crash instant the node's
+	// NIC goes dead and its rank is killed with a
+	// *fabric.NodeCrashedError (recovered into Result.RankErrors). Like
+	// Faults, an active plan implies reliable delivery. Without MPI.FT
+	// the surviving ranks abort with retry-exhaustion errors when they
+	// next need the dead node; with it they detect, agree and recover
+	// (see RunFT).
+	Crashes *fabric.CrashPlan
 	// Deadline, when positive, bounds the virtual run time: if the
 	// simulation is still live at this virtual time, RunE returns a
 	// *vtime.DeadlockError describing every stuck process instead of
@@ -117,7 +126,7 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 	if ic := cfg.MPI.Instrument; ic != nil && ic.Table == nil {
 		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
 	}
-	if cfg.Faults.Active() && cfg.MPI.Reliable == nil {
+	if (cfg.Faults.Active() || cfg.Crashes.Active()) && cfg.MPI.Reliable == nil {
 		cfg.MPI.Reliable = &fabric.ReliableParams{}
 	}
 	sim := vtime.NewSim()
@@ -136,6 +145,17 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 		cfg.MPI.Tracer = cfg.Trace
 	}
 	world := mpi.NewWorld(sim, fab, cfg.MPI)
+	if cfg.Crashes.Active() {
+		// After SetFaults, so crashes can anchor to labelled chaos
+		// events; the callback kills the node's rank at the instant its
+		// NIC dies.
+		if err := fab.SetCrashes(cfg.Crashes); err != nil {
+			return Result{}, err
+		}
+		fab.OnCrash(func(n fabric.NodeID) {
+			world.KillRank(int(n), &fabric.NodeCrashedError{Node: n, At: sim.Now()})
+		})
+	}
 
 	ranks := make([]*mpi.Rank, 0, cfg.Procs)
 	world.Start(func(r *mpi.Rank) {

@@ -64,6 +64,58 @@ func TestSimultaneousRankFailuresAggregated(t *testing.T) {
 	}
 }
 
+// TestNoRetriesSentinelSurfacesUnreachable: the NoRetries sentinel
+// must mean exactly zero retransmissions (MaxRetries: 0 selects the
+// default budget, so "no retries" needs the sentinel), and the
+// resulting retry exhaustion must surface as ErrPeerUnreachable
+// through cluster.RunE's per-rank error aggregation, not just at the
+// fabric layer.
+func TestNoRetriesSentinelSurfacesUnreachable(t *testing.T) {
+	res, err := cluster.RunE(cluster.Config{
+		Procs: 2,
+		MPI: mpi.Config{
+			Reliable: &fabric.ReliableParams{Timeout: 20 * time.Microsecond, MaxRetries: fabric.NoRetries},
+		},
+		Faults: &fabric.FaultPlan{
+			Seed:   1,
+			Stalls: []fabric.StallWindow{{Node: 1, Start: 0, End: fabric.Forever}},
+		},
+		Deadline: time.Second,
+	}, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 1024)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if !errors.Is(err, mpi.ErrPeerUnreachable) {
+		t.Fatalf("want ErrPeerUnreachable, got %v", err)
+	}
+	var re *cluster.RunErrors
+	if !errors.As(err, &re) {
+		t.Fatalf("want *cluster.RunErrors, got %T: %v", err, err)
+	}
+	rerr := re.ByRank(0)
+	if rerr == nil {
+		t.Fatalf("rank 0 failure missing from aggregate: %v", re)
+	}
+	var ce *mpi.CommError
+	if !errors.As(rerr, &ce) {
+		t.Fatalf("want *mpi.CommError, got %v", rerr)
+	}
+	if ce.Attempts != 1 {
+		t.Fatalf("NoRetries must mean a single attempt, got %d", ce.Attempts)
+	}
+	if res.RankErrors[0] == nil {
+		t.Fatalf("Result.RankErrors[0] not populated")
+	}
+	for rank, rs := range res.RelStats {
+		if rs.Retransmits != 0 {
+			t.Fatalf("NoRetries must suppress retransmission, rank %d resent %d times", rank, rs.Retransmits)
+		}
+	}
+}
+
 // TestSingleRankFailureKeepsShape: with exactly one failing rank the
 // aggregate still reports it (as a *RunErrors) and sentinel matching
 // is preserved; the healthy rank has no entry.

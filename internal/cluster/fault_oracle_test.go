@@ -263,8 +263,8 @@ func TestRetryExhaustionTimeout(t *testing.T) {
 	_, err := cluster.RunE(cluster.Config{
 		Procs: 2,
 		MPI: mpi.Config{
-			// Negative MaxRetries: first timeout is fatal.
-			Reliable: &fabric.ReliableParams{Timeout: 20 * time.Microsecond, MaxRetries: -1},
+			// NoRetries: first timeout is fatal.
+			Reliable: &fabric.ReliableParams{Timeout: 20 * time.Microsecond, MaxRetries: fabric.NoRetries},
 		},
 		Faults: &fabric.FaultPlan{
 			Seed: 1,

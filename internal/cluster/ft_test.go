@@ -1,0 +1,260 @@
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/micro"
+	"ovlp/internal/mpi"
+	"ovlp/internal/nas"
+	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
+)
+
+// ringWL is a minimal Checkpointable: a ring sendrecv plus an
+// allreduce per step, with declared state.
+type ringWL struct {
+	steps   int
+	bytes   int
+	compute time.Duration
+}
+
+func (w *ringWL) Name() string             { return "ring" }
+func (w *ringWL) Steps() int               { return w.steps }
+func (w *ringWL) StateBytes(procs int) int { return w.bytes }
+func (w *ringWL) Init(c *mpi.Comm)         { c.Bcast(0, 8) }
+func (w *ringWL) Step(c *mpi.Comm, step int) {
+	r := c.Host()
+	if n := c.Size(); n > 1 {
+		next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+		c.Sendrecv(next, 5, w.bytes, prev, 5)
+	}
+	r.Compute(w.compute)
+	c.Allreduce(8)
+}
+
+func crashPlan(ranks ...int) *fabric.CrashPlan {
+	p := &fabric.CrashPlan{}
+	for i, rk := range ranks {
+		p.Crashes = append(p.Crashes, fabric.Crash{
+			Node: fabric.NodeID(rk),
+			At:   vtime.Time((300 + 400*time.Duration(i)) * time.Microsecond),
+		})
+	}
+	return p
+}
+
+func ftConfig(procs int, plan *fabric.CrashPlan) cluster.Config {
+	return cluster.Config{
+		Procs:    procs,
+		MPI:      mpi.Config{Instrument: &mpi.InstrumentConfig{}},
+		Crashes:  plan,
+		Deadline: 5 * time.Second,
+	}
+}
+
+// TestRunFTShrinkContinue: one crash mid-run, survivors detect, agree,
+// shrink and finish on three ranks in a new epoch.
+func TestRunFTShrinkContinue(t *testing.T) {
+	wl := &ringWL{steps: 6, bytes: 64 << 10, compute: 20 * time.Microsecond}
+	res, err := cluster.RunFT(ftConfig(4, crashPlan(2)), cluster.FTOptions{Mode: cluster.ShrinkContinue}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("workload did not complete")
+	}
+	if res.Epochs != 1 {
+		t.Errorf("epochs = %d, want 1", res.Epochs)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 2 {
+		t.Errorf("failed = %v, want [2]", res.Failed)
+	}
+	if len(res.Survivors) != 3 {
+		t.Errorf("survivors = %v, want 3 ranks", res.Survivors)
+	}
+	// The dead rank's recovered error names the planned crash.
+	var nce *fabric.NodeCrashedError
+	if !errors.As(res.RankErrors[2], &nce) || nce.Node != 2 {
+		t.Errorf("rank 2 error = %v, want NodeCrashedError{Node: 2}", res.RankErrors[2])
+	}
+	// Survivors' reports carry the per-epoch breakdown.
+	for _, rk := range res.Survivors {
+		rep := res.Reports[rk]
+		if rep == nil || len(rep.Epochs) != 2 {
+			t.Fatalf("rank %d: want 2 epoch reports, got %+v", rk, rep)
+		}
+	}
+}
+
+// TestRunFTCheckpointRestart: crash under periodic checkpoints rolls
+// back to the last commit and replays.
+func TestRunFTCheckpointRestart(t *testing.T) {
+	wl := &ringWL{steps: 6, bytes: 64 << 10, compute: 20 * time.Microsecond}
+	res, err := cluster.RunFT(ftConfig(4, crashPlan(1)),
+		cluster.FTOptions{Mode: cluster.CheckpointRestart, CheckpointEvery: 2}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Epochs != 1 {
+		t.Fatalf("completed=%v epochs=%d, want true/1", res.Completed, res.Epochs)
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoints committed")
+	}
+	if res.ReplayedSteps == 0 {
+		t.Error("no steps replayed after rollback")
+	}
+}
+
+// TestRunFTFailureFree: without a crash plan RunFT is a plain run —
+// no epochs, no survivors list, nil error.
+func TestRunFTFailureFree(t *testing.T) {
+	wl := &ringWL{steps: 4, bytes: 16 << 10, compute: 10 * time.Microsecond}
+	res, err := cluster.RunFT(ftConfig(3, nil), cluster.FTOptions{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Epochs != 0 || res.Failed != nil || res.Survivors != nil {
+		t.Fatalf("failure-free run misreported: %+v", res)
+	}
+	for rk, rep := range res.Reports {
+		if len(rep.Epochs) != 0 {
+			t.Errorf("rank %d: failure-free report has epoch breakdown", rk)
+		}
+	}
+}
+
+// TestRunFTTwoFailures: two crashes far enough apart produce two
+// recovery generations and two epoch cuts. The retry budget is
+// shortened so the first failure is detected and recovered well before
+// the second crash fires.
+func TestRunFTTwoFailures(t *testing.T) {
+	wl := &ringWL{steps: 10, bytes: 64 << 10, compute: 200 * time.Microsecond}
+	cfg := ftConfig(5, &fabric.CrashPlan{Crashes: []fabric.Crash{
+		{Node: 1, At: vtime.Time(300 * time.Microsecond)},
+		{Node: 3, At: vtime.Time(3 * time.Millisecond)},
+	}})
+	cfg.MPI.Reliable = &fabric.ReliableParams{MaxRetries: 3}
+	res, err := cluster.RunFT(cfg, cluster.FTOptions{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("workload did not complete")
+	}
+	if res.Epochs != 2 {
+		t.Errorf("epochs = %d, want 2", res.Epochs)
+	}
+	if len(res.Failed) != 2 {
+		t.Errorf("failed = %v, want two ranks", res.Failed)
+	}
+	if len(res.Survivors) != 3 {
+		t.Errorf("survivors = %v, want 3 ranks", res.Survivors)
+	}
+}
+
+// TestRunFTMinProcs: a crash that leaves fewer survivors than MinProcs
+// surfaces ErrTooFewSurvivors instead of continuing degraded.
+func TestRunFTMinProcs(t *testing.T) {
+	wl := &ringWL{steps: 6, bytes: 32 << 10, compute: 20 * time.Microsecond}
+	_, err := cluster.RunFT(ftConfig(4, crashPlan(2)), cluster.FTOptions{MinProcs: 4}, wl)
+	if !errors.Is(err, cluster.ErrTooFewSurvivors) {
+		t.Fatalf("want ErrTooFewSurvivors, got %v", err)
+	}
+}
+
+// TestRunFTNASWorkloads: the fault-tolerant NAS variants survive a
+// crash in both recovery modes — including shrinking to a
+// non-power-of-two size no fixed-grid kernel could run at.
+func TestRunFTNASWorkloads(t *testing.T) {
+	for _, name := range []string{"cg", "ft", "mg"} {
+		for _, mode := range []cluster.RecoveryMode{cluster.ShrinkContinue, cluster.CheckpointRestart} {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				wl, ok := nas.CheckpointableKernel(name, nas.Params{Class: nas.ClassS, MaxIters: 3})
+				if !ok {
+					t.Fatalf("no checkpointable %s", name)
+				}
+				cfg := ftConfig(4, crashPlan(2))
+				cfg.Deadline = 30 * time.Second
+				res, err := cluster.RunFT(cfg, cluster.FTOptions{Mode: mode, CheckpointEvery: 2}, wl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Completed || res.Epochs != 1 {
+					t.Fatalf("completed=%v epochs=%d, want true/1", res.Completed, res.Epochs)
+				}
+			})
+		}
+	}
+}
+
+// TestRunFTExchangeMicro: the microbenchmark's ring-exchange workload
+// recovers too.
+func TestRunFTExchangeMicro(t *testing.T) {
+	wl := &micro.ExchangeWorkload{MsgSize: 1 << 20, Compute: 200 * time.Microsecond, StepCount: 8}
+	res, err := cluster.RunFT(ftConfig(4, crashPlan(3)), cluster.FTOptions{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Epochs != 1 {
+		t.Fatalf("completed=%v epochs=%d, want true/1", res.Completed, res.Epochs)
+	}
+}
+
+// TestRunFTUnplannedErrorSurvivesFilter: only planned crashes are
+// filtered from the error — a deadline expiry still surfaces.
+func TestRunFTUnplannedErrorSurvivesFilter(t *testing.T) {
+	wl := &ringWL{steps: 1 << 20, bytes: 1 << 10, compute: time.Millisecond}
+	cfg := ftConfig(3, crashPlan(1))
+	cfg.Deadline = 2 * time.Millisecond
+	_, err := cluster.RunFT(cfg, cluster.FTOptions{}, wl)
+	if err == nil {
+		t.Fatal("deadline expiry was swallowed by the crash filter")
+	}
+	var de *vtime.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *vtime.DeadlockError in chain, got %v", err)
+	}
+}
+
+// ftTraceBytes runs the recovery scenario traced and returns the
+// exported Chrome trace.
+func ftTraceBytes(t *testing.T, mode cluster.RecoveryMode) []byte {
+	t.Helper()
+	wl := &ringWL{steps: 8, bytes: 128 << 10, compute: 50 * time.Microsecond}
+	cfg := ftConfig(4, crashPlan(2))
+	cfg.Trace = trace.New(trace.Options{})
+	cfg.RecordTruth = true
+	res, err := cluster.RunFT(cfg, cluster.FTOptions{Mode: mode, CheckpointEvery: 2}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("workload did not complete")
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunFTDeterminism: the same crash plan reproduces the whole run —
+// detection, agreement, epoch cuts and recovery — byte for byte in the
+// exported trace.
+func TestRunFTDeterminism(t *testing.T) {
+	for _, mode := range []cluster.RecoveryMode{cluster.ShrinkContinue, cluster.CheckpointRestart} {
+		a := ftTraceBytes(t, mode)
+		b := ftTraceBytes(t, mode)
+		if !bytes.Equal(a, b) {
+			t.Errorf("mode %v: same crash plan produced different traces (%d vs %d bytes)",
+				mode, len(a), len(b))
+		}
+	}
+}

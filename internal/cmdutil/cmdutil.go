@@ -263,10 +263,12 @@ type Obs struct {
 	// report; "-" prints the text report to the Finish writer.
 	DiagnosePath string
 
-	tr      *trace.Tracer
-	tres    *timeres.Analyzer
-	table   *calib.Table
-	reports []*overlap.Report
+	tr       *trace.Tracer
+	tres     *timeres.Analyzer
+	table    *calib.Table
+	reports  []*overlap.Report
+	crashes  []diagnose.Crash
+	recovery *diagnose.Recovery
 }
 
 // RegisterObs installs the -trace and -metrics flags on fs (the
@@ -398,7 +400,13 @@ func (o *Obs) writeDiagnose(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	din := diagnose.Input{Profile: p, Duration: p.Duration, Procs: p.Ranks}
+	din := diagnose.Input{
+		Profile:  p,
+		Duration: p.Duration,
+		Procs:    p.Ranks,
+		Crashes:  o.crashes,
+		Recovery: o.recovery,
+	}
 	if snap, err := timeres.FromInput(in, timeres.Options{Window: o.TimeResWindow}); err == nil {
 		din.TimeRes = snap
 	}

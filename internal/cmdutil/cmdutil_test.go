@@ -9,7 +9,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"ovlp/internal/cluster"
 	"ovlp/internal/fabric"
 	"ovlp/internal/trace"
 	"ovlp/internal/vtime"
@@ -118,5 +120,94 @@ func TestObsMetricsOnly(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "n") || !strings.Contains(out.String(), "3") {
 		t.Errorf("metrics table missing:\n%s", out.String())
+	}
+}
+
+func TestFTPlan(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterFT(fs)
+	if err := fs.Parse([]string{"-crash", "2@800us, 0@3ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Active() {
+		t.Fatal("crash plan declared but not Active")
+	}
+	plan, err := f.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fabric.Crash{
+		{Node: 2, At: vtime.Time(800 * time.Microsecond)},
+		{Node: 0, At: vtime.Time(3 * time.Millisecond)},
+	}
+	if !reflect.DeepEqual(plan.Crashes, want) {
+		t.Errorf("Plan = %+v, want %+v", plan.Crashes, want)
+	}
+	if err := f.CheckNodes(plan, 4); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	if err := f.CheckNodes(plan, 3); err == nil {
+		t.Error("node 2 crash on a 3-node run with node 0 also dead must leave < 2 survivors")
+	}
+	if err := f.CheckNodes(plan, 2); err == nil {
+		t.Error("crash naming node 2 on a 2-node machine accepted")
+	}
+	if !strings.Contains(f.Describe(), "node 2 @ 800µs") {
+		t.Errorf("Describe = %q", f.Describe())
+	}
+}
+
+func TestFTPlanErrors(t *testing.T) {
+	for _, bad := range []string{"x", "2", "2@", "@1ms", "2@-1ms", "2@0s", "1@1ms,1@2ms", " , "} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		f := RegisterFT(fs)
+		if err := fs.Parse([]string{"-crash", bad}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Plan(); err == nil {
+			t.Errorf("-crash %q accepted", bad)
+		}
+	}
+}
+
+func TestFTOptions(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterFT(fs)
+	if err := fs.Parse([]string{"-recover", "checkpoint-restart", "-checkpoint-every", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Mode != cluster.CheckpointRestart || opt.CheckpointEvery != 2 {
+		t.Errorf("Options = %+v", opt)
+	}
+
+	fs = flag.NewFlagSet("x", flag.ContinueOnError)
+	f = RegisterFT(fs)
+	if err := fs.Parse([]string{"-recover", "retry-harder"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Options(); err == nil {
+		t.Error("unknown -recover mode accepted")
+	}
+}
+
+// TestFTInactive: no -crash means a nil plan and an untouched header.
+func TestFTInactive(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterFT(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Active() {
+		t.Error("Active without -crash")
+	}
+	if plan, err := f.Plan(); plan != nil || err != nil {
+		t.Errorf("Plan = %v, %v", plan, err)
+	}
+	if f.Describe() != "" {
+		t.Errorf("Describe = %q, want empty", f.Describe())
 	}
 }

@@ -63,6 +63,10 @@ const (
 	KindPhaseCollapse = "phase-collapse"
 	KindSerHotspot    = "serialization-hotspot"
 	KindIdleTail      = "idle-tail"
+	// Recovery kinds, fed by the fault-tolerant runner's evidence.
+	KindRankFailure  = "rank-failure"
+	KindSlowRecovery = "slow-recovery"
+	KindCkptOverhead = "checkpoint-overhead"
 	// Diff-only kinds (emitted by Diff, never by Analyze).
 	KindGapRegression  = "gap-regression"
 	KindWallRegression = "wall-regression"
@@ -76,6 +80,7 @@ func Kinds() []string {
 	return []string{
 		KindStraggler, KindRetransStorm, KindStarvation, KindPhaseCollapse,
 		KindSerHotspot, KindIdleTail,
+		KindRankFailure, KindSlowRecovery, KindCkptOverhead,
 		KindGapRegression, KindWallRegression, KindEffRegression, KindImprovement,
 	}
 }
@@ -88,6 +93,7 @@ func AnalyzeKinds() []string {
 	return []string{
 		KindStraggler, KindRetransStorm, KindStarvation, KindPhaseCollapse,
 		KindSerHotspot, KindIdleTail,
+		KindRankFailure, KindSlowRecovery, KindCkptOverhead,
 	}
 }
 
@@ -193,6 +199,30 @@ type Input struct {
 	// Faults lists the declared fault-active intervals, so cliffs can
 	// be pinned to them.
 	Faults []Interval
+	// Crashes lists the declared crash-stop rank failures, so recovery
+	// findings can name the dead ranks and their kill times.
+	Crashes []Crash
+	// Recovery carries the fault-tolerant runner's outcome summary (nil
+	// when the run was not fault-tolerant).
+	Recovery *Recovery
+}
+
+// Crash is one declared crash-stop failure.
+type Crash struct {
+	Rank int
+	At   time.Duration
+}
+
+// Recovery distills a fault-tolerant run's outcome (cluster.FTResult)
+// to what diagnosis needs.
+type Recovery struct {
+	Mode          string // "shrink-continue" or "checkpoint-restart"
+	Epochs        int
+	Failed        []int
+	Survivors     int
+	Checkpoints   int
+	ReplayedSteps int
+	Completed     bool
 }
 
 // Rule thresholds, exported so DESIGN.md and the tests share one
@@ -222,6 +252,12 @@ const (
 	// spread are an imbalanced tail.
 	IdleTailFrac   = 0.40
 	IdleTailSpread = 0.30
+	// RecoveryShare: the detect+agree blame share of the gap at which a
+	// slow-recovery finding fires.
+	RecoveryShare = 0.15
+	// CkptShare: the rollback+recompute blame share at which a
+	// checkpoint-overhead finding fires.
+	CkptShare = 0.15
 )
 
 // Analyze runs every diagnosis rule over the input and returns the
@@ -234,6 +270,9 @@ func Analyze(in Input) *Report {
 	fs = append(fs, phaseCollapseFindings(&in)...)
 	fs = append(fs, serHotspotFindings(&in)...)
 	fs = append(fs, idleTailFindings(&in)...)
+	fs = append(fs, rankFailureFindings(&in)...)
+	fs = append(fs, slowRecoveryFindings(&in)...)
+	fs = append(fs, ckptOverheadFindings(&in)...)
 	return &Report{Schema: Schema, Findings: rank(fs)}
 }
 

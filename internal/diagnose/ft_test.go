@@ -1,0 +1,196 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/profile"
+	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
+)
+
+func findKind(rep *Report, kind string) *Finding {
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == kind {
+			return &rep.Findings[i]
+		}
+	}
+	return nil
+}
+
+// TestRankFailureRule: a declared crash always surfaces as a
+// rank-failure finding — critical without recovery evidence, warn with
+// a completed recovery attached.
+func TestRankFailureRule(t *testing.T) {
+	in := Input{
+		Duration: 10 * ms,
+		Procs:    4,
+		Crashes:  []Crash{{Rank: 2, At: 2 * ms}},
+	}
+	rep := Analyze(in)
+	f := findKind(rep, KindRankFailure)
+	if f == nil {
+		t.Fatalf("no rank-failure finding: %+v", rep.Findings)
+	}
+	if f.Severity != SevCritical {
+		t.Errorf("unrecovered crash severity %q, want critical", f.Severity)
+	}
+	if f.Scope.Rank == nil || *f.Scope.Rank != 2 {
+		t.Errorf("scope %v, want rank 2", f.Scope)
+	}
+	if f.Score != round4(1-0.2) {
+		t.Errorf("score %v, want 0.8 (crash at 20%% of the run)", f.Score)
+	}
+
+	in.Recovery = &Recovery{Mode: "shrink-continue", Epochs: 1, Failed: []int{2}, Survivors: 3, Completed: true}
+	rep = Analyze(in)
+	f = findKind(rep, KindRankFailure)
+	if f == nil {
+		t.Fatal("no rank-failure finding with recovery evidence")
+	}
+	if f.Severity != SevWarn {
+		t.Errorf("recovered crash severity %q, want warn", f.Severity)
+	}
+	if !strings.Contains(f.Cause, "shrink-continue") {
+		t.Errorf("cause %q does not name the recovery mode", f.Cause)
+	}
+}
+
+// TestRecoveryShareRules: detect+agree blame trips slow-recovery,
+// rollback+recompute trips checkpoint-overhead, each scoped to the
+// site owning the most of its category.
+func TestRecoveryShareRules(t *testing.T) {
+	p := mkProfile(10*ms, []profile.Site{
+		{Region: "exchange", Op: "Sendrecv", Count: 6, Blame: profile.Blame{Detect: 300 * time.Microsecond}},
+		{Region: "ft-agree", Op: "Allreduce", Count: 2, Blame: profile.Blame{Agree: 100 * time.Microsecond}},
+		{Region: "ft-checkpoint", Op: "Sendrecv", Count: 4, Blame: profile.Blame{Rollback: 350 * time.Microsecond}},
+		{Region: "ft-recompute", Op: "Allreduce", Count: 4, Blame: profile.Blame{Recompute: 250 * time.Microsecond}},
+	})
+	// Gap total 1ms: recovery share 0.4, checkpoint share 0.6.
+	in := Input{Profile: p, Duration: 10 * ms, Procs: 4,
+		Recovery: &Recovery{Mode: "checkpoint-restart", Epochs: 1, Survivors: 3, Checkpoints: 3, ReplayedSteps: 2, Completed: true}}
+	rep := Analyze(in)
+
+	slow := findKind(rep, KindSlowRecovery)
+	if slow == nil {
+		t.Fatalf("no slow-recovery finding: %+v", rep.Findings)
+	}
+	if slow.Score != round4(0.4) {
+		t.Errorf("slow-recovery score %v, want 0.4", slow.Score)
+	}
+	if slow.Severity != SevWarn {
+		t.Errorf("slow-recovery severity %q, want warn (0.4 < critical 0.5)", slow.Severity)
+	}
+	if slow.Scope.Site != "exchange/Sendrecv" {
+		t.Errorf("slow-recovery site %q, want exchange/Sendrecv", slow.Scope.Site)
+	}
+
+	ck := findKind(rep, KindCkptOverhead)
+	if ck == nil {
+		t.Fatalf("no checkpoint-overhead finding: %+v", rep.Findings)
+	}
+	if ck.Score != round4(0.6) {
+		t.Errorf("checkpoint-overhead score %v, want 0.6", ck.Score)
+	}
+	if ck.Severity != SevCritical {
+		t.Errorf("checkpoint-overhead severity %q, want critical (0.6 >= 0.5)", ck.Severity)
+	}
+	if ck.Scope.Site != "ft-checkpoint/Sendrecv" {
+		t.Errorf("checkpoint-overhead site %q, want ft-checkpoint/Sendrecv", ck.Scope.Site)
+	}
+}
+
+// TestRecoveryRulesStayQuiet: a clean profile with no recovery blame
+// and no declared crashes produces none of the recovery kinds.
+func TestRecoveryRulesStayQuiet(t *testing.T) {
+	p := mkProfile(10*ms, []profile.Site{
+		{Region: "exchange", Op: "Wait", Count: 8, Blame: profile.Blame{Progress: 100 * time.Microsecond}},
+	})
+	rep := Analyze(Input{Profile: p, Duration: 10 * ms, Procs: 4, ProgressMode: "thread"})
+	for _, k := range []string{KindRankFailure, KindSlowRecovery, KindCkptOverhead} {
+		if f := findKind(rep, k); f != nil {
+			t.Errorf("%s fired on a failure-free run: %+v", k, f)
+		}
+	}
+}
+
+// TestRecoveryFindingsEndToEnd drives a real crash through RunFT, the
+// profiler and the diagnosis engine: the rank-failure finding names
+// the dead rank, and the detect blame the truncated transfers produce
+// surfaces as slow-recovery.
+func TestRecoveryFindingsEndToEnd(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	cfg := cluster.Config{
+		Procs: 4,
+		MPI:   mpi.Config{Instrument: &mpi.InstrumentConfig{}},
+		Crashes: &fabric.CrashPlan{Crashes: []fabric.Crash{
+			{Node: 2, At: vtime.Time(800 * time.Microsecond)},
+		}},
+		Deadline: 10 * time.Second,
+		Trace:    tr,
+	}
+	// A short retry budget makes detection fast enough that the large
+	// in-flight rendezvous transfers are still open at the epoch cut,
+	// so their truncation carries visible detect blame.
+	cfg.MPI.Reliable = &fabric.ReliableParams{MaxRetries: 3}
+	wl := &ftWL{steps: 8, bytes: 2 << 20, compute: 100 * time.Microsecond}
+	res, err := cluster.RunFT(cfg, cluster.FTOptions{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Epochs != 1 {
+		t.Fatalf("recovery did not happen: completed=%v epochs=%d", res.Completed, res.Epochs)
+	}
+	p, err := profile.Analyze(profile.FromTracer(tr, res.Calib, res.Reports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{
+		Profile:  p,
+		Duration: res.Duration,
+		Procs:    4,
+		Crashes:  []Crash{{Rank: 2, At: 800 * time.Microsecond}},
+		Recovery: &Recovery{
+			Mode: cluster.ShrinkContinue.String(), Epochs: res.Epochs,
+			Failed: res.Failed, Survivors: len(res.Survivors),
+			Completed: res.Completed,
+		},
+	}
+	rep := Analyze(in)
+	rf := findKind(rep, KindRankFailure)
+	if rf == nil {
+		t.Fatalf("no rank-failure finding: %+v", rep.Findings)
+	}
+	if rf.Severity != SevWarn || rf.Scope.Rank == nil || *rf.Scope.Rank != 2 {
+		t.Errorf("rank-failure = %+v, want warn at rank 2", rf)
+	}
+	if sr := findKind(rep, KindSlowRecovery); sr == nil {
+		t.Errorf("no slow-recovery finding despite detect blame %v of gap %v",
+			p.Totals.Blame.Detect, p.Totals.Gap)
+	}
+}
+
+// ftWL is a Checkpointable ring workload for the end-to-end test.
+type ftWL struct {
+	steps   int
+	bytes   int
+	compute time.Duration
+}
+
+func (w *ftWL) Name() string             { return "ring" }
+func (w *ftWL) Steps() int               { return w.steps }
+func (w *ftWL) StateBytes(procs int) int { return w.bytes }
+func (w *ftWL) Init(c *mpi.Comm)         { c.Bcast(0, 8) }
+func (w *ftWL) Step(c *mpi.Comm, step int) {
+	r := c.Host()
+	if n := c.Size(); n > 1 {
+		next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+		c.Sendrecv(next, 5, w.bytes, prev, 5)
+	}
+	r.Compute(w.compute)
+	c.Allreduce(8)
+}

@@ -1,0 +1,143 @@
+package diagnose
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/profile"
+)
+
+// rankFailureFindings reports every declared crash-stop rank failure.
+// The finding is critical when the run never recovered (no
+// fault-tolerant runner, or it could not complete) and informational
+// warn-level when the survivors shrank or rolled back and finished —
+// the point being that the crash is visible in the findings either
+// way, with its recovery story attached.
+func rankFailureFindings(in *Input) []Finding {
+	if len(in.Crashes) == 0 {
+		return nil
+	}
+	rec := in.Recovery
+	recovered := rec != nil && rec.Completed
+	var out []Finding
+	for _, cr := range in.Crashes {
+		sev := SevCritical
+		cause := "the declared crash plan kills this node; without a fault-tolerant runner the survivors park on its silence"
+		knob := "run fault-tolerant (cluster.RunFT): shrink-continue or checkpoint-restart"
+		summary := fmt.Sprintf("rank %d crash-stops at %v and the run does not recover", cr.Rank, cr.At)
+		if recovered {
+			sev = SevWarn
+			cause = fmt.Sprintf("declared crash of rank %d; survivors detected the failure, agreed on the dead set and continued in %s mode", cr.Rank, rec.Mode)
+			knob = "none required — recovery completed; tune detection latency via the reliable retry budget"
+			summary = fmt.Sprintf("rank %d crash-stops at %v; %d survivors recover across %d epoch cut(s)",
+				cr.Rank, cr.At, rec.Survivors, rec.Epochs)
+		}
+		// Earlier crashes waste more of the run: score by the remaining
+		// fraction of the run at the kill time.
+		score := 1.0
+		if in.Duration > 0 && cr.At > 0 && cr.At < in.Duration {
+			score = round4(1 - float64(cr.At)/float64(in.Duration))
+		}
+		r := cr.Rank
+		f := Finding{
+			Kind:     KindRankFailure,
+			Severity: sev,
+			Score:    score,
+			Scope:    Scope{Rank: &r, FromNS: int64(cr.At), ToNS: int64(in.Duration)},
+			Summary:  summary,
+			Cause:    cause,
+			Knob:     knob,
+			Evidence: []Evidence{
+				{Metric: "crash_at_ns", Value: float64(cr.At), Unit: "ns"},
+			},
+		}
+		if rec != nil {
+			f.Evidence = append(f.Evidence,
+				Evidence{Metric: "recovery_epochs", Value: float64(rec.Epochs)},
+				Evidence{Metric: "survivors", Value: float64(rec.Survivors)},
+			)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// slowRecoveryFindings fires when failure detection and agreement own a
+// substantial share of the bound gap: the survivors spent that time
+// parked on transfers to a dead node, burning the reliable layer's
+// retry budget before the failure could be agreed.
+func slowRecoveryFindings(in *Input) []Finding {
+	p := in.Profile
+	if p == nil || p.Totals.Gap <= 0 {
+		return nil
+	}
+	detect := float64(p.Totals.Blame.Detect) / float64(p.Totals.Gap)
+	agree := float64(p.Totals.Blame.Agree) / float64(p.Totals.Gap)
+	share := detect + agree
+	if share < RecoveryShare {
+		return nil
+	}
+	site, siteShare := worstSite(p, func(b profile.Blame) time.Duration { return b.Detect + b.Agree })
+	f := Finding{
+		Kind:     KindSlowRecovery,
+		Severity: shareSeverity(share),
+		Score:    round4(share),
+		Scope:    Scope{Site: site},
+		Summary: fmt.Sprintf("failure detection and agreement own %.1f%% of the %v bound gap (worst site %s)",
+			round4(share)*100, p.Totals.Gap, site),
+		Cause: "detection is paced by the reliable retry budget: in-flight transfers to the dead node must exhaust retries before the failure is agreed, and every open transfer at the cut is truncated",
+		Knob:  "shorten fabric.ReliableParams retries/timeout or mpi.FTConfig.HeartbeatPeriod so detection converges sooner",
+		Evidence: []Evidence{
+			{Metric: "recovery_share", Value: round4(share), Threshold: RecoveryShare},
+			{Metric: "detect_share", Value: round4(detect)},
+			{Metric: "agree_share", Value: round4(agree)},
+		},
+	}
+	if site != "" {
+		f.Evidence = append(f.Evidence, Evidence{Metric: "site_share", Value: round4(siteShare)})
+	}
+	return []Finding{f}
+}
+
+// ckptOverheadFindings fires when checkpoint replication, rollback
+// restore traffic and post-rollback replay own a substantial share of
+// the bound gap — resilience is being bought with bandwidth and
+// recomputed steps that contribute nothing to forward progress.
+func ckptOverheadFindings(in *Input) []Finding {
+	p := in.Profile
+	if p == nil || p.Totals.Gap <= 0 {
+		return nil
+	}
+	roll := float64(p.Totals.Blame.Rollback) / float64(p.Totals.Gap)
+	recomp := float64(p.Totals.Blame.Recompute) / float64(p.Totals.Gap)
+	share := roll + recomp
+	if share < CkptShare {
+		return nil
+	}
+	site, siteShare := worstSite(p, func(b profile.Blame) time.Duration { return b.Rollback + b.Recompute })
+	f := Finding{
+		Kind:     KindCkptOverhead,
+		Severity: shareSeverity(share),
+		Score:    round4(share),
+		Scope:    Scope{Site: site},
+		Summary: fmt.Sprintf("checkpoint/rollback/replay traffic owns %.1f%% of the %v bound gap (worst site %s)",
+			round4(share)*100, p.Totals.Gap, site),
+		Cause: "buddy replication and post-rollback replay repeat work and move state that a failure-free run never would",
+		Knob:  "lengthen FTOptions.CheckpointEvery, shrink the workload's declared StateBytes, or raise CheckpointBandwidth",
+		Evidence: []Evidence{
+			{Metric: "ckpt_share", Value: round4(share), Threshold: CkptShare},
+			{Metric: "rollback_share", Value: round4(roll)},
+			{Metric: "recompute_share", Value: round4(recomp)},
+		},
+	}
+	if site != "" {
+		f.Evidence = append(f.Evidence, Evidence{Metric: "site_share", Value: round4(siteShare)})
+	}
+	if rec := in.Recovery; rec != nil {
+		f.Evidence = append(f.Evidence,
+			Evidence{Metric: "checkpoints", Value: float64(rec.Checkpoints)},
+			Evidence{Metric: "replayed_steps", Value: float64(rec.ReplayedSteps)},
+		)
+	}
+	return []Finding{f}
+}

@@ -214,6 +214,10 @@ type Fabric struct {
 	truthSeen map[seenKey]bool  // sequenced deliveries already recorded
 	phases    map[uint64]string // xfer id -> protocol-phase tag
 
+	crashAt    map[NodeID]vtime.Time // crash-stop plan: node -> death instant
+	crashStats CrashStats
+	onCrash    func(NodeID)
+
 	tr *trace.Tracer // nil = untraced
 }
 
@@ -486,6 +490,11 @@ func (n *NIC) transmitSeq(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire
 	p.Compute(f.cost.PostOverhead)
 	f.wrseq++
 	wr := f.wrseq
+	if f.crashed(n.id, f.sim.Now()) {
+		// Dead NIC: the post is swallowed — no CQE, nothing on the wire.
+		f.crashStats.SwallowedTx++
+		return wr
+	}
 	target := f.NIC(dst)
 	earliest := f.sim.Now().Add(f.cost.DMAStartup)
 	var drop, dup bool
@@ -553,6 +562,15 @@ func (n *NIC) transmitSeq(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire
 // ground-truth recording (first delivery of a given (src, seq) only),
 // inbox delivery, and hardware acknowledgment of sequenced packets.
 func (f *Fabric) deliverAt(src, dst NodeID, target *NIC, kind OpKind, size int, xferID uint64, payload any, deliver bool, seq uint64, original bool, start, arrive vtime.Time) {
+	if f.crashed(dst, arrive) {
+		// The destination died: the bytes vanish at the dead NIC —
+		// no ground truth (the data was never received), no inbox
+		// delivery, and no hardware acknowledgment. The sender's
+		// reliability layer will time out, which is how failures are
+		// detected.
+		f.crashStats.DroppedRx++
+		return
+	}
 	first := original
 	if seq != 0 {
 		k := seenKey{src, seq}
@@ -596,6 +614,9 @@ func (f *Fabric) sendAck(from, to NodeID, seq uint64, start, end vtime.Time) {
 	arrive := f.sim.Now().Add(f.cost.Wire(0) + f.cost.LinkLatency + jitter)
 	ackSrc := from
 	f.sim.After(arrive.Sub(f.sim.Now()), func() {
+		if f.crashed(to, arrive) {
+			return // the original sender died before the ack landed
+		}
 		f.nics[to].pushPacket(Packet{From: ackSrc, Kind: OpSend,
 			Payload: Ack{Seq: seq, Start: start, End: end}})
 	})
@@ -610,11 +631,27 @@ func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint6
 	p.Compute(f.cost.PostOverhead)
 	f.wrseq++
 	wr := f.wrseq
+	if f.crashed(n.id, f.sim.Now()) {
+		f.crashStats.SwallowedTx++
+		return wr
+	}
 	remote := f.NIC(src)
 	// Request packet: DMA startup + a header-sized hop to src.
 	reqArrive := f.sim.Now().Add(f.cost.DMAStartup + f.cost.Wire(0) + f.cost.LinkLatency)
 	dst := n.id
 	f.sim.After(reqArrive.Sub(f.sim.Now()), func() {
+		if f.crashed(src, f.sim.Now()) {
+			// The serving node is dead: the transport's retries exhaust
+			// and the failure surfaces as an error completion at the
+			// requester after a round trip. No data moved.
+			f.crashStats.DroppedRx++
+			errAt := f.sim.Now().Add(f.cost.Wire(0) + f.cost.LinkLatency)
+			f.sim.After(errAt.Sub(f.sim.Now()), func() {
+				n.pushCQE(CQE{WRID: wr, Kind: OpRDMARead, Status: StatusRetryExceeded,
+					XferID: xferID, Size: size, Start: f.sim.Now(), End: f.sim.Now()})
+			})
+			return
+		}
 		// The remote NIC sources the data on its egress link. Faults are
 		// modelled on this serve leg (the data direction src→dst): stall
 		// windows on the serving NIC, degraded bandwidth and jitter on
@@ -642,6 +679,10 @@ func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint6
 		start, end := remote.reserveEgress(serve, wire)
 		arrive := end.Add(f.cost.LinkLatency + jitter)
 		f.sim.After(arrive.Sub(f.sim.Now()), func() {
+			if f.crashed(dst, arrive) {
+				f.crashStats.DroppedRx++
+				return // the requester died before the data landed
+			}
 			if drop {
 				n.pushCQE(CQE{WRID: wr, Kind: OpRDMARead, Status: StatusRetryExceeded,
 					XferID: xferID, Size: size, Start: start, End: arrive})

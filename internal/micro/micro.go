@@ -213,3 +213,40 @@ func sweep(lo, hi time.Duration, n int) []time.Duration {
 	}
 	return out
 }
+
+// ExchangeWorkload is the microbenchmark's fault-tolerant form: a ring
+// neighbour exchange with inserted computation, as a
+// cluster.Checkpointable the recovery experiments can crash and
+// resume. State is the rank's message buffer.
+type ExchangeWorkload struct {
+	// MsgSize is the exchanged message size in bytes.
+	MsgSize int
+	// Compute is the computation inserted between initiation and wait.
+	Compute time.Duration
+	// StepCount is the number of exchange steps.
+	StepCount int
+}
+
+func (w *ExchangeWorkload) Name() string { return "exchange" }
+
+func (w *ExchangeWorkload) Steps() int { return w.StepCount }
+
+func (w *ExchangeWorkload) StateBytes(procs int) int { return w.MsgSize }
+
+func (w *ExchangeWorkload) Init(c *mpi.Comm) {}
+
+func (w *ExchangeWorkload) Step(c *mpi.Comm, step int) {
+	r := c.Host()
+	r.PushRegion(regionName)
+	defer r.PopRegion()
+	n := c.Size()
+	if n == 1 {
+		r.Compute(w.Compute)
+		return
+	}
+	next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+	rq := c.Irecv(prev, 0)
+	sq := c.Isend(next, 0, w.MsgSize)
+	r.Compute(w.Compute)
+	r.Waitall(rq, sq)
+}

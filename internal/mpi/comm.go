@@ -64,6 +64,11 @@ func (r *Rank) World() *Comm {
 // Rank returns the caller's rank within the communicator.
 func (c *Comm) Rank() int { return c.myIdx }
 
+// Host returns the underlying rank, for non-communicator operations
+// (Compute, monitored regions, nonblocking request waits) interleaved
+// with communicator traffic.
+func (c *Comm) Host() *Rank { return c.r }
+
 // Size returns the number of members.
 func (c *Comm) Size() int { return len(c.members) }
 

@@ -16,7 +16,39 @@ var (
 	// ErrPeerUnreachable means a peer never acknowledged anything — it
 	// looks dead, not just lossy.
 	ErrPeerUnreachable = errors.New("mpi: peer unreachable")
+	// ErrProcFailed means a peer process has been detected as failed
+	// under fault tolerance (Config.FT): operations on revoked
+	// communication abort with a *ProcFailedError wrapping this
+	// sentinel until the application runs Rank.Agree.
+	ErrProcFailed = errors.New("mpi: peer process failed")
 )
+
+// ProcFailedError is the fault-tolerance revocation abort: raised
+// (as a panic, recoverable with Rank.Protect) from a library call on a
+// rank that has learned of one or more peer failures. Failed lists the
+// rank's current view of the dead set; Op names the interrupted call.
+type ProcFailedError struct {
+	Rank   int
+	Failed []int
+	Op     string
+}
+
+func (e *ProcFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s aborted, failed ranks %v", e.Rank, e.Op, e.Failed)
+}
+
+func (e *ProcFailedError) Unwrap() error { return ErrProcFailed }
+
+// isProcFailed reports whether err is (or wraps) the fault-tolerance
+// revocation abort.
+func isProcFailed(err error) bool { return errors.Is(err, ErrProcFailed) }
+
+// asDeliveryError extracts a reliability-layer delivery failure.
+func asDeliveryError(err error) (*fabric.DeliveryError, bool) {
+	var de *fabric.DeliveryError
+	ok := errors.As(err, &de)
+	return de, ok
+}
 
 // CommError is the structured failure of a communication operation:
 // which rank failed talking to which peer, doing what, after how many

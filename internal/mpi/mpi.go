@@ -136,6 +136,13 @@ type Config struct {
 	// every call boundary (piggyback), or a dedicated per-rank
 	// progress thread waking on a virtual-time quantum.
 	Progress progress.Config
+	// FT enables ULFM-style fault tolerance: heartbeat failure
+	// detection on the progress engine, ErrProcFailed revocation,
+	// survivor agreement (Rank.Agree), recovery epochs (Rank.EpochCut)
+	// and communicator shrinking (Rank.Shrink). Requires Reliable with
+	// a finite retry budget — retry exhaustion is the failure
+	// detector's primitive.
+	FT *FTConfig
 	// HWTimestamps makes the library consume the NIC's hardware
 	// transfer time-stamps, feeding the instrumentation's precise
 	// XferExact path instead of the XFER_BEGIN/XFER_END bounds — the
@@ -192,6 +199,9 @@ type World struct {
 	commIDs    map[commKey]int
 	nextCommID int
 	splitBuf   map[commKey]*splitGather
+	ftRounds   map[int]*ftRound
+	ftFin      map[int]bool // ranks that finalized (implicit agreement votes)
+	ftFinVer   int          // bumped on every retirement; Agree's wait condition
 }
 
 // NewWorld creates a world spanning every node of the fabric.
@@ -279,9 +289,12 @@ type Rank struct {
 	unexpQ []inbound  // arrived, unmatched messages, in arrival order
 
 	wrMap      map[uint64]pendingWR // CQE routing
+	staleWR    map[uint64]bool      // WRs abandoned at an epoch cut
 	ctsWaiters map[uint64]*Request  // sender reqID -> rendezvous send
 	rxActive   map[uint64]*Request  // receiver reqID -> rendezvous recv
 	pump       []*Request           // pipelined sends with fragments to post
+
+	ft *ftState // fault tolerance, nil unless Config.FT
 
 	regCache  map[regKey]bool // leave_pinned registration cache
 	worldComm *Comm
@@ -315,6 +328,7 @@ func newRank(w *World, id int) *Rank {
 		id:         id,
 		nic:        w.fab.NIC(fabric.NodeID(id)),
 		wrMap:      make(map[uint64]pendingWR),
+		staleWR:    make(map[uint64]bool),
 		ctsWaiters: make(map[uint64]*Request),
 		rxActive:   make(map[uint64]*Request),
 		regCache:   make(map[regKey]bool),
@@ -399,10 +413,20 @@ func (r *Rank) attach(p *vtime.Proc) {
 		Wake: func() { r.proc.Unpark() },
 	})
 	r.eng.Start(fmt.Sprintf("rank%d.progress", r.id))
+	r.ftInit()
 }
 
 // finalize produces the rank's report at the end of main.
 func (r *Rank) finalize() {
+	// Stop the heartbeat service first: its timer chain would keep the
+	// simulation alive forever, and its pings are no longer needed —
+	// a finalized rank's NIC still hardware-acks, so live peers that
+	// probe it are never misled.
+	r.ftStopTick()
+	// Announce retirement so survivors recovering from a later failure
+	// do not wait for this rank's vote (its sync pokes flush in the
+	// quiesce below).
+	r.ftRetire()
 	if len(r.colPending) > 0 || r.rel != nil {
 		// Quiesce outstanding work first: un-waited nonblocking
 		// collectives must run to completion (their peers' schedules
@@ -444,15 +468,8 @@ func (r *Rank) recoverAbort() {
 		panic(v)
 	}
 	r.w.errs[r.id] = err
-	if r.depth > 0 {
-		for r.depth > 0 {
-			r.mon.CallExit()
-			r.depth--
-		}
-		d := r.proc.Now().Sub(r.enterAt)
-		r.mpiTime += d
-		r.callTimes[r.curOp] += d
-	}
+	r.ftStopTick()
+	r.unwindCalls()
 	r.eng.Stop()
 	if r.mon != nil {
 		rep := r.mon.Finalize()
@@ -517,6 +534,9 @@ func (r *Rank) enterOp(name string) {
 // completion calls pass -1).
 func (r *Rank) enterOpPS(name string, peer int, size int64) {
 	if r.depth == 0 {
+		// A revoked failure aborts the call before it starts (a safe
+		// point: no protocol state is in flux).
+		r.ftRaise(name)
 		// If a dedicated progress thread is mid-sweep, block until it
 		// finishes before entering the library: call-path protocol
 		// actions must not interleave with the sweep's. This is the

@@ -81,7 +81,7 @@ func (r *Rank) Iprobe(src, tag int) bool {
 	r.enterOp("Iprobe")
 	defer r.exit()
 	r.progress()
-	return r.findUnexpected(src, tag, ctxUser) >= 0
+	return r.findUnexpected(src, tag, r.ectx(ctxUser)) >= 0
 }
 
 // Probe blocks until a message matching (src, tag) is available and
@@ -91,7 +91,7 @@ func (r *Rank) Probe(src, tag int) Status {
 	defer r.exit()
 	var idx int
 	r.waitUntil(func() bool {
-		idx = r.findUnexpected(src, tag, ctxUser)
+		idx = r.findUnexpected(src, tag, r.ectx(ctxUser))
 		return idx >= 0
 	})
 	ib := r.unexpQ[idx]

@@ -174,11 +174,14 @@ func (r *Rank) progress() bool {
 	if r.rel != nil {
 		d, err := r.rel.RunDue(r.driver)
 		if err != nil {
-			r.commFail(err)
+			r.deliveryFail(err)
 		}
 		if d {
 			did = true
 		}
+	}
+	if r.ft != nil {
+		r.ftMaybePing()
 	}
 	if r.pumpPipelines() {
 		did = true
@@ -195,6 +198,9 @@ func (r *Rank) progress() bool {
 // observe, without simulating each empty poll.
 func (r *Rank) waitUntil(cond func() bool) {
 	for !cond() {
+		// Safe point: between sweeps, with no protocol state in flux, a
+		// revoked failure aborts the interrupted call.
+		r.ftRaise(r.curOp)
 		if r.progress() {
 			continue
 		}
@@ -242,6 +248,7 @@ func (r *Rank) startSend(req *Request, ctx int, buffered bool) {
 // startSendWith adds the synchronous-mode option: sync forces the
 // rendezvous protocol regardless of size (MPI_Ssend semantics).
 func (r *Rank) startSendWith(req *Request, ctx int, buffered, sync bool) {
+	ctx = r.ectx(ctx)
 	c := r.cost()
 	cfg := &r.w.cfg
 	dst := fabric.NodeID(req.peer)
@@ -333,6 +340,7 @@ func (r *Rank) postRecv(src, tag, ctx int) *Request {
 // postRecvLabeled is postRecv carrying a collective-schedule label for
 // transfer attribution.
 func (r *Rank) postRecvLabeled(src, tag, ctx int, label string) *Request {
+	ctx = r.ectx(ctx)
 	req := r.newReq(reqRecv, src, tag, 0)
 	req.ctx = ctx
 	req.schedLabel = label
@@ -420,9 +428,20 @@ func (r *Rank) handlePacket(pkt *fabric.Packet) {
 		r.unexpQ = append(r.unexpQ, inbound{
 			src: msg.src, tag: msg.tag, ctx: msg.ctx, size: msg.size, rts: &m,
 		})
+	case ftMsg:
+		// Liveness ping: the hardware ack it provoked is the answer;
+		// NotePeerAlive already ran in the sweep.
+	case ftSyncMsg:
+		// Agreement poke: the arrival alone woke the rank, which
+		// re-reads the vote pool from its wait condition.
+	case revokeMsg:
+		r.ftRevoked(msg)
 	case ctsMsg:
 		req := r.ctsWaiters[msg.sendReq]
 		if req == nil {
+			if r.ft != nil {
+				return // straggler from an abandoned epoch
+			}
 			panic("mpi: CTS for unknown send request")
 		}
 		delete(r.ctsWaiters, msg.sendReq)
@@ -433,6 +452,9 @@ func (r *Rank) handlePacket(pkt *fabric.Packet) {
 	case fragMsg:
 		req := r.rxActive[msg.recvReq]
 		if req == nil {
+			if r.ft != nil {
+				return // straggler from an abandoned epoch
+			}
 			panic("mpi: fragment for unknown receive request")
 		}
 		req.arrivedBytes += msg.size
@@ -450,6 +472,9 @@ func (r *Rank) handlePacket(pkt *fabric.Packet) {
 	case finMsg:
 		req := r.ctsWaiters[msg.sendReq]
 		if req == nil {
+			if r.ft != nil {
+				return // straggler from an abandoned epoch
+			}
 			panic("mpi: FIN for unknown send request")
 		}
 		delete(r.ctsWaiters, msg.sendReq)
@@ -511,6 +536,12 @@ func (r *Rank) handleMatchedRTS(req *Request, rts *rtsMsg, frag0Buffered bool, p
 func (r *Rank) handleCQE(cqe *fabric.CQE) {
 	pw, ok := r.wrMap[cqe.WRID]
 	if !ok {
+		if r.staleWR[cqe.WRID] {
+			// Work request abandoned at an epoch cut: its completion
+			// (success or failure) is inert.
+			delete(r.staleWR, cqe.WRID)
+			return
+		}
 		panic("mpi: completion for unknown work request")
 	}
 	delete(r.wrMap, cqe.WRID)
@@ -568,7 +599,7 @@ func (r *Rank) handleFailedCQE(pw pendingWR, cqe *fabric.CQE) {
 			r.wrMap[wr] = pendingWR{kind: wrFrag, req: req, xferID: xid, size: size, attempts: attempts}
 		})
 		if err != nil {
-			r.commFail(err)
+			r.deliveryFail(err)
 		}
 	case wrRead:
 		src := fabric.NodeID(pw.req.peer)
@@ -582,7 +613,7 @@ func (r *Rank) handleFailedCQE(pw pendingWR, cqe *fabric.CQE) {
 			r.wrMap[wr] = pendingWR{kind: wrRead, req: req, xferID: xid, size: size, attempts: attempts}
 		})
 		if err != nil {
-			r.commFail(err)
+			r.deliveryFail(err)
 		}
 	default:
 		// Send-class losses are silent (handled by retransmission); an

@@ -69,6 +69,10 @@ const (
 	// KindXferExact records a transfer whose physical interval is
 	// known from NIC hardware time-stamps (see Monitor.XferExact).
 	KindXferExact
+	// KindEpochCut closes the current recovery epoch: open transfers
+	// are resolved as truncated and subsequent activity accumulates
+	// into the next epoch (see Monitor.EpochCut).
+	KindEpochCut
 )
 
 func (k Kind) String() string {
@@ -87,6 +91,8 @@ func (k Kind) String() string {
 		return "REGION_POP"
 	case KindXferExact:
 		return "XFER_EXACT"
+	case KindEpochCut:
+		return "EPOCH_CUT"
 	}
 	return "INVALID"
 }

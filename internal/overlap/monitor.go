@@ -258,6 +258,19 @@ func (m *Monitor) RegionName(idx int32) string {
 	return m.regionNames[idx]
 }
 
+// UnwindRegions pops every open monitored region, restoring the root
+// region — used after an abort (a rank-failure panic) unwound the
+// application mid-region, so post-recovery activity is not
+// misattributed to a region that was never popped.
+func (m *Monitor) UnwindRegions() {
+	if m == nil {
+		return
+	}
+	for len(m.regionStack) > 0 {
+		m.PopRegion()
+	}
+}
+
 // PopRegion leaves the current monitored region.
 func (m *Monitor) PopRegion() {
 	if m == nil {
@@ -272,6 +285,29 @@ func (m *Monitor) PopRegion() {
 		top = m.regionStack[n-1]
 	}
 	m.log(Event{Kind: KindRegionPop, Region: top, Stamp: m.cfg.Clock.Now()})
+}
+
+// EpochCut closes the current recovery epoch at the present instant:
+// transfers still open are resolved as truncated (single-stamped: zero
+// minimum, full maximum overlap — charged to the epoch that started
+// them, since their completion will never be observed), and subsequent
+// activity accumulates into the next epoch. The final report then
+// carries a per-epoch breakdown alongside the whole-run measures. The
+// cut is an ordinary queued event, so it reaches any Sink (and thus
+// exported traces) in stream order and offline replays reproduce the
+// truncation exactly. Must be called outside any library call. A nil
+// monitor ignores the call.
+func (m *Monitor) EpochCut() {
+	if m == nil {
+		return
+	}
+	if m.finalized {
+		panic("overlap: EpochCut after Finalize")
+	}
+	if m.depth != 0 {
+		panic(fmt.Sprintf("overlap: EpochCut inside a library call (depth %d)", m.depth))
+	}
+	m.log(Event{Kind: KindEpochCut, Stamp: m.cfg.Clock.Now()})
 }
 
 // Finalize drains outstanding events, closes still-open transfers

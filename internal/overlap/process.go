@@ -37,6 +37,18 @@ type procState struct {
 
 	open    map[uint64]openXfer
 	regions []*regionAcc
+	cuts    []epochMark
+}
+
+// epochMark is the cumulative state snapshot taken at one EpochCut;
+// consecutive marks delimit the per-epoch deltas reported as
+// EpochReports.
+type epochMark struct {
+	stamp     time.Duration
+	cumUser   time.Duration
+	cumLib    time.Duration
+	total     Measures
+	truncated int
 }
 
 // regionAcc accumulates measures for one monitored region.
@@ -118,6 +130,8 @@ func (st *procState) apply(e *Event) {
 		}
 	case KindXferEnd:
 		st.completeXfer(e)
+	case KindEpochCut:
+		st.cut(e.Stamp)
 	}
 }
 
@@ -196,6 +210,64 @@ const (
 	caseSingleStamp
 )
 
+// sumTotals aggregates every region's running total.
+func (st *procState) sumTotals() Measures {
+	var t Measures
+	for _, acc := range st.regions {
+		t.Add(acc.total)
+	}
+	return t
+}
+
+// cut closes the current epoch at stamp: the trailing wall segment is
+// accounted, transfers still open are resolved as truncated
+// single-stamp observations (their completion belongs to a failed
+// epoch and will never arrive), and the cumulative state is
+// snapshotted so finish can emit per-epoch deltas.
+func (st *procState) cut(stamp time.Duration) {
+	st.advance(stamp)
+	trunc := 0
+	for id, rec := range st.open {
+		st.account(rec.region, rec.size, 0, st.xferTime(rec.size), caseSingleStamp)
+		delete(st.open, id)
+		trunc++
+	}
+	st.cuts = append(st.cuts, epochMark{
+		stamp:     stamp,
+		cumUser:   st.cumUser,
+		cumLib:    st.cumLib,
+		total:     st.sumTotals(),
+		truncated: trunc,
+	})
+}
+
+// epochReports converts the cut snapshots plus the final state into
+// per-epoch deltas. Empty when no cut ever happened.
+func (st *procState) epochReports(stamp time.Duration) []EpochReport {
+	if len(st.cuts) == 0 {
+		return nil
+	}
+	final := epochMark{stamp: stamp, cumUser: st.cumUser, cumLib: st.cumLib, total: st.sumTotals()}
+	marks := append(append([]epochMark(nil), st.cuts...), final)
+	var out []EpochReport
+	prev := epochMark{}
+	for i, mk := range marks {
+		ep := EpochReport{
+			Epoch:           i,
+			Start:           prev.stamp,
+			End:             mk.stamp,
+			UserComputeTime: mk.cumUser - prev.cumUser,
+			CommCallTime:    mk.cumLib - prev.cumLib,
+			Truncated:       mk.truncated,
+		}
+		ep.Total = mk.total
+		ep.Total.Sub(prev.total)
+		out = append(out, ep)
+		prev = mk
+	}
+	return out
+}
+
 // finish closes the stream at the given stamp: accounts the trailing
 // segment, resolves still-open transfers as single-stamped (case 3),
 // and builds the report.
@@ -208,6 +280,7 @@ func (st *procState) finish(stamp time.Duration) *Report {
 	rep := &Report{
 		Duration:  stamp,
 		BinBounds: append([]int(nil), st.m.cfg.BinBounds...),
+		Epochs:    st.epochReports(stamp),
 	}
 	for i, acc := range st.regions {
 		rep.Regions = append(rep.Regions, RegionReport{

@@ -41,6 +41,19 @@ func (m *Measures) Add(o Measures) {
 	m.Exact += o.Exact
 }
 
+// Sub removes o from m (the inverse of Add), used to turn cumulative
+// snapshots into per-epoch deltas.
+func (m *Measures) Sub(o Measures) {
+	m.Count -= o.Count
+	m.DataTransferTime -= o.DataTransferTime
+	m.MinOverlapped -= o.MinOverlapped
+	m.MaxOverlapped -= o.MaxOverlapped
+	m.SameCall -= o.SameCall
+	m.BothStamps -= o.BothStamps
+	m.SingleStamp -= o.SingleStamp
+	m.Exact -= o.Exact
+}
+
 // MinPercent returns the lower overlap bound as a percentage of data
 // transfer time (0 when nothing was transferred).
 func (m Measures) MinPercent() float64 { return pct(m.MinOverlapped, m.DataTransferTime) }
@@ -84,6 +97,29 @@ type Report struct {
 	Duration  time.Duration
 	BinBounds []int
 	Regions   []RegionReport // index 0 is the root (unnamed) region
+	// Epochs breaks the run into recovery epochs delimited by
+	// Monitor.EpochCut calls (fault-tolerant runs); empty when no cut
+	// ever happened. Epoch totals sum to the whole-run measures. The
+	// field is omitted from JSON when empty so failure-free reports are
+	// byte-identical to prior releases.
+	Epochs []EpochReport `json:",omitempty"`
+}
+
+// EpochReport is one recovery epoch's slice of the run: the interval
+// between consecutive EpochCut calls (epoch 0 starts at time zero; the
+// last epoch ends at Finalize). Transfers still open at a cut are
+// resolved as truncated single-stamp observations inside the epoch
+// that started them, so summing epoch measures reproduces the
+// whole-run totals exactly.
+type EpochReport struct {
+	Epoch           int
+	Start, End      time.Duration
+	UserComputeTime time.Duration
+	CommCallTime    time.Duration
+	Total           Measures
+	// Truncated counts transfers forcibly closed at this epoch's
+	// terminating cut (in-flight when the failure was agreed).
+	Truncated int
 }
 
 // Region returns the report for the named region, or nil if the
@@ -226,6 +262,25 @@ func Aggregate(reports []*Report) *Report {
 		}
 		if rep.Duration > agg.Duration {
 			agg.Duration = rep.Duration
+		}
+		for i := range rep.Epochs {
+			ep := &rep.Epochs[i]
+			for len(agg.Epochs) <= i {
+				agg.Epochs = append(agg.Epochs, EpochReport{Epoch: len(agg.Epochs), Start: -1})
+			}
+			dst := &agg.Epochs[i]
+			// Ranks cut at slightly different instants; the job-level
+			// epoch spans the earliest start to the latest end.
+			if dst.Start < 0 || ep.Start < dst.Start {
+				dst.Start = ep.Start
+			}
+			if ep.End > dst.End {
+				dst.End = ep.End
+			}
+			dst.UserComputeTime += ep.UserComputeTime
+			dst.CommCallTime += ep.CommCallTime
+			dst.Total.Add(ep.Total)
+			dst.Truncated += ep.Truncated
 		}
 		binsMatch := equalBounds(rep.BinBounds, agg.BinBounds)
 		for _, reg := range rep.Regions {

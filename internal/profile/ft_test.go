@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
+)
+
+// crashRingWL is a Checkpointable ring exchange used to exercise the
+// profiler's epoch-aware replay.
+type crashRingWL struct {
+	steps   int
+	bytes   int
+	compute time.Duration
+}
+
+func (w *crashRingWL) Name() string             { return "ring" }
+func (w *crashRingWL) Steps() int               { return w.steps }
+func (w *crashRingWL) StateBytes(procs int) int { return w.bytes }
+func (w *crashRingWL) Init(c *mpi.Comm)         { c.Bcast(0, 8) }
+func (w *crashRingWL) Step(c *mpi.Comm, step int) {
+	r := c.Host()
+	if n := c.Size(); n > 1 {
+		next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+		c.Sendrecv(next, 5, w.bytes, prev, 5)
+	}
+	r.Compute(w.compute)
+	c.Allreduce(8)
+}
+
+func runCrashProfiled(t *testing.T, mode cluster.RecoveryMode) (*Profile, cluster.FTResult) {
+	t.Helper()
+	tr := trace.New(trace.Options{})
+	cfg := cluster.Config{
+		Procs: 4,
+		MPI:   mpi.Config{Instrument: &mpi.InstrumentConfig{}},
+		Crashes: &fabric.CrashPlan{Crashes: []fabric.Crash{
+			{Node: 2, At: vtime.Time(800 * time.Microsecond)},
+		}},
+		Deadline: 10 * time.Second,
+		Trace:    tr,
+	}
+	wl := &crashRingWL{steps: 8, bytes: 512 << 10, compute: 200 * time.Microsecond}
+	res, err := cluster.RunFT(cfg, cluster.FTOptions{
+		Mode:                mode,
+		CheckpointBandwidth: 1 << 30,
+	}, wl)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !res.Completed || res.Epochs == 0 {
+		t.Fatalf("recovery did not happen: completed=%v epochs=%d", res.Completed, res.Epochs)
+	}
+	in := FromTracer(tr, res.Calib, res.Reports)
+	p, err := Analyze(in)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return p, res
+}
+
+// TestConservationCrashRecovery: the conservation invariant holds
+// through a crash and recovery, the profile carries a per-epoch
+// breakdown whose rows each conserve (gap == blamed time, summing to
+// the whole-run totals), and the recovery blame causes show up.
+func TestConservationCrashRecovery(t *testing.T) {
+	for _, mode := range []cluster.RecoveryMode{cluster.ShrinkContinue, cluster.CheckpointRestart} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			p, res := runCrashProfiled(t, mode)
+			checkConservation(t, p, res.Reports, res.Duration)
+
+			if len(p.Epochs) != res.Epochs+1 {
+				t.Fatalf("profile has %d epoch rows, run entered %d epochs", len(p.Epochs), res.Epochs)
+			}
+			var transfers int
+			var data, minOv, maxOv, gap, blame time.Duration
+			for _, e := range p.Epochs {
+				if e.Blame.Total() != e.Gap {
+					t.Errorf("epoch %d: blamed time %v does not partition the gap %v", e.Epoch, e.Blame.Total(), e.Gap)
+				}
+				if e.Gap != e.MaxOverlapped-e.MinOverlapped {
+					t.Errorf("epoch %d: gap %v != max-min %v", e.Epoch, e.Gap, e.MaxOverlapped-e.MinOverlapped)
+				}
+				transfers += e.Transfers
+				data += e.DataTransferTime
+				minOv += e.MinOverlapped
+				maxOv += e.MaxOverlapped
+				gap += e.Gap
+				blame += e.Blame.Total()
+			}
+			if transfers != p.Totals.Transfers || data != p.Totals.DataTransferTime ||
+				minOv != p.Totals.MinOverlapped || maxOv != p.Totals.MaxOverlapped || gap != p.Totals.Gap {
+				t.Errorf("epoch rows (n=%d data=%v min=%v max=%v gap=%v) do not sum to totals (n=%d data=%v min=%v max=%v gap=%v)",
+					transfers, data, minOv, maxOv, gap,
+					p.Totals.Transfers, p.Totals.DataTransferTime, p.Totals.MinOverlapped,
+					p.Totals.MaxOverlapped, p.Totals.Gap)
+			}
+			if blame != p.Totals.Blame.Total() {
+				t.Errorf("epoch blame sums to %v, totals blame %v", blame, p.Totals.Blame.Total())
+			}
+
+			// The crash truncated in-flight transfers: detection blame.
+			if p.Totals.Blame.Detect == 0 {
+				t.Error("no detect blame despite truncated in-flight transfers")
+			}
+			if mode == cluster.CheckpointRestart {
+				// Rollback restore traffic and replayed steps are blamed to
+				// the recovery causes.
+				if p.Totals.Blame.Rollback == 0 && p.Totals.Blame.Recompute == 0 {
+					t.Error("checkpoint-restart run attributed no rollback/recompute blame")
+				}
+			}
+		})
+	}
+}
+
+// TestFailureFreeProfileHasNoEpochs: without cuts the profile omits
+// the epoch table entirely, keeping pre-FT outputs byte-stable.
+func TestFailureFreeProfileHasNoEpochs(t *testing.T) {
+	w := workloads()[0]
+	p, _, _ := runProfiled(t, w.cfg, w.body)
+	if len(p.Epochs) != 0 {
+		t.Fatalf("failure-free profile has %d epoch rows", len(p.Epochs))
+	}
+	b := p.Totals.Blame
+	if b.Detect != 0 || b.Agree != 0 || b.Rollback != 0 || b.Recompute != 0 {
+		t.Fatalf("failure-free profile has recovery blame: %+v", b)
+	}
+}

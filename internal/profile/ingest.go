@@ -38,6 +38,12 @@ func FromTracer(tr *trace.Tracer, table *calib.Table, reports []*overlap.Report)
 	return in
 }
 
+// maxRegionIndex bounds the region table an untrusted trace can make
+// harvestRegionNames allocate. Real runs declare a handful of regions;
+// anything past the cap is a corrupt or hostile id and is ignored (the
+// analyzer falls back to "region#N" labels for unnamed indices).
+const maxRegionIndex = 1 << 16
+
 // harvestRegionNames recovers the region index → name mapping from the
 // region-push instants' detail field, for inputs with no reports
 // attached (offline ingestion, metrics-less runs).
@@ -45,6 +51,9 @@ func harvestRegionNames(in *Input) {
 	for i := range in.Ranks {
 		for _, rec := range in.Ranks[i].Recs {
 			if rec.Cat != "overlap" || rec.Name != "region-push" || rec.Args.Detail == "" {
+				continue
+			}
+			if rec.Args.ID >= maxRegionIndex {
 				continue
 			}
 			idx := int(rec.Args.ID)

@@ -80,6 +80,21 @@ type Blame struct {
 	// Truncated: the transfer was still open when the stream ended, so
 	// the monitor downgraded it to a single-stamp observation.
 	Truncated time.Duration `json:"truncated"`
+	// Detect: the transfer was in flight when a rank failure was agreed
+	// and an epoch cut truncated it — its gap is the price of failure
+	// detection interrupting the exchange.
+	Detect time.Duration `json:"detect,omitempty"`
+	// Agree: the transfer moved inside the recovery agreement phase
+	// (region "ft-agree": the survivors' consensus and resynchronization
+	// after a failure).
+	Agree time.Duration `json:"agree,omitempty"`
+	// Rollback: the transfer moved while restoring state — checkpoint
+	// writes and restores (regions "ft-checkpoint" and "ft-rollback").
+	Rollback time.Duration `json:"rollback,omitempty"`
+	// Recompute: the transfer belongs to work replayed after a rollback
+	// (region "ft-recompute": steps the survivors had already completed
+	// once).
+	Recompute time.Duration `json:"recompute,omitempty"`
 	// Unknown: residual gap (e.g. the hardware-stamp path's evicted
 	// user-interval window) that no cause above explains.
 	Unknown time.Duration `json:"unknown"`
@@ -93,20 +108,27 @@ func (b *Blame) Add(o Blame) {
 	b.Protocol += o.Protocol
 	b.Progress += o.Progress
 	b.Truncated += o.Truncated
+	b.Detect += o.Detect
+	b.Agree += o.Agree
+	b.Rollback += o.Rollback
+	b.Recompute += o.Recompute
 	b.Unknown += o.Unknown
 }
 
 // Total returns the summed attributed time.
 func (b Blame) Total() time.Duration {
 	return b.FaultRetransmit + b.LateInit + b.EarlyWait + b.Protocol +
-		b.Progress + b.Truncated + b.Unknown
+		b.Progress + b.Truncated + b.Detect + b.Agree + b.Rollback +
+		b.Recompute + b.Unknown
 }
 
 // Columns returns the category names and values in fixed order, for
 // tables and folded output.
 func (b Blame) Columns() ([]string, []time.Duration) {
-	return []string{"fault-retransmit", "late-init", "early-wait", "protocol", "progress", "truncated", "unknown"},
-		[]time.Duration{b.FaultRetransmit, b.LateInit, b.EarlyWait, b.Protocol, b.Progress, b.Truncated, b.Unknown}
+	return []string{"fault-retransmit", "late-init", "early-wait", "protocol", "progress", "truncated",
+			"detect", "agree", "rollback", "recompute", "unknown"},
+		[]time.Duration{b.FaultRetransmit, b.LateInit, b.EarlyWait, b.Protocol, b.Progress, b.Truncated,
+			b.Detect, b.Agree, b.Rollback, b.Recompute, b.Unknown}
 }
 
 // Site aggregates the transfers initiated at one call site — a
@@ -193,12 +215,28 @@ type CriticalPath struct {
 	Segments []PathSegment `json:"segments"`
 }
 
+// EpochTotals are one recovery epoch's slice of the profile-wide
+// sums. Summing all epochs reproduces Totals exactly (attribution
+// conserves per epoch, not just whole-run).
+type EpochTotals struct {
+	Epoch            int           `json:"epoch"`
+	Transfers        int           `json:"transfers"`
+	DataTransferTime time.Duration `json:"data_transfer_time"`
+	MinOverlapped    time.Duration `json:"min_overlapped"`
+	MaxOverlapped    time.Duration `json:"max_overlapped"`
+	Gap              time.Duration `json:"gap"`
+	Blame            Blame         `json:"blame"`
+}
+
 // Profile is the complete analysis result.
 type Profile struct {
 	Schema   int           `json:"schema"`
 	Ranks    int           `json:"ranks"`
 	Duration time.Duration `json:"duration"`
 	Totals   Totals        `json:"totals"`
+	// Epochs breaks Totals down by recovery epoch (fault-tolerant runs
+	// whose streams carry epoch-cut events); empty otherwise.
+	Epochs []EpochTotals `json:"epochs,omitempty"`
 	// Sites are sorted by Gap descending (the top offenders first),
 	// ties broken by region then op.
 	Sites    []Site       `json:"sites"`
@@ -269,11 +307,16 @@ func Analyze(in Input) (*Profile, error) {
 	}
 
 	sites := make(map[siteKey]*Site)
+	var epochs []EpochTotals
+	maxEpoch := 0
 	for i := range in.Ranks {
 		rs := &in.Ranks[i]
-		obs, err := replayRank(rs, &in)
+		obs, rankEpochs, err := replayRank(rs, &in)
 		if err != nil {
 			return nil, fmt.Errorf("profile: rank %d (%s): %w", rs.Rank, rs.Name, err)
+		}
+		if rankEpochs > maxEpoch {
+			maxEpoch = rankEpochs
 		}
 		for _, x := range obs {
 			k := siteKey{region: regionName(in.RegionNames, x.region), op: x.op}
@@ -300,7 +343,24 @@ func Analyze(in Input) (*Profile, error) {
 			p.Totals.MaxOverlapped += x.maxOv
 			p.Totals.Gap += gap
 			p.Totals.Blame.Add(x.blame)
+
+			for len(epochs) <= x.epoch {
+				epochs = append(epochs, EpochTotals{Epoch: len(epochs)})
+			}
+			et := &epochs[x.epoch]
+			et.Transfers++
+			et.DataTransferTime += x.xt
+			et.MinOverlapped += x.minOv
+			et.MaxOverlapped += x.maxOv
+			et.Gap += gap
+			et.Blame.Add(x.blame)
 		}
+	}
+	if maxEpoch > 0 {
+		for len(epochs) <= maxEpoch {
+			epochs = append(epochs, EpochTotals{Epoch: len(epochs)})
+		}
+		p.Epochs = epochs
 	}
 
 	p.Sites = make([]Site, 0, len(sites))

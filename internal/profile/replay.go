@@ -28,6 +28,7 @@ type xferObs struct {
 	size   int64
 	region int32
 	op     string
+	epoch  int
 	xt     time.Duration
 	minOv  time.Duration
 	maxOv  time.Duration
@@ -59,7 +60,9 @@ type openX struct {
 }
 
 // replayRank rebuilds rank rs's monitor event stream and replays it.
-func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
+// The second result is the rank's final recovery epoch (the number of
+// epoch cuts seen).
+func replayRank(rs *RankStream, in *Input) ([]xferObs, int, error) {
 	var samples []XferSample
 	rr := NewRankReplay(in.Window, func(x XferSample) { samples = append(samples, x) })
 	for _, rec := range rs.Recs {
@@ -67,16 +70,16 @@ func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
 	}
 	rr.Finish()
 	if err := rr.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if rs.Protocol == "" {
 		rs.Protocol = rr.Protocol()
 	}
 	if rr.Events() == 0 {
-		return nil, nil
+		return nil, rr.epoch, nil
 	}
 	if in.Table == nil {
-		return nil, fmt.Errorf("overlap events present but no calibration table to replay bounds with")
+		return nil, 0, fmt.Errorf("overlap events present but no calibration table to replay bounds with")
 	}
 	// Transfers issued by a nonblocking-collective schedule are owned
 	// by the schedule, not by whichever call (or progress-thread poll,
@@ -92,10 +95,43 @@ func replayRank(rs *RankStream, in *Input) ([]xferObs, error) {
 		}
 		xt, minOv, maxOv := x.Bounds(in.Table)
 		out = append(out, xferObs{id: x.ID, size: x.Size, region: x.Region, op: x.Op,
-			xt: xt, minOv: minOv, maxOv: maxOv,
+			epoch: x.Epoch, xt: xt, minOv: minOv, maxOv: maxOv,
 			blame: classify(x, minOv, maxOv, in, rs.Protocol, rr)})
 	}
-	return out, nil
+	return out, rr.epoch, nil
+}
+
+// Recovery-phase region names the cluster FT runner brackets its
+// recovery protocol with; transfers initiated inside them carry the
+// corresponding recovery blame instead of the healthy-run taxonomy.
+const (
+	RegionAgree      = "ft-agree"
+	RegionRollback   = "ft-rollback"
+	RegionRecompute  = "ft-recompute"
+	RegionCheckpoint = "ft-checkpoint"
+)
+
+// recoveryBlame attributes a sample's gap to a recovery cause, or
+// false when the sample is ordinary (healthy-run) traffic.
+func recoveryBlame(x *XferSample, gap time.Duration, in *Input) (Blame, bool) {
+	var b Blame
+	if x.Cut {
+		// In flight when the failure was agreed: the epoch cut truncated
+		// it, so its whole uncertainty is the price of detection.
+		b.Detect = gap
+		return b, true
+	}
+	switch regionName(in.RegionNames, x.Region) {
+	case RegionAgree:
+		b.Agree = gap
+	case RegionRollback, RegionCheckpoint:
+		b.Rollback = gap
+	case RegionRecompute:
+		b.Recompute = gap
+	default:
+		return Blame{}, false
+	}
+	return b, true
 }
 
 // classify attributes a sample's bound gap to one cause, preserving
@@ -106,6 +142,9 @@ func classify(x *XferSample, minOv, maxOv time.Duration, in *Input, protocol str
 	if gap == 0 {
 		// Nothing to attribute.
 		return b
+	}
+	if rb, ok := recoveryBlame(x, gap, in); ok {
+		return rb
 	}
 	switch x.Case {
 	case CaseExact:

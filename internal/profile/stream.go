@@ -65,6 +65,13 @@ type XferSample struct {
 	Region int32
 	Op     string
 	Case   Case
+	// Epoch is the recovery epoch the sample is charged to: the epoch
+	// in force when its completion (or truncation) was observed. Zero
+	// for failure-free runs.
+	Epoch int
+	// Cut marks a CaseTruncated sample closed by an epoch cut (it was
+	// in flight when a failure was agreed) rather than by stream end.
+	Cut bool
 	// BeginAt/At are the observation window endpoints on the shared
 	// virtual timeline: initiation (zero when unseen) and completion
 	// stamp. For CaseExact, At is the physical end of the wire
@@ -147,6 +154,7 @@ type RankReplay struct {
 	callSeq   uint64
 	curRegion int32
 	curOp     string
+	epoch     int
 	lastExit  time.Duration
 	userIvals []struct{ start, end time.Duration }
 	horizon   time.Duration
@@ -257,6 +265,8 @@ func (r *RankReplay) Feed(rec trace.Rec) {
 		case "region-pop":
 			ev.kind = overlap.KindRegionPop
 			ev.region = int32(rec.Args.ID)
+		case "epoch-cut":
+			ev.kind = overlap.KindEpochCut
 		default:
 			return
 		}
@@ -338,8 +348,39 @@ func (r *RankReplay) apply(e *rkEvent) error {
 		}
 	case overlap.KindXferEnd:
 		r.completeXfer(e)
+	case overlap.KindEpochCut:
+		r.cutEpoch(e.at)
 	}
 	return nil
+}
+
+// cutEpoch mirrors overlap.procState.cut: transfers still open are
+// resolved as truncated inside the closing epoch (their completion
+// belongs to the failed epoch and will never arrive), and subsequent
+// samples are charged to the next epoch.
+func (r *RankReplay) cutEpoch(at time.Duration) {
+	for _, id := range sortedIDs(r.open) {
+		rec := r.open[id]
+		r.emit(XferSample{ID: id, Size: rec.size, Region: rec.region, Op: rec.op,
+			Case: CaseTruncated, Cut: true, Epoch: r.epoch, BeginAt: rec.beginAt, At: at})
+		delete(r.open, id)
+	}
+	r.epoch++
+}
+
+// sortedIDs returns the open-transfer ids ascending, for deterministic
+// map iteration.
+func sortedIDs(open map[uint64]openX) []uint64 {
+	ids := make([]uint64, 0, len(open))
+	for id := range open {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
 }
 
 func (r *RankReplay) advance(stamp time.Duration) error {
@@ -379,17 +420,18 @@ func (r *RankReplay) completeXfer(e *rkEvent) {
 			op = "(outside)"
 		}
 		r.emit(XferSample{ID: e.id, Size: e.size, Region: r.curRegion, Op: op,
-			Case: CaseSingleStamp, At: e.at})
+			Case: CaseSingleStamp, Epoch: r.epoch, At: e.at})
 		return
 	}
 	delete(r.open, e.id)
 	if rec.callSeq == r.callSeq && r.inLib {
 		r.emit(XferSample{ID: e.id, Size: rec.size, Region: rec.region, Op: rec.op,
-			Case: CaseSameCall, BeginAt: rec.beginAt, At: e.at})
+			Case: CaseSameCall, Epoch: r.epoch, BeginAt: rec.beginAt, At: e.at})
 		return
 	}
 	r.emit(XferSample{ID: e.id, Size: rec.size, Region: rec.region, Op: rec.op,
 		Case:        CaseBothStamps,
+		Epoch:       r.epoch,
 		BeginAt:     rec.beginAt,
 		At:          e.at,
 		Computation: r.cumUser - rec.cumUserAtBegin, Noncomputation: r.cumLib - rec.cumLibAtBegin})
@@ -426,7 +468,7 @@ func (r *RankReplay) applyExact(e *rkEvent) {
 		op = "(outside)"
 	}
 	r.emit(XferSample{ID: e.id, Size: e.size, Region: r.curRegion, Op: op,
-		Case: CaseExact, BeginAt: start, At: end,
+		Case: CaseExact, Epoch: r.epoch, BeginAt: start, At: end,
 		Known: known, Unknown: unknown, Data: end - start})
 }
 
@@ -442,20 +484,10 @@ func (r *RankReplay) Finish() {
 	if r.err != nil {
 		return
 	}
-	// Deterministic order for map iteration: ids ascend.
-	ids := make([]uint64, 0, len(r.open))
-	for id := range r.open {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
-		}
-	}
-	for _, id := range ids {
+	for _, id := range sortedIDs(r.open) {
 		rec := r.open[id]
 		r.emit(XferSample{ID: id, Size: rec.size, Region: rec.region, Op: rec.op,
-			Case: CaseTruncated, BeginAt: rec.beginAt, At: r.done})
+			Case: CaseTruncated, Epoch: r.epoch, BeginAt: rec.beginAt, At: r.done})
 		delete(r.open, id)
 	}
 }

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// assertionTags collects the Assertion struct's JSON field names.
+func assertionTags(t *testing.T) map[string]bool {
+	t.Helper()
+	tags := map[string]bool{}
+	rt := reflect.TypeOf(Assertion{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name != "" && name != "-" {
+			tags[name] = true
+		}
+	}
+	return tags
+}
+
+// TestCheckDocsMatchAssertionFields: every field the doc table lists
+// must exist on the Assertion struct, and every Assertion parameter
+// must be documented by at least one check — the no-drift contract of
+// -list-checks.
+func TestCheckDocsMatchAssertionFields(t *testing.T) {
+	tags := assertionTags(t)
+	documented := map[string]bool{"check": true}
+	seen := map[string]bool{}
+	for _, d := range checkDocs {
+		if d.Name == "" || d.Summary == "" {
+			t.Errorf("check %+v needs a name and a summary", d)
+		}
+		if seen[d.Name] {
+			t.Errorf("check %q documented twice", d.Name)
+		}
+		seen[d.Name] = true
+		for _, f := range d.Fields {
+			if !tags[f] {
+				t.Errorf("check %q lists field %q, which Assertion does not have", d.Name, f)
+			}
+			documented[f] = true
+		}
+	}
+	for tag := range tags {
+		if !documented[tag] {
+			t.Errorf("Assertion field %q is documented by no check", tag)
+		}
+	}
+}
+
+// TestKnownChecksDerived: the validator's vocabulary is the doc
+// table's names, in order.
+func TestKnownChecksDerived(t *testing.T) {
+	if len(knownChecks) != len(checkDocs) {
+		t.Fatalf("knownChecks has %d entries, checkDocs %d", len(knownChecks), len(checkDocs))
+	}
+	for i, d := range checkDocs {
+		if knownChecks[i] != d.Name {
+			t.Errorf("knownChecks[%d] = %q, want %q", i, knownChecks[i], d.Name)
+		}
+	}
+}
+
+// TestWriteChecksListsVocabularies: the rendered catalogue names every
+// check and the closed vocabularies, including the recovery additions.
+func TestWriteChecksListsVocabularies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChecks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range append(knownChecks,
+		"rank-failure", "detect", "rollback", "par_eff", "critical") {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalogue missing %q:\n%s", want, out)
+		}
+	}
+}

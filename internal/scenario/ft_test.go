@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"ovlp/internal/diagnose"
+)
+
+// TestValidateFTRejections: the crash/recovery declarations are
+// validated before any rank spawns, with errors naming the mistake.
+func TestValidateFTRejections(t *testing.T) {
+	const wl = "workload:\n  kind: exchange\n  size: 1K\n  reps: 2\n"
+	cases := []struct {
+		name string
+		yaml string
+		want string
+	}{
+		{"crash-node-range", "name: x\nprocs: 3\n" + wl + "crashes:\n  - node: 5\n    at: 1ms", "outside [0, 3)"},
+		{"crash-at-zero", "name: x\nprocs: 3\n" + wl + "crashes:\n  - node: 1\n    at: 0s", "positive at"},
+		{"crash-twice", "name: x\nprocs: 3\n" + wl + "crashes:\n  - node: 1\n    at: 1ms\n  - node: 1\n    at: 2ms", "crashes twice"},
+		{"all-crash", "name: x\nprocs: 2\n" + wl + "crashes:\n  - node: 0\n    at: 1ms\n  - node: 1\n    at: 2ms", "at least two must survive"},
+		{"bad-mode", "name: x\nprocs: 3\n" + wl + "crashes:\n  - node: 1\n    at: 1ms\nrecovery:\n  mode: pray", "unknown recovery mode"},
+		{"negative-every", "name: x\nprocs: 3\n" + wl + "recovery:\n  mode: checkpoint-restart\n  checkpoint_every: -1", "non-negative"},
+		{"min-procs-high", "name: x\nprocs: 3\n" + wl + "recovery:\n  min_procs: 9", "exceeds procs"},
+		{"coll-not-ft", "name: x\nprocs: 4\nworkload:\n  kind: coll\n  op: iallreduce\n  size: 1K\n  reps: 2\ncrashes:\n  - node: 1\n    at: 1ms", "checkpointable workload"},
+		{"nas-ep-not-ft", "name: x\nprocs: 4\nworkload:\n  kind: nas\n  bench: EP\n  class: S\ncrashes:\n  - node: 1\n    at: 1ms", "not EP"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.name+".yaml", []byte(c.yaml))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestFTMinProcs: smoke shrinking must keep every crashed node plus at
+// least two survivors, or the shrunken run could not communicate.
+func TestFTMinProcs(t *testing.T) {
+	s := &Scenario{
+		Procs:   16,
+		Crashes: []CrashSpec{{Node: 6, At: 1}, {Node: 2, At: 2}},
+	}
+	if got := s.MinProcs(); got != 7 {
+		t.Fatalf("MinProcs = %d, want 7 (crashed node 6 must exist)", got)
+	}
+	s.Crashes = []CrashSpec{{Node: 0, At: 1}, {Node: 1, At: 2}, {Node: 2, At: 3}}
+	if got := s.MinProcs(); got != 5 {
+		t.Fatalf("MinProcs = %d, want 5 (three dead + two survivors)", got)
+	}
+}
+
+// TestFTSmokeRun: a crash scenario run in smoke mode recovers, carries
+// the recovery line in its report and diagnoses the rank failure.
+func TestFTSmokeRun(t *testing.T) {
+	const yaml = `
+name: ft-smoke
+seed: 77
+procs: 4
+deadline: 5s
+reliable:
+  max_retries: 3
+workload:
+  kind: exchange
+  size: 256K
+  reps: 6
+  compute: 100us
+crashes:
+  - node: 1
+    at: 500us
+assert:
+  - check: bounds_valid
+  - check: conservation
+  - check: finding
+    kind: rank-failure
+    scope: rank 1
+`
+	s, err := Parse("ft-smoke.yaml", []byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(s, Opts{Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.FT == nil {
+		t.Fatal("crash scenario ran without the fault-tolerant runner")
+	}
+	if !rr.FT.Completed {
+		t.Errorf("smoke run did not complete: %+v", rr.FT)
+	}
+	if got := rr.FT.Failed; len(got) != 1 || got[0] != 1 {
+		t.Errorf("Failed = %v, want [1]", got)
+	}
+	rep := string(rr.ReportBytes)
+	for _, want := range []string{`"recovery"`, `"mode": "shrink-continue"`, `"completed": true`} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %s:\n%s", want, rep)
+		}
+	}
+	if vs := Evaluate(rr); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	found := false
+	for _, f := range rr.Findings.Findings {
+		if f.Kind == diagnose.KindRankFailure {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no rank-failure finding on a declared crash")
+	}
+}

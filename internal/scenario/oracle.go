@@ -105,6 +105,13 @@ func (o *oracle) apply(e overlap.Event) {
 			minOv = maxOv
 		}
 		o.record(oracleResult{id: e.ID, size: rec.size, minOv: minOv, maxOv: maxOv})
+	case overlap.KindEpochCut:
+		// The monitor truncates every open transfer at an epoch cut as
+		// single-stamped: zero min, full transfer-time max.
+		for id, rec := range o.open {
+			o.record(oracleResult{id: id, size: rec.size, minOv: 0, maxOv: o.table.XferTime(int(rec.size))})
+			delete(o.open, id)
+		}
 	}
 }
 

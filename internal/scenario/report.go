@@ -44,7 +44,23 @@ type RunReport struct {
 
 	Blame *BlameLine `json:"blame,omitempty"`
 
+	// Recovery is present only for fault-tolerant runs (the scenario
+	// declared crashes or a recovery block), so failure-free goldens
+	// are unaffected.
+	Recovery *RecoveryLine `json:"recovery,omitempty"`
+
 	TraceHash string `json:"trace_hash"`
+}
+
+// RecoveryLine summarizes the fault-tolerant runner's observations.
+type RecoveryLine struct {
+	Mode          string `json:"mode"`
+	Completed     bool   `json:"completed"`
+	Epochs        int    `json:"epochs"`
+	Failed        []int  `json:"failed,omitempty"`
+	Survivors     []int  `json:"survivors,omitempty"`
+	Checkpoints   int    `json:"checkpoints,omitempty"`
+	ReplayedSteps int    `json:"replayed_steps,omitempty"`
 }
 
 // OverlapSummary is the report's view of one overlap.Measures.
@@ -147,6 +163,18 @@ func buildReport(rr *RunResult) *RunReport {
 			line.Summary = &s
 		}
 		rep.RankLines = append(rep.RankLines, line)
+	}
+
+	if ft := rr.FT; ft != nil {
+		rep.Recovery = &RecoveryLine{
+			Mode:          rr.Scenario.recoveryMode().String(),
+			Completed:     ft.Completed,
+			Epochs:        ft.Epochs,
+			Failed:        ft.Failed,
+			Survivors:     ft.Survivors,
+			Checkpoints:   ft.Checkpoints,
+			ReplayedSteps: ft.ReplayedSteps,
+		}
 	}
 
 	if rr.Profile != nil {

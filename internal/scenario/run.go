@@ -15,6 +15,7 @@ import (
 	"ovlp/internal/profile"
 	"ovlp/internal/timeres"
 	"ovlp/internal/trace"
+	"ovlp/internal/vtime"
 )
 
 // Smoke-mode caps: CI runs the whole corpus quickly by shrinking the
@@ -66,9 +67,13 @@ type RunResult struct {
 	Procs int
 
 	Res cluster.Result
+	// FT carries the fault-tolerant runner's observations when the
+	// scenario declared crashes or a recovery block (nil otherwise).
+	FT *cluster.FTResult
 	// Err is the run's aggregate error: nil, a *cluster.RunErrors, or a
-	// bare simulation error (deadlock). An expected-error assertion can
-	// make a non-nil Err a passing outcome.
+	// bare simulation error (deadlock). Planned crash-stop failures are
+	// already filtered out by the FT runner; an expected-error assertion
+	// can make a non-nil Err a passing outcome.
 	Err error
 	// Events holds each rank's raw instrumentation event stream (the
 	// oracle's input).
@@ -149,13 +154,27 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 		Trace:       tracer,
 	}
 
-	res, runErr := cluster.RunE(cfg, s.Workload.program(opts.Smoke))
+	var res cluster.Result
+	var runErr error
+	var ftres *cluster.FTResult
+	if s.wantsFT() {
+		cfg.Crashes = s.crashPlan()
+		wl, werr := s.Workload.checkpointable(opts.Smoke)
+		if werr != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, werr)
+		}
+		ft, ferr := cluster.RunFT(cfg, s.ftOptions(), wl)
+		res, runErr, ftres = ft.Result, ferr, &ft
+	} else {
+		res, runErr = cluster.RunE(cfg, s.Workload.program(opts.Smoke))
+	}
 
 	rr := &RunResult{
 		Scenario: s,
 		Opts:     opts,
 		Procs:    procs,
 		Res:      res,
+		FT:       ftres,
 		Err:      runErr,
 		Events:   events,
 	}
@@ -195,6 +214,40 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 	}
 	rr.ReportHash = hashBytes(rr.ReportBytes)
 	return rr, nil
+}
+
+// crashPlan compiles the declared crash list onto the fabric's plan.
+func (s *Scenario) crashPlan() *fabric.CrashPlan {
+	if len(s.Crashes) == 0 {
+		return nil
+	}
+	p := &fabric.CrashPlan{}
+	for _, cr := range s.Crashes {
+		p.Crashes = append(p.Crashes, fabric.Crash{Node: fabric.NodeID(cr.Node), At: vtime.Time(cr.At)})
+	}
+	return p
+}
+
+// ftOptions maps the recovery block onto cluster.FTOptions.
+func (s *Scenario) ftOptions() cluster.FTOptions {
+	opt := cluster.FTOptions{Mode: s.recoveryMode()}
+	if r := s.Recovery; r != nil {
+		opt.CheckpointEvery = r.CheckpointEvery
+		opt.MinProcs = r.MinProcs
+		opt.Heartbeat = r.Heartbeat.D()
+	}
+	return opt
+}
+
+// recoveryMode returns the declared mode (validated earlier), with
+// shrink-continue the default.
+func (s *Scenario) recoveryMode() cluster.RecoveryMode {
+	if s.Recovery != nil {
+		if m, err := parseRecoveryMode(s.Recovery.Mode); err == nil {
+			return m
+		}
+	}
+	return cluster.ShrinkContinue
 }
 
 // diagnoseRun feeds the run's artifacts to the diagnosis engine: the
@@ -240,6 +293,20 @@ func diagnoseRun(rr *RunResult) *diagnose.Report {
 			iv.End = st.Start.D() + st.Dur.D()
 		}
 		in.Faults = append(in.Faults, iv)
+	}
+	for _, cr := range s.Crashes {
+		in.Crashes = append(in.Crashes, diagnose.Crash{Rank: cr.Node, At: cr.At.D()})
+	}
+	if ft := rr.FT; ft != nil {
+		in.Recovery = &diagnose.Recovery{
+			Mode:          s.recoveryMode().String(),
+			Epochs:        ft.Epochs,
+			Failed:        ft.Failed,
+			Survivors:     len(ft.Survivors),
+			Checkpoints:   ft.Checkpoints,
+			ReplayedSteps: ft.ReplayedSteps,
+			Completed:     ft.Completed,
+		}
 	}
 	return diagnose.Analyze(in)
 }

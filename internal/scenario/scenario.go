@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"ovlp/internal/cluster"
 	"ovlp/internal/coll"
 	"ovlp/internal/diagnose"
 	"ovlp/internal/fabric"
@@ -124,16 +125,48 @@ type Scenario struct {
 	Chaos []ChaosEvent `json:"chaos,omitempty"`
 	// Stalls are DMA-stall windows (the NIC-sided fault axis).
 	Stalls []Stall `json:"stalls,omitempty"`
+	// Crashes are crash-stop rank failures. Declaring any (or a
+	// Recovery block) runs the workload under the fault-tolerant runner
+	// (cluster.RunFT): survivors detect, agree and recover, and the
+	// planned crashes' own rank errors are expected rather than
+	// violations.
+	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// Recovery tunes the recovery policy; nil with Crashes declared
+	// means shrink-continue with defaults.
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
 	// Assertions are checked after the run; any violation makes the
 	// scenario fail.
 	Assertions []Assertion `json:"assert,omitempty"`
 }
 
+// CrashSpec is one declared crash-stop failure: the node's NIC goes
+// permanently silent at the given virtual time.
+type CrashSpec struct {
+	Node int `json:"node"`
+	At   Dur `json:"at"`
+}
+
+// RecoverySpec tunes cluster.FTOptions for a crash scenario.
+type RecoverySpec struct {
+	// Mode: "shrink-continue" (default) or "checkpoint-restart".
+	Mode string `json:"mode,omitempty"`
+	// CheckpointEvery is the step interval between checkpoints in
+	// checkpoint-restart mode (0 = every step).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// MinProcs makes the run fail when an agreement leaves fewer
+	// active ranks (0 = continue down to one).
+	MinProcs int `json:"min_procs,omitempty"`
+	// Heartbeat overrides the failure detector's ping period.
+	Heartbeat Dur `json:"heartbeat,omitempty"`
+}
+
 // ReliableSpec mirrors fabric.ReliableParams for scenario files.
 type ReliableSpec struct {
 	Timeout Dur `json:"timeout,omitempty"`
-	// MaxRetries: 0 uses the default budget; negative means the first
-	// timeout is fatal.
+	// MaxRetries: 0 uses the default budget; any negative value means
+	// the first timeout is fatal (mapped to fabric.NoRetries — an
+	// unlimited budget would only ever end at the deadline, so
+	// scenarios cannot express it).
 	MaxRetries int     `json:"max_retries,omitempty"`
 	Backoff    float64 `json:"backoff,omitempty"`
 }
@@ -263,18 +296,16 @@ type Assertion struct {
 	MinSeverity string `json:"min_severity,omitempty"`
 }
 
-// knownChecks lists the assertion kinds, for validation messages.
-var knownChecks = []string{
-	"overlap", "blame_share", "error", "error_absent", "bounds_valid",
-	"conservation", "determinism", "trace_hash", "report_hash", "duration",
-	"time_resolved", "finding", "finding_absent",
-}
+// knownChecks (see checkdoc.go) is derived from the checkDocs table,
+// the taxonomy's single source of truth.
 
 var errorNames = map[string]bool{"timeout": true, "peer_unreachable": true, "deadlock": true, "any": true}
 
 var blameCategories = map[string]bool{
 	"fault-retransmit": true, "late-init": true, "early-wait": true,
-	"protocol": true, "progress": true, "truncated": true, "unknown": true,
+	"protocol": true, "progress": true, "truncated": true,
+	"detect": true, "agree": true, "rollback": true, "recompute": true,
+	"unknown": true,
 }
 
 // Validate checks the scenario's internal consistency — everything
@@ -296,6 +327,12 @@ func (s *Scenario) Validate() error {
 		return err
 	}
 	if err := s.Workload.validate(s.Name, s.Procs); err != nil {
+		return err
+	}
+	// FT first: its errors name the crash declarations precisely, and
+	// once it passes the crash-derived part of MinProcs fits s.Procs,
+	// so a MinProcs excess can only come from the chaos schedule.
+	if err := s.validateFT(); err != nil {
 		return err
 	}
 	if n := s.MinProcs(); s.Procs < n {
@@ -320,6 +357,57 @@ func (s *Scenario) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// wantsFT reports whether the scenario runs under the fault-tolerant
+// runner: any declared crash or an explicit recovery block.
+func (s *Scenario) wantsFT() bool {
+	return len(s.Crashes) > 0 || s.Recovery != nil
+}
+
+// validateFT checks the crash/recovery declarations: crashed nodes
+// must exist, kill times be positive, the recovery mode be known, and
+// the workload have a fault-tolerant (Checkpointable) form.
+func (s *Scenario) validateFT() error {
+	if !s.wantsFT() {
+		return nil
+	}
+	seen := map[int]bool{}
+	for i, cr := range s.Crashes {
+		if cr.Node < 0 || cr.Node >= s.Procs {
+			return fmt.Errorf("scenario %s: crash %d names node %d outside [0, %d)", s.Name, i, cr.Node, s.Procs)
+		}
+		if cr.At <= 0 {
+			return fmt.Errorf("scenario %s: crash %d needs a positive at", s.Name, i)
+		}
+		if seen[cr.Node] {
+			return fmt.Errorf("scenario %s: node %d crashes twice", s.Name, cr.Node)
+		}
+		seen[cr.Node] = true
+	}
+	if len(s.Crashes) > s.Procs-2 {
+		return fmt.Errorf("scenario %s: %d of %d ranks crash; at least two must survive to keep communicating",
+			s.Name, len(s.Crashes), s.Procs)
+	}
+	if r := s.Recovery; r != nil {
+		if _, err := parseRecoveryMode(r.Mode); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if r.CheckpointEvery < 0 || r.MinProcs < 0 || r.Heartbeat < 0 {
+			return fmt.Errorf("scenario %s: recovery parameters must be non-negative", s.Name)
+		}
+		if r.MinProcs > s.Procs {
+			return fmt.Errorf("scenario %s: recovery min_procs %d exceeds procs %d", s.Name, r.MinProcs, s.Procs)
+		}
+	}
+	if _, err := s.Workload.checkpointable(false); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+func parseRecoveryMode(mode string) (cluster.RecoveryMode, error) {
+	return cluster.ParseRecoveryMode(mode)
 }
 
 func (w *Workload) validate(name string, procs int) error {
@@ -534,6 +622,13 @@ func (s *Scenario) MinProcs() int {
 	}
 	for _, st := range s.Stalls {
 		touch(st.Node)
+	}
+	for _, cr := range s.Crashes {
+		touch(cr.Node)
+	}
+	if len(s.Crashes) > 0 && len(s.Crashes)+2 > min {
+		// At least two survivors, so the shrunken run still communicates.
+		min = len(s.Crashes) + 2
 	}
 	return min
 }

@@ -1,11 +1,14 @@
 package scenario
 
 import (
+	"fmt"
 	"strings"
 	"time"
 
+	"ovlp/internal/cluster"
 	"ovlp/internal/coll"
 	"ovlp/internal/fabric"
+	"ovlp/internal/micro"
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
 	"ovlp/internal/progress"
@@ -75,6 +78,41 @@ func (w *Workload) program(smoke bool) func(r *mpi.Rank) {
 	panic("scenario: unvalidated workload kind " + w.Kind)
 }
 
+// checkpointable returns the workload's fault-tolerant (stepwise,
+// shrink-tolerant) form for crash scenarios, scaled for smoke mode.
+// Only workloads with a recoverable structure have one: the ring
+// exchange micro and the NPB CG/FT/MG kernels.
+func (w *Workload) checkpointable(smoke bool) (cluster.Checkpointable, error) {
+	reps, iters := w.Reps, w.Iters
+	if smoke {
+		if reps > smokeReps {
+			reps = smokeReps
+		}
+		if iters == 0 || iters > smokeIters {
+			iters = smokeIters
+		}
+	}
+	switch w.Kind {
+	case "exchange":
+		return &micro.ExchangeWorkload{
+			MsgSize:   w.Size.N(),
+			Compute:   w.Compute.D(),
+			StepCount: reps,
+		}, nil
+	case "nas":
+		class := nas.ClassS
+		if w.Class != "" {
+			class = nas.Class(strings.ToUpper(w.Class)[0])
+		}
+		wl, ok := nas.CheckpointableKernel(strings.ToLower(w.Bench), nas.Params{Class: class, MaxIters: iters})
+		if !ok {
+			return nil, fmt.Errorf("crash scenarios support nas cg, ft and mg, not %s", strings.ToUpper(w.Bench))
+		}
+		return wl, nil
+	}
+	return nil, fmt.Errorf("crash scenarios need a checkpointable workload (exchange, or nas cg/ft/mg), not %q", w.Kind)
+}
+
 func startColl(r *mpi.Rank, op string, size int) *mpi.CollRequest {
 	switch op {
 	case "ibcast":
@@ -115,9 +153,14 @@ func (s *Scenario) mpiConfig() (mpi.Config, error) {
 		}
 	}
 	if s.Reliable != nil {
+		retries := s.Reliable.MaxRetries
+		if retries < 0 {
+			// Scenario semantics: negative disables retransmission.
+			retries = fabric.NoRetries
+		}
 		cfg.Reliable = &fabric.ReliableParams{
 			Timeout:    s.Reliable.Timeout.D(),
-			MaxRetries: s.Reliable.MaxRetries,
+			MaxRetries: retries,
 			Backoff:    s.Reliable.Backoff,
 		}
 	}

@@ -1,0 +1,115 @@
+package timeres
+
+import (
+	"testing"
+	"time"
+
+	"ovlp/internal/cluster"
+	"ovlp/internal/fabric"
+	"ovlp/internal/mpi"
+	"ovlp/internal/trace"
+)
+
+// ftRingWL drives the analyzer through a crash recovery.
+type ftRingWL struct {
+	steps   int
+	bytes   int
+	compute time.Duration
+}
+
+func (w *ftRingWL) Name() string             { return "ring" }
+func (w *ftRingWL) Steps() int               { return w.steps }
+func (w *ftRingWL) StateBytes(procs int) int { return w.bytes }
+func (w *ftRingWL) Init(c *mpi.Comm)         { c.Bcast(0, 8) }
+func (w *ftRingWL) Step(c *mpi.Comm, step int) {
+	r := c.Host()
+	if n := c.Size(); n > 1 {
+		next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+		c.Sendrecv(next, 5, w.bytes, prev, 5)
+	}
+	r.Compute(w.compute)
+	c.Allreduce(8)
+}
+
+// TestWindowsSplitAtEpochCuts: under a crash recovery, every observed
+// epoch-cut instant is a window boundary (no window averages across
+// it), windows carry the epoch in force, and the five-bucket
+// conservation invariant survives the irregular window widths.
+func TestWindowsSplitAtEpochCuts(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	a := New(Options{Window: 500 * time.Microsecond})
+	tr.AddSink(a)
+	cfg := cluster.Config{
+		Procs:    4,
+		MPI:      mpi.Config{Instrument: &mpi.InstrumentConfig{}},
+		Crashes:  &fabric.CrashPlan{Crashes: []fabric.Crash{{Node: 2, At: us(800)}}},
+		Deadline: 10 * time.Second,
+		Trace:    tr,
+	}
+	wl := &ftRingWL{steps: 8, bytes: 256 << 10, compute: 100 * time.Microsecond}
+	res, err := cluster.RunFT(cfg, cluster.FTOptions{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Epochs != 1 {
+		t.Fatalf("recovery did not happen: completed=%v epochs=%d", res.Completed, res.Epochs)
+	}
+	a.SetTable(res.Calib)
+	a.Finalize(res.Duration)
+	if err := a.Err(); err != nil {
+		t.Fatalf("analyzer error: %v", err)
+	}
+	s := a.Snapshot()
+	checkConservation(t, s)
+
+	// Gather the distinct cut instants straight from the analyzer.
+	cuts := cutBounds(a.cuts, s.Duration)
+	if len(cuts) == 0 {
+		t.Fatal("no epoch cuts observed in the trace stream")
+	}
+	boundaries := make(map[time.Duration]bool, len(s.Windows))
+	for _, w := range s.Windows {
+		boundaries[w.Start] = true
+	}
+	for _, c := range cuts {
+		if !boundaries[c] {
+			t.Errorf("cut instant %v is not a window boundary", c)
+		}
+	}
+	// No window straddles a cut.
+	for _, w := range s.Windows {
+		for _, c := range cuts {
+			if w.Start < c && c < w.End {
+				t.Errorf("window [%v, %v) straddles cut %v", w.Start, w.End, c)
+			}
+		}
+	}
+	// Epoch tags are monotone and reach the final epoch.
+	last := 0
+	for _, w := range s.Windows {
+		if w.Epoch < last {
+			t.Errorf("window at %v: epoch went backwards (%d after %d)", w.Start, w.Epoch, last)
+		}
+		last = w.Epoch
+	}
+	if last != res.Epochs {
+		t.Errorf("final window epoch %d, run entered %d", last, res.Epochs)
+	}
+}
+
+// TestFailureFreeWindowsUnchanged: without cuts the windows remain
+// uniform tumbling windows with epoch 0 — pre-FT output is unchanged.
+func TestFailureFreeWindowsUnchanged(t *testing.T) {
+	w := workloads()[0]
+	a, res, _ := runAnalyzed(t, w.cfg, Options{Window: 200 * time.Microsecond}, w.body)
+	s := a.Snapshot()
+	for i, win := range s.Windows {
+		if win.Epoch != 0 {
+			t.Fatalf("window %d has epoch %d in a failure-free run", i, win.Epoch)
+		}
+		if i < len(s.Windows)-1 && win.End-win.Start != 200*time.Microsecond {
+			t.Fatalf("window %d has irregular width %v", i, win.End-win.Start)
+		}
+	}
+	_ = res
+}

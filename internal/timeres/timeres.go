@@ -137,12 +137,17 @@ type OverlapBin struct {
 type Slice struct {
 	Index int `json:"index"`
 	// Kind is "compute" or "exchange" for phases, empty for windows.
-	Kind    string        `json:"kind,omitempty"`
-	Start   time.Duration `json:"start_ns"`
-	End     time.Duration `json:"end_ns"`
-	Cells   []Cell        `json:"cells"`
-	Eff     Efficiency    `json:"eff"`
-	Overlap OverlapBin    `json:"overlap"`
+	Kind  string        `json:"kind,omitempty"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Epoch is the recovery epoch in force at Start (0 until the first
+	// epoch cut). Windows never span an epoch boundary: every observed
+	// cut instant also terminates a window, so pre- and post-recovery
+	// efficiency are never averaged together.
+	Epoch   int        `json:"epoch,omitempty"`
+	Cells   []Cell     `json:"cells"`
+	Eff     Efficiency `json:"eff"`
+	Overlap OverlapBin `json:"overlap"`
 }
 
 // Snapshot is a point-in-time view of the analysis: live consumers
@@ -170,8 +175,9 @@ type rankState struct {
 // (progress agents), whose records still feed the replay so no
 // transfer sample is lost.
 type trackState struct {
-	rs *rankState
-	rr *profile.RankReplay
+	rs   *rankState
+	rr   *profile.RankReplay
+	cuts []time.Duration // this track's epoch-cut instants, in order
 }
 
 type trackRef struct {
@@ -189,6 +195,7 @@ type Analyzer struct {
 	ranks    map[int]*rankState
 	wire     map[int][]span
 	samples  []profile.XferSample
+	cuts     []time.Duration
 	seen     time.Duration
 	total    time.Duration
 	finished bool
@@ -261,6 +268,11 @@ func (a *Analyzer) feedHost(ref trackRef, name string, r trace.Rec) {
 		a.tracks[ref] = ts
 	}
 	ts.rr.Feed(r)
+	if r.Cat == "overlap" && r.Name == "epoch-cut" {
+		at := r.Start.Duration()
+		ts.cuts = append(ts.cuts, at)
+		a.cuts = append(a.cuts, at)
+	}
 	if ts.rs == nil || r.Dur <= 0 {
 		return
 	}
@@ -405,14 +417,27 @@ func (a *Analyzer) Snapshot() *Snapshot {
 	}
 
 	// Tumbling windows, the last clipped to the run end (a window
-	// larger than the run degenerates to one clipped window).
+	// larger than the run degenerates to one clipped window). Epoch-cut
+	// instants are additional window boundaries: a window straddling a
+	// cut splits there, and each window carries the epoch in force at
+	// its start.
 	w := a.opts.Window
-	for lo := time.Duration(0); lo < total; lo += w {
-		hi := lo + w
+	bounds := cutBounds(a.cuts, total)
+	for lo, next := time.Duration(0), 0; lo < total; {
+		hi := lo - lo%w + w // next tumbling boundary after lo
 		if hi > total {
 			hi = total
 		}
-		s.Windows = append(s.Windows, buildSlice(len(s.Windows), "", lo, hi))
+		for next < len(bounds) && bounds[next] <= lo {
+			next++
+		}
+		if next < len(bounds) && bounds[next] < hi {
+			hi = bounds[next]
+		}
+		sl := buildSlice(len(s.Windows), "", lo, hi)
+		sl.Epoch = a.epochAt(lo)
+		s.Windows = append(s.Windows, sl)
+		lo = hi
 	}
 
 	// Phases: alternate compute/exchange segments tiling [0, total].
@@ -437,7 +462,6 @@ func (a *Analyzer) priceOverlap(s *Snapshot, total time.Duration) {
 		}
 	}
 	s.Priced = true
-	w := a.opts.Window
 	for i := range a.samples {
 		x := &a.samples[i]
 		xt, minOv, maxOv := x.Bounds(a.table)
@@ -446,7 +470,9 @@ func (a *Analyzer) priceOverlap(s *Snapshot, total time.Duration) {
 			at = total
 		}
 		if len(s.Windows) > 0 {
-			wi := int(at / w)
+			// Windows are ascending but not uniform (epoch cuts split
+			// them), so find the first window ending after the stamp.
+			wi := sort.Search(len(s.Windows), func(i int) bool { return s.Windows[i].End > at })
 			if wi >= len(s.Windows) {
 				wi = len(s.Windows) - 1
 			}
@@ -460,6 +486,49 @@ func (a *Analyzer) priceOverlap(s *Snapshot, total time.Duration) {
 			}
 		}
 	}
+}
+
+// cutBounds returns the distinct cut instants inside (0, total),
+// ascending — the extra window boundaries. Ranks cut at slightly
+// different times during one recovery, so each observed instant is a
+// boundary of its own.
+func cutBounds(cuts []time.Duration, total time.Duration) []time.Duration {
+	if len(cuts) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), cuts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []time.Duration
+	for _, c := range sorted {
+		if c <= 0 || c >= total {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == c {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// epochAt returns the recovery epoch in force at stamp: the largest
+// number of cuts any single track had performed by then (per-track,
+// since one recovery produces one cut per surviving rank, at slightly
+// different instants).
+func (a *Analyzer) epochAt(at time.Duration) int {
+	epoch := 0
+	for _, ts := range a.tracks {
+		n := 0
+		for _, c := range ts.cuts {
+			if c <= at {
+				n++
+			}
+		}
+		if n > epoch {
+			epoch = n
+		}
+	}
+	return epoch
 }
 
 func addBin(b *OverlapBin, xt, minOv, maxOv time.Duration) {

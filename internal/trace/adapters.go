@@ -142,5 +142,7 @@ func (s *overlapSink) OverlapEvent(e overlap.Event) {
 		s.tk.Instant("overlap", "region-push", at, Args{Peer: NoPeer, ID: uint64(e.Region), Detail: s.region(e.Region)})
 	case overlap.KindRegionPop:
 		s.tk.Instant("overlap", "region-pop", at, Args{Peer: NoPeer, ID: uint64(e.Region), Detail: s.region(e.Region)})
+	case overlap.KindEpochCut:
+		s.tk.Instant("overlap", "epoch-cut", at, Args{Peer: NoPeer})
 	}
 }

@@ -184,6 +184,9 @@ type Proc struct {
 
 	blockedSince Time   // for deadlock dumps
 	blockedAt    string // label of the blocking call site
+
+	killed   error  // pending Kill, delivered as a panic at the next resume
+	resumeEv *event // pending Compute timer, cancelled by Kill
 }
 
 // ID returns the proc's index in spawn order, starting at zero.
@@ -241,6 +244,11 @@ func (s *Sim) startProc(p *Proc, fn func(p *Proc)) {
 		if s.obs != nil {
 			s.obs.ProcResumed(p)
 		}
+		if p.killed != nil {
+			err := p.killed
+			p.killed = nil
+			panic(err)
+		}
 		fn(p)
 	}()
 	s.dispatch(p)
@@ -249,6 +257,9 @@ func (s *Sim) startProc(p *Proc, fn func(p *Proc)) {
 // dispatch hands control to p and waits until it blocks or finishes.
 // Must run in scheduler context (or transitively from it).
 func (s *Sim) dispatch(p *Proc) {
+	if p.state == stateDone {
+		return // proc was killed while a stale resume event was in flight
+	}
 	prev := s.current
 	s.current = p
 	p.state = stateRunning
@@ -310,6 +321,14 @@ func (p *Proc) block(st procState, where string) {
 	if p.sim.obs != nil {
 		p.sim.obs.ProcResumed(p)
 	}
+	if p.killed != nil {
+		// Deliver a pending Kill exactly once: the panic unwinds the
+		// proc's stack; cleanup code that recovers it may block again
+		// without re-triggering.
+		err := p.killed
+		p.killed = nil
+		panic(err)
+	}
 }
 
 // Compute advances the proc's view of time by d, modelling a stretch
@@ -321,7 +340,14 @@ func (p *Proc) Compute(d time.Duration) {
 		panic("vtime: negative compute duration")
 	}
 	s := p.sim
-	s.schedule(s.now.Add(d), func() { s.dispatch(p) })
+	var ev *event
+	ev = s.schedule(s.now.Add(d), func() {
+		if p.resumeEv == ev {
+			p.resumeEv = nil
+		}
+		s.dispatch(p)
+	})
+	p.resumeEv = ev
 	p.block(stateComputing, "Compute")
 }
 
@@ -366,6 +392,53 @@ func (p *Proc) Unpark() {
 		return
 	}
 	p.permit = true
+}
+
+// Kill schedules err to be delivered to p as a panic, modelling the
+// abrupt death of the simulated thread (a crashed node). If p is
+// blocked (parked or computing) it is resumed immediately at the
+// current virtual time and the panic unwinds from the blocking call;
+// if it is running or not yet started, the panic is delivered at its
+// next blocking call (or before its body runs, for a new proc). The
+// panic value is exactly err, so a deferred recover in the proc's
+// stack (e.g. a rank's abort handler) can identify the crash, record
+// it, and let the rest of the simulation continue. Killing a finished
+// proc, or one with a kill already pending, is a no-op. Kill must be
+// called from simulation context, like Unpark.
+func (p *Proc) Kill(err error) {
+	if err == nil {
+		panic("vtime: Kill with nil error")
+	}
+	if p.state == stateDone || p.killed != nil {
+		return
+	}
+	p.killed = err
+	s := p.sim
+	switch p.state {
+	case stateParked:
+		// Clear any pending permit so a stale Unpark event (which
+		// re-checks state and permit) cannot double-dispatch.
+		p.permit = false
+		s.schedule(s.now, func() {
+			if p.state == stateParked {
+				s.dispatch(p)
+			}
+		})
+	case stateComputing:
+		// Cancel the Compute timer so it cannot resume the proc a
+		// second time (or resume a later, unrelated Compute early).
+		if p.resumeEv != nil {
+			p.resumeEv.cancelled = true
+			p.resumeEv = nil
+		}
+		s.schedule(s.now, func() {
+			if p.state == stateComputing {
+				s.dispatch(p)
+			}
+		})
+	}
+	// stateNew and stateRunning: the pending kill is delivered by the
+	// killed check at the proc's next resume or before its body runs.
 }
 
 // SetDeadline arms a watchdog: if the simulation reaches virtual time d
