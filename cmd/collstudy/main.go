@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quantum := fs.Duration("progress-quantum", progress.DefaultQuantum, "wake quantum of the thread progress engine")
 	ff := cmdutil.RegisterFaults(fs)
 	obs := cmdutil.RegisterObs(fs)
+	bf := cmdutil.RegisterBackend(fs)
 	ver := cmdutil.RegisterVersion(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := cmdutil.CheckFaultNodes(faults, []int{*procs}); err != nil {
 		return fail2(err)
+	}
+	if bf.Real() && faults != nil {
+		return fail2(fmt.Errorf("fault injection needs -backend virtual"))
 	}
 	if desc := faultflag.Describe(faults); desc != "" {
 		fmt.Fprintf(stdout, "%s\n\n", desc)
@@ -120,7 +124,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			for _, size := range sizes {
 				var wait time.Duration
 				res := cluster.Run(cluster.Config{
-					Procs: *procs,
+					Procs:   *procs,
+					Backend: bf.Backend(),
 					MPI: mpi.Config{
 						CollAlgo:   algo,
 						CollChunk:  *chunk,

@@ -15,6 +15,8 @@ import (
 	"os"
 	"time"
 
+	"ovlp/internal/cluster"
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/comb"
 	"ovlp/internal/mpi"
 	"ovlp/internal/report"
@@ -25,6 +27,7 @@ func main() {
 	log.SetPrefix("comb: ")
 	size := flag.Int("size", 1<<20, "message size in bytes")
 	reps := flag.Int("reps", 50, "iterations per point")
+	bf := cmdutil.RegisterBackend(nil)
 	flag.Parse()
 
 	work := []time.Duration{
@@ -39,6 +42,7 @@ func main() {
 				MsgSize:  *size,
 				Work:     work[1:], // base measured internally
 				Reps:     *reps,
+				Cluster:  cluster.Config{Backend: bf.Backend()},
 			}.Run()
 			t := report.NewTable(
 				fmt.Sprintf("COMB %s, %s, %d KiB messages", method, proto, *size>>10),

@@ -74,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of the table (times in ns)")
 	ff := cmdutil.RegisterFaults(fs)
 	obs := cmdutil.RegisterObs(fs)
+	bf := cmdutil.RegisterBackend(fs)
 	ver := cmdutil.RegisterVersion(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +87,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail2 := func(err error) int {
 		fmt.Fprintf(stderr, "faultstudy: %v\n", err)
 		return 2
+	}
+	if bf.Real() {
+		// The whole study is fault injection, which needs deterministic
+		// virtual-time scheduling.
+		return fail2(fmt.Errorf("faultstudy is virtual-only: fault injection needs -backend virtual"))
 	}
 	rates, err := parseRates(*ratesFlag)
 	if err != nil {

@@ -61,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retries", 3, "reliable-transport retry budget (smaller = faster crash detection)")
 	ft := cmdutil.RegisterFT(fs)
 	obs := cmdutil.RegisterObs(fs)
+	bf := cmdutil.RegisterBackend(fs)
 	ver := cmdutil.RegisterVersion(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail2 := func(err error) int {
 		fmt.Fprintf(stderr, "ftstudy: %v\n", err)
 		return 2
+	}
+	if bf.Real() {
+		// Crash-stop failures and recovery need deterministic
+		// virtual-time scheduling.
+		return fail2(fmt.Errorf("ftstudy is virtual-only: crash injection needs -backend virtual"))
 	}
 	if *procs < 2 || *size <= 0 || *steps <= 0 || *compute < 0 || *retries == 0 {
 		return fail2(fmt.Errorf("need -procs >= 2, positive -size/-steps, non-negative -compute and a non-zero -retries"))

@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cf := cmdutil.RegisterColl(fs)
 	ff := cmdutil.RegisterFaults(fs)
 	obs := cmdutil.RegisterObs(fs)
+	bf := cmdutil.RegisterBackend(fs)
 	ver := cmdutil.RegisterVersion(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,6 +105,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faults, err := ff.Plan()
 	if err != nil {
 		return fail2(err)
+	}
+	if bf.Real() && faults != nil {
+		return fail2(fmt.Errorf("fault injection needs -backend virtual"))
 	}
 	// Validate the whole sweep configuration before any simulation: a
 	// malformed -procs or -classes exits 2 up front, not mid-sweep.
@@ -135,13 +139,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		b = strings.ToUpper(strings.TrimSpace(b))
 		var err error
 		if b == "MG-ARMCI" {
-			err = runMGARMCI(stdout, classes, defProcs(*procsFlag, []int{2, 4, 8}), *iters, faults, obs)
+			err = runMGARMCI(stdout, classes, defProcs(*procsFlag, []int{2, 4, 8}), *iters, faults, bf, obs)
 		} else {
 			dp := []int{4, 8, 16}
 			if b == nas.BT || b == nas.SP {
 				dp = []int{4, 9, 16}
 			}
-			err = runBench(stdout, b, classes, defProcs(*procsFlag, dp), *iters, *bins, *hw, *overlapped, cf, *jsonDir, faults, obs)
+			err = runBench(stdout, b, classes, defProcs(*procsFlag, dp), *iters, *bins, *hw, *overlapped, cf, *jsonDir, faults, bf, obs)
 		}
 		if err != nil {
 			return fail2(err)
@@ -172,7 +176,7 @@ func checkTraceable(obs *cmdutil.Obs, procs []int) error {
 	return nil
 }
 
-func runBench(w io.Writer, name string, classes []nas.Class, procs []int, iters int, bins, hw, overlapped bool, cf *cmdutil.Coll, jsonDir string, faults *fabric.FaultPlan, obs *cmdutil.Obs) error {
+func runBench(w io.Writer, name string, classes []nas.Class, procs []int, iters int, bins, hw, overlapped bool, cf *cmdutil.Coll, jsonDir string, faults *fabric.FaultPlan, bf *cmdutil.BackendFlag, obs *cmdutil.Obs) error {
 	if err := cmdutil.CheckFaultNodes(faults, procs); err != nil {
 		return err
 	}
@@ -271,7 +275,7 @@ func binTable(name string, class nas.Class, procs int, rep *overlap.Report) *rep
 	return t
 }
 
-func runMGARMCI(w io.Writer, classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan, obs *cmdutil.Obs) error {
+func runMGARMCI(w io.Writer, classes []nas.Class, procs []int, iters int, faults *fabric.FaultPlan, bf *cmdutil.BackendFlag, obs *cmdutil.Obs) error {
 	if err := cmdutil.CheckFaultNodes(faults, procs); err != nil {
 		return err
 	}

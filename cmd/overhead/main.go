@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/mpi"
 	"ovlp/internal/nas"
 	"ovlp/internal/report"
@@ -29,6 +30,7 @@ func main() {
 	classFlag := flag.String("class", "A", "problem class")
 	procs := flag.Int("procs", 4, "processor count")
 	iters := flag.Int("iters", 10, "iteration cap (0 = full)")
+	bf := cmdutil.RegisterBackend(nil)
 	flag.Parse()
 
 	class := nas.Class(strings.ToUpper(*classFlag)[0])
@@ -41,7 +43,7 @@ func main() {
 		if b == nas.BT || b == nas.CG {
 			proto = mpi.PipelinedRDMA
 		}
-		r := nas.MeasureOverhead(b, class, *procs, proto, *iters)
+		r := nas.MeasureOverheadOpts(b, class, *procs, *iters, nas.Options{Protocol: proto, Backend: bf.Backend()})
 		t.AddRow(b, r.Plain.Round(time.Microsecond),
 			r.Instrumented.Round(time.Microsecond),
 			fmt.Sprintf("%.3f", r.OverheadPct))

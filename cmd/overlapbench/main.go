@@ -7,11 +7,15 @@
 //
 // Usage:
 //
-//	overlapbench [-fig 0] [-reps 1000] [-fault-seed N -drop P -stall ...]
+//	overlapbench [-fig 0] [-reps 1000] [-backend virtual|real]
+//	            [-fault-seed N -drop P -stall ...]
 //	            [-coll-algo auto] [-progress manual]
 //	            [-trace out.json] [-metrics] [-profile out.txt] [-diagnose -]
 //
-// -fig 0 (the default) runs every figure. The fault flags (see
+// -fig 0 (the default) runs every figure. -backend real executes the
+// exchanges as concurrent goroutines with the fabric sleeping actual
+// wire time, so the printed bounds are wall-clock measurements (use
+// small -reps; fault injection is virtual-only). The fault flags (see
 // internal/faultflag) rerun the figures on a deterministically lossy
 // network: the library retransmits behind the instrumentation's back,
 // and the printed wait times and bounds show what the repair traffic
@@ -67,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cf := cmdutil.RegisterColl(fs)
 	ff := cmdutil.RegisterFaults(fs)
 	obs := cmdutil.RegisterObs(fs)
+	bf := cmdutil.RegisterBackend(fs)
 	ver := cmdutil.RegisterVersion(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cmdutil.CheckFaultNodes(faults, []int{2}); err != nil {
 		return fail2(err) // microbenchmarks always run 2 processes
 	}
+	if bf.Real() && faults != nil {
+		return fail2(fmt.Errorf("fault injection needs -backend virtual"))
+	}
 	if desc := faultflag.Describe(faults); desc != "" {
 		fmt.Fprintf(stdout, "%s\n\n", desc)
 	}
@@ -101,10 +109,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail2(fmt.Errorf("-trace/-metrics need a single figure: pass -fig 3..9"))
 	}
 	for _, f := range figs {
-		runFigure(stdout, f, *reps, faults, cf)
+		runFigure(stdout, f, *reps, faults, cf, bf)
 	}
 	if obs.Enabled() {
-		if err := runTraced(stdout, *fig, *reps, faults, cf, obs); err != nil {
+		if err := runTraced(stdout, *fig, *reps, faults, cf, bf, obs); err != nil {
 			fmt.Fprintf(stderr, "overlapbench: %v\n", err)
 			return 1
 		}
@@ -115,10 +123,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runTraced reruns the selected figure's final computation point once
 // more with the tracer attached, so the exported timeline shows one
 // fully-overlapping exchange pattern rather than the whole sweep.
-func runTraced(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, obs *cmdutil.Obs) error {
+func runTraced(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, bf *cmdutil.BackendFlag, obs *cmdutil.Obs) error {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
 	e.Config.Trace = obs.Tracer()
+	bf.Apply(&e.Config)
 	cf.Apply(&e.Config.MPI)
 	e.Observe = func(res cluster.Result) { obs.SetRun(res.Calib, res.Reports) }
 	e.ComputePoints = e.ComputePoints[len(e.ComputePoints)-1:]
@@ -127,9 +136,10 @@ func runTraced(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil
 	return obs.Finish(w)
 }
 
-func runFigure(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll) {
+func runFigure(w io.Writer, fig, reps int, faults *fabric.FaultPlan, cf *cmdutil.Coll, bf *cmdutil.BackendFlag) {
 	e := micro.PaperFigure(fig, reps)
 	e.Config.Faults = faults
+	bf.Apply(&e.Config)
 	cf.Apply(&e.Config.MPI)
 	start := time.Now()
 	points := e.Run()

@@ -20,6 +20,13 @@
 //
 //	-smoke        shrink runs for CI (procs <= 4, reps <= 5, iters <= 2;
 //	              golden-hash and time_resolved assertions are skipped)
+//	-backend B    execution backend: virtual (default) or real. Real
+//	              runs execute on the wall clock, so the determinism,
+//	              trace_hash and report_hash assertions are skipped,
+//	              each printing a named "SKIP <check>: <reason>" line
+//	              under the scenario's summary rather than passing
+//	              silently; chaos/crash scenarios are rejected (fault
+//	              injection is virtual-only)
 //	-report DIR   write each scenario's run-report JSON into DIR
 //	-golden DIR   byte-compare each report against DIR/<name>.json
 //	-write-golden (re)write the golden files instead of comparing
@@ -44,6 +51,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"ovlp/internal/cmdutil"
 	"ovlp/internal/diagnose"
 	"ovlp/internal/scenario"
 )
@@ -62,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeresDir := fs.String("timeresolved", "", "write each scenario's windowed time-resolved CSV into this directory")
 	findingsDir := fs.String("findings", "", "write each scenario's diagnosis findings JSON into this directory")
 	listChecks := fs.Bool("list-checks", false, "print the assertion-check catalogue and exit")
+	bf := cmdutil.RegisterBackend(fs)
 	gen := fs.Int("gen", 0, "generate this many seeded stress scenarios and exit")
 	genSeed := fs.Int64("gen-seed", 42, "generator seed (same seed, same scenarios)")
 	genOut := fs.String("gen-out", ".", "directory the generated scenario files are written into")
@@ -88,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *goldenDir != "" && *smoke {
 		return fail2(fmt.Errorf("-golden needs full-size runs; drop -smoke"))
+	}
+	if *goldenDir != "" && bf.Real() {
+		return fail2(fmt.Errorf("-golden needs deterministic bytes; drop -backend real"))
 	}
 	if *writeGolden && *goldenDir == "" {
 		return fail2(fmt.Errorf("-write-golden needs -golden DIR"))
@@ -130,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failed := 0
-	opts := scenario.Opts{Smoke: *smoke, TimeRes: *timeresDir != "", Findings: *findingsDir != ""}
+	opts := scenario.Opts{Smoke: *smoke, TimeRes: *timeresDir != "", Findings: *findingsDir != "", Backend: bf.Backend()}
 	for _, s := range scens {
 		rr, err := scenario.Run(s, opts)
 		if err != nil {

@@ -36,6 +36,7 @@ func main() {
 	procsFlag := flag.String("procs", "4,9,16", "comma-separated processor counts (squares)")
 	iters := flag.Int("iters", 10, "iteration cap (0 = full NPB count)")
 	obs := cmdutil.RegisterObs(nil)
+	bf := cmdutil.RegisterBackend(nil)
 	ver := cmdutil.RegisterVersion(nil)
 	flag.Parse()
 	if *ver {
@@ -67,10 +68,14 @@ func main() {
 			fmt.Sprintf("SP class %s — total MPI time (paper Fig. 18)", class),
 			"procs", "orig", "modified", "change%")
 		for _, p := range procs {
-			orig := nas.CharacterizeSP(class, p, false, *iters)
+			orig := nas.CharacterizeSPOpts(class, p, false, nas.Options{
+				MaxIters: *iters,
+				Backend:  bf.Backend(),
+			})
 			mod := nas.CharacterizeSPOpts(class, p, true, nas.Options{
 				MaxIters: *iters,
 				Trace:    obs.Tracer(),
+				Backend:  bf.Backend(),
 			})
 			obs.SetRun(nil, mod.Reports)
 			section.AddRow(p, orig.SectionMinPct, orig.SectionMaxPct,

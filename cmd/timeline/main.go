@@ -35,6 +35,7 @@ func main() {
 	procs := flag.Int("procs", 4, "number of ranks")
 	width := flag.Int("width", 100, "chart width in columns")
 	obs := cmdutil.RegisterObs(nil)
+	bf := cmdutil.RegisterBackend(nil)
 	ver := cmdutil.RegisterVersion(nil)
 	flag.Parse()
 	if *ver {
@@ -44,7 +45,8 @@ func main() {
 
 	traces := make([][]overlap.Event, *procs)
 	cfg := cluster.Config{
-		Procs: *procs,
+		Procs:   *procs,
+		Backend: bf.Backend(),
 		MPI: mpi.Config{
 			Protocol: mpi.DirectRDMARead,
 			Instrument: &mpi.InstrumentConfig{

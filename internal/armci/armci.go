@@ -190,10 +190,11 @@ func (p *Proc) attach(vp *vtime.Proc) {
 	}
 	if ic := p.w.cfg.Instrument; ic != nil {
 		mc := overlap.Config{
-			Clock:     procClock{vp},
-			Table:     ic.Table,
-			QueueSize: ic.QueueSize,
-			BinBounds: ic.BinBounds,
+			Clock:       procClock{vp},
+			Table:       ic.Table,
+			QueueSize:   ic.QueueSize,
+			BinBounds:   ic.BinBounds,
+			ClockDomain: string(vp.Sim().ClockDomain()),
 		}
 		if ic.ModelCost {
 			mc.Charge = func(d time.Duration) { vp.Compute(d) }

@@ -32,6 +32,13 @@ type Point struct {
 // (latency-bound regime).
 type Table struct {
 	points []Point
+	// domain names the clock the samples were measured against
+	// ("virtual", "real", "fake"); empty means virtual — tables
+	// written before clock domains existed carry no marker. A table
+	// is only valid for runs on the same kind of clock: virtual-time
+	// transfer costs say nothing about a machine's real wire, and
+	// vice versa.
+	domain string
 }
 
 // NewTable builds a table from measured points. Points are sorted by
@@ -59,6 +66,20 @@ func NewTable(points []Point) (*Table, error) {
 // Points returns a copy of the table's samples in increasing size
 // order.
 func (t *Table) Points() []Point { return append([]Point(nil), t.points...) }
+
+// Domain returns the clock domain the table was measured in; the
+// empty string (a pre-domain table) normalizes to "virtual".
+func (t *Table) Domain() string {
+	if t.domain == "" {
+		return "virtual"
+	}
+	return t.domain
+}
+
+// SetDomain stamps the clock domain the table's samples were measured
+// against. It is written as a header line by WriteTo and recovered by
+// Read.
+func (t *Table) SetDomain(d string) { t.domain = d }
 
 // XferTime returns the estimated transfer time for a message of the
 // given size.
@@ -90,13 +111,22 @@ func extrapolate(prev, last Point, extra int) time.Duration {
 }
 
 // WriteTo writes the table in its text format: one "size time_ns" pair
-// per line, '#' starting comments. It implements io.WriterTo.
+// per line, '#' starting comments. A "# clock-domain: <d>" header line
+// records the domain for non-virtual tables (virtual tables stay
+// byte-identical to the pre-domain format). It implements io.WriterTo.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	k, err := fmt.Fprintf(w, "# calib transfer-time table: size_bytes time_ns\n")
 	n += int64(k)
 	if err != nil {
 		return n, err
+	}
+	if d := t.Domain(); d != "virtual" {
+		k, err := fmt.Fprintf(w, "# clock-domain: %s\n", d)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
 	}
 	for _, p := range t.points {
 		k, err := fmt.Fprintf(w, "%d %d\n", p.Size, p.Time.Nanoseconds())
@@ -108,14 +138,20 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// Read parses a table from its text format.
+// Read parses a table from its text format, recovering the
+// clock-domain header when present.
 func Read(r io.Reader) (*Table, error) {
 	sc := bufio.NewScanner(r)
 	var points []Point
+	domain := ""
 	line := 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
+		if d, ok := strings.CutPrefix(text, "# clock-domain:"); ok {
+			domain = strings.TrimSpace(d)
+			continue
+		}
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
@@ -128,7 +164,12 @@ func Read(r io.Reader) (*Table, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return NewTable(points)
+	t, err := NewTable(points)
+	if err != nil {
+		return nil, err
+	}
+	t.domain = domain
+	return t, nil
 }
 
 // Save writes the table to a file.

@@ -258,3 +258,37 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClockDomainRoundTrip(t *testing.T) {
+	tbl, err := NewTable([]Point{{Size: 1, Time: time.Microsecond}, {Size: 1024, Time: 5 * time.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Domain() != "virtual" {
+		t.Fatalf("default domain = %q, want virtual", tbl.Domain())
+	}
+	// Virtual tables stay byte-identical to the pre-domain format.
+	var virt bytes.Buffer
+	if _, err := tbl.WriteTo(&virt); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(virt.Bytes(), []byte("clock-domain")) {
+		t.Fatalf("virtual table carries a domain header:\n%s", virt.String())
+	}
+
+	tbl.SetDomain("real")
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("# clock-domain: real\n")) {
+		t.Fatalf("real table missing domain header:\n%s", buf.String())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Domain() != "real" {
+		t.Fatalf("round-tripped domain = %q, want real", back.Domain())
+	}
+}

@@ -1,0 +1,324 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fake is a test clock whose time moves only when told to. Sleepers
+// block until Advance (or another sleeper under auto-advance) carries
+// time past their target; timers fire in timestamp order, with the
+// clock set to each firing's due time while its callback runs,
+// exactly as a serial real clock would interleave them. Sleepers and
+// timers share one timeline: when an Advance crosses several of them,
+// each sleeper is released — and observed to depart — before the next
+// firing happens, so release order is the timestamp order, not the
+// scheduler's whim.
+//
+// With auto-advance on (NewFakeAuto, or SetAutoAdvance), Sleep does
+// not block: it advances the clock to its own target — firing any
+// timers due on the way — and returns. That makes code written
+// against Clock run instantly in tests while preserving the order of
+// observable events.
+type Fake struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	now  time.Time
+	auto bool
+	seq  int64
+
+	timers   []*fakeTimer // armed, unsorted; scanned for earliest due
+	sleepers []*sleeper   // blocked Sleep calls
+}
+
+// fakeTimer is one armed firing on a Fake clock.
+type fakeTimer struct {
+	clk   *Fake
+	due   time.Time
+	seq   int64 // FIFO tiebreak for equal due times
+	fn    func()
+	c     chan time.Time
+	armed bool
+}
+
+// sleeper is one blocked Sleep call.
+type sleeper struct {
+	target   time.Time
+	seq      int64
+	released bool
+	departed bool
+}
+
+// NewFake returns a manually-advanced fake clock starting at start.
+func NewFake(start time.Time) *Fake {
+	f := &Fake{now: start}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// NewFakeAuto returns a fake clock whose Sleep auto-advances: the
+// clock for tests that should not really wait.
+func NewFakeAuto(start time.Time) *Fake {
+	f := NewFake(start)
+	f.auto = true
+	return f
+}
+
+// SetAutoAdvance toggles auto-advancing Sleep. Turning it on releases
+// currently blocked sleepers by advancing to the latest target.
+func (f *Fake) SetAutoAdvance(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.auto = on
+	if on {
+		var latest time.Time
+		for _, s := range f.sleepers {
+			if s.target.After(latest) {
+				latest = s.target
+			}
+		}
+		if latest.After(f.now) {
+			f.advanceTo(latest)
+		}
+	}
+}
+
+func (f *Fake) Domain() Domain { return FakeDomain }
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Sleep blocks until the clock reaches now+d. Under auto-advance it
+// instead moves the clock there itself (firing due timers en route)
+// and returns immediately. A non-positive d never blocks.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.now.Add(d)
+	if f.auto {
+		f.advanceTo(target)
+		return
+	}
+	s := &sleeper{target: target, seq: f.seq}
+	f.seq++
+	f.sleepers = append(f.sleepers, s)
+	for !s.released {
+		f.cond.Wait()
+	}
+	s.departed = true
+	for i, x := range f.sleepers {
+		if x == s {
+			f.sleepers = append(f.sleepers[:i], f.sleepers[i+1:]...)
+			break
+		}
+	}
+	f.cond.Broadcast() // let the advancer move to the next firing
+}
+
+// WaiterCount returns how many Sleep calls are currently blocked.
+func (f *Fake) WaiterCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sleepers)
+}
+
+// BlockUntilWaiters busy-waits (politely) until at least n sleepers
+// are blocked — the standard fake-clock rendezvous for tests that
+// spawn goroutines and then advance time.
+func (f *Fake) BlockUntilWaiters(n int) {
+	for {
+		if f.WaiterCount() >= n {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// PendingTimers returns how many timers are armed.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.timers)
+}
+
+// Advance moves the clock forward by d, firing every timer and
+// releasing every sleeper due on the way in timestamp order (FIFO
+// among equal timestamps), with the clock reading each firing's due
+// time while it runs. Timers armed by callbacks during the advance
+// fire too if they fall within the window.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: negative Advance")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceTo(f.now.Add(d))
+}
+
+// advanceTo fires due work in (timestamp, seq) order and settles the
+// clock at target. Caller holds f.mu.
+func (f *Fake) advanceTo(target time.Time) {
+	for {
+		t := f.earliestTimer(target)
+		s := f.earliestSleeper(target)
+		if t == nil && s == nil {
+			break
+		}
+		if s != nil && (t == nil || s.target.Before(t.due) ||
+			(s.target.Equal(t.due) && s.seq < t.seq)) {
+			if s.target.After(f.now) {
+				f.now = s.target
+			}
+			s.released = true
+			f.cond.Broadcast()
+			for !s.departed {
+				f.cond.Wait()
+			}
+			continue
+		}
+		f.disarmLocked(t)
+		if t.due.After(f.now) {
+			f.now = t.due
+		}
+		if t.fn != nil {
+			// Callbacks run without the lock (they may use the clock)
+			// but serially: the advance loop fires one at a time.
+			f.mu.Unlock()
+			t.fn()
+			f.mu.Lock()
+		} else {
+			select {
+			case t.c <- t.due:
+			default:
+			}
+		}
+	}
+	if f.now.Before(target) {
+		f.now = target
+	}
+	f.cond.Broadcast()
+}
+
+// earliestTimer returns the armed timer with the smallest (due, seq)
+// not after target, or nil.
+func (f *Fake) earliestTimer(target time.Time) *fakeTimer {
+	var best *fakeTimer
+	for _, t := range f.timers {
+		if t.due.After(target) {
+			continue
+		}
+		if best == nil || t.due.Before(best.due) ||
+			(t.due.Equal(best.due) && t.seq < best.seq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// earliestSleeper returns the unreleased sleeper with the smallest
+// (target, seq) not after target, or nil.
+func (f *Fake) earliestSleeper(target time.Time) *sleeper {
+	var best *sleeper
+	for _, s := range f.sleepers {
+		if s.released || s.target.After(target) {
+			continue
+		}
+		if best == nil || s.target.Before(best.target) ||
+			(s.target.Equal(best.target) && s.seq < best.seq) {
+			best = s
+		}
+	}
+	return best
+}
+
+func (f *Fake) armLocked(t *fakeTimer) {
+	t.armed = true
+	f.timers = append(f.timers, t)
+}
+
+func (f *Fake) disarmLocked(t *fakeTimer) bool {
+	if !t.armed {
+		return false
+	}
+	t.armed = false
+	for i, x := range f.timers {
+		if x == t {
+			f.timers = append(f.timers[:i], f.timers[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// AfterFunc arms fn to run when the clock reaches now+d. A
+// non-positive d is already due, so it fires synchronously — in
+// timestamp order with anything else due — before AfterFunc returns.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{clk: f, due: f.now.Add(d), seq: f.seq, fn: fn}
+	f.seq++
+	f.armLocked(t)
+	if d <= 0 {
+		f.advanceTo(f.now)
+	}
+	return t
+}
+
+// NewTimer arms a channel delivery at now+d. Zero-duration timers
+// deliver immediately.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{clk: f, due: f.now.Add(d), seq: f.seq, c: make(chan time.Time, 1)}
+	f.seq++
+	f.armLocked(t)
+	if d <= 0 {
+		f.advanceTo(f.now)
+	}
+	return t
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.c }
+
+func (t *fakeTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	return t.clk.disarmLocked(t)
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	active := t.clk.disarmLocked(t)
+	t.due = t.clk.now.Add(d)
+	t.seq = t.clk.seq
+	t.clk.seq++
+	t.clk.armLocked(t)
+	if d <= 0 {
+		t.clk.advanceTo(t.clk.now)
+	}
+	return active
+}
+
+// Timestamps returns the due times of armed timers, sorted — a
+// debugging aid for tests asserting on pending work.
+func (f *Fake) Timestamps() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]time.Time, len(f.timers))
+	for i, t := range f.timers {
+		out[i] = t.due
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

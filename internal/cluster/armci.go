@@ -5,6 +5,7 @@ import (
 
 	"ovlp/internal/armci"
 	"ovlp/internal/calib"
+	"ovlp/internal/clock"
 	"ovlp/internal/fabric"
 	"ovlp/internal/overlap"
 	"ovlp/internal/trace"
@@ -15,6 +16,11 @@ import (
 type ARMCIConfig struct {
 	// Procs is the number of processes (one per node).
 	Procs int
+	// Backend selects the execution substrate (see Config.Backend).
+	// Real runs reject Faults and ARMCI.Reliable.
+	Backend Backend
+	// Clock drives a BackendReal run; nil selects clock.Real().
+	Clock clock.Clock
 	// Cost is the fabric cost model; zero selects the default.
 	Cost fabric.CostModel
 	// ARMCI configures the library; a nil Instrument.Table is filled
@@ -68,18 +74,35 @@ func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 	if (cfg.Cost == fabric.CostModel{}) {
 		cfg.Cost = fabric.DefaultCostModel()
 	}
-	if ic := cfg.ARMCI.Instrument; ic != nil && ic.Table == nil {
-		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
+	if cfg.Backend == BackendReal {
+		if cfg.Faults.Active() {
+			return ARMCIResult{}, errRealFaults()
+		}
+		if cfg.ARMCI.Reliable != nil {
+			return ARMCIResult{}, errRealReliable()
+		}
+	}
+	if ic := cfg.ARMCI.Instrument; ic != nil {
+		if err := checkTableDomain(ic.Table, cfg.Backend, cfg.Clock); err != nil {
+			return ARMCIResult{}, err
+		}
+		if ic.Table == nil {
+			ic.Table = CalibrateBackend(cfg.Backend, cfg.Clock, cfg.Cost, calib.StandardSizes(), 5)
+		}
 	}
 	if cfg.Faults.Active() && cfg.ARMCI.Reliable == nil {
 		cfg.ARMCI.Reliable = &fabric.ReliableParams{}
 	}
-	sim := vtime.NewSim()
+	sim := newSim(cfg.Backend, cfg.Clock)
 	fab := fabric.New(sim, cfg.Procs, cfg.Cost)
+	defer fab.Shutdown()
 	if cfg.Faults.Active() {
 		if err := fab.SetFaults(cfg.Faults); err != nil {
 			return ARMCIResult{}, err
 		}
+	}
+	if cfg.Backend == BackendReal && cfg.Deadline == 0 {
+		cfg.Deadline = DefaultRealDeadline
 	}
 	if cfg.Deadline > 0 {
 		sim.SetDeadline(vtime.Time(cfg.Deadline))
@@ -88,6 +111,7 @@ func RunARMCIE(cfg ARMCIConfig, main func(p *armci.Proc)) (ARMCIResult, error) {
 		sim.SetObserver(cfg.Trace.KernelObserver())
 		fab.SetTrace(cfg.Trace)
 		cfg.ARMCI.Tracer = cfg.Trace
+		cfg.Trace.SetClockDomain(runDomain(cfg.Backend, cfg.Clock))
 	}
 	world := armci.NewWorld(sim, fab, cfg.ARMCI)
 

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ovlp/internal/calib"
+	"ovlp/internal/clock"
+	"ovlp/internal/fabric"
+	"ovlp/internal/vtime"
+)
+
+// Backend selects the execution substrate of a run: the deterministic
+// virtual-time kernel, or genuinely concurrent goroutines on a real
+// (or fake) clock.
+type Backend int
+
+const (
+	// BackendVirtual is the deterministic discrete-event simulation:
+	// bit-for-bit reproducible, with ground-truth oracle access.
+	BackendVirtual Backend = iota
+	// BackendReal runs procs as concurrent goroutines against a
+	// clock.Clock, with the fabric really sleeping wire and DMA times
+	// on per-NIC goroutines. Nondeterministic by nature; fault/crash
+	// injection, fault tolerance and reliable delivery are
+	// virtual-only and rejected.
+	BackendReal
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendVirtual:
+		return "virtual"
+	case BackendReal:
+		return "real"
+	}
+	return "invalid"
+}
+
+// ParseBackend parses a Backend's String form; "" selects the default
+// BackendVirtual, so flag defaults and zero configs agree.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", BackendVirtual.String():
+		return BackendVirtual, nil
+	case BackendReal.String():
+		return BackendReal, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want %s or %s)", s, BackendVirtual, BackendReal)
+}
+
+// DefaultRealDeadline bounds real-clock runs that set no explicit
+// deadline: unlike virtual mode, a wedged real run cannot be detected
+// by event exhaustion, only by the watchdog.
+const DefaultRealDeadline = 2 * time.Minute
+
+// newSim builds the kernel for a backend. A nil clk on BackendReal
+// selects the machine's monotonic clock.
+func newSim(b Backend, clk clock.Clock) *vtime.Sim {
+	if b == BackendReal {
+		return vtime.NewRealSim(clk)
+	}
+	return vtime.NewSim()
+}
+
+// runDomain names the clock domain a (backend, clock) pair runs in,
+// in the same vocabulary calibration tables are stamped with.
+func runDomain(b Backend, clk clock.Clock) string {
+	if b != BackendReal {
+		return string(clock.Virtual)
+	}
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return string(clk.Domain())
+}
+
+// checkTableDomain rejects a calibration table measured on a
+// different kind of clock than the run executes on: virtual-time
+// transfer costs say nothing about the machine's real wire, and vice
+// versa, so applying the wrong table silently corrupts every bound.
+func checkTableDomain(t *calib.Table, b Backend, clk clock.Clock) error {
+	if t == nil {
+		return nil
+	}
+	want := runDomain(b, clk)
+	if got := t.Domain(); got != want {
+		return fmt.Errorf("cluster: calibration table is %s-clock but the run backend is %s; recalibrate with -backend %s", got, want, want)
+	}
+	return nil
+}
+
+func errRealFaults() error {
+	return fmt.Errorf("cluster: fault injection needs -backend virtual (deterministic scheduling)")
+}
+
+func errRealReliable() error {
+	return fmt.Errorf("cluster: reliable delivery needs -backend virtual (the real backend's wire is lossless)")
+}
+
+// validateBackend rejects configuration that only the virtual kernel
+// supports.
+func validateBackend(cfg *Config) error {
+	if cfg.Backend != BackendReal {
+		return nil
+	}
+	if cfg.Faults.Active() {
+		return errRealFaults()
+	}
+	if cfg.Crashes.Active() {
+		return fmt.Errorf("cluster: crash injection needs -backend virtual (deterministic scheduling)")
+	}
+	if cfg.MPI.FT != nil {
+		return fmt.Errorf("cluster: fault tolerance needs -backend virtual (crash injection is virtual-only)")
+	}
+	if cfg.MPI.Reliable != nil {
+		return errRealReliable()
+	}
+	return nil
+}
+
+// CalibrateBackend measures the transfer-time table on the given
+// backend: the virtual fabric for BackendVirtual (identical to
+// Calibrate), or real goroutine wire timings for BackendReal. The
+// returned table is stamped with the clock domain it was measured in,
+// so loaders can reject cross-domain use.
+func CalibrateBackend(b Backend, clk clock.Clock, cost fabric.CostModel, sizes []int, reps int) *calib.Table {
+	table := calibrate(newSim(b, clk), cost, sizes, reps)
+	if d := runDomain(b, clk); d != string(clock.Virtual) {
+		table.SetDomain(d)
+	}
+	return table
+}

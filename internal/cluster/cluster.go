@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ovlp/internal/calib"
+	"ovlp/internal/clock"
 	"ovlp/internal/fabric"
 	"ovlp/internal/mpi"
 	"ovlp/internal/overlap"
@@ -19,6 +20,16 @@ import (
 type Config struct {
 	// Procs is the number of ranks (one per node).
 	Procs int
+	// Backend selects the execution substrate: BackendVirtual (the
+	// default) runs the deterministic discrete-event kernel;
+	// BackendReal runs ranks as concurrent goroutines with the fabric
+	// sleeping real wire time. Real runs reject Faults, Crashes,
+	// MPI.FT and MPI.Reliable.
+	Backend Backend
+	// Clock drives a BackendReal run; nil selects the machine's
+	// monotonic clock (clock.Real()). Tests substitute a clock.Fake.
+	// Ignored for BackendVirtual.
+	Clock clock.Clock
 	// Cost is the fabric cost model; the zero value selects
 	// fabric.DefaultCostModel.
 	Cost fabric.CostModel
@@ -45,10 +56,12 @@ type Config struct {
 	// next need the dead node; with it they detect, agree and recover
 	// (see RunFT).
 	Crashes *fabric.CrashPlan
-	// Deadline, when positive, bounds the virtual run time: if the
-	// simulation is still live at this virtual time, RunE returns a
-	// *vtime.DeadlockError describing every stuck process instead of
-	// simulating forever.
+	// Deadline, when positive, bounds the run time: if the simulation
+	// is still live at this (virtual or wall-clock, per Backend) time,
+	// RunE returns a *vtime.DeadlockError describing every stuck
+	// process instead of simulating forever. BackendReal runs with a
+	// zero Deadline get DefaultRealDeadline — a wedged real run has no
+	// event-exhaustion signal, only the watchdog.
 	Deadline time.Duration
 	// Trace, when non-nil, traces the whole run into the given tracer:
 	// kernel scheduling spans, library call spans, overlap events,
@@ -123,18 +136,30 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 	if (cfg.Cost == fabric.CostModel{}) {
 		cfg.Cost = fabric.DefaultCostModel()
 	}
-	if ic := cfg.MPI.Instrument; ic != nil && ic.Table == nil {
-		ic.Table = Calibrate(cfg.Cost, calib.StandardSizes(), 5)
+	if err := validateBackend(&cfg); err != nil {
+		return Result{}, err
+	}
+	if ic := cfg.MPI.Instrument; ic != nil {
+		if err := checkTableDomain(ic.Table, cfg.Backend, cfg.Clock); err != nil {
+			return Result{}, err
+		}
+		if ic.Table == nil {
+			ic.Table = CalibrateBackend(cfg.Backend, cfg.Clock, cfg.Cost, calib.StandardSizes(), 5)
+		}
 	}
 	if (cfg.Faults.Active() || cfg.Crashes.Active()) && cfg.MPI.Reliable == nil {
 		cfg.MPI.Reliable = &fabric.ReliableParams{}
 	}
-	sim := vtime.NewSim()
+	sim := newSim(cfg.Backend, cfg.Clock)
 	fab := fabric.New(sim, cfg.Procs, cfg.Cost)
+	defer fab.Shutdown()
 	if cfg.Faults.Active() {
 		if err := fab.SetFaults(cfg.Faults); err != nil {
 			return Result{}, err
 		}
+	}
+	if cfg.Backend == BackendReal && cfg.Deadline == 0 {
+		cfg.Deadline = DefaultRealDeadline
 	}
 	if cfg.Deadline > 0 {
 		sim.SetDeadline(vtime.Time(cfg.Deadline))
@@ -143,6 +168,7 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 		sim.SetObserver(cfg.Trace.KernelObserver())
 		fab.SetTrace(cfg.Trace)
 		cfg.MPI.Tracer = cfg.Trace
+		cfg.Trace.SetClockDomain(runDomain(cfg.Backend, cfg.Clock))
 	}
 	world := mpi.NewWorld(sim, fab, cfg.MPI)
 	if cfg.Crashes.Active() {
@@ -192,8 +218,17 @@ func RunE(cfg Config, main func(r *mpi.Rank)) (Result, error) {
 // by timing RDMA writes between two nodes, repeating reps times per
 // size and averaging — the simulation analogue of characterizing the
 // interconnect with the vendor's perf_main utility before the
-// application runs.
+// application runs. It always measures on the virtual backend; use
+// CalibrateBackend for a wall-clock table.
 func Calibrate(cost fabric.CostModel, sizes []int, reps int) *calib.Table {
+	return calibrate(vtime.NewSim(), cost, sizes, reps)
+}
+
+// calibrate runs the ping-pong characterization on the given kernel.
+// The same proc bodies work on both backends: on a real sim the fabric
+// actually sleeps wire time and the shared posted/totals variables are
+// serialized by the kernel lock.
+func calibrate(sim *vtime.Sim, cost fabric.CostModel, sizes []int, reps int) *calib.Table {
 	if (cost == fabric.CostModel{}) {
 		cost = fabric.DefaultCostModel()
 	}
@@ -203,8 +238,11 @@ func Calibrate(cost fabric.CostModel, sizes []int, reps int) *calib.Table {
 	if reps <= 0 {
 		reps = 5
 	}
-	sim := vtime.NewSim()
+	if sim.IsReal() {
+		sim.SetDeadline(vtime.Time(DefaultRealDeadline))
+	}
 	fab := fabric.New(sim, 2, cost)
+	defer fab.Shutdown()
 	src, dst := fab.NIC(0), fab.NIC(1)
 
 	type token struct{ seq int }

@@ -112,6 +112,41 @@ func CheckFaultNodes(plan *fabric.FaultPlan, procs []int) error {
 	return faultflag.CheckNodes(plan, min)
 }
 
+// BackendFlag is the shared -backend flag state: which execution
+// substrate (cluster.Backend) the driver's runs use.
+type BackendFlag struct {
+	b cluster.Backend
+}
+
+// RegisterBackend installs the -backend flag on fs (the default
+// command-line set when fs is nil). The value is validated at parse
+// time; the default is the virtual backend.
+func RegisterBackend(fs *flag.FlagSet) *BackendFlag {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	bf := &BackendFlag{}
+	fs.Func("backend", "execution backend: virtual (deterministic simulation, default) or real (concurrent goroutines on the wall clock)", func(s string) error {
+		b, err := cluster.ParseBackend(s)
+		if err != nil {
+			return err
+		}
+		bf.b = b
+		return nil
+	})
+	return bf
+}
+
+// Backend returns the selected backend (BackendVirtual before parsing
+// or when the flag was not given).
+func (bf *BackendFlag) Backend() cluster.Backend { return bf.b }
+
+// Real reports whether the real backend was selected.
+func (bf *BackendFlag) Real() bool { return bf.b == cluster.BackendReal }
+
+// Apply copies the selection into a cluster.Config.
+func (bf *BackendFlag) Apply(cfg *cluster.Config) { cfg.Backend = bf.b }
+
 // Faults is the shared fault-injection flag state: the legacy
 // faultflag knobs (-drop/-dup/-jitter/-stall/-fault-seed, now sugar
 // for a one-event chaos schedule) plus -scenario, which loads a

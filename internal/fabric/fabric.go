@@ -29,6 +29,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ovlp/internal/trace"
@@ -219,14 +220,24 @@ type Fabric struct {
 	onCrash    func(NodeID)
 
 	tr *trace.Tracer // nil = untraced
+
+	// Real-clock backend (see real.go): per-NIC egress goroutines,
+	// nil on virtual sims.
+	rnics  []*realNIC
+	realWG sync.WaitGroup
 }
 
-// New creates a fabric of n nodes.
+// New creates a fabric of n nodes. On a real-clock sim the fabric
+// starts one egress goroutine per NIC; call Shutdown when the run is
+// over to stop them.
 func New(sim *vtime.Sim, n int, cost CostModel) *Fabric {
 	f := &Fabric{sim: sim, cost: cost, truthSeen: make(map[seenKey]bool)}
 	f.nics = make([]*NIC, n)
 	for i := range f.nics {
 		f.nics[i] = &NIC{fab: f, id: NodeID(i)}
+	}
+	if sim.IsReal() {
+		f.startReal()
 	}
 	return f
 }
@@ -241,6 +252,9 @@ func (f *Fabric) Cost() CostModel { return f.cost }
 func (f *Fabric) SetFaults(plan *FaultPlan) error {
 	if !plan.Active() {
 		return nil
+	}
+	if f.sim.IsReal() {
+		return fmt.Errorf("fabric: fault injection needs a virtual-clock run (deterministic scheduling); use -backend virtual")
 	}
 	if err := plan.Validate(); err != nil {
 		return err
@@ -495,6 +509,12 @@ func (n *NIC) transmitSeq(p *vtime.Proc, dst NodeID, kind OpKind, size int, wire
 		f.crashStats.SwallowedTx++
 		return wr
 	}
+	if f.rnics != nil {
+		// Real clock: the transfer runs on goroutines really sleeping
+		// the modelled times (faults and crashes are virtual-only and
+		// were rejected at install).
+		return n.transmitReal(dst, kind, size, wire, xferID, payload, deliver, seq, wr)
+	}
 	target := f.NIC(dst)
 	earliest := f.sim.Now().Add(f.cost.DMAStartup)
 	var drop, dup bool
@@ -634,6 +654,9 @@ func (n *NIC) RDMARead(p *vtime.Proc, src NodeID, size int, xferID uint64) uint6
 	if f.crashed(n.id, f.sim.Now()) {
 		f.crashStats.SwallowedTx++
 		return wr
+	}
+	if f.rnics != nil {
+		return n.rdmaReadReal(src, size, xferID, wr)
 	}
 	remote := f.NIC(src)
 	// Request packet: DMA startup + a header-sized hop to src.

@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"ovlp/internal/vtime"
+)
+
+// Real-clock fabric backend.
+//
+// On a real-clock sim (vtime.NewRealSim) the fabric stops scheduling
+// virtual events and instead runs one egress goroutine per NIC: posts
+// enqueue a job, the goroutine really sleeps the DMA startup and wire
+// serialization times on the sim's clock (naturally serializing the
+// NIC's transmit engine, which is what reserveEgress models in
+// virtual mode), and a per-transfer delivery goroutine sleeps the
+// link propagation delay before handing the packet to the destination
+// inbox. All mutation of shared state — completion queues, inboxes,
+// the ground-truth log, trace spans — happens inside sim.Enter, i.e.
+// under the kernel lock, so the unchanged mpi/armci progress engines
+// poll the same structures they poll in virtual mode.
+//
+// Fault and crash injection are virtual-only: they rely on the
+// omniscient scheduling only a virtual clock provides. SetFaults and
+// SetCrashes reject active plans on a real sim.
+
+// egressJob is one queued transmit on a NIC's real egress engine.
+type egressJob struct {
+	wire    time.Duration
+	readyAt vtime.Time // post time + DMA startup; the wire starts no earlier
+	// onSent runs under the kernel lock when the last byte has left
+	// the NIC (nil for jobs with no source-side completion).
+	onSent func(start, end, arrive vtime.Time)
+	// onArrive runs under the kernel lock when the last byte reaches
+	// the destination.
+	onArrive func(start, arrive vtime.Time)
+}
+
+// realNIC is the real-mode side of a NIC: an unbounded egress queue
+// drained by one goroutine. Its mutex is leaf-level: posting holds
+// the kernel lock and briefly takes rn.mu; the egress goroutine takes
+// rn.mu alone to dequeue and the kernel lock alone to deliver — the
+// two are never nested in that direction, so no deadlock.
+type realNIC struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []egressJob
+	closed bool
+}
+
+// startReal launches the per-NIC egress goroutines. Called from New
+// when the sim is real-clock.
+func (f *Fabric) startReal() {
+	f.rnics = make([]*realNIC, len(f.nics))
+	for i := range f.rnics {
+		rn := &realNIC{}
+		rn.cond = sync.NewCond(&rn.mu)
+		f.rnics[i] = rn
+		f.realWG.Add(1)
+		go f.egressLoop(f.nics[i], rn)
+	}
+}
+
+// Shutdown stops the real-mode egress goroutines and waits for
+// in-flight deliveries to land (their effects after RunE are
+// discarded by the kernel). A no-op on virtual fabrics, and
+// idempotent.
+func (f *Fabric) Shutdown() {
+	if f.rnics == nil {
+		return
+	}
+	for _, rn := range f.rnics {
+		rn.mu.Lock()
+		rn.closed = true
+		rn.cond.Broadcast()
+		rn.mu.Unlock()
+	}
+	f.realWG.Wait()
+}
+
+// post enqueues a job on node id's egress engine. Caller is in
+// simulation context (holds the kernel lock).
+func (f *Fabric) post(id NodeID, job egressJob) {
+	rn := f.rnics[id]
+	rn.mu.Lock()
+	if !rn.closed {
+		rn.queue = append(rn.queue, job)
+		rn.cond.Signal()
+	}
+	rn.mu.Unlock()
+}
+
+// egressLoop is node n's transmit engine: it drains the queue one job
+// at a time, really occupying the wire for each serialization.
+func (f *Fabric) egressLoop(n *NIC, rn *realNIC) {
+	defer f.realWG.Done()
+	clk := f.sim.Clock()
+	for {
+		rn.mu.Lock()
+		for len(rn.queue) == 0 && !rn.closed {
+			rn.cond.Wait()
+		}
+		if rn.closed {
+			rn.mu.Unlock()
+			return
+		}
+		job := rn.queue[0]
+		rn.queue = rn.queue[1:]
+		rn.mu.Unlock()
+
+		if d := job.readyAt.Sub(f.sim.Now()); d > 0 {
+			clk.Sleep(d) // DMA startup (descriptor fetch, doorbell)
+		}
+		start := f.sim.Now()
+		clk.Sleep(job.wire) // the payload occupies the egress link
+		end := f.sim.Now()
+		arrive := end.Add(f.cost.LinkLatency)
+		if job.onSent != nil {
+			f.sim.Enter(func() { job.onSent(start, end, arrive) })
+		}
+		// Propagation proceeds in the background; the egress engine is
+		// already free for the next job.
+		f.realWG.Add(1)
+		go func(job egressJob, start vtime.Time) {
+			defer f.realWG.Done()
+			clk.Sleep(f.cost.LinkLatency)
+			f.sim.Enter(func() { job.onArrive(start, f.sim.Now()) })
+		}(job, start)
+	}
+}
+
+// transmitReal is the real-mode tail of transmitSeq: everything after
+// post overhead and work-request allocation. Caller is the posting
+// proc, holding the kernel lock.
+func (n *NIC) transmitReal(dst NodeID, kind OpKind, size int, wire time.Duration, xferID uint64, payload any, deliver bool, seq uint64, wr uint64) uint64 {
+	f := n.fab
+	src := n.id
+	target := f.NIC(dst)
+	f.post(src, egressJob{
+		wire:    wire,
+		readyAt: f.sim.Now().Add(f.cost.DMAStartup),
+		onSent: func(start, end, arrive vtime.Time) {
+			n.pushCQE(CQE{WRID: wr, Kind: kind, XferID: xferID, Size: size, Start: start, End: arrive})
+		},
+		onArrive: func(start, arrive vtime.Time) {
+			f.deliverAt(src, dst, target, kind, size, xferID, payload, deliver, seq, true, start, arrive)
+		},
+	})
+	return wr
+}
+
+// rdmaReadReal is the real-mode tail of RDMARead: a goroutine models
+// the request hop to the serving node, then the data leg queues on
+// the remote NIC's real egress engine like any other transmit; the
+// completion (with the ground-truth record) lands at the requester.
+func (n *NIC) rdmaReadReal(src NodeID, size int, xferID uint64, wr uint64) uint64 {
+	f := n.fab
+	dst := n.id
+	clk := f.sim.Clock()
+	reqHop := f.cost.DMAStartup + f.cost.Wire(0) + f.cost.LinkLatency
+	f.realWG.Add(1)
+	go func() {
+		defer f.realWG.Done()
+		clk.Sleep(reqHop)
+		f.sim.Enter(func() {
+			f.post(src, egressJob{
+				wire:    f.cost.Wire(size),
+				readyAt: f.sim.Now(),
+				onArrive: func(start, arrive vtime.Time) {
+					f.record(Transfer{XferID: xferID, Src: src, Dst: dst, Size: size, Start: start, End: arrive})
+					n.pushCQE(CQE{WRID: wr, Kind: OpRDMARead, XferID: xferID, Size: size, Start: start, End: arrive})
+				},
+			})
+		})
+	}()
+	return wr
+}

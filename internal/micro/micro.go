@@ -87,6 +87,12 @@ func (e Experiment) Run() []Point {
 	if e.Reps <= 0 {
 		e.Reps = 1000
 	}
+	if e.Config.MPI.Instrument == nil {
+		// Share one instrument config across the sweep so the
+		// auto-calibrated table is measured once, not per point —
+		// material when the real backend calibrates in wall-clock time.
+		e.Config.MPI.Instrument = &mpi.InstrumentConfig{}
+	}
 	points := make([]Point, 0, len(e.ComputePoints))
 	for _, c := range e.ComputePoints {
 		points = append(points, e.runPoint(c))

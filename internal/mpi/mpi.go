@@ -356,10 +356,11 @@ func (r *Rank) attach(p *vtime.Proc) {
 	}
 	if ic := r.w.cfg.Instrument; ic != nil {
 		mc := overlap.Config{
-			Clock:     procClock{p},
-			Table:     ic.Table,
-			QueueSize: ic.QueueSize,
-			BinBounds: ic.BinBounds,
+			Clock:       procClock{p},
+			Table:       ic.Table,
+			QueueSize:   ic.QueueSize,
+			BinBounds:   ic.BinBounds,
+			ClockDomain: string(p.Sim().ClockDomain()),
 		}
 		if ic.ModelCost {
 			// Charge instrumentation cost to whoever drives the event:

@@ -61,6 +61,9 @@ type Options struct {
 	// Progress configures the asynchronous progress engine driving
 	// nonblocking collectives (see mpi.Config.Progress).
 	Progress progress.Config
+	// Backend selects the execution substrate (see
+	// cluster.Config.Backend); the default is the virtual kernel.
+	Backend cluster.Backend
 }
 
 // Characterize runs one MPI benchmark instrumented and returns process
@@ -81,7 +84,8 @@ func CharacterizeReport(name string, class Class, procs int, opt Options) (*over
 // cross-rank aggregation or saving per-process output files.
 func CharacterizeAllReports(name string, class Class, procs int, opt Options) ([]*overlap.Report, OverlapResult) {
 	res := cluster.Run(cluster.Config{
-		Procs: procs,
+		Procs:   procs,
+		Backend: opt.Backend,
 		MPI: mpi.Config{
 			Protocol:     opt.Protocol,
 			HWTimestamps: opt.HWTimestamps,
@@ -143,7 +147,8 @@ func CharacterizeSP(class Class, procs int, modified bool, maxIters int) SPResul
 // fixed to direct RDMA read, as the case study prescribes).
 func CharacterizeSPOpts(class Class, procs int, modified bool, opt Options) SPResult {
 	res := cluster.Run(cluster.Config{
-		Procs: procs,
+		Procs:   procs,
+		Backend: opt.Backend,
 		MPI: mpi.Config{
 			Protocol:   mpi.DirectRDMARead,
 			Instrument: &mpi.InstrumentConfig{},
@@ -185,10 +190,11 @@ func CharacterizeMGARMCI(class Class, procs int, variant MGVariant, maxIters int
 // (only MaxIters and Faults apply to the one-sided library).
 func CharacterizeMGARMCIOpts(class Class, procs int, variant MGVariant, opt Options) OverlapResult {
 	res := cluster.RunARMCI(cluster.ARMCIConfig{
-		Procs:  procs,
-		ARMCI:  armci.Config{Instrument: &armci.InstrumentConfig{}},
-		Faults: opt.Faults,
-		Trace:  opt.Trace,
+		Procs:   procs,
+		Backend: opt.Backend,
+		ARMCI:   armci.Config{Instrument: &armci.InstrumentConfig{}},
+		Faults:  opt.Faults,
+		Trace:   opt.Trace,
 	}, func(pr *armci.Proc) {
 		RunMGARMCI(pr, Params{Class: class, MaxIters: opt.MaxIters}, variant)
 	})
@@ -211,10 +217,17 @@ type OverheadResult struct {
 // the instrumentation's modelled CPU costs charged to the ranks — and
 // reports the run-time overhead percentage.
 func MeasureOverhead(name string, class Class, procs int, proto mpi.LongProtocol, maxIters int) OverheadResult {
+	return MeasureOverheadOpts(name, class, procs, maxIters, Options{Protocol: proto})
+}
+
+// MeasureOverheadOpts is MeasureOverhead with full Options — on the
+// real backend the comparison is of actual wall-clock run times.
+func MeasureOverheadOpts(name string, class Class, procs, maxIters int, opt Options) OverheadResult {
 	run := func(instr *mpi.InstrumentConfig) time.Duration {
 		res := cluster.Run(cluster.Config{
-			Procs: procs,
-			MPI:   mpi.Config{Protocol: proto, Instrument: instr},
+			Procs:   procs,
+			Backend: opt.Backend,
+			MPI:     mpi.Config{Protocol: opt.Protocol, Instrument: instr},
 		}, func(r *mpi.Rank) {
 			Run(name, r, Params{Class: class, MaxIters: maxIters})
 		})

@@ -282,6 +282,9 @@ func (st *procState) finish(stamp time.Duration) *Report {
 		BinBounds: append([]int(nil), st.m.cfg.BinBounds...),
 		Epochs:    st.epochReports(stamp),
 	}
+	if d := st.m.cfg.ClockDomain; d != "" && d != "virtual" {
+		rep.ClockDomain = d
+	}
 	for i, acc := range st.regions {
 		rep.Regions = append(rep.Regions, RegionReport{
 			Name:            st.m.regionNames[i],

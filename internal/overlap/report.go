@@ -103,6 +103,10 @@ type Report struct {
 	// field is omitted from JSON when empty so failure-free reports are
 	// byte-identical to prior releases.
 	Epochs []EpochReport `json:",omitempty"`
+	// ClockDomain names the clock the report's stamps were read from
+	// ("real", "fake"); empty — omitted from JSON, so virtual reports
+	// are byte-identical to prior releases — means virtual.
+	ClockDomain string `json:",omitempty"`
 }
 
 // EpochReport is one recovery epoch's slice of the run: the interval

@@ -19,6 +19,9 @@ import (
 // names (pass nil to fall back to "region#N" labels).
 func FromTracer(tr *trace.Tracer, table *calib.Table, reports []*overlap.Report) Input {
 	in := Input{Table: table, RegionNames: regionNamesFrom(reports)}
+	if d := tr.ClockDomain(); d != "" && d != "virtual" {
+		in.ClockDomain = d
+	}
 	for _, tk := range tr.Tracks() {
 		switch tk.Group() {
 		case trace.GroupHost:
@@ -124,6 +127,7 @@ func FromChromeJSON(r io.Reader, table *calib.Table) (Input, error) {
 	var raw struct {
 		TraceEvents []chromeEvent   `json:"traceEvents"`
 		Metrics     json.RawMessage `json:"metrics"`
+		ClockDomain string          `json:"clockDomain"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return Input{}, fmt.Errorf("profile: not a trace-event file: %v", err)
@@ -131,8 +135,20 @@ func FromChromeJSON(r io.Reader, table *calib.Table) (Input, error) {
 	if raw.TraceEvents == nil {
 		return Input{}, fmt.Errorf("profile: no traceEvents array in input")
 	}
+	traceDomain := raw.ClockDomain
+	if traceDomain == "" {
+		traceDomain = "virtual"
+	}
+	if table != nil && table.Domain() != traceDomain {
+		// A virtual-clock table replayed against wall-clock stamps (or
+		// vice versa) yields nonsense bounds; refuse rather than mislead.
+		return Input{}, fmt.Errorf("profile: calibration table is %s-clock but the trace is %s-clock; use a table calibrated with the matching backend", table.Domain(), traceDomain)
+	}
 
 	in := Input{Table: table}
+	if traceDomain != "virtual" {
+		in.ClockDomain = traceDomain
+	}
 	type key struct{ pid, tid int }
 	hosts := make(map[key]*RankStream)
 	order := []key{}

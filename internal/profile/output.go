@@ -14,7 +14,11 @@ import (
 // every site.
 func (p *Profile) WriteText(w io.Writer, topN int) error {
 	cw := &countWriter{w: w}
-	fmt.Fprintf(cw, "profile: %d rank(s), run time %v\n", p.Ranks, p.Duration)
+	if p.ClockDomain != "" {
+		fmt.Fprintf(cw, "profile: %d rank(s), run time %v (%s clock)\n", p.Ranks, p.Duration, p.ClockDomain)
+	} else {
+		fmt.Fprintf(cw, "profile: %d rank(s), run time %v\n", p.Ranks, p.Duration)
+	}
 	t := p.Totals
 	fmt.Fprintf(cw, "  transfers %d  data %v  min %v  max %v  bound gap %v\n",
 		t.Transfers, t.DataTransferTime, t.MinOverlapped, t.MaxOverlapped, t.Gap)

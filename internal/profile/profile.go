@@ -242,6 +242,10 @@ type Profile struct {
 	Sites    []Site       `json:"sites"`
 	Slack    SlackHist    `json:"slack"`
 	Critical CriticalPath `json:"critical"`
+	// ClockDomain names the clock of the analyzed run's timestamps
+	// ("real", "fake"); omitted for virtual runs, keeping their JSON
+	// byte-identical to prior releases.
+	ClockDomain string `json:"clockDomain,omitempty"`
 }
 
 // TopSites returns the first n sites (all when n <= 0 or beyond the
@@ -276,6 +280,12 @@ type Input struct {
 	// Window is the user-interval window for hardware-stamped replays;
 	// 0 selects overlap.DefaultUserIntervalWindow.
 	Window int
+	// ClockDomain names the clock the trace's timestamps were read
+	// from ("real", "fake"); empty means virtual. Recovered from the
+	// trace file's top-level "clockDomain" key (absent in virtual
+	// exports) so the replay knows whether bounds are deterministic or
+	// wall-clock measurements.
+	ClockDomain string
 }
 
 // RankStream is one simulated proc's host-track records.
@@ -301,9 +311,10 @@ func Analyze(in Input) (*Profile, error) {
 		return nil, fmt.Errorf("profile: no host streams in input")
 	}
 	p := &Profile{
-		Schema: Schema,
-		Ranks:  len(in.Ranks),
-		Slack:  SlackHist{Bounds: slackBounds(), Buckets: make([]int64, len(slackBounds())+1)},
+		Schema:      Schema,
+		Ranks:       len(in.Ranks),
+		Slack:       SlackHist{Bounds: slackBounds(), Buckets: make([]int64, len(slackBounds())+1)},
+		ClockDomain: in.ClockDomain,
 	}
 
 	sites := make(map[siteKey]*Site)

@@ -25,15 +25,46 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s: expected %s, observed %s", v.Scenario, v.Check, v.Expected, v.Observed)
 }
 
+// Skip is one assertion Evaluate deliberately did not check, with the
+// named reason. A skip is not a violation — the run mode makes the
+// check meaningless, not failed — but it is recorded rather than
+// silently dropped so the output shows which guarantees were actually
+// exercised.
+type Skip struct {
+	Scenario string
+	Check    string
+	Reason   string
+}
+
+func (s Skip) String() string {
+	return fmt.Sprintf("%s: %s: %s", s.Scenario, s.Check, s.Reason)
+}
+
+// The named skip reasons. Byte-exact checks cannot hold when the run
+// is shrunk (-smoke) or timed by the wall clock (-backend real).
+const (
+	skipSmokeBytes    = "smoke run: a shrunk run's bytes legitimately differ from the full-size golden"
+	skipSmokeTimeRes  = "smoke run: a shrunk run's windows legitimately differ from the full-size run's"
+	skipRealClockHash = "real-clock run: wall-clock timestamps are nondeterministic, so byte-exact hashes cannot hold"
+	skipRealClockRun  = "real-clock run: wall-clock scheduling is nondeterministic, so a rerun is not byte-identical"
+)
+
 // Evaluate checks every assertion of the run's scenario and returns
 // the violations (empty means the scenario passes). A scenario with
 // no explicit "error" assertion implicitly asserts the run finished
-// cleanly: an unexpected run error is itself a violation.
+// cleanly: an unexpected run error is itself a violation. Assertions
+// the run mode makes meaningless (hash checks under -smoke or on the
+// real clock) are recorded in rr.Skips with a named reason rather
+// than silently passed over.
 func Evaluate(rr *RunResult) []Violation {
 	s := rr.Scenario
 	var out []Violation
 	add := func(check, expected, observed string) {
 		out = append(out, Violation{Scenario: s.Name, Check: check, Expected: expected, Observed: observed})
+	}
+	rr.Skips = nil // idempotent across re-evaluation
+	skip := func(check, reason string) {
+		rr.Skips = append(rr.Skips, Skip{Scenario: s.Name, Check: check, Reason: reason})
 	}
 
 	expectsError := false
@@ -66,16 +97,30 @@ func Evaluate(rr *RunResult) []Violation {
 		case "conservation":
 			checkConservation(rr, add)
 		case "determinism":
+			if rr.realClock() {
+				skip("determinism", skipRealClockRun)
+				continue
+			}
 			checkDeterminism(rr, add)
 		case "trace_hash":
+			if rr.realClock() {
+				skip("trace_hash", skipRealClockHash)
+				continue
+			}
 			if rr.Opts.Smoke {
-				continue // smoke runs are legitimately different bytes
+				skip("trace_hash", skipSmokeBytes)
+				continue
 			}
 			if rr.TraceHash != a.Hash {
 				add("trace_hash", a.Hash, rr.TraceHash)
 			}
 		case "report_hash":
+			if rr.realClock() {
+				skip("report_hash", skipRealClockHash)
+				continue
+			}
 			if rr.Opts.Smoke {
+				skip("report_hash", skipSmokeBytes)
 				continue
 			}
 			if rr.ReportHash != a.Hash {
@@ -88,7 +133,8 @@ func Evaluate(rr *RunResult) []Violation {
 			}
 		case "time_resolved":
 			if rr.Opts.Smoke {
-				continue // a shrunk run's windows are legitimately different
+				skip("time_resolved", skipSmokeTimeRes)
+				continue
 			}
 			checkTimeResolved(rr, a, add)
 		case "finding":

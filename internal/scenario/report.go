@@ -217,6 +217,9 @@ func WriteText(w io.Writer, rr *RunResult, violations []Violation) {
 		fmt.Fprintf(w, "  error:   %s\n", rep.Error)
 	}
 	fmt.Fprintf(w, "  hashes:  trace %s  report %s\n", short(rr.TraceHash), short(rr.ReportHash))
+	for _, sk := range rr.Skips {
+		fmt.Fprintf(w, "  SKIP %s: %s\n", sk.Check, sk.Reason)
+	}
 	for _, v := range violations {
 		fmt.Fprintf(w, "  VIOLATION %s: expected %s, observed %s\n", v.Check, v.Expected, v.Observed)
 	}

@@ -53,6 +53,12 @@ type Opts struct {
 	// (cmd/scenario -findings sets it). Implies the time-resolved
 	// analyzer.
 	Findings bool
+	// Backend selects the execution substrate (see
+	// cluster.Config.Backend). On the real backend the hash and
+	// determinism assertions are skipped with a named reason — wall
+	// clocks are not replayable — and chaos scenarios are rejected,
+	// since fault injection needs the virtual fabric.
+	Backend cluster.Backend
 }
 
 // RunResult is everything one engine run produces: the raw cluster
@@ -91,6 +97,12 @@ type RunResult struct {
 	// TimeRes it stays out of the run report: its own JSON is the
 	// golden artifact (scenarios/golden/<name>.findings.json).
 	Findings *diagnose.Report
+	// Skips lists the assertions Evaluate deliberately did not check
+	// for this run, each with a named reason (smoke shrinkage,
+	// real-clock nondeterminism). Skips stay out of the run report so
+	// golden files are unaffected; they exist so a skipped check is
+	// visible instead of silently passing.
+	Skips []Skip
 
 	TraceBytes  []byte
 	TraceHash   string
@@ -127,6 +139,9 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Backend == cluster.BackendReal && (plan != nil || s.wantsFT()) {
+		return nil, fmt.Errorf("scenario %s: chaos and crash injection need the virtual backend; drop -backend real", s.Name)
+	}
 
 	events := make([][]overlap.Event, procs)
 	mpiCfg.Instrument = &mpi.InstrumentConfig{
@@ -147,6 +162,7 @@ func Run(s *Scenario, opts Opts) (*RunResult, error) {
 	tracer.AddSink(opts.Sink) // nil-safe no-op when unset
 	cfg := cluster.Config{
 		Procs:       procs,
+		Backend:     opts.Backend,
 		MPI:         mpiCfg,
 		RecordTruth: true,
 		Faults:      plan,
@@ -310,6 +326,10 @@ func diagnoseRun(rr *RunResult) *diagnose.Report {
 	}
 	return diagnose.Analyze(in)
 }
+
+// realClock reports whether the run executed on the wall clock, which
+// voids the engine's byte-exact determinism contract.
+func (rr *RunResult) realClock() bool { return rr.Opts.Backend == cluster.BackendReal }
 
 func hashBytes(b []byte) string {
 	sum := sha256.Sum256(b)

@@ -79,6 +79,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		b.WriteString(`,"generator":`)
 		b.WriteString(quote(t.opts.Generator))
 	}
+	if d := t.opts.ClockDomain; d != "" && d != "virtual" {
+		// Only non-virtual domains are stamped: absence means virtual,
+		// and virtual exports stay byte-identical (golden traces).
+		b.WriteString(`,"clockDomain":`)
+		b.WriteString(quote(d))
+	}
 	b.WriteString("}\n")
 	_, err := w.Write(b.Bytes())
 	return err

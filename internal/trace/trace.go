@@ -116,6 +116,15 @@ type Options struct {
 	// (cmdutil.Version). Left empty it adds nothing, so byte-stable
 	// golden traces are unaffected unless a caller opts in.
 	Generator string
+	// ClockDomain names the clock the run's timestamps were read from
+	// ("virtual", "real", "fake"). Non-virtual domains are stamped into
+	// exported trace files as a top-level "clockDomain" key so offline
+	// analysis knows the timestamps are wall-clock measurements, not
+	// deterministic virtual time. Empty or "virtual" adds nothing —
+	// virtual exports stay byte-identical to the pre-domain format, and
+	// absence of the key means virtual. Usually set by cluster.RunE
+	// (via SetClockDomain) from the run's backend rather than by hand.
+	ClockDomain string
 }
 
 // Sink observes every record the moment it is emitted — a streaming
@@ -160,6 +169,25 @@ func New(opts Options) *Tracer {
 		index: make(map[trackKey]*Track),
 		reg:   NewRegistry(),
 	}
+}
+
+// SetClockDomain stamps the clock domain of the run being traced (see
+// Options.ClockDomain). Call before exporting; a nil tracer ignores
+// the call.
+func (t *Tracer) SetClockDomain(d string) {
+	if t == nil {
+		return
+	}
+	t.opts.ClockDomain = d
+}
+
+// ClockDomain returns the stamped clock domain; empty (or for a nil
+// tracer) means virtual.
+func (t *Tracer) ClockDomain() string {
+	if t == nil {
+		return ""
+	}
+	return t.opts.ClockDomain
 }
 
 // Metrics returns the tracer's registry (nil for a nil tracer).

@@ -1,0 +1,94 @@
+package vtime
+
+import (
+	"time"
+
+	"ovlp/internal/clock"
+)
+
+// virtualEpoch is the wall-time anchor of virtual time zero. Any
+// fixed instant works — virtual timestamps are only ever compared to
+// each other — but a stable one keeps artifacts deterministic.
+var virtualEpoch = time.Unix(0, 0).UTC()
+
+// Clock returns the sim viewed through the clock.Clock interface: the
+// backing clock of a real sim, or an adapter over the virtual kernel
+// whose Sleep models computation on the calling proc and whose timers
+// are virtual events. The adapter's blocking calls must run in
+// simulation context, like the kernel methods they wrap.
+func (s *Sim) Clock() clock.Clock {
+	if s.rt != nil {
+		return s.rt.clk
+	}
+	return simClock{s}
+}
+
+type simClock struct{ s *Sim }
+
+func (c simClock) Now() time.Time                  { return virtualEpoch.Add(c.s.now.Duration()) }
+func (c simClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c simClock) Domain() clock.Domain            { return clock.Virtual }
+
+func (c simClock) Sleep(d time.Duration) {
+	p := c.s.current
+	if p == nil {
+		panic("vtime: virtual clock Sleep outside proc context")
+	}
+	p.Sleep(d)
+}
+
+func (c simClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &simTimer{}
+	t.cancel = c.s.AfterCancel(d, func() {
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+func (c simClock) NewTimer(d time.Duration) clock.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &simTimer{c: make(chan time.Time, 1)}
+	t.cancel = c.s.AfterCancel(d, func() {
+		t.fired = true
+		select {
+		case t.c <- c.Now():
+		default:
+		}
+	})
+	return t
+}
+
+// simTimer adapts a cancellable virtual event to clock.Timer. Fields
+// are touched only in simulation context, so no locking.
+type simTimer struct {
+	c       chan time.Time
+	cancel  func()
+	fired   bool
+	stopped bool
+}
+
+func (t *simTimer) C() <-chan time.Time {
+	if t.c == nil {
+		return nil
+	}
+	return t.c
+}
+
+func (t *simTimer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.cancel()
+	return true
+}
+
+func (t *simTimer) Reset(d time.Duration) bool {
+	panic("vtime: virtual clock timers do not support Reset")
+}

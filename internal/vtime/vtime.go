@@ -23,6 +23,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -154,6 +155,11 @@ type Sim struct {
 
 	panicked any // panic value captured from a proc
 	running  bool
+
+	// rt is non-nil for real-clock sims (see real.go): procs run as
+	// concurrent goroutines under a kernel lock and time comes from a
+	// clock.Clock instead of the event heap.
+	rt *realState
 }
 
 // SetObserver installs the kernel observer (nil to remove). It must be
@@ -166,8 +172,15 @@ func NewSim() *Sim {
 	return &Sim{yield: make(chan struct{})}
 }
 
-// Now returns the current virtual time.
-func (s *Sim) Now() Time { return s.now }
+// Now returns the current virtual time: the event clock on a virtual
+// sim, nanoseconds of real clock time since construction on a real
+// one.
+func (s *Sim) Now() Time {
+	if s.rt != nil {
+		return s.realNow()
+	}
+	return s.now
+}
 
 // Proc is a simulated thread of control. Procs are created with
 // Sim.Spawn and run under the kernel's coroutine discipline: all Proc
@@ -187,6 +200,8 @@ type Proc struct {
 
 	killed   error  // pending Kill, delivered as a panic at the next resume
 	resumeEv *event // pending Compute timer, cancelled by Kill
+
+	cond *sync.Cond // real mode: wakes the proc's Park; waits on rt.mu
 }
 
 // ID returns the proc's index in spawn order, starting at zero.
@@ -199,13 +214,16 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Sim() *Sim { return p.sim }
 
 // Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.sim.now }
+func (p *Proc) Now() Time { return p.sim.Now() }
 
 // Spawn registers a new proc that will execute fn when Run is called.
 // Spawning after Run has started is allowed only from within the
 // simulation (a proc or callback); the new proc starts at the current
 // virtual time.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	if s.rt != nil {
+		return s.spawnReal(name, fn)
+	}
 	p := &Proc{
 		sim:    s,
 		id:     len(s.procs),
@@ -290,6 +308,10 @@ func (s *Sim) After(d time.Duration, fn func()) {
 	if d < 0 {
 		panic("vtime: negative delay")
 	}
+	if s.rt != nil {
+		s.afterReal(d, fn)
+		return
+	}
 	s.schedule(s.now.Add(d), fn)
 }
 
@@ -301,6 +323,9 @@ func (s *Sim) After(d time.Duration, fn func()) {
 func (s *Sim) AfterCancel(d time.Duration, fn func()) (cancel func()) {
 	if d < 0 {
 		panic("vtime: negative delay")
+	}
+	if s.rt != nil {
+		return s.afterReal(d, fn)
 	}
 	e := s.schedule(s.now.Add(d), fn)
 	return func() { e.cancelled = true }
@@ -340,6 +365,10 @@ func (p *Proc) Compute(d time.Duration) {
 		panic("vtime: negative compute duration")
 	}
 	s := p.sim
+	if s.rt != nil {
+		p.computeReal(d)
+		return
+	}
 	var ev *event
 	ev = s.schedule(s.now.Add(d), func() {
 		if p.resumeEv == ev {
@@ -364,6 +393,10 @@ func (p *Proc) Yield() { p.Compute(0) }
 // consumes it and returns immediately. The where label is reported in
 // deadlock dumps.
 func (p *Proc) Park(where string) {
+	if p.sim.rt != nil {
+		p.parkReal(where)
+		return
+	}
 	if p.permit {
 		p.permit = false
 		return
@@ -377,6 +410,10 @@ func (p *Proc) Park(where string) {
 // idempotent. Unpark must be called from simulation context (a proc or
 // an After callback), never from outside Run.
 func (p *Proc) Unpark() {
+	if p.sim.rt != nil {
+		p.unparkReal()
+		return
+	}
 	if p.state == stateParked && !p.permit {
 		p.permit = true
 		s := p.sim
@@ -408,6 +445,10 @@ func (p *Proc) Unpark() {
 func (p *Proc) Kill(err error) {
 	if err == nil {
 		panic("vtime: Kill with nil error")
+	}
+	if p.sim.rt != nil {
+		p.killReal(err)
+		return
 	}
 	if p.state == stateDone || p.killed != nil {
 		return
@@ -506,6 +547,9 @@ func (s *Sim) deadlockError(reason string) *DeadlockError {
 // recovered and returned as an error, wrapped so errors.Is/As see the
 // original value when it was itself an error.
 func (s *Sim) RunE() (t Time, err error) {
+	if s.rt != nil {
+		return s.runRealE()
+	}
 	if s.running {
 		panic("vtime: Run called reentrantly")
 	}
